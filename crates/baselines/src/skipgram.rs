@@ -1,0 +1,317 @@
+//! Shallow heterogeneous network embedding baselines:
+//!
+//! * **metapath2vec** (Dong et al., KDD 2017) — skip-gram with negative
+//!   sampling over meta-path-guided random walks;
+//! * **hin2vec** (Fu et al., CIKM 2017) — relation-aware skip-gram over
+//!   uniform typed walks, scoring pairs through a per-link-type gate.
+//!
+//! Both are trained unsupervised with classic manual SGNS updates (the
+//! word2vec recipe — far faster than taping every update), then a
+//! three-layer equal-size MLP head is fitted on the paper embeddings, as
+//! specified in Sec. IV-A2.
+
+use crate::common::CitationModel;
+use crate::mlp::Mlp;
+use dblp_sim::Dataset;
+use hetgraph::{corpus_metapath_walks, uniform_typed_walk, MetaPath, NodeId};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::{stable_sigmoid, Tensor};
+
+/// Hyper-parameters for the SGNS embedding stage.
+#[derive(Clone, Debug)]
+pub struct SgnsConfig {
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    pub walks_per_node: usize,
+    pub walk_len: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        SgnsConfig {
+            dim: 32,
+            window: 3,
+            negatives: 4,
+            walks_per_node: 4,
+            walk_len: 16,
+            epochs: 2,
+            lr: 0.025,
+            seed: 0x5065,
+        }
+    }
+}
+
+/// Plain SGNS over (center, context) node pairs; `rel` optionally gates the
+/// score per link type (hin2vec style: `sigmoid(sum_i u_i v_i g_i)` where
+/// `g = sigmoid(r)` is the relation gate).
+struct Sgns {
+    emb: Tensor,
+    ctx: Tensor,
+    rel: Option<Tensor>,
+    lr: f32,
+}
+
+impl Sgns {
+    fn new(n_nodes: usize, n_rels: usize, cfg: &SgnsConfig, with_rel: bool) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut init = |n: usize, d: usize| {
+            let data = (0..n * d).map(|_| rng.gen_range(-0.5f32..0.5) / d as f32).collect();
+            Tensor::from_vec(n, d, data)
+        };
+        Sgns {
+            emb: init(n_nodes, cfg.dim),
+            ctx: init(n_nodes, cfg.dim),
+            rel: with_rel.then(|| init(n_rels, cfg.dim)),
+            lr: cfg.lr,
+        }
+    }
+
+    /// One SGNS update on (center, context, label) under relation `r`.
+    fn update(&mut self, center: usize, context: usize, rel: Option<usize>, label: f32) {
+        let d = self.emb.cols();
+        let gate: Vec<f32> = match (&self.rel, rel) {
+            (Some(rt), Some(r)) => rt.row(r).iter().map(|&x| stable_sigmoid(x)).collect(),
+            _ => vec![1.0; d],
+        };
+        let score: f32 = self
+            .emb
+            .row(center)
+            .iter()
+            .zip(self.ctx.row(context))
+            .zip(&gate)
+            .map(|((&u, &v), &g)| u * v * g)
+            .sum();
+        let err = (label - stable_sigmoid(score)) * self.lr;
+        let cu: Vec<f32> = self.emb.row(center).to_vec();
+        let cv: Vec<f32> = self.ctx.row(context).to_vec();
+        for i in 0..d {
+            self.emb.row_mut(center)[i] += err * cv[i] * gate[i];
+            self.ctx.row_mut(context)[i] += err * cu[i] * gate[i];
+        }
+        if let (Some(rt), Some(r)) = (&mut self.rel, rel) {
+            for i in 0..d {
+                // d gate / d r = g (1 - g).
+                let g = gate[i];
+                rt.row_mut(r)[i] += err * cu[i] * cv[i] * g * (1.0 - g);
+            }
+        }
+    }
+
+    /// Trains on walks: windows around each center, plus `negatives`
+    /// uniformly-random negative contexts per positive.
+    fn train_walks<R: Rng>(
+        &mut self,
+        walks: &[Vec<(usize, Option<usize>)>],
+        n_nodes: usize,
+        cfg: &SgnsConfig,
+        rng: &mut R,
+    ) {
+        for _ in 0..cfg.epochs {
+            for walk in walks {
+                for (i, &(center, _)) in walk.iter().enumerate() {
+                    let lo = i.saturating_sub(cfg.window);
+                    let hi = (i + cfg.window + 1).min(walk.len());
+                    for (j, &(context, rel)) in walk.iter().enumerate().take(hi).skip(lo) {
+                        if i == j {
+                            continue;
+                        }
+                        self.update(center, context, rel, 1.0);
+                        for _ in 0..cfg.negatives {
+                            let neg = rng.gen_range(0..n_nodes);
+                            self.update(center, neg, rel, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the paper-feature matrix from learned embeddings.
+fn paper_matrix(emb: &Tensor, ds: &Dataset, papers: &[usize]) -> Tensor {
+    let rows: Vec<usize> = papers.iter().map(|&i| ds.paper_nodes[i].index()).collect();
+    emb.gather_rows(&rows)
+}
+
+fn fit_head(emb: &Tensor, ds: &Dataset, dim: usize, seed: u64) -> Mlp {
+    let x = paper_matrix(emb, ds, &ds.split.train);
+    let y = ds.labels_of(&ds.split.train);
+    // "A three layer MLP with equal sizes" (Sec. IV-A2).
+    let mut head = Mlp::new(&[dim, dim, dim, 1], seed);
+    head.fit(&x, &y, 400, 128, 5e-3, seed ^ 3);
+    head
+}
+
+/// metapath2vec: meta-path-guided walks + SGNS + MLP head.
+#[derive(Debug)]
+pub struct MetaPath2Vec {
+    pub cfg: SgnsConfig,
+    emb: Option<Tensor>,
+    head: Option<Mlp>,
+}
+
+impl MetaPath2Vec {
+    pub fn new(cfg: SgnsConfig) -> Self {
+        MetaPath2Vec { cfg, emb: None, head: None }
+    }
+}
+
+impl Default for MetaPath2Vec {
+    fn default() -> Self {
+        Self::new(SgnsConfig::default())
+    }
+}
+
+impl CitationModel for MetaPath2Vec {
+    fn name(&self) -> String {
+        "metapath2vec".into()
+    }
+
+    fn fit(&mut self, ds: &Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let lt = &ds.link_types;
+        // The four fundamental meta-paths with equal weights (Sec. IV-A3).
+        let paths = [
+            MetaPath::new("PP", vec![lt.cites]),
+            MetaPath::new("PAP", vec![lt.written_by, lt.writes]),
+            MetaPath::new("PVP", vec![lt.published_in, lt.publishes]),
+            MetaPath::new("PTP", vec![lt.contains, lt.contained_in]),
+        ];
+        let n = ds.graph.num_nodes();
+        let mut walks: Vec<Vec<(usize, Option<usize>)>> = Vec::new();
+        for path in &paths {
+            for w in corpus_metapath_walks(
+                &ds.graph,
+                path,
+                self.cfg.walks_per_node,
+                self.cfg.walk_len,
+                &mut rng,
+            ) {
+                walks.push(w.into_iter().map(|v| (v.index(), None)).collect());
+            }
+        }
+        let mut sgns = Sgns::new(n, 0, &self.cfg, false);
+        sgns.train_walks(&walks, n, &self.cfg, &mut rng);
+        self.head = Some(fit_head(&sgns.emb, ds, self.cfg.dim, self.cfg.seed ^ 7));
+        self.emb = Some(sgns.emb);
+    }
+
+    fn predict(&self, ds: &Dataset, papers: &[usize]) -> Vec<f32> {
+        let x = paper_matrix(self.emb.as_ref().expect("fit first"), ds, papers);
+        self.head.as_ref().expect("fit first").predict(&x)
+    }
+}
+
+/// hin2vec: uniform typed walks + relation-gated SGNS + MLP head.
+#[derive(Debug)]
+pub struct Hin2Vec {
+    pub cfg: SgnsConfig,
+    emb: Option<Tensor>,
+    head: Option<Mlp>,
+}
+
+impl Hin2Vec {
+    pub fn new(cfg: SgnsConfig) -> Self {
+        Hin2Vec { cfg, emb: None, head: None }
+    }
+}
+
+impl Default for Hin2Vec {
+    fn default() -> Self {
+        Self::new(SgnsConfig { seed: 0x4142, ..SgnsConfig::default() })
+    }
+}
+
+impl CitationModel for Hin2Vec {
+    fn name(&self) -> String {
+        "hin2vec".into()
+    }
+
+    fn fit(&mut self, ds: &Dataset) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let n = ds.graph.num_nodes();
+        let n_rels = ds.graph.schema().num_link_types();
+        let mut walks: Vec<Vec<(usize, Option<usize>)>> = Vec::new();
+        for start in 0..n {
+            for _ in 0..self.cfg.walks_per_node.div_ceil(2) {
+                let steps = uniform_typed_walk(
+                    &ds.graph,
+                    NodeId(start as u32),
+                    self.cfg.walk_len,
+                    &mut rng,
+                );
+                if steps.is_empty() {
+                    continue;
+                }
+                let mut walk = vec![(start, None)];
+                walk.extend(steps.into_iter().map(|(lt, v)| (v.index(), Some(lt.0 as usize))));
+                walks.push(walk);
+            }
+        }
+        let mut sgns = Sgns::new(n, n_rels, &self.cfg, true);
+        sgns.train_walks(&walks, n, &self.cfg, &mut rng);
+        self.head = Some(fit_head(&sgns.emb, ds, self.cfg.dim, self.cfg.seed ^ 9));
+        self.emb = Some(sgns.emb);
+    }
+
+    fn predict(&self, ds: &Dataset, papers: &[usize]) -> Vec<f32> {
+        let x = paper_matrix(self.emb.as_ref().expect("fit first"), ds, papers);
+        self.head.as_ref().expect("fit first").predict(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblp_sim::WorldConfig;
+
+    fn small_cfg() -> SgnsConfig {
+        SgnsConfig { dim: 12, walks_per_node: 2, walk_len: 8, epochs: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn sgns_separates_linked_from_unlinked() {
+        // Two cliques {0,1,2} and {3,4,5}: embeddings within a clique end
+        // up more similar than across.
+        let mut walks = Vec::new();
+        for _ in 0..80 {
+            walks.push(vec![(0, None), (1, None), (2, None), (0, None), (1, None)]);
+            walks.push(vec![(3, None), (4, None), (5, None), (3, None), (4, None)]);
+        }
+        let cfg = SgnsConfig { dim: 8, epochs: 3, ..Default::default() };
+        let mut sgns = Sgns::new(6, 0, &cfg, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        sgns.train_walks(&walks, 6, &cfg, &mut rng);
+        let cos = |a: usize, b: usize| {
+            let (x, y) = (sgns.emb.row(a), sgns.emb.row(b));
+            tensor::dot(x, y) / (tensor::dot(x, x).sqrt() * tensor::dot(y, y).sqrt() + 1e-9)
+        };
+        assert!(cos(0, 1) > cos(0, 4), "within {} vs across {}", cos(0, 1), cos(0, 4));
+    }
+
+    #[test]
+    fn metapath2vec_end_to_end() {
+        let ds = Dataset::full(&WorldConfig::tiny(), 8);
+        let mut m = MetaPath2Vec::new(small_cfg());
+        m.fit(&ds);
+        let preds = m.predict(&ds, &ds.split.test);
+        assert_eq!(preds.len(), ds.split.test.len());
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn hin2vec_end_to_end_with_relation_gates() {
+        let ds = Dataset::full(&WorldConfig::tiny(), 8);
+        let mut m = Hin2Vec::new(small_cfg());
+        m.fit(&ds);
+        let preds = m.predict(&ds, &ds.split.test);
+        assert_eq!(preds.len(), ds.split.test.len());
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+}

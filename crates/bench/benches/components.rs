@@ -1,0 +1,76 @@
+//! Component micro-benchmarks backing the Sec. III-F complexity analysis:
+//! composition operators, neighborhood sampling, attention, and the
+//! parameter-count contrast between CATE-HGN's shared transformation and
+//! R-GCN's per-relation matrices.
+
+use baselines::Rgcn;
+use bench::{bench_dataset, bench_gnn_cfg, bench_model, bench_model_cfg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgraph::sample_blocks;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::{Graph, Tensor};
+
+fn bench(c: &mut Criterion) {
+    // Composition kernels at the paper's embedding sizes.
+    let mut g = c.benchmark_group("compose_ops");
+    for d in [32usize, 64, 100] {
+        let a = Tensor::full(256, d, 0.3);
+        let e = Tensor::full(256, d, 0.2);
+        g.bench_with_input(BenchmarkId::new("sub", d), &d, |b, _| {
+            b.iter(|| {
+                let mut gr = Graph::new();
+                let (x, y) = (gr.input(a.clone()), gr.input(e.clone()));
+                std::hint::black_box(gr.sub(x, y))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("mult", d), &d, |b, _| {
+            b.iter(|| {
+                let mut gr = Graph::new();
+                let (x, y) = (gr.input(a.clone()), gr.input(e.clone()));
+                std::hint::black_box(gr.mul(x, y))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("circcorr", d), &d, |b, _| {
+            b.iter(|| {
+                let mut gr = Graph::new();
+                let (x, y) = (gr.input(a.clone()), gr.input(e.clone()));
+                std::hint::black_box(gr.circ_corr(x, y))
+            })
+        });
+    }
+    g.finish();
+
+    // Fixed-size neighborhood sampling (Algorithm 1, line 5).
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("sampling");
+    for fanout in [4usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, &s| {
+            let seeds = ds.paper_nodes_of(&ds.split.train[..64.min(ds.split.train.len())]);
+            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            b.iter(|| std::hint::black_box(sample_blocks(&ds.graph, &seeds, 2, s, &mut rng)))
+        });
+    }
+    g.finish();
+
+    // Parameter-count contrast (printed, not timed): shared W_a vs
+    // per-relation matrices.
+    let model = bench_model(&ds, bench_model_cfg(&ds));
+    let rgcn = Rgcn::new(bench_gnn_cfg(), ds.features.cols(), ds.graph.schema().num_link_types());
+    println!(
+        "\nparams: CATE-HGN {} weights vs R-GCN {} weights ({} link types)",
+        model.num_weights(),
+        rgcn.num_weights(),
+        ds.graph.schema().num_link_types()
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

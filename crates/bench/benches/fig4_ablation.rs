@@ -1,0 +1,58 @@
+//! Fig. 4(a) bench: forward+backward cost of every ablation variant —
+//! quantifying what each novel component (MI loss, attention, CA masking,
+//! composition choice) costs per training step.
+
+use bench::{bench_dataset, bench_model, bench_model_cfg};
+use catehgn::{Ablation, Composition};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgraph::sample_blocks;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::{Graph, Tensor};
+
+fn step(ds: &dblp_sim::Dataset, composition: Composition, ablation: Ablation) {
+    let mut cfg = bench_model_cfg(ds);
+    cfg.composition = composition;
+    cfg.ablation = ablation;
+    let model = bench_model(ds, cfg.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let batch: Vec<usize> = ds.split.train.iter().take(cfg.batch_size).copied().collect();
+    let seeds = ds.paper_nodes_of(&batch);
+    let labels = Tensor::col_vec(ds.labels_of(&batch));
+    let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
+    let mut g = Graph::new();
+    let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
+    let (loss, _, _) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
+    g.backward(loss);
+    std::hint::black_box(g.len());
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig4a_variants");
+    let hgn = Ablation::hgn_only();
+    g.bench_function("comp-sub", |b| b.iter(|| step(&ds, Composition::Sub, hgn)));
+    g.bench_function("comp-mult", |b| b.iter(|| step(&ds, Composition::Mult, hgn)));
+    g.bench_function("comp-circcorr", |b| b.iter(|| step(&ds, Composition::CircCorr, hgn)));
+    let no_mi = Ablation { mi: false, ..hgn };
+    g.bench_function("no-MI", |b| b.iter(|| step(&ds, Composition::CircCorr, no_mi)));
+    let no_attn = Ablation { attention: false, ..hgn };
+    g.bench_function("no-attn", |b| b.iter(|| step(&ds, Composition::CircCorr, no_attn)));
+    g.bench_function("full-CA", |b| {
+        b.iter(|| step(&ds, Composition::CircCorr, Ablation::ca_hgn()))
+    });
+    g.bench_function("full-CATE", |b| {
+        b.iter(|| step(&ds, Composition::CircCorr, Ablation::default()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 4(b,c) bench: how the CA phase scales with the cluster count `K`
+//! and how the TE bootstrap scales with the term cut-off `kappa` —
+//! the efficiency side of the paper's hyper-parameter trade-off claim
+//! ("K in 10-20 and kappa in 50-100 trade off performance and
+//! efficiency").
+
+use bench::{bench_dataset, bench_model, bench_model_cfg};
+use catehgn::TextEnhancer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgraph::{sample_blocks, NodeId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::Graph;
+
+fn ca_step(ds: &dblp_sim::Dataset, k: usize) {
+    let mut cfg = bench_model_cfg(ds);
+    cfg.n_clusters = k;
+    let model = bench_model(ds, cfg.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let batch: Vec<NodeId> =
+        (0..cfg.batch_size as u32).map(|i| NodeId(i % ds.graph.num_nodes() as u32)).collect();
+    let blocks = sample_blocks(&ds.graph, &batch, cfg.layers, cfg.fanout, &mut rng);
+    let mut g = Graph::new();
+    let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, true);
+    if let Some(loss) = model.ca_loss(&mut g, &fw) {
+        g.backward(loss);
+    }
+    std::hint::black_box(g.len());
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig4b_ca_vs_clusters");
+    for k in [2usize, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| ca_step(&ds, k))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fig4c_te_vs_kappa");
+    let te = TextEnhancer::new(&ds, ds.world.config.n_domains, 16, 3);
+    for kappa in [10usize, 25, 50, 100] {
+        g.bench_with_input(BenchmarkId::from_parameter(kappa), &kappa, |b, &kappa| {
+            b.iter(|| {
+                let mut te = te.clone();
+                te.bootstrap(kappa);
+                std::hint::black_box(te.active_terms().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

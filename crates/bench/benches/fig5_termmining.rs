@@ -1,0 +1,54 @@
+//! Fig. 5 bench: the TE module's three phases — SimBert training,
+//! domain-name bootstrap, TF-IDF relinking, and one voting refinement
+//! round.
+
+use bench::bench_dataset;
+use catehgn::TextEnhancer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let n_domains = ds.world.config.n_domains;
+    let mut g = c.benchmark_group("fig5_termmining");
+    g.bench_function("simbert_train", |b| {
+        b.iter(|| std::hint::black_box(TextEnhancer::new(&ds, n_domains, 16, 3)))
+    });
+    let te0 = TextEnhancer::new(&ds, n_domains, 16, 3);
+    g.bench_function("bootstrap_k20", |b| {
+        b.iter(|| {
+            let mut te = te0.clone();
+            te.bootstrap(20);
+            std::hint::black_box(te.active_terms().len())
+        })
+    });
+    let mut te = te0.clone();
+    te.bootstrap(20);
+    g.bench_function("relink_tfidf", |b| {
+        b.iter(|| {
+            let mut ds2 = ds.clone();
+            te.relink(&mut ds2, true);
+            std::hint::black_box(ds2.graph.num_links())
+        })
+    });
+    let impact: HashMap<textmine::TokenId, f32> =
+        te.active_terms().into_iter().map(|t| (t, 1.0)).collect();
+    g.bench_function("refine_round", |b| {
+        b.iter(|| {
+            let mut te2 = te.clone();
+            te2.refine(&impact, &HashMap::new(), 20);
+            std::hint::black_box(te2.active_terms().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table I bench: cost of generating and assembling each dataset variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dblp_sim::{Dataset, DatasetStats, WorldConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = WorldConfig::tiny();
+    let mut g = c.benchmark_group("table1_datasets");
+    g.bench_function("build_full", |b| {
+        b.iter(|| std::hint::black_box(Dataset::full(&cfg, 16)))
+    });
+    g.bench_function("build_single", |b| {
+        b.iter(|| std::hint::black_box(Dataset::single(&cfg, 16, "data")))
+    });
+    g.bench_function("build_random", |b| {
+        b.iter(|| std::hint::black_box(Dataset::random(&cfg, 16)))
+    });
+    let ds = Dataset::full(&cfg, 16);
+    g.bench_function("stats", |b| b.iter(|| std::hint::black_box(DatasetStats::of(&ds))));
+    g.finish();
+
+    // Regenerate the actual Table I rows once so the bench output shows them.
+    println!("\nTable I rows (bench-scale):");
+    println!("{}", DatasetStats::header());
+    for d in [Dataset::full(&cfg, 16), Dataset::single(&cfg, 16, "data"), Dataset::random(&cfg, 16)]
+    {
+        println!("{}", DatasetStats::of(&d).row());
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Table II bench: one supervised training step of every model family on
+//! the same dataset — the per-step cost behind each Table II row.
+
+use baselines::common::{train_regressor, BatchRegressor};
+use baselines::{Gat, Hgcn, Hgt, Magnn, Rgcn};
+use bench::{bench_dataset, bench_gnn_cfg, bench_model, bench_model_cfg};
+use catehgn::Ablation;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgraph::sample_blocks;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tensor::{Graph, Optimizer, Tensor};
+
+fn gnn_step<M: BatchRegressor>(model: &mut M, ds: &dblp_sim::Dataset) {
+    // The bench GnnConfig sets steps = 1: one mini-batch train step.
+    debug_assert_eq!(model.cfg().steps, 1);
+    let _ = train_regressor(model, ds);
+}
+
+fn catehgn_step(ds: &dblp_sim::Dataset, ablation: Ablation) {
+    let mut cfg = bench_model_cfg(ds);
+    cfg.ablation = ablation;
+    let mut model = bench_model(ds, cfg.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let batch: Vec<usize> = ds.split.train.iter().take(cfg.batch_size).copied().collect();
+    let seeds = ds.paper_nodes_of(&batch);
+    let labels = Tensor::col_vec(ds.labels_of(&batch));
+    let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
+    let mut g = Graph::new();
+    let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
+    let (loss, _, _) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
+    g.backward(loss);
+    let mut opt = Optimizer::adam(cfg.lr);
+    opt.step_clipped(&mut model.params, &g, Some(cfg.clip));
+}
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let gnn = bench_gnn_cfg();
+    let fdim = ds.features.cols();
+    let nlt = ds.graph.schema().num_link_types();
+    let nnt = ds.graph.schema().num_node_types();
+
+    let mut g = c.benchmark_group("table2_train_step");
+    g.bench_function("GAT", |b| {
+        b.iter(|| gnn_step(&mut Gat::new(gnn.clone(), fdim, 2), &ds))
+    });
+    g.bench_function("R-GCN", |b| {
+        b.iter(|| gnn_step(&mut Rgcn::new(gnn.clone(), fdim, nlt), &ds))
+    });
+    g.bench_function("HGCN", |b| {
+        b.iter(|| gnn_step(&mut Hgcn::new(gnn.clone(), fdim, nlt), &ds))
+    });
+    g.bench_function("HGT", |b| {
+        b.iter(|| gnn_step(&mut Hgt::new(gnn.clone(), fdim, nnt, nlt), &ds))
+    });
+    g.bench_function("MAGNN", |b| {
+        b.iter(|| gnn_step(&mut Magnn::new(gnn.clone(), fdim, 4), &ds))
+    });
+    g.bench_function("HGN", |b| b.iter(|| catehgn_step(&ds, Ablation::hgn_only())));
+    g.bench_function("CA-HGN", |b| b.iter(|| catehgn_step(&ds, Ablation::ca_hgn())));
+    g.bench_function("CATE-HGN", |b| b.iter(|| catehgn_step(&ds, Ablation::default())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table III bench: cost of the impact-and-cluster readout that ranks
+//! every author/venue/term by domain-conditioned research impact.
+
+use bench::{bench_dataset, bench_model, bench_model_cfg};
+use catehgn::case_study;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let model = bench_model(&ds, bench_model_cfg(&ds));
+    let mut g = c.benchmark_group("table3_casestudy");
+    g.bench_function("impact_and_cluster_authors", |b| {
+        b.iter(|| {
+            std::hint::black_box(model.impact_and_cluster(
+                &ds.graph,
+                &ds.features,
+                &ds.author_nodes,
+                0,
+            ))
+        })
+    });
+    g.bench_function("full_case_study_top10", |b| {
+        b.iter(|| std::hint::black_box(case_study(&model, &ds, 10)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Model configuration, composition operators, and ablation switches.
+
+use serde::{Deserialize, Serialize};
+
+/// Entity-relation composition operator `phi` (Sec. III-C1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Composition {
+    /// TransE-style subtraction.
+    Sub,
+    /// DistMult-style element-wise multiplication.
+    Mult,
+    /// HolE-style circular correlation (the paper's default).
+    CircCorr,
+}
+
+/// Ablation switches for the Figure 4(a) study. Every flag defaults to
+/// "on"; turning one off removes exactly one of the paper's novel
+/// components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ablation {
+    /// Cross-type mutual-information maximisation (Sec. III-C2).
+    pub mi: bool,
+    /// Three-way attention (Sec. III-C3); off = uniform aggregation (Eq. 3).
+    pub attention: bool,
+    /// Whole cluster-aware module (Sec. III-D).
+    pub ca: bool,
+    /// Self-training clustering loss (Eq. 18).
+    pub ca_self_training: bool,
+    /// Cross-layer consistency regulariser (Eq. 20).
+    pub ca_consistency: bool,
+    /// Cluster disparity regulariser (Eq. 21).
+    pub ca_disparity: bool,
+    /// Whole text-enhancing module (Sec. III-E); off = use given keywords.
+    pub te: bool,
+    /// MLM-based quality-term initialisation (off = bootstrap from the
+    /// given keyword terms instead).
+    pub te_init: bool,
+    /// TF-IDF paper-term link weighting (off = uniform weights).
+    pub te_tfidf: bool,
+    /// Iterative term refinement between training rounds (Sec. III-E2).
+    pub te_iterative: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Ablation {
+            mi: true,
+            attention: true,
+            ca: true,
+            ca_self_training: true,
+            ca_consistency: true,
+            ca_disparity: true,
+            te: true,
+            te_init: true,
+            te_tfidf: true,
+            te_iterative: true,
+        }
+    }
+}
+
+impl Ablation {
+    /// The plain HGN variant (Table II row "HGN"): no CA, no TE.
+    pub fn hgn_only() -> Self {
+        Ablation { ca: false, te: false, ..Default::default() }
+    }
+
+    /// The CA-HGN variant (Table II row "CA-HGN"): CA on, TE off.
+    pub fn ca_hgn() -> Self {
+        Ablation { te: false, ..Default::default() }
+    }
+}
+
+/// Full CATE-HGN hyper-parameters. Defaults follow Sec. IV-A3, scaled to
+/// CPU (embedding size and heads reduced; see DESIGN.md).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of HGN layers `L`.
+    pub layers: usize,
+    /// Embedding dimension `d` (constant across layers, as in the paper).
+    pub dim: usize,
+    /// Composition operator `phi`.
+    pub composition: Composition,
+    /// Node-wise attention heads `D_a`.
+    pub heads_node: usize,
+    /// Link-wise attention heads `D_b`.
+    pub heads_link: usize,
+    /// Number of clusters `K`.
+    pub n_clusters: usize,
+    /// Relevant-term cut-off `kappa`.
+    pub kappa: usize,
+    /// Unsupervised-loss weight `lambda` (Eq. 2).
+    pub lambda_mi: f32,
+    /// Self-training weight (Eq. 22).
+    pub lambda_st: f32,
+    /// Consistency weight (Eq. 22).
+    pub lambda_con: f32,
+    /// Disparity weight (Eq. 22).
+    pub lambda_dis: f32,
+    /// Batch size `B`.
+    pub batch_size: usize,
+    /// Neighborhood sample size `S`.
+    pub fanout: usize,
+    /// HGN mini-iterations `I` per outer round (Algorithm 1, line 3).
+    pub mini_iters: usize,
+    /// Outer rounds of Algorithm 1's while-loop.
+    pub outer_iters: usize,
+    /// CA center-update steps per outer round (Algorithm 1, line 10).
+    pub ca_iters: usize,
+    /// Cap on MI edges sampled per layer per batch (cost control).
+    pub mi_max_edges: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-norm clip.
+    pub clip: f32,
+    /// Ablation switches.
+    pub ablation: Ablation,
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            layers: 2,
+            dim: 32,
+            composition: Composition::CircCorr,
+            heads_node: 4,
+            heads_link: 4,
+            n_clusters: 10,
+            kappa: 60,
+            lambda_mi: 0.1,
+            lambda_st: 0.1,
+            lambda_con: 0.1,
+            lambda_dis: 0.1,
+            batch_size: 128,
+            fanout: 8,
+            mini_iters: 20,
+            outer_iters: 14,
+            ca_iters: 5,
+            mi_max_edges: 256,
+            lr: 3e-3,
+            clip: 5.0,
+            ablation: Ablation::default(),
+            seed: 17,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Config for the full CATE-HGN model.
+    pub fn cate_hgn() -> Self {
+        Self::default()
+    }
+
+    /// Config for the CA-HGN variant.
+    pub fn ca_hgn() -> Self {
+        ModelConfig { ablation: Ablation::ca_hgn(), ..Self::default() }
+    }
+
+    /// Config for the plain HGN variant.
+    pub fn hgn() -> Self {
+        ModelConfig { ablation: Ablation::hgn_only(), ..Self::default() }
+    }
+
+    /// A fast configuration for unit tests.
+    pub fn test_tiny() -> Self {
+        ModelConfig {
+            dim: 8,
+            heads_node: 2,
+            heads_link: 2,
+            n_clusters: 3,
+            kappa: 10,
+            batch_size: 32,
+            fanout: 4,
+            mini_iters: 4,
+            outer_iters: 2,
+            ca_iters: 2,
+            mi_max_edges: 64,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_flip_expected_flags() {
+        let full = ModelConfig::cate_hgn();
+        assert!(full.ablation.ca && full.ablation.te && full.ablation.mi);
+        let ca = ModelConfig::ca_hgn();
+        assert!(ca.ablation.ca && !ca.ablation.te);
+        let hgn = ModelConfig::hgn();
+        assert!(!hgn.ablation.ca && !hgn.ablation.te);
+        assert!(hgn.ablation.mi && hgn.ablation.attention);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ModelConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ModelConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dim, cfg.dim);
+        assert_eq!(back.composition, cfg.composition);
+    }
+}

@@ -1,0 +1,394 @@
+//! Algorithm 1: iterative training of HGN mini-iterations, CA center
+//! updates, and TE term refreshes.
+
+use crate::config::ModelConfig;
+use crate::model::CateHgn;
+use crate::te::TextEnhancer;
+use hetgraph::{sample_blocks, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+use tensor::{Graph, Optimizer, Tensor};
+
+/// Snapshot of the TE term sets after one refinement round (Fig. 5 data).
+#[derive(Clone, Debug)]
+pub struct TeRound {
+    pub round: usize,
+    /// Per-cluster precision against the generator's quality terms.
+    pub precision: Vec<f32>,
+    /// Per-cluster mined term strings (first few, for case studies).
+    pub sample_terms: Vec<Vec<String>>,
+}
+
+/// Training trace returned by [`train`].
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean total HGN loss per outer round.
+    pub hgn_losses: Vec<f32>,
+    /// Mean supervised loss per outer round.
+    pub sup_losses: Vec<f32>,
+    /// Validation RMSE per outer round (empty if no validation split).
+    pub val_rmse: Vec<f32>,
+    /// TE refinement trace (empty when TE is off).
+    pub te_rounds: Vec<TeRound>,
+}
+
+/// Trains `model` on `ds` per Algorithm 1. `ds` is mutable because the TE
+/// module rebuilds its paper-term links; callers wanting to reuse a dataset
+/// across models should pass a clone.
+pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
+    let cfg = model.cfg.clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
+    let mut report = TrainReport::default();
+
+    // ---- TE initialisation (Algorithm 1, line 1) ----------------------
+    let mut te = if cfg.ablation.te {
+        let mut te = TextEnhancer::new(ds, cfg.n_clusters, cfg.dim.max(16), cfg.seed);
+        if cfg.ablation.te_init {
+            te.bootstrap(cfg.kappa);
+        } else {
+            te.bootstrap_from_keywords(ds);
+        }
+        te.relink(ds, cfg.ablation.te_tfidf);
+        report.te_rounds.push(snapshot(0, &te, ds));
+        Some(te)
+    } else {
+        None
+    };
+
+    // Term-enhanced cluster-center initialisation (Sec. III-E1): centers
+    // start at the mean embedding of each bootstrapped term set. Without
+    // TE, the centers are re-seeded from actual node embeddings
+    // (k-means++-style spread) after the first warm-up round, once the
+    // embeddings carry signal.
+    if cfg.ablation.ca {
+        if let Some(te) = &te {
+            init_centers_from_terms(model, ds, te);
+        }
+    }
+
+    let mut opt = Optimizer::adam(cfg.lr);
+    let mut ca_opt = Optimizer::adam(cfg.lr);
+    let center_ids: HashSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
+
+    let train_idx = ds.split.train.clone();
+    assert!(!train_idx.is_empty(), "empty training split");
+
+    // Best-on-validation model selection: the 2014 validation split exists
+    // for exactly this (Sec. IV-A1); heavy-tailed labels make late epochs
+    // drift, so we keep the parameters of the best validation round.
+    let mut best_val = f32::INFINITY;
+    let mut best_params: Option<tensor::Params> = None;
+
+    for outer in 0..cfg.outer_iters {
+        // ---- HGN mini-iterations (lines 3-9) --------------------------
+        let mut tot = 0.0;
+        let mut sup_tot = 0.0;
+        for _ in 0..cfg.mini_iters {
+            let batch: Vec<usize> = (0..cfg.batch_size)
+                .map(|_| train_idx[rng.gen_range(0..train_idx.len())])
+                .collect();
+            let seeds = ds.paper_nodes_of(&batch);
+            let labels = Tensor::col_vec(ds.labels_of(&batch));
+            let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
+            // Seed dedup can shrink the frontier prefix; relabel to match.
+            let labels = dedup_labels(&seeds, &blocks[0].dst_nodes, &labels);
+            let mut g = Graph::new();
+            let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
+            let (loss, sup, _mi) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
+            tot += g.value(loss).as_slice()[0];
+            sup_tot += sup;
+            g.backward(loss);
+            opt.step_clipped(&mut model.params, &g, Some(cfg.clip));
+        }
+        report.hgn_losses.push(tot / cfg.mini_iters as f32);
+        report.sup_losses.push(sup_tot / cfg.mini_iters as f32);
+
+        // Warm-start the cluster centers from real node embeddings once the
+        // trunk has seen one round of supervision (CA without TE only).
+        if outer == 0 && cfg.ablation.ca && te.is_none() {
+            init_centers_from_nodes(model, ds, &mut rng);
+        }
+
+        // ---- CA center updates (line 10) ------------------------------
+        if cfg.ablation.ca {
+            let all_nodes: Vec<NodeId> =
+                (0..ds.graph.num_nodes() as u32).map(NodeId).collect();
+            for _ in 0..cfg.ca_iters {
+                let batch: Vec<NodeId> = (0..cfg.batch_size)
+                    .map(|_| all_nodes[rng.gen_range(0..all_nodes.len())])
+                    .collect();
+                let blocks = sample_blocks(&ds.graph, &batch, cfg.layers, cfg.fanout, &mut rng);
+                let mut g = Graph::new();
+                let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, true);
+                if let Some(loss) = model.ca_loss(&mut g, &fw) {
+                    g.backward(loss);
+                    ca_opt.step_filtered(&mut model.params, &g, Some(cfg.clip), &center_ids);
+                }
+            }
+        }
+
+        // ---- TE refinement (line 11) ----------------------------------
+        if let Some(te) = te.as_mut() {
+            if cfg.ablation.te_iterative {
+                refine_terms(model, ds, te, &cfg);
+                report.te_rounds.push(snapshot(outer + 1, te, ds));
+            }
+        }
+
+        // ---- Validation trace & model selection -------------------------
+        if !ds.split.val.is_empty() {
+            let seeds = ds.paper_nodes_of(&ds.split.val);
+            let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xE7A1);
+            let truth = ds.labels_of(&ds.split.val);
+            let val = rmse(&preds, &truth);
+            report.val_rmse.push(val);
+            if val < best_val {
+                best_val = val;
+                best_params = Some(model.params.clone());
+            }
+        }
+    }
+    if let Some(p) = best_params {
+        model.params = p;
+    }
+    report
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f32 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let s: f32 = pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    (s / pred.len() as f32).sqrt()
+}
+
+/// The sampler dedups seeds; align the label column with the deduped order.
+fn dedup_labels(seeds: &[NodeId], deduped: &[NodeId], labels: &Tensor) -> Tensor {
+    if seeds.len() == deduped.len() {
+        return labels.clone();
+    }
+    let first_label: HashMap<NodeId, f32> = seeds
+        .iter()
+        .zip(labels.as_slice())
+        .map(|(&n, &l)| (n, l))
+        .rev()
+        .collect();
+    Tensor::col_vec(deduped.iter().map(|n| first_label[n]).collect())
+}
+
+fn init_centers_from_terms(model: &mut CateHgn, ds: &dblp_sim::Dataset, te: &TextEnhancer) {
+    // Collect the union of term nodes, embed them once per layer, then
+    // average per cluster.
+    let mut all_tokens: Vec<textmine::TokenId> =
+        te.term_sets.iter().flatten().copied().collect();
+    all_tokens.sort();
+    all_tokens.dedup();
+    if all_tokens.is_empty() {
+        return;
+    }
+    let nodes: Vec<NodeId> = all_tokens.iter().map(|t| ds.term_nodes[t.index()]).collect();
+    let embs = model.embed(&ds.graph, &ds.features, &nodes, model.cfg.seed);
+    let pos_of: HashMap<textmine::TokenId, usize> =
+        all_tokens.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    for (l, emb) in embs.iter().enumerate() {
+        let centers = model.params.value_mut(model.ca.centers[l]);
+        for (k, set) in te.term_sets.iter().enumerate() {
+            if set.is_empty() {
+                continue; // keep the random init for empty clusters
+            }
+            let mut mean = vec![0.0f32; emb.cols()];
+            for t in set {
+                for (m, &x) in mean.iter_mut().zip(emb.row(pos_of[t])) {
+                    *m += x;
+                }
+            }
+            mean.iter_mut().for_each(|m| *m /= set.len() as f32);
+            centers.set_row(k, &mean);
+        }
+    }
+}
+
+/// Seeds cluster centers with a k-means++-style selection over the
+/// embeddings of a random node sample (all types).
+fn init_centers_from_nodes<R: Rng>(model: &mut CateHgn, ds: &dblp_sim::Dataset, rng: &mut R) {
+    let k = model.cfg.n_clusters;
+    let n = ds.graph.num_nodes();
+    let sample: Vec<NodeId> = (0..(8 * k).min(n))
+        .map(|_| NodeId(rng.gen_range(0..n as u32)))
+        .collect();
+    let embs = model.embed(&ds.graph, &ds.features, &sample, model.cfg.seed ^ 0xCE);
+    for (l, emb) in embs.iter().enumerate() {
+        let mut chosen: Vec<usize> = vec![rng.gen_range(0..sample.len())];
+        while chosen.len() < k {
+            // Pick the sample point farthest from its nearest chosen center.
+            let mut best = (0usize, -1.0f32);
+            for i in 0..sample.len() {
+                let d = chosen
+                    .iter()
+                    .map(|&c| {
+                        emb.row(i)
+                            .iter()
+                            .zip(emb.row(c))
+                            .map(|(&a, &b)| (a - b) * (a - b))
+                            .sum::<f32>()
+                    })
+                    .fold(f32::INFINITY, f32::min);
+                if d > best.1 {
+                    best = (i, d);
+                }
+            }
+            chosen.push(best.0);
+        }
+        let centers = model.params.value_mut(model.ca.centers[l]);
+        for (slot, &i) in chosen.iter().enumerate() {
+            let row: Vec<f32> = emb.row(i).to_vec();
+            centers.set_row(slot, &row);
+        }
+    }
+}
+
+fn refine_terms(
+    model: &CateHgn,
+    ds: &mut dblp_sim::Dataset,
+    te: &mut TextEnhancer,
+    cfg: &ModelConfig,
+) {
+    let active: Vec<textmine::TokenId> = {
+        let mut v: Vec<_> = te.active_terms().into_iter().collect();
+        v.sort();
+        v
+    };
+    if active.is_empty() {
+        return;
+    }
+    let nodes: Vec<NodeId> = active.iter().map(|t| ds.term_nodes[t.index()]).collect();
+    let readout = model.impact_and_cluster(&ds.graph, &ds.features, &nodes, cfg.seed);
+    let mut impact = HashMap::new();
+    let mut cluster = HashMap::new();
+    for (t, (y, c)) in active.iter().zip(readout) {
+        impact.insert(*t, y);
+        cluster.insert(*t, c);
+    }
+    te.refine(&impact, &cluster, cfg.kappa);
+    te.relink(ds, cfg.ablation.te_tfidf);
+}
+
+fn snapshot(round: usize, te: &TextEnhancer, ds: &dblp_sim::Dataset) -> TeRound {
+    let precision = te.term_precision(ds);
+    let sample_terms = te
+        .term_sets
+        .iter()
+        .map(|set| {
+            set.iter().take(8).map(|t| ds.vocab.token(*t).to_string()).collect()
+        })
+        .collect();
+    TeRound { round, precision, sample_terms }
+}
+
+/// Fisher-Yates helper re-exported for harness reproducibility.
+pub fn shuffled_indices<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    v.shuffle(rng);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use dblp_sim::{Dataset, WorldConfig};
+
+    fn train_variant_on(cfg: ModelConfig, world: &WorldConfig) -> (TrainReport, CateHgn, Dataset) {
+        let mut ds = Dataset::full(world, 8);
+        let mut model = CateHgn::new(
+            cfg,
+            ds.features.cols(),
+            ds.graph.schema().num_node_types(),
+            ds.graph.schema().num_link_types(),
+        );
+        let report = train(&mut model, &mut ds);
+        (report, model, ds)
+    }
+
+    fn train_variant(cfg: ModelConfig) -> (TrainReport, CateHgn, Dataset) {
+        train_variant_on(cfg, &WorldConfig::tiny())
+    }
+
+    #[test]
+    fn training_decreases_loss_hgn() {
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.ablation = crate::config::Ablation::hgn_only();
+        cfg.outer_iters = 3;
+        cfg.mini_iters = 10;
+        let (report, model, _) = train_variant(cfg);
+        assert_eq!(report.hgn_losses.len(), 3);
+        assert!(
+            report.hgn_losses.last().unwrap() < report.hgn_losses.first().unwrap(),
+            "loss should fall: {:?}",
+            report.hgn_losses
+        );
+        assert!(model.params.all_finite(), "training must stay finite");
+    }
+
+    #[test]
+    fn full_cate_hgn_trains_and_tracks_te() {
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.outer_iters = 2;
+        cfg.mini_iters = 6;
+        let (report, model, ds) = train_variant(cfg);
+        assert!(!report.te_rounds.is_empty(), "TE rounds recorded");
+        assert_eq!(report.te_rounds[0].round, 0);
+        assert!(model.params.all_finite());
+        // TE must have rebuilt term links.
+        assert!(ds.graph.num_links_of(ds.link_types.contains) > 0);
+        // Validation RMSE tracked per outer round.
+        assert_eq!(report.val_rmse.len(), 2);
+        assert!(report.val_rmse.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn rmse_known_values() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f32).sqrt()).abs() < 1e-6);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dedup_labels_keeps_first_occurrence() {
+        let seeds = vec![NodeId(3), NodeId(5), NodeId(3)];
+        let deduped = vec![NodeId(3), NodeId(5)];
+        let labels = Tensor::col_vec(vec![1.0, 2.0, 9.0]);
+        let out = dedup_labels(&seeds, &deduped, &labels);
+        assert_eq!(out.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn trained_model_beats_mean_predictor() {
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.outer_iters = 6;
+        cfg.mini_iters = 20;
+        cfg.ablation = crate::config::Ablation::hgn_only();
+        // The 160-paper tiny world has a ~10-paper validation split —
+        // checkpoint selection is a coin flip there. Use a 400-paper world
+        // so "learns anything at all" is actually testable.
+        let world = WorldConfig { n_papers: 400, n_authors: 200, ..WorldConfig::tiny() };
+        let (_report, model, ds) = train_variant_on(cfg, &world);
+        let seeds = ds.paper_nodes_of(&ds.split.test);
+        let preds = model.predict(&ds.graph, &ds.features, &seeds, 1);
+        let truth = ds.labels_of(&ds.split.test);
+        let model_rmse = rmse(&preds, &truth);
+        let train_mean = ds.labels_of(&ds.split.train).iter().sum::<f32>()
+            / ds.split.train.len() as f32;
+        let mean_preds = vec![train_mean; truth.len()];
+        let mean_rmse = rmse(&mean_preds, &truth);
+        assert!(
+            model_rmse < mean_rmse,
+            "HGN ({model_rmse}) should beat the mean predictor ({mean_rmse})"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Configuration of the synthetic publication world.
+
+use serde::{Deserialize, Serialize};
+
+/// The research-domain names the paper bootstraps quality terms from
+/// (footnote 4), plus an implicit "other" cluster at training time.
+pub const DOMAIN_NAMES: [&str; 9] =
+    ["data", "learning", "vision", "language", "bio", "robotics", "network", "system", "security"];
+
+/// Parameters of the generative publication world.
+///
+/// The latent-variable structure mirrors the factors the paper claims drive
+/// citations (Sec. I-II): author prestige and venue authority are
+/// *domain-conditioned* (so cluster-awareness pays off), and observed
+/// keyword terms are a noisy view of the latent quality terms (so term
+/// mining pays off).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of latent research domains (each named after
+    /// [`DOMAIN_NAMES`], cycling if larger).
+    pub n_domains: usize,
+    pub n_papers: usize,
+    pub n_authors: usize,
+    pub n_venues: usize,
+    /// Latent quality terms per domain.
+    pub quality_terms_per_domain: usize,
+    /// Domain-agnostic filler terms (low information).
+    pub n_generic_terms: usize,
+    /// Pure noise terms occasionally appearing in keyword lists.
+    pub n_noise_terms: usize,
+    /// Publication years, inclusive.
+    pub year_range: (u16, u16),
+    /// Mean number of references per paper.
+    pub refs_per_paper: f32,
+    /// Mean number of keyword terms per paper.
+    pub keywords_per_paper: f32,
+    /// Fraction of a paper's keywords drawn from its domain's quality terms
+    /// (the rest are generic/noise) — the "keyword quality" knob.
+    pub keyword_quality: f32,
+    /// Probability that a paper's title mentions its domain name token
+    /// (what lets an MLM bootstrap terms from domain names).
+    pub domain_name_rate: f32,
+    /// Weights of the citation-rate model: author prestige, venue
+    /// authority, term quality, and the scale of irreducible noise.
+    pub w_author: f32,
+    pub w_venue: f32,
+    pub w_term: f32,
+    pub label_noise: f32,
+    /// Overall scale of the citations-per-year labels.
+    pub label_scale: f32,
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// The scaled-down analogue of DBLP-full: every domain, full size.
+    pub fn full() -> Self {
+        WorldConfig {
+            n_domains: 9,
+            n_papers: 3000,
+            n_authors: 1600,
+            n_venues: 54,
+            quality_terms_per_domain: 40,
+            n_generic_terms: 240,
+            n_noise_terms: 320,
+            year_range: (2000, 2020),
+            refs_per_paper: 6.0,
+            keywords_per_paper: 7.0,
+            keyword_quality: 0.55,
+            domain_name_rate: 0.35,
+            w_author: 1.0,
+            w_venue: 0.8,
+            w_term: 1.1,
+            label_noise: 0.15,
+            label_scale: 4.0,
+            seed: 0xD_B1_9,
+        }
+    }
+
+    /// A tiny world for unit tests.
+    pub fn tiny() -> Self {
+        WorldConfig {
+            n_domains: 3,
+            n_papers: 160,
+            n_authors: 90,
+            n_venues: 9,
+            quality_terms_per_domain: 12,
+            n_generic_terms: 30,
+            n_noise_terms: 40,
+            year_range: (2005, 2020),
+            refs_per_paper: 4.0,
+            keywords_per_paper: 6.0,
+            keyword_quality: 0.55,
+            domain_name_rate: 0.35,
+            w_author: 1.0,
+            w_venue: 0.8,
+            w_term: 1.1,
+            label_noise: 0.15,
+            label_scale: 4.0,
+            seed: 7,
+        }
+    }
+
+    /// A small-but-structured world for fast experiments and benches.
+    pub fn small() -> Self {
+        WorldConfig { n_papers: 900, n_authors: 500, n_venues: 27, ..Self::full() }
+    }
+
+    /// Name of domain `k`.
+    pub fn domain_name(&self, k: usize) -> &'static str {
+        DOMAIN_NAMES[k % DOMAIN_NAMES.len()]
+    }
+
+    /// Total number of term tokens (quality + generic + noise + domain
+    /// names).
+    pub fn total_terms(&self) -> usize {
+        self.n_domains * self.quality_terms_per_domain
+            + self.n_generic_terms
+            + self.n_noise_terms
+            + self.n_domains
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for cfg in [WorldConfig::full(), WorldConfig::small(), WorldConfig::tiny()] {
+            assert!(cfg.n_domains <= DOMAIN_NAMES.len());
+            assert!(cfg.year_range.0 < cfg.year_range.1);
+            assert!(cfg.keyword_quality > 0.0 && cfg.keyword_quality < 1.0);
+            assert!(cfg.total_terms() > cfg.n_domains);
+        }
+    }
+
+    #[test]
+    fn domain_names_cycle() {
+        let cfg = WorldConfig::tiny();
+        assert_eq!(cfg.domain_name(0), "data");
+        assert_eq!(cfg.domain_name(9), "data");
+    }
+}

@@ -1,0 +1,511 @@
+//! Dataset assembly: latent world + generated papers -> heterogeneous
+//! graph, node features, labels, year-based splits, and the three
+//! experimental variants of Table I (full / single / random).
+
+use crate::config::WorldConfig;
+use crate::generate::{Corpus, Paper};
+use crate::world::LatentWorld;
+use hetgraph::{HetGraphBuilder, LinkTypeId, NodeId, NodeTypeId, Schema};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use textmine::{TfIdf, TokenId, Vocab, WordEmbeddings};
+
+/// Handles to the publication schema's node types.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeTypes {
+    pub paper: NodeTypeId,
+    pub author: NodeTypeId,
+    pub venue: NodeTypeId,
+    pub term: NodeTypeId,
+}
+
+/// Handles to the publication schema's link types.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkTypes {
+    pub writes: LinkTypeId,
+    pub written_by: LinkTypeId,
+    pub publishes: LinkTypeId,
+    pub published_in: LinkTypeId,
+    pub contains: LinkTypeId,
+    pub contained_in: LinkTypeId,
+    pub cites: LinkTypeId,
+}
+
+/// Year-based train/validation/test split over paper indices, following the
+/// paper: train < 2014, validation == 2014, test in 2015..=2020.
+#[derive(Clone, Debug, Default)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// A fully-assembled heterogeneous publication dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    /// Generator ground truth — the harness may inspect it for evaluation
+    /// (e.g. Fig. 5 term-mining precision); models must not.
+    pub world: LatentWorld,
+    /// Papers retained in this dataset (citations remapped to local
+    /// indices).
+    pub papers: Vec<Paper>,
+    pub graph: hetgraph::HetGraph,
+    /// `num_nodes x dim` node features (aggregated word embeddings).
+    pub features: tensor::Tensor,
+    /// Term-text vocabulary; `TokenId(i)` corresponds to `term_nodes[i]`.
+    pub vocab: Vocab,
+    /// Per paper: title token ids (the raw text used by BERT-style models
+    /// and the TE module).
+    pub docs: Vec<Vec<TokenId>>,
+    /// Per paper: observed average citations per year.
+    pub labels: Vec<f32>,
+    pub paper_nodes: Vec<NodeId>,
+    pub author_nodes: Vec<NodeId>,
+    pub venue_nodes: Vec<NodeId>,
+    pub term_nodes: Vec<NodeId>,
+    /// World term index behind each local term slot.
+    pub term_world_idx: Vec<usize>,
+    pub node_types: NodeTypes,
+    pub link_types: LinkTypes,
+    pub split: Split,
+    /// Embeddings used to featurise nodes (kept for SimBert reuse).
+    pub word_embeddings: WordEmbeddings,
+}
+
+impl Dataset {
+    /// Builds the DBLP-full analogue.
+    pub fn full(cfg: &WorldConfig, feat_dim: usize) -> Self {
+        let world = LatentWorld::generate(cfg);
+        let corpus = Corpus::generate(&world);
+        assemble("DBLP-full", world, corpus.papers, feat_dim)
+    }
+
+    /// Builds the DBLP-single analogue: papers published in venues whose
+    /// name matches `venue_filter` (the paper uses "data" in the name),
+    /// with citations restricted to the retained papers.
+    pub fn single(cfg: &WorldConfig, feat_dim: usize, venue_filter: &str) -> Self {
+        let world = LatentWorld::generate(cfg);
+        let corpus = Corpus::generate(&world);
+        let keep: Vec<bool> = corpus
+            .papers
+            .iter()
+            .map(|p| world.venues[p.venue].name.contains(venue_filter))
+            .collect();
+        let mut remap = vec![usize::MAX; corpus.papers.len()];
+        let mut selected = Vec::new();
+        for (i, p) in corpus.papers.iter().enumerate() {
+            if keep[i] {
+                remap[i] = selected.len();
+                let mut q = p.clone();
+                q.cites = q
+                    .cites
+                    .iter()
+                    .filter(|&&c| keep[c])
+                    .map(|&c| remap[c])
+                    .collect();
+                selected.push(q);
+            }
+        }
+        assemble("DBLP-single", world, selected, feat_dim)
+    }
+
+    /// Builds the DBLP-random analogue: identical to `full` except that the
+    /// paper-term links in the *graph* are randomly rewired (the raw title
+    /// text is unchanged, matching the paper's construction where text-only
+    /// models score identically on full and random).
+    pub fn random(cfg: &WorldConfig, feat_dim: usize) -> Self {
+        let mut ds = Self::full(cfg, feat_dim);
+        ds.name = "DBLP-random".to_string();
+        ds.randomize_term_links(cfg.seed.wrapping_add(0xBAD));
+        ds
+    }
+
+    /// Rewires every paper's keyword links to uniformly random terms,
+    /// preserving per-paper term counts, then recomputes TF-IDF weights.
+    pub fn randomize_term_links(&mut self, seed: u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n_terms = self.term_nodes.len();
+        for p in &mut self.papers {
+            let n = p.keywords.len();
+            let mut new_kw = Vec::with_capacity(n);
+            let mut guard = 0;
+            while new_kw.len() < n && guard < 10 * n + 10 {
+                guard += 1;
+                let t = rng.gen_range(0..n_terms);
+                if !new_kw.contains(&t) {
+                    new_kw.push(t);
+                }
+            }
+            // Keywords are stored as *local* term slots from here on; the
+            // world indices behind them are resolved via term_world_idx.
+            p.keywords = new_kw.iter().map(|&t| self.term_world_idx[t]).collect();
+        }
+        self.rebuild_term_links();
+    }
+
+    /// Recomputes the `contains`/`contained_in` links from the current
+    /// per-paper keyword lists using Eq. 24 TF-IDF weights.
+    pub fn rebuild_term_links(&mut self) {
+        let world_to_local = self.world_to_local_terms();
+        let kw_docs: Vec<Vec<TokenId>> = self
+            .papers
+            .iter()
+            .map(|p| {
+                p.keywords
+                    .iter()
+                    .filter_map(|w| world_to_local.get(w).copied())
+                    .map(|l| TokenId(l as u32))
+                    .collect()
+            })
+            .collect();
+        let tfidf = TfIdf::fit(&kw_docs);
+        let mut contains = Vec::new();
+        let mut contained_in = Vec::new();
+        for (i, doc) in kw_docs.iter().enumerate() {
+            for (tok, w) in tfidf.weights(doc) {
+                if w <= 0.0 {
+                    continue;
+                }
+                let pn = self.paper_nodes[i];
+                let tn = self.term_nodes[tok.index()];
+                contains.push((pn, tn, w));
+                contained_in.push((tn, pn, w));
+            }
+        }
+        self.graph.replace_links(self.link_types.contains, &contains);
+        self.graph.replace_links(self.link_types.contained_in, &contained_in);
+    }
+
+    /// Map from world term index to local term slot.
+    pub fn world_to_local_terms(&self) -> std::collections::HashMap<usize, usize> {
+        self.term_world_idx.iter().enumerate().map(|(l, &w)| (w, l)).collect()
+    }
+
+    /// Number of papers.
+    pub fn n_papers(&self) -> usize {
+        self.papers.len()
+    }
+
+    /// Labels of a set of paper indices.
+    pub fn labels_of(&self, idxs: &[usize]) -> Vec<f32> {
+        idxs.iter().map(|&i| self.labels[i]).collect()
+    }
+
+    /// Paper node ids of a set of paper indices.
+    pub fn paper_nodes_of(&self, idxs: &[usize]) -> Vec<NodeId> {
+        idxs.iter().map(|&i| self.paper_nodes[i]).collect()
+    }
+}
+
+/// The publication schema of Figure 1(a).
+pub fn publication_schema() -> (Schema, NodeTypes, LinkTypes) {
+    let mut s = Schema::new();
+    let paper = s.add_node_type("paper");
+    let author = s.add_node_type("author");
+    let venue = s.add_node_type("venue");
+    let term = s.add_node_type("term");
+    let (writes, written_by) = s.add_link_type_pair("writes", "written_by", author, paper);
+    let (publishes, published_in) =
+        s.add_link_type_pair("publishes", "published_in", venue, paper);
+    let (contains, contained_in) = s.add_link_type_pair("contains", "contained_in", paper, term);
+    // One direction only, to avoid label leakage (Sec. III-A).
+    let cites = s.add_link_type("cites", paper, paper);
+    (
+        s,
+        NodeTypes { paper, author, venue, term },
+        LinkTypes { writes, written_by, publishes, published_in, contains, contained_in, cites },
+    )
+}
+
+fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize) -> Dataset {
+    let (schema, node_types, link_types) = publication_schema();
+
+    // ---- Entity selection -------------------------------------------
+    let mut used_authors: Vec<usize> = papers.iter().flat_map(|p| p.authors.clone()).collect();
+    used_authors.sort_unstable();
+    used_authors.dedup();
+    let mut used_venues: Vec<usize> = papers.iter().map(|p| p.venue).collect();
+    used_venues.sort_unstable();
+    used_venues.dedup();
+    // Terms: all world terms referenced in titles or keywords, plus every
+    // domain-name term (TE needs those even when rarely mentioned).
+    let mut used_terms: Vec<usize> = papers
+        .iter()
+        .flat_map(|p| p.title_terms.iter().chain(&p.keywords).copied())
+        .chain(0..world.config.n_domains)
+        .collect();
+    used_terms.sort_unstable();
+    used_terms.dedup();
+
+    let author_local: std::collections::HashMap<usize, usize> =
+        used_authors.iter().enumerate().map(|(l, &w)| (w, l)).collect();
+    let venue_local: std::collections::HashMap<usize, usize> =
+        used_venues.iter().enumerate().map(|(l, &w)| (w, l)).collect();
+    let term_local: std::collections::HashMap<usize, usize> =
+        used_terms.iter().enumerate().map(|(l, &w)| (w, l)).collect();
+
+    // ---- Vocabulary & docs ------------------------------------------
+    let mut vocab = Vocab::new();
+    for &t in &used_terms {
+        vocab.intern(&world.terms[t].text);
+    }
+    let docs: Vec<Vec<TokenId>> = papers
+        .iter()
+        .map(|p| p.title_terms.iter().map(|w| TokenId(term_local[w] as u32)).collect())
+        .collect();
+
+    // ---- Word embeddings & node features ----------------------------
+    let word_embeddings = WordEmbeddings::train(&docs, used_terms.len(), feat_dim, 0x3EED);
+
+    // ---- Graph -------------------------------------------------------
+    let mut b = HetGraphBuilder::new(schema);
+    let paper_nodes = b.add_nodes(node_types.paper, papers.len());
+    let author_nodes = b.add_nodes(node_types.author, used_authors.len());
+    let venue_nodes = b.add_nodes(node_types.venue, used_venues.len());
+    let term_nodes = b.add_nodes(node_types.term, used_terms.len());
+
+    for (i, p) in papers.iter().enumerate() {
+        for &a in &p.authors {
+            b.add_link_with_reverse(
+                link_types.writes,
+                author_nodes[author_local[&a]],
+                paper_nodes[i],
+                1.0,
+            );
+        }
+        b.add_link_with_reverse(
+            link_types.publishes,
+            venue_nodes[venue_local[&p.venue]],
+            paper_nodes[i],
+            1.0,
+        );
+        for &c in &p.cites {
+            b.add_link(link_types.cites, paper_nodes[i], paper_nodes[c], 1.0);
+        }
+    }
+    let graph = b.build();
+
+    // ---- Features -----------------------------------------------------
+    // Layout: [feat_dim word-embedding dims | 1 historical-rate dim].
+    //
+    // The historical-rate column carries the only real-world signal that
+    // raw text cannot: the *known* citation rates of pre-2014 papers. A
+    // paper's slot holds the mean rate of the training papers it cites;
+    // an author's/venue's slot the mean rate of their training papers.
+    // This is exactly the information the paper's impact-propagation
+    // narrative starts from ("starting from the labeled papers ... infer
+    // the prestige of authors and the authority of venues"), and it is
+    // leakage-free: no node ever sees its own post-2013 outcome. Term
+    // slots stay zero — term impact must be inferred by the models, which
+    // is what the TE module competes on.
+    let hist_col = feat_dim;
+    let n_nodes = graph.num_nodes();
+    let mut features = tensor::Tensor::zeros(n_nodes, feat_dim + 1);
+    let rate_feature = |l: f32| (1.0 + l).ln() / 3.0;
+    for (i, doc) in docs.iter().enumerate() {
+        let mut row = word_embeddings.aggregate(doc);
+        row.push(0.0);
+        features.set_row(paper_nodes[i].index(), &row);
+        let known: Vec<f32> = papers[i]
+            .cites
+            .iter()
+            .filter(|&&c| papers[c].year < 2014)
+            .map(|&c| papers[c].label)
+            .collect();
+        if !known.is_empty() {
+            let mean = known.iter().sum::<f32>() / known.len() as f32;
+            features.set(paper_nodes[i].index(), hist_col, rate_feature(mean));
+        }
+    }
+    // Historical mean rates of authors' and venues' pre-2014 papers.
+    let mut author_hist: Vec<(f32, u32)> = vec![(0.0, 0); used_authors.len()];
+    let mut venue_hist: Vec<(f32, u32)> = vec![(0.0, 0); used_venues.len()];
+    for p in papers.iter().filter(|p| p.year < 2014) {
+        for &a in &p.authors {
+            let e = &mut author_hist[author_local[&a]];
+            e.0 += p.label;
+            e.1 += 1;
+        }
+        let e = &mut venue_hist[venue_local[&p.venue]];
+        e.0 += p.label;
+        e.1 += 1;
+    }
+    // Authors: aggregate over all their papers' titles.
+    let mut author_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); used_authors.len()];
+    for (i, p) in papers.iter().enumerate() {
+        for &a in &p.authors {
+            author_tokens[author_local[&a]].extend(&docs[i]);
+        }
+    }
+    for (l, toks) in author_tokens.iter().enumerate() {
+        let mut row = word_embeddings.aggregate(toks);
+        let (sum, n) = author_hist[l];
+        row.push(if n > 0 { rate_feature(sum / n as f32) } else { 0.0 });
+        features.set_row(author_nodes[l].index(), &row);
+    }
+    // Venues: aggregate over their papers' titles.
+    let mut venue_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); used_venues.len()];
+    for (i, p) in papers.iter().enumerate() {
+        venue_tokens[venue_local[&p.venue]].extend(&docs[i]);
+    }
+    for (l, toks) in venue_tokens.iter().enumerate() {
+        let mut row = word_embeddings.aggregate(toks);
+        let (sum, n) = venue_hist[l];
+        row.push(if n > 0 { rate_feature(sum / n as f32) } else { 0.0 });
+        features.set_row(venue_nodes[l].index(), &row);
+    }
+    // Terms: their own word embedding (historical-rate slot stays zero).
+    for l in 0..used_terms.len() {
+        let mut e: Vec<f32> = word_embeddings.embedding(TokenId(l as u32)).to_vec();
+        e.push(0.0);
+        features.set_row(term_nodes[l].index(), &e);
+    }
+
+    // ---- Labels & split ------------------------------------------------
+    let labels: Vec<f32> = papers.iter().map(|p| p.label).collect();
+    let mut split = Split::default();
+    for (i, p) in papers.iter().enumerate() {
+        if p.year < 2014 {
+            split.train.push(i);
+        } else if p.year == 2014 {
+            split.val.push(i);
+        } else {
+            split.test.push(i);
+        }
+    }
+
+    let mut ds = Dataset {
+        name: name.to_string(),
+        world,
+        papers,
+        graph,
+        features,
+        vocab,
+        docs,
+        labels,
+        paper_nodes,
+        author_nodes,
+        venue_nodes,
+        term_nodes,
+        term_world_idx: used_terms,
+        node_types,
+        link_types,
+        split,
+        word_embeddings,
+    };
+    ds.rebuild_term_links();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::full(&WorldConfig::tiny(), 16)
+    }
+
+    #[test]
+    fn assembled_counts_are_consistent() {
+        let ds = tiny();
+        assert_eq!(ds.n_papers(), ds.docs.len());
+        assert_eq!(ds.n_papers(), ds.labels.len());
+        assert_eq!(ds.paper_nodes.len(), ds.n_papers());
+        assert_eq!(
+            ds.graph.num_nodes(),
+            ds.paper_nodes.len() + ds.author_nodes.len() + ds.venue_nodes.len()
+                + ds.term_nodes.len()
+        );
+        assert_eq!(ds.features.rows(), ds.graph.num_nodes());
+        assert_eq!(ds.vocab.len(), ds.term_nodes.len());
+    }
+
+    #[test]
+    fn split_partitions_papers_by_year() {
+        let ds = tiny();
+        let total = ds.split.train.len() + ds.split.val.len() + ds.split.test.len();
+        assert_eq!(total, ds.n_papers());
+        assert!(!ds.split.train.is_empty());
+        assert!(!ds.split.test.is_empty());
+        for &i in &ds.split.train {
+            assert!(ds.papers[i].year < 2014);
+        }
+        for &i in &ds.split.val {
+            assert_eq!(ds.papers[i].year, 2014);
+        }
+        for &i in &ds.split.test {
+            assert!(ds.papers[i].year >= 2015);
+        }
+    }
+
+    #[test]
+    fn term_links_have_positive_tfidf_weights() {
+        let ds = tiny();
+        let mut n = 0;
+        for (_, _, w) in ds.graph.iter_links(ds.link_types.contains) {
+            assert!(w > 0.0);
+            n += 1;
+        }
+        assert!(n > 0, "no paper-term links built");
+        assert_eq!(n, ds.graph.num_links_of(ds.link_types.contained_in));
+    }
+
+    #[test]
+    fn single_subset_only_keeps_matching_venues() {
+        let ds = Dataset::single(&WorldConfig::tiny(), 16, "data");
+        assert!(ds.n_papers() > 0);
+        assert!(ds.n_papers() < WorldConfig::tiny().n_papers);
+        for p in &ds.papers {
+            assert!(ds.world.venues[p.venue].name.contains("data"));
+            for &c in &p.cites {
+                assert!(c < ds.n_papers(), "citations must be remapped");
+            }
+        }
+        // Fewer venues than the full world.
+        assert!(ds.venue_nodes.len() < ds.world.venues.len());
+    }
+
+    #[test]
+    fn random_variant_changes_links_but_not_text() {
+        let cfg = WorldConfig::tiny();
+        let full = Dataset::full(&cfg, 16);
+        let random = Dataset::random(&cfg, 16);
+        assert_eq!(full.docs, random.docs, "raw text must be identical");
+        assert_eq!(full.labels, random.labels);
+        // The contains link sets must differ.
+        let f: Vec<(u32, u32)> = full
+            .graph
+            .iter_links(full.link_types.contains)
+            .map(|(a, b, _)| (a.0, b.0))
+            .collect();
+        let r: Vec<(u32, u32)> = random
+            .graph
+            .iter_links(random.link_types.contains)
+            .map(|(a, b, _)| (a.0, b.0))
+            .collect();
+        assert_ne!(f, r);
+    }
+
+    #[test]
+    fn features_are_finite_and_mostly_nonzero() {
+        let ds = tiny();
+        assert!(ds.features.all_finite());
+        let nonzero_rows = (0..ds.features.rows())
+            .filter(|&r| ds.features.row(r).iter().any(|&x| x != 0.0))
+            .count();
+        assert!(nonzero_rows as f32 > 0.9 * ds.features.rows() as f32);
+    }
+
+    #[test]
+    fn node_type_assignment_matches_groups() {
+        let ds = tiny();
+        for &p in &ds.paper_nodes {
+            assert_eq!(ds.graph.node_type(p), ds.node_types.paper);
+        }
+        for &t in &ds.term_nodes {
+            assert_eq!(ds.graph.node_type(t), ds.node_types.term);
+        }
+    }
+}

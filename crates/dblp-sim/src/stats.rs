@@ -1,0 +1,97 @@
+//! Dataset statistics (Table I of the paper).
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The row shape of Table I.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub n_papers: usize,
+    pub n_authors: usize,
+    pub n_venues: usize,
+    pub n_terms: usize,
+    pub n_links: usize,
+    pub n_train: usize,
+    pub n_val: usize,
+    pub n_test: usize,
+    pub label_mean: f32,
+    pub label_std: f32,
+}
+
+impl DatasetStats {
+    pub fn of(ds: &Dataset) -> Self {
+        let labels = &ds.labels;
+        let mean = if labels.is_empty() {
+            0.0
+        } else {
+            labels.iter().sum::<f32>() / labels.len() as f32
+        };
+        let var = if labels.is_empty() {
+            0.0
+        } else {
+            labels.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / labels.len() as f32
+        };
+        DatasetStats {
+            name: ds.name.clone(),
+            n_papers: ds.paper_nodes.len(),
+            n_authors: ds.author_nodes.len(),
+            n_venues: ds.venue_nodes.len(),
+            n_terms: ds.term_nodes.len(),
+            n_links: ds.graph.num_links(),
+            n_train: ds.split.train.len(),
+            n_val: ds.split.val.len(),
+            n_test: ds.split.test.len(),
+            label_mean: mean,
+            label_std: var.sqrt(),
+        }
+    }
+
+    /// Renders a Table-I-style row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<12} {:>8} {:>9} {:>8} {:>8} {:>10} {:>7} {:>6} {:>7} {:>9.2} {:>9.2}",
+            self.name,
+            self.n_papers,
+            self.n_authors,
+            self.n_venues,
+            self.n_terms,
+            self.n_links,
+            self.n_train,
+            self.n_val,
+            self.n_test,
+            self.label_mean,
+            self.label_std,
+        )
+    }
+
+    /// Header matching [`DatasetStats::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:>8} {:>9} {:>8} {:>8} {:>10} {:>7} {:>6} {:>7} {:>9} {:>9}",
+            "dataset", "papers", "authors", "venues", "terms", "links", "train", "val", "test",
+            "y-mean", "y-std",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+
+    #[test]
+    fn stats_match_dataset() {
+        let ds = Dataset::full(&WorldConfig::tiny(), 8);
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.n_papers, ds.n_papers());
+        assert_eq!(s.n_links, ds.graph.num_links());
+        assert_eq!(s.n_train + s.n_val + s.n_test, s.n_papers);
+        assert!(s.label_std > 0.0);
+        assert!(s.row().contains("DBLP-full"));
+        assert_eq!(
+            DatasetStats::header().split_whitespace().count(),
+            11
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! `catehgn` command-line interface: the end-to-end workflow a downstream
+//! user needs — generate a dataset, train a model, predict citations, and
+//! inspect the learned research domains — without writing any Rust.
+//!
+//! ```sh
+//! catehgn_cli generate --scale small --out ds-stats.json
+//! catehgn_cli train    --scale small --variant cate-hgn --model model.json
+//! catehgn_cli predict  --scale small --model model.json --top 10
+//! catehgn_cli domains  --scale small --model model.json
+//! ```
+//!
+//! The dataset is regenerated deterministically from the scale preset, so
+//! only the trained weights need to be persisted.
+
+use catehgn::{train_model, Ablation, CateHgn, ModelConfig};
+use dblp_sim::{Dataset, DatasetStats};
+use eval::{ExperimentConfig, Scale};
+use std::path::PathBuf;
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: catehgn_cli <generate|train|predict|domains> \
+         [--scale tiny|small|full] [--variant hgn|ca-hgn|cate-hgn] \
+         [--model FILE] [--out FILE] [--top N]"
+    );
+    std::process::exit(2);
+}
+
+fn build_dataset(cfg: &ExperimentConfig) -> Dataset {
+    Dataset::full(&cfg.world, cfg.feat_dim)
+}
+
+fn variant_ablation(name: &str) -> Ablation {
+    match name {
+        "hgn" => Ablation::hgn_only(),
+        "ca-hgn" => Ablation::ca_hgn(),
+        "cate-hgn" => Ablation::default(),
+        other => {
+            eprintln!("unknown variant '{other}'");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let scale = Scale::from_args();
+    let cfg = ExperimentConfig::at_scale(scale);
+    match cmd.as_str() {
+        "generate" => {
+            let ds = build_dataset(&cfg);
+            let stats = DatasetStats::of(&ds);
+            println!("{}", DatasetStats::header());
+            println!("{}", stats.row());
+            if let Some(out) = arg("--out") {
+                let json = serde_json::to_string_pretty(&stats).expect("serialise stats");
+                std::fs::write(&out, json).expect("write stats");
+                eprintln!("wrote {out}");
+            }
+        }
+        "train" => {
+            let variant = arg("--variant").unwrap_or_else(|| "cate-hgn".into());
+            let model_path =
+                PathBuf::from(arg("--model").unwrap_or_else(|| "catehgn-model.json".into()));
+            let mut ds = build_dataset(&cfg);
+            let mcfg = ModelConfig {
+                ablation: variant_ablation(&variant),
+                n_clusters: cfg.model.n_clusters.min(ds.world.config.n_domains + 1),
+                ..cfg.model.clone()
+            };
+            let mut model = CateHgn::new(
+                mcfg,
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            );
+            eprintln!(
+                "training {variant} ({} weights) on {} ({} train papers)...",
+                model.num_weights(),
+                ds.name,
+                ds.split.train.len()
+            );
+            let report = train_model(&mut model, &mut ds);
+            eprintln!("validation RMSE per round: {:?}", report.val_rmse);
+            model.save(&model_path).expect("save model");
+            println!("saved {}", model_path.display());
+        }
+        "predict" => {
+            let model_path =
+                PathBuf::from(arg("--model").unwrap_or_else(|| "catehgn-model.json".into()));
+            let top: usize = arg("--top").and_then(|s| s.parse().ok()).unwrap_or(10);
+            let ds = build_dataset(&cfg);
+            let model = CateHgn::load(
+                &model_path,
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            )
+            .expect("load model");
+            let seeds = ds.paper_nodes_of(&ds.split.test);
+            let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xC11);
+            let truth = ds.labels_of(&ds.split.test);
+            println!("test RMSE: {:.4}", catehgn::rmse(&preds, &truth));
+            let mut ranked: Vec<(usize, f32)> =
+                ds.split.test.iter().copied().zip(preds.iter().copied()).collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            println!("top {top} predicted papers (pred vs actual cites/yr):");
+            for (i, p) in ranked.into_iter().take(top) {
+                println!("  paper #{i:<6} {:>7.2} vs {:>7.2}", p, ds.labels[i]);
+            }
+        }
+        "domains" => {
+            let model_path =
+                PathBuf::from(arg("--model").unwrap_or_else(|| "catehgn-model.json".into()));
+            let ds = build_dataset(&cfg);
+            let model = CateHgn::load(
+                &model_path,
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            )
+            .expect("load model");
+            let cs = catehgn::case_study(&model, &ds, 5);
+            for k in 0..model.cfg.n_clusters {
+                if cs.authors[k].is_empty() && cs.terms[k].is_empty() {
+                    continue;
+                }
+                println!("cluster {k}:");
+                let terms: Vec<&str> = cs.terms[k].iter().map(|r| r.name.as_str()).collect();
+                let authors: Vec<&str> =
+                    cs.authors[k].iter().take(3).map(|r| r.name.as_str()).collect();
+                println!("  top terms:   {}", terms.join(", "));
+                println!("  top authors: {}", authors.join(", "));
+            }
+        }
+        _ => usage(),
+    }
+}

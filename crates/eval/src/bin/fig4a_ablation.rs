@@ -1,0 +1,22 @@
+//! Regenerates Figure 4(a): ablations of the HGN / CA / TE components.
+
+use eval::{out_dir_from_args, run_ablation, write_json, ExperimentConfig, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ExperimentConfig::at_scale(scale);
+    let ds = dblp_sim::Dataset::full(&cfg.world, cfg.feat_dim);
+    let bars = run_ablation(&cfg, &ds, true);
+    println!("Figure 4(a) — ablation study on {} ({scale:?} scale)", ds.name);
+    let mut group = String::new();
+    for b in &bars {
+        if b.group != group {
+            group = b.group.clone();
+            println!("-- {group} --");
+        }
+        println!("  {:<16} RMSE {:.4}", b.variant, b.rmse);
+    }
+    if let Some(dir) = out_dir_from_args() {
+        write_json(&dir, "fig4a", &bars);
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 4(b,c): sensitivity to the cluster count K and the
+//! relevant-term cut-off kappa.
+
+use eval::{out_dir_from_args, sweep_clusters, sweep_kappa, write_json, ExperimentConfig, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ExperimentConfig::at_scale(scale);
+    let ds = dblp_sim::Dataset::full(&cfg.world, cfg.feat_dim);
+    let ks: Vec<usize> = match scale {
+        Scale::Tiny => vec![2, 4],
+        _ => vec![2, 5, 10, 20],
+    };
+    let kappas: Vec<usize> = match scale {
+        Scale::Tiny => vec![10, 20],
+        _ => vec![10, 25, 50, 100],
+    };
+    println!("Figure 4(b) — cluster count K sweep on {}", ds.name);
+    let kb = sweep_clusters(&cfg, &ds, &ks, true);
+    for p in &kb {
+        println!("  K={:<4} RMSE {:.4}", p.value, p.rmse);
+    }
+    println!("Figure 4(c) — term cut-off kappa sweep on {}", ds.name);
+    let kc = sweep_kappa(&cfg, &ds, &kappas, true);
+    for p in &kc {
+        println!("  kappa={:<4} RMSE {:.4}", p.value, p.rmse);
+    }
+    if let Some(dir) = out_dir_from_args() {
+        write_json(&dir, "fig4b_clusters", &kb);
+        write_json(&dir, "fig4c_kappa", &kc);
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table I: statistics of the three dataset variants.
+
+use dblp_sim::DatasetStats;
+use eval::{build_datasets, out_dir_from_args, write_json, ExperimentConfig, Scale};
+
+fn main() {
+    let cfg = ExperimentConfig::at_scale(Scale::from_args());
+    let (full, single, random) = build_datasets(&cfg);
+    let stats: Vec<DatasetStats> =
+        [&full, &single, &random].iter().map(|d| DatasetStats::of(d)).collect();
+    println!("Table I — dataset statistics ({:?} scale)", Scale::from_args());
+    println!("{}", DatasetStats::header());
+    for s in &stats {
+        println!("{}", s.row());
+    }
+    if let Some(dir) = out_dir_from_args() {
+        write_json(&dir, "table1", &stats);
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table II: RMSE of all 15 compared systems on the three
+//! dataset variants, with the significance star on CATE-HGN.
+
+use eval::{out_dir_from_args, run_table2, write_json, ExperimentConfig, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ExperimentConfig::at_scale(scale);
+    let t0 = std::time::Instant::now();
+    let table = run_table2(&cfg, true);
+    println!("Table II — RMSE of compared algorithms ({scale:?} scale, {:?})", t0.elapsed());
+    print!("{}", table.render());
+    if let Some(dir) = out_dir_from_args() {
+        write_json(&dir, "table2", &table);
+    }
+}

@@ -1,0 +1,363 @@
+//! Typed, weighted heterogeneous graph storage.
+//!
+//! Nodes carry a global dense id ([`NodeId`]) and a node type; links are
+//! stored per link type in CSR form ([`Csr`]) with `f32` weights (the
+//! tabular function `omega` of Section III-A). The layout is optimised for
+//! the access pattern of mini-batch GNN training: "give me the typed,
+//! weighted neighbors of node v under link type t" is two slice lookups.
+
+use crate::schema::{LinkTypeId, NodeTypeId, Schema};
+use serde::{Deserialize, Serialize};
+
+/// Global dense node identifier, valid within one [`HetGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Compressed sparse row adjacency over global node ids, with parallel
+/// weight storage.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR over `n` source slots from an unsorted edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, f32)]) -> Self {
+        let mut counts = vec![0u32; n + 1];
+        for &(s, _, _) in edges {
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        let mut weights = vec![0.0f32; edges.len()];
+        for &(s, t, w) in edges {
+            let pos = cursor[s as usize] as usize;
+            targets[pos] = t;
+            weights[pos] = w;
+            cursor[s as usize] += 1;
+        }
+        Csr { offsets, targets, weights }
+    }
+
+    /// Number of source slots.
+    pub fn num_sources(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of source `s`.
+    #[inline]
+    pub fn degree(&self, s: usize) -> usize {
+        (self.offsets[s + 1] - self.offsets[s]) as usize
+    }
+
+    /// Neighbor ids of source `s`.
+    #[inline]
+    pub fn neighbors(&self, s: usize) -> &[u32] {
+        &self.targets[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Edge weights parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn weights(&self, s: usize) -> &[f32] {
+        &self.weights[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    /// Iterates `(src, dst, weight)` over all edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.num_sources()).flat_map(move |s| {
+            self.neighbors(s)
+                .iter()
+                .zip(self.weights(s))
+                .map(move |(&t, &w)| (s as u32, t, w))
+        })
+    }
+}
+
+/// A heterogeneous, weighted, typed graph (Definition 3.1 plus the link
+/// weight function `omega`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HetGraph {
+    schema: Schema,
+    /// Node type of each global node id.
+    node_types: Vec<NodeTypeId>,
+    /// Global node ids grouped by node type.
+    by_type: Vec<Vec<NodeId>>,
+    /// One CSR per link type, indexed over all global node ids.
+    adj: Vec<Csr>,
+}
+
+impl HetGraph {
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of nodes across all types.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Total number of directed, typed links.
+    pub fn num_links(&self) -> usize {
+        self.adj.iter().map(Csr::num_edges).sum()
+    }
+
+    /// Number of links of one type.
+    pub fn num_links_of(&self, t: LinkTypeId) -> usize {
+        self.adj[t.0 as usize].num_edges()
+    }
+
+    /// Node type of `v`.
+    #[inline]
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v.index()]
+    }
+
+    /// All nodes of one type.
+    pub fn nodes_of_type(&self, t: NodeTypeId) -> &[NodeId] {
+        &self.by_type[t.0 as usize]
+    }
+
+    /// Number of nodes of one type.
+    pub fn num_nodes_of(&self, t: NodeTypeId) -> usize {
+        self.by_type[t.0 as usize].len()
+    }
+
+    /// Typed neighbors of `v` under link type `t` (may be empty).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId, t: LinkTypeId) -> &[u32] {
+        self.adj[t.0 as usize].neighbors(v.index())
+    }
+
+    /// Weights parallel to [`HetGraph::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: NodeId, t: LinkTypeId) -> &[f32] {
+        self.adj[t.0 as usize].weights(v.index())
+    }
+
+    /// Out-degree of `v` under link type `t`.
+    #[inline]
+    pub fn degree(&self, v: NodeId, t: LinkTypeId) -> usize {
+        self.adj[t.0 as usize].degree(v.index())
+    }
+
+    /// Total degree of `v` summed over all link types.
+    pub fn total_degree(&self, v: NodeId) -> usize {
+        self.schema.link_type_ids().map(|t| self.degree(v, t)).sum()
+    }
+
+    /// CSR of one link type (read-only).
+    pub fn csr(&self, t: LinkTypeId) -> &Csr {
+        &self.adj[t.0 as usize]
+    }
+
+    /// Iterates `(src, dst, weight)` over all links of type `t`.
+    pub fn iter_links(&self, t: LinkTypeId) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        self.adj[t.0 as usize].iter_edges().map(|(s, d, w)| (NodeId(s), NodeId(d), w))
+    }
+
+    /// Replaces all links of type `t` with a new edge list. Used by the TE
+    /// module when paper-term links are rebuilt from refreshed TF-IDF
+    /// scores.
+    pub fn replace_links(&mut self, t: LinkTypeId, edges: &[(NodeId, NodeId, f32)]) {
+        let def = self.schema.link_type(t).clone();
+        for &(s, d, _) in edges {
+            assert_eq!(self.node_type(s), def.src, "src node type mismatch for {}", def.name);
+            assert_eq!(self.node_type(d), def.dst, "dst node type mismatch for {}", def.name);
+        }
+        let raw: Vec<(u32, u32, f32)> = edges.iter().map(|&(s, d, w)| (s.0, d.0, w)).collect();
+        self.adj[t.0 as usize] = Csr::from_edges(self.num_nodes(), &raw);
+    }
+}
+
+/// Incremental builder for a [`HetGraph`].
+#[derive(Clone, Debug)]
+pub struct HetGraphBuilder {
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    edges: Vec<Vec<(u32, u32, f32)>>,
+}
+
+impl HetGraphBuilder {
+    pub fn new(schema: Schema) -> Self {
+        let n_link_types = schema.num_link_types();
+        HetGraphBuilder { schema, node_types: Vec::new(), edges: vec![Vec::new(); n_link_types] }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds a node of the given type, returning its global id.
+    pub fn add_node(&mut self, t: NodeTypeId) -> NodeId {
+        assert!((t.0 as usize) < self.schema.num_node_types(), "unknown node type");
+        assert!(self.node_types.len() < u32::MAX as usize, "too many nodes");
+        self.node_types.push(t);
+        NodeId((self.node_types.len() - 1) as u32)
+    }
+
+    /// Adds `count` nodes of one type, returning their ids.
+    pub fn add_nodes(&mut self, t: NodeTypeId, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node(t)).collect()
+    }
+
+    /// Adds a weighted directed link of type `t`.
+    ///
+    /// # Panics
+    /// Panics if the endpoints' node types do not match the link type
+    /// definition, or if an endpoint id is unknown.
+    pub fn add_link(&mut self, t: LinkTypeId, src: NodeId, dst: NodeId, weight: f32) {
+        let def = self.schema.link_type(t);
+        assert!(src.index() < self.node_types.len(), "unknown src node");
+        assert!(dst.index() < self.node_types.len(), "unknown dst node");
+        assert_eq!(
+            self.node_types[src.index()],
+            def.src,
+            "src type mismatch for link '{}'",
+            def.name
+        );
+        assert_eq!(
+            self.node_types[dst.index()],
+            def.dst,
+            "dst type mismatch for link '{}'",
+            def.name
+        );
+        self.edges[t.0 as usize].push((src.0, dst.0, weight));
+    }
+
+    /// Adds a link and, when `t` has a registered reverse type, the mirrored
+    /// link with the same weight.
+    pub fn add_link_with_reverse(&mut self, t: LinkTypeId, src: NodeId, dst: NodeId, weight: f32) {
+        self.add_link(t, src, dst, weight);
+        if let Some(r) = self.schema.link_type(t).reverse_of {
+            self.add_link(r, dst, src, weight);
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Finalises into an immutable [`HetGraph`].
+    pub fn build(self) -> HetGraph {
+        let n = self.node_types.len();
+        let mut by_type = vec![Vec::new(); self.schema.num_node_types()];
+        for (i, t) in self.node_types.iter().enumerate() {
+            by_type[t.0 as usize].push(NodeId(i as u32));
+        }
+        let adj = self.edges.iter().map(|e| Csr::from_edges(n, e)).collect();
+        HetGraph { schema: self.schema, node_types: self.node_types, by_type, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (HetGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let (writes, _written_by) = s.add_link_type_pair("writes", "written_by", author, paper);
+        let cites = s.add_link_type("cites", paper, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let papers = b.add_nodes(paper, 3);
+        let authors = b.add_nodes(author, 2);
+        b.add_link_with_reverse(writes, authors[0], papers[0], 1.0);
+        b.add_link_with_reverse(writes, authors[0], papers[1], 1.0);
+        b.add_link_with_reverse(writes, authors[1], papers[2], 2.0);
+        b.add_link(cites, papers[1], papers[0], 1.0);
+        b.add_link(cites, papers[2], papers[0], 1.0);
+        (b.build(), papers, authors)
+    }
+
+    #[test]
+    fn counts_and_types() {
+        let (g, papers, authors) = toy();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_links(), 8); // 3 writes + 3 written_by + 2 cites
+        let pt = g.schema().node_type_by_name("paper").unwrap();
+        let at = g.schema().node_type_by_name("author").unwrap();
+        assert_eq!(g.nodes_of_type(pt), papers.as_slice());
+        assert_eq!(g.nodes_of_type(at), authors.as_slice());
+        assert_eq!(g.node_type(authors[1]), at);
+    }
+
+    #[test]
+    fn typed_neighbors_and_weights() {
+        let (g, papers, authors) = toy();
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let written_by = g.schema().link_type_by_name("written_by").unwrap();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        assert_eq!(g.neighbors(authors[0], writes), &[papers[0].0, papers[1].0]);
+        assert_eq!(g.weights(authors[1], writes), &[2.0]);
+        assert_eq!(g.neighbors(papers[2], written_by), &[authors[1].0]);
+        assert_eq!(g.neighbors(papers[0], cites), &[] as &[u32]);
+        assert_eq!(g.degree(papers[1], cites), 1);
+        assert_eq!(g.total_degree(papers[0]), 1); // only written_by
+    }
+
+    #[test]
+    fn csr_from_edges_handles_empty_and_unsorted() {
+        let csr = Csr::from_edges(4, &[(2, 0, 1.0), (0, 3, 0.5), (2, 1, 2.0)]);
+        assert_eq!(csr.num_sources(), 4);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.neighbors(0), &[3]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        let mut n2: Vec<u32> = csr.neighbors(2).to_vec();
+        n2.sort_unstable();
+        assert_eq!(n2, &[0, 1]);
+        assert_eq!(csr.iter_edges().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "src type mismatch")]
+    fn rejects_wrong_endpoint_type() {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let writes = s.add_link_type("writes", author, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let q = b.add_node(paper);
+        b.add_link(writes, p, q, 1.0); // src should be an author
+    }
+
+    #[test]
+    fn replace_links_swaps_edge_set() {
+        let (mut g, papers, _) = toy();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        assert_eq!(g.num_links_of(cites), 2);
+        g.replace_links(cites, &[(papers[0], papers[2], 3.0)]);
+        assert_eq!(g.num_links_of(cites), 1);
+        assert_eq!(g.neighbors(papers[0], cites), &[papers[2].0]);
+        assert_eq!(g.weights(papers[0], cites), &[3.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (g, _, _) = toy();
+        let json = serde_json::to_string(&g).unwrap();
+        let h: HetGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(h.num_nodes(), g.num_nodes());
+        assert_eq!(h.num_links(), g.num_links());
+    }
+}

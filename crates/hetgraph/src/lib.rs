@@ -1,0 +1,37 @@
+//! # hetgraph — heterogeneous information network substrate
+//!
+//! Typed, weighted graph storage ([`HetGraph`]) per Definition 3.1 of the
+//! CATE-HGN paper, plus the graph-access machinery its training loop needs:
+//!
+//! * [`Schema`] — node/link type registry with directional reverse pairs;
+//! * [`HetGraphBuilder`] — incremental, type-checked construction;
+//! * [`sampling`] — fixed-size L-hop neighborhood sampling into bipartite
+//!   message-passing [`sampling::Block`]s (Algorithm 1, line 5);
+//! * [`walks`] — meta-path and uniform typed random walks for the shallow
+//!   embedding baselines (metapath2vec, hin2vec).
+//!
+//! ```
+//! use hetgraph::{Schema, HetGraphBuilder};
+//!
+//! let mut schema = Schema::new();
+//! let paper = schema.add_node_type("paper");
+//! let author = schema.add_node_type("author");
+//! let (writes, _) = schema.add_link_type_pair("writes", "written_by", author, paper);
+//!
+//! let mut b = HetGraphBuilder::new(schema);
+//! let p = b.add_node(paper);
+//! let a = b.add_node(author);
+//! b.add_link_with_reverse(writes, a, p, 1.0);
+//! let g = b.build();
+//! assert_eq!(g.num_links(), 2);
+//! ```
+
+pub mod graph;
+pub mod sampling;
+pub mod schema;
+pub mod walks;
+
+pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId};
+pub use sampling::{sample_blocks, Block, BlockEdge};
+pub use schema::{LinkTypeId, LinkTypeDef, NodeTypeId, Schema};
+pub use walks::{corpus_metapath_walks, metapath_walk, uniform_typed_walk, MetaPath};

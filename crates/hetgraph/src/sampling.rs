@@ -1,0 +1,254 @@
+//! Fixed-size L-hop neighborhood sampling (Algorithm 1, line 5).
+//!
+//! Produces GraphSAGE-style bipartite [`Block`]s: `blocks[0]` has the batch
+//! seeds as destinations; `blocks[l].src_nodes` equals
+//! `blocks[l+1].dst_nodes`, so a model computes representations bottom-up,
+//! from the deepest frontier to the seeds. Every destination node is also
+//! present among the sources of its own block ([`Block::dst_in_src`]), which
+//! the HGN composition `phi(h_u, h_e) (.) h_v` needs to read the previous-
+//! layer embedding of the target itself.
+//!
+//! The fanout bound makes the peak memory of an L-layer model
+//! `O(B * S^L * d)` as analysed in Section III-F.
+
+use crate::graph::{HetGraph, NodeId};
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One sampled edge inside a [`Block`], in local positional coordinates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlockEdge {
+    /// Index of the (neighbor) source node within [`Block::src_nodes`].
+    pub src_pos: u32,
+    /// Index of the target node within [`Block::dst_nodes`].
+    pub dst_pos: u32,
+    /// The link weight `omega(e)`.
+    pub weight: f32,
+}
+
+/// A bipartite message-passing block for one hop of computation.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Target nodes of this hop (the frontier closer to the seeds).
+    pub dst_nodes: Vec<NodeId>,
+    /// Source nodes: all sampled neighbors plus every target node.
+    pub src_nodes: Vec<NodeId>,
+    /// `dst_in_src[i]` is the position of `dst_nodes[i]` in `src_nodes`.
+    pub dst_in_src: Vec<u32>,
+    /// Sampled edges grouped by link type (indexed by `LinkTypeId.0`).
+    pub edges_by_type: Vec<Vec<BlockEdge>>,
+}
+
+impl Block {
+    /// Total number of sampled edges across all link types.
+    pub fn num_edges(&self) -> usize {
+        self.edges_by_type.iter().map(Vec::len).sum()
+    }
+}
+
+/// Samples an `hops`-deep neighborhood of `seeds` with at most `fanout`
+/// neighbors per (node, link type). Returns one [`Block`] per hop, seeds
+/// first.
+pub fn sample_blocks<R: Rng>(
+    g: &HetGraph,
+    seeds: &[NodeId],
+    hops: usize,
+    fanout: usize,
+    rng: &mut R,
+) -> Vec<Block> {
+    let mut blocks = Vec::with_capacity(hops);
+    let mut frontier: Vec<NodeId> = dedup_preserve_order(seeds);
+    for _ in 0..hops {
+        let block = sample_one_hop(g, &frontier, fanout, rng);
+        frontier = block.src_nodes.clone();
+        blocks.push(block);
+    }
+    blocks
+}
+
+fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut R) -> Block {
+    let n_link_types = g.schema().num_link_types();
+    let mut src_nodes: Vec<NodeId> = Vec::with_capacity(dst.len() * 2);
+    let mut src_index: HashMap<NodeId, u32> = HashMap::with_capacity(dst.len() * 2);
+    // Destinations first so dst_in_src is the identity prefix.
+    for &v in dst {
+        src_index.entry(v).or_insert_with(|| {
+            src_nodes.push(v);
+            (src_nodes.len() - 1) as u32
+        });
+    }
+    let dst_in_src: Vec<u32> = dst.iter().map(|v| src_index[v]).collect();
+
+    let mut edges_by_type = vec![Vec::new(); n_link_types];
+    for (dst_pos, &v) in dst.iter().enumerate() {
+        for lt in g.schema().link_type_ids() {
+            // Incoming messages at v travel along link types whose *source*
+            // is v's type: v's typed out-neighbors u are the message
+            // senders (the reverse direction is a separate link type).
+            if g.schema().link_type(lt).src != g.node_type(v) {
+                continue;
+            }
+            let nbrs = g.neighbors(v, lt);
+            let ws = g.weights(v, lt);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let push = |edges: &mut Vec<BlockEdge>,
+                        src_nodes: &mut Vec<NodeId>,
+                        src_index: &mut HashMap<NodeId, u32>,
+                        u: u32,
+                        w: f32| {
+                let uid = NodeId(u);
+                let src_pos = *src_index.entry(uid).or_insert_with(|| {
+                    src_nodes.push(uid);
+                    (src_nodes.len() - 1) as u32
+                });
+                edges.push(BlockEdge { src_pos, dst_pos: dst_pos as u32, weight: w });
+            };
+            let edges = &mut edges_by_type[lt.0 as usize];
+            if nbrs.len() <= fanout {
+                for (&u, &w) in nbrs.iter().zip(ws) {
+                    push(edges, &mut src_nodes, &mut src_index, u, w);
+                }
+            } else {
+                for i in index_sample(rng, nbrs.len(), fanout) {
+                    push(edges, &mut src_nodes, &mut src_index, nbrs[i], ws[i]);
+                }
+            }
+        }
+    }
+    Block { dst_nodes: dst.to_vec(), src_nodes, dst_in_src, edges_by_type }
+}
+
+fn dedup_preserve_order(nodes: &[NodeId]) -> Vec<NodeId> {
+    let mut seen = HashMap::with_capacity(nodes.len());
+    let mut out = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        seen.entry(v).or_insert_with(|| {
+            out.push(v);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HetGraphBuilder;
+    use crate::schema::Schema;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Star graph: one paper linked to `n_auth` authors (both directions).
+    fn star(n_auth: usize) -> (HetGraph, NodeId, Vec<NodeId>) {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let (writes, _) = s.add_link_type_pair("writes", "written_by", author, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let authors = b.add_nodes(author, n_auth);
+        for &a in &authors {
+            b.add_link_with_reverse(writes, a, p, 1.0);
+        }
+        (b.build(), p, authors)
+    }
+
+    #[test]
+    fn fanout_caps_neighbors() {
+        let (g, p, _) = star(20);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let blocks = sample_blocks(&g, &[p], 1, 5, &mut rng);
+        assert_eq!(blocks.len(), 1);
+        let b = &blocks[0];
+        assert_eq!(b.dst_nodes, vec![p]);
+        // written_by edges capped at 5.
+        let wb = g.schema().link_type_by_name("written_by").unwrap();
+        assert_eq!(b.edges_by_type[wb.0 as usize].len(), 5);
+        // Sources: the paper itself + 5 sampled authors.
+        assert_eq!(b.src_nodes.len(), 6);
+        assert_eq!(b.dst_in_src, vec![0]);
+    }
+
+    #[test]
+    fn takes_all_when_degree_below_fanout() {
+        let (g, p, authors) = star(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let blocks = sample_blocks(&g, &[p], 1, 10, &mut rng);
+        let wb = g.schema().link_type_by_name("written_by").unwrap();
+        let edges = &blocks[0].edges_by_type[wb.0 as usize];
+        assert_eq!(edges.len(), 3);
+        let mut srcs: Vec<NodeId> =
+            edges.iter().map(|e| blocks[0].src_nodes[e.src_pos as usize]).collect();
+        srcs.sort();
+        assert_eq!(srcs, authors);
+    }
+
+    #[test]
+    fn chained_blocks_share_frontiers() {
+        let (g, p, _) = star(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let blocks = sample_blocks(&g, &[p], 2, 3, &mut rng);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].src_nodes, blocks[1].dst_nodes);
+        // Every dst appears among its own block's srcs at the advertised slot.
+        for b in &blocks {
+            for (i, &d) in b.dst_nodes.iter().enumerate() {
+                assert_eq!(b.src_nodes[b.dst_in_src[i] as usize], d);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_are_deduped() {
+        let (g, p, _) = star(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let blocks = sample_blocks(&g, &[p, p, p], 1, 2, &mut rng);
+        assert_eq!(blocks[0].dst_nodes, vec![p]);
+    }
+
+    #[test]
+    fn isolated_node_yields_no_edges() {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        s.add_link_type("cites", paper, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let blocks = sample_blocks(&g, &[p], 2, 5, &mut rng);
+        assert_eq!(blocks[0].num_edges(), 0);
+        assert_eq!(blocks[1].num_edges(), 0);
+        assert_eq!(blocks[1].dst_nodes, vec![p]);
+    }
+
+    #[test]
+    fn edge_weights_are_preserved() {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let term = s.add_node_type("term");
+        let (_, cin) = s.add_link_type_pair("contains", "contained_in", paper, term);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let t = b.add_node(term);
+        b.add_link(
+            s_handle(&b, "contains"),
+            p,
+            t,
+            0.75,
+        );
+        let _ = cin;
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let blocks = sample_blocks(&g, &[p], 1, 5, &mut rng);
+        let contains = g.schema().link_type_by_name("contains").unwrap();
+        let e = &blocks[0].edges_by_type[contains.0 as usize];
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].weight, 0.75);
+    }
+
+    fn s_handle(b: &HetGraphBuilder, name: &str) -> crate::schema::LinkTypeId {
+        b.schema().link_type_by_name(name).unwrap()
+    }
+}

@@ -1,0 +1,192 @@
+//! Random walks over heterogeneous graphs, for the shallow-embedding
+//! baselines: meta-path-guided walks (metapath2vec) and uniform typed walks
+//! that record the traversed link types (hin2vec).
+
+use crate::graph::{HetGraph, NodeId};
+use crate::schema::LinkTypeId;
+use rand::Rng;
+
+/// A meta-path expressed as a cyclic sequence of link types, e.g.
+/// `written_by -> writes` realises the P-A-P meta-path when started at a
+/// paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetaPath {
+    pub name: String,
+    pub links: Vec<LinkTypeId>,
+}
+
+impl MetaPath {
+    pub fn new(name: impl Into<String>, links: Vec<LinkTypeId>) -> Self {
+        assert!(!links.is_empty(), "meta-path needs at least one link type");
+        MetaPath { name: name.into(), links }
+    }
+}
+
+/// Walks from `start` following `path.links` cyclically for up to `len`
+/// node steps. Stops early when the current node has no neighbor under the
+/// required link type. The starting node is included in the output.
+pub fn metapath_walk<R: Rng>(
+    g: &HetGraph,
+    start: NodeId,
+    path: &MetaPath,
+    len: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    let mut cur = start;
+    for step in 0..len {
+        let lt = path.links[step % path.links.len()];
+        let nbrs = g.neighbors(cur, lt);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = NodeId(nbrs[rng.gen_range(0..nbrs.len())]);
+        walk.push(cur);
+    }
+    walk
+}
+
+/// One step of a uniform heterogeneous walk: `(link type taken, next node)`.
+pub type TypedStep = (LinkTypeId, NodeId);
+
+/// Walks from `start` for up to `len` steps, choosing uniformly among all
+/// typed out-edges of the current node, and recording the link type of each
+/// step (as needed by hin2vec's relation-aware objective).
+pub fn uniform_typed_walk<R: Rng>(
+    g: &HetGraph,
+    start: NodeId,
+    len: usize,
+    rng: &mut R,
+) -> Vec<TypedStep> {
+    let mut out = Vec::with_capacity(len);
+    let mut cur = start;
+    let link_types: Vec<LinkTypeId> = g.schema().link_type_ids().collect();
+    for _ in 0..len {
+        let total: usize = link_types.iter().map(|&t| g.degree(cur, t)).sum();
+        if total == 0 {
+            break;
+        }
+        let mut pick = rng.gen_range(0..total);
+        let mut chosen = None;
+        for &t in &link_types {
+            let d = g.degree(cur, t);
+            if pick < d {
+                chosen = Some((t, NodeId(g.neighbors(cur, t)[pick])));
+                break;
+            }
+            pick -= d;
+        }
+        let (t, next) = chosen.expect("degree accounting is exhaustive");
+        out.push((t, next));
+        cur = next;
+    }
+    out
+}
+
+/// Generates `walks_per_node` meta-path walks of length `len` from every
+/// node whose type matches the meta-path's starting link source type.
+pub fn corpus_metapath_walks<R: Rng>(
+    g: &HetGraph,
+    path: &MetaPath,
+    walks_per_node: usize,
+    len: usize,
+    rng: &mut R,
+) -> Vec<Vec<NodeId>> {
+    let start_type = g.schema().link_type(path.links[0]).src;
+    let mut corpus = Vec::new();
+    for &v in g.nodes_of_type(start_type) {
+        for _ in 0..walks_per_node {
+            let w = metapath_walk(g, v, path, len, rng);
+            if w.len() > 1 {
+                corpus.push(w);
+            }
+        }
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HetGraphBuilder;
+    use crate::schema::Schema;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two papers sharing one author; PAP meta-path must alternate types.
+    fn pap_world() -> (HetGraph, Vec<NodeId>, NodeId) {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        s.add_link_type_pair("writes", "written_by", author, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let papers = b.add_nodes(paper, 2);
+        let a = b.add_node(author);
+        let writes = b.schema().link_type_by_name("writes").unwrap();
+        b.add_link_with_reverse(writes, a, papers[0], 1.0);
+        b.add_link_with_reverse(writes, a, papers[1], 1.0);
+        (b.build(), papers, a)
+    }
+
+    #[test]
+    fn metapath_walk_alternates_types() {
+        let (g, papers, a) = pap_world();
+        let wb = g.schema().link_type_by_name("written_by").unwrap();
+        let w = g.schema().link_type_by_name("writes").unwrap();
+        let pap = MetaPath::new("PAP", vec![wb, w]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let walk = metapath_walk(&g, papers[0], &pap, 6, &mut rng);
+        assert_eq!(walk.len(), 7);
+        let pt = g.schema().node_type_by_name("paper").unwrap();
+        let at = g.schema().node_type_by_name("author").unwrap();
+        for (i, &v) in walk.iter().enumerate() {
+            let expect = if i % 2 == 0 { pt } else { at };
+            assert_eq!(g.node_type(v), expect, "step {i}");
+        }
+        assert!(walk.contains(&a));
+    }
+
+    #[test]
+    fn metapath_walk_stops_at_dead_end() {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let cites = s.add_link_type("cites", paper, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p0 = b.add_node(paper);
+        let p1 = b.add_node(paper);
+        b.add_link(cites, p0, p1, 1.0); // p1 has no out-citations
+        let g = b.build();
+        let mp = MetaPath::new("PP", vec![cites]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let walk = metapath_walk(&g, p0, &mp, 10, &mut rng);
+        assert_eq!(walk, vec![p0, p1]);
+    }
+
+    #[test]
+    fn uniform_walk_records_link_types() {
+        let (g, papers, _) = pap_world();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let steps = uniform_typed_walk(&g, papers[0], 5, &mut rng);
+        assert_eq!(steps.len(), 5);
+        for (lt, node) in &steps {
+            // The recorded link type's dst must match the node's type.
+            assert_eq!(g.schema().link_type(*lt).dst, g.node_type(*node));
+        }
+    }
+
+    #[test]
+    fn corpus_covers_all_start_nodes() {
+        let (g, _, _) = pap_world();
+        let wb = g.schema().link_type_by_name("written_by").unwrap();
+        let w = g.schema().link_type_by_name("writes").unwrap();
+        let pap = MetaPath::new("PAP", vec![wb, w]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let corpus = corpus_metapath_walks(&g, &pap, 2, 4, &mut rng);
+        // 2 papers x 2 walks.
+        assert_eq!(corpus.len(), 4);
+        for walk in corpus {
+            assert!(walk.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for CSR construction, builder invariants, and the
+//! neighborhood sampler's structural guarantees.
+
+use hetgraph::{sample_blocks, Csr, HetGraph, HetGraphBuilder, NodeId, Schema};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Arbitrary edge list over `n` slots.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    proptest::collection::vec((0..n, 0..n, 0.1f32..5.0), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_preserves_every_edge(es in edges(12, 40)) {
+        let csr = Csr::from_edges(12, &es);
+        prop_assert_eq!(csr.num_edges(), es.len());
+        // Multiset equality of edges.
+        let mut got: Vec<(u32, u32, u32)> =
+            csr.iter_edges().map(|(s, t, w)| (s, t, w.to_bits())).collect();
+        let mut want: Vec<(u32, u32, u32)> =
+            es.iter().map(|&(s, t, w)| (s, t, w.to_bits())).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn csr_degrees_sum_to_edge_count(es in edges(8, 30)) {
+        let csr = Csr::from_edges(8, &es);
+        let total: usize = (0..8).map(|s| csr.degree(s)).sum();
+        prop_assert_eq!(total, es.len());
+        for s in 0..8 {
+            prop_assert_eq!(csr.neighbors(s).len(), csr.weights(s).len());
+        }
+    }
+}
+
+/// Builds a random bipartite author-paper world.
+fn random_world(n_papers: usize, n_authors: usize, es: &[(usize, usize)]) -> HetGraph {
+    let mut s = Schema::new();
+    let paper = s.add_node_type("paper");
+    let author = s.add_node_type("author");
+    let (writes, _) = s.add_link_type_pair("writes", "written_by", author, paper);
+    let mut b = HetGraphBuilder::new(s);
+    let papers = b.add_nodes(paper, n_papers);
+    let authors = b.add_nodes(author, n_authors);
+    for &(a, p) in es {
+        b.add_link_with_reverse(writes, authors[a % n_authors], papers[p % n_papers], 1.0);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reverse_links_mirror_forward(
+        es in proptest::collection::vec((0usize..5, 0usize..7), 1..25)
+    ) {
+        let g = random_world(7, 5, &es);
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let written_by = g.schema().link_type_by_name("written_by").unwrap();
+        prop_assert_eq!(g.num_links_of(writes), g.num_links_of(written_by));
+        // Every forward edge has its mirror.
+        let mut fwd: Vec<(u32, u32)> = g.iter_links(writes).map(|(s, d, _)| (s.0, d.0)).collect();
+        let mut bwd: Vec<(u32, u32)> =
+            g.iter_links(written_by).map(|(s, d, _)| (d.0, s.0)).collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn sampler_respects_fanout_and_positions(
+        es in proptest::collection::vec((0usize..6, 0usize..9), 1..40),
+        fanout in 1usize..6,
+        hops in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let g = random_world(9, 6, &es);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let pt = g.schema().node_type_by_name("paper").unwrap();
+        let seeds: Vec<NodeId> = g.nodes_of_type(pt).iter().take(3).copied().collect();
+        let blocks = sample_blocks(&g, &seeds, hops, fanout, &mut rng);
+        prop_assert_eq!(blocks.len(), hops);
+        for (l, b) in blocks.iter().enumerate() {
+            // Frontier chaining.
+            if l + 1 < blocks.len() {
+                prop_assert_eq!(&b.src_nodes, &blocks[l + 1].dst_nodes);
+            }
+            // dst nodes present among src nodes at the advertised position.
+            for (i, &d) in b.dst_nodes.iter().enumerate() {
+                prop_assert_eq!(b.src_nodes[b.dst_in_src[i] as usize], d);
+            }
+            // Per (dst, link type) fanout bound, and position validity.
+            for (lt_idx, edges) in b.edges_by_type.iter().enumerate() {
+                let mut per_dst = std::collections::HashMap::new();
+                for e in edges {
+                    prop_assert!((e.src_pos as usize) < b.src_nodes.len());
+                    prop_assert!((e.dst_pos as usize) < b.dst_nodes.len());
+                    *per_dst.entry(e.dst_pos).or_insert(0usize) += 1;
+                    // Edge endpoint types must match the schema.
+                    let lt = hetgraph::LinkTypeId(lt_idx as u8);
+                    let def = g.schema().link_type(lt);
+                    prop_assert_eq!(
+                        g.node_type(b.dst_nodes[e.dst_pos as usize]), def.src);
+                    prop_assert_eq!(
+                        g.node_type(b.src_nodes[e.src_pos as usize]), def.dst);
+                }
+                for (_, c) in per_dst {
+                    prop_assert!(c <= fanout);
+                }
+            }
+            // No duplicate src nodes.
+            let mut uniq = b.src_nodes.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), b.src_nodes.len());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed(
+        es in proptest::collection::vec((0usize..6, 0usize..9), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let g = random_world(9, 6, &es);
+        let pt = g.schema().node_type_by_name("paper").unwrap();
+        let seeds: Vec<NodeId> = g.nodes_of_type(pt).to_vec();
+        let run = |s| {
+            let mut rng = ChaCha8Rng::seed_from_u64(s);
+            sample_blocks(&g, &seeds, 2, 3, &mut rng)
+        };
+        let (b1, b2) = (run(seed), run(seed));
+        for (x, y) in b1.iter().zip(&b2) {
+            prop_assert_eq!(&x.src_nodes, &y.src_nodes);
+            prop_assert_eq!(&x.edges_by_type, &y.edges_by_type);
+        }
+    }
+}

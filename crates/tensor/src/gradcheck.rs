@@ -1,0 +1,115 @@
+//! Finite-difference gradient checking utilities, used by the property
+//! tests to validate every differentiable op against central differences.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check for one input tensor.
+#[derive(Debug)]
+pub struct GradCheck {
+    /// Largest relative error over all coordinates.
+    pub max_rel_err: f32,
+    /// Analytic gradient from the tape.
+    pub analytic: Tensor,
+    /// Numeric gradient from central differences.
+    pub numeric: Tensor,
+}
+
+/// Checks the analytic gradient of `f` with respect to its single tensor
+/// input at `x`, using central finite differences with step `eps`.
+///
+/// `f` must build a graph that consumes exactly the provided input var and
+/// returns a scalar loss var. Relative error uses an absolute floor so that
+/// near-zero gradients do not blow up the ratio.
+pub fn check_unary(x: &Tensor, eps: f32, f: impl Fn(&mut Graph, Var) -> Var) -> GradCheck {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let xv = g.input(x.clone());
+    let loss = f(&mut g, xv);
+    assert_eq!(g.shape(loss), (1, 1), "gradcheck loss must be scalar");
+    g.backward(loss);
+    let analytic = g.grad(xv).cloned().unwrap_or_else(|| Tensor::zeros(x.rows(), x.cols()));
+
+    // Numeric pass.
+    let mut numeric = Tensor::zeros(x.rows(), x.cols());
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let lp = eval_loss(&xp, &f);
+        let lm = eval_loss(&xm, &f);
+        numeric.as_mut_slice()[i] = (lp - lm) / (2.0 * eps);
+    }
+    let max_rel_err = max_rel(&analytic, &numeric);
+    GradCheck { max_rel_err, analytic, numeric }
+}
+
+/// Checks gradients with respect to both inputs of a binary function.
+pub fn check_binary(
+    a: &Tensor,
+    b: &Tensor,
+    eps: f32,
+    f: impl Fn(&mut Graph, Var, Var) -> Var,
+) -> (GradCheck, GradCheck) {
+    let ga = check_unary(a, eps, |g, av| {
+        let bv = g.input(b.clone());
+        f(g, av, bv)
+    });
+    let gb = check_unary(b, eps, |g, bv| {
+        // Note the input order: we must still pass (a, b).
+        let loss = {
+            let av = g.input(a.clone());
+            f(g, av, bv)
+        };
+        loss
+    });
+    (ga, gb)
+}
+
+fn eval_loss(x: &Tensor, f: &impl Fn(&mut Graph, Var) -> Var) -> f32 {
+    let mut g = Graph::new();
+    let xv = g.input(x.clone());
+    let loss = f(&mut g, xv);
+    g.value(loss).as_slice()[0]
+}
+
+fn max_rel(a: &Tensor, n: &Tensor) -> f32 {
+    let mut worst = 0.0f32;
+    for (&x, &y) in a.as_slice().iter().zip(n.as_slice()) {
+        let denom = x.abs().max(y.abs()).max(1.0);
+        let rel = (x - y).abs() / denom;
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_is_exact() {
+        let x = Tensor::from_rows(&[&[1.0, -2.0, 0.5]]);
+        let r = check_unary(&x, 1e-2, |g, v| {
+            let s = g.square(v);
+            g.sum_all(s)
+        });
+        assert!(r.max_rel_err < 1e-2, "rel err {}", r.max_rel_err);
+        assert_eq!(r.analytic.as_slice(), &[2.0, -4.0, 1.0]);
+    }
+
+    #[test]
+    fn binary_check_covers_both_sides() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, -1.0]]);
+        let (ga, gb) = check_binary(&a, &b, 1e-2, |g, x, y| {
+            let p = g.mul(x, y);
+            g.sum_all(p)
+        });
+        assert!(ga.max_rel_err < 1e-2);
+        assert!(gb.max_rel_err < 1e-2);
+        assert_eq!(ga.analytic.as_slice(), b.as_slice());
+        assert_eq!(gb.analytic.as_slice(), a.as_slice());
+    }
+}

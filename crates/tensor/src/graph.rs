@@ -1,0 +1,1055 @@
+//! Reverse-mode automatic differentiation on a tape ("Wengert list").
+//!
+//! A [`Graph`] records every differentiable operation of one forward pass.
+//! Each op returns a [`Var`] handle; calling [`Graph::backward`] on a scalar
+//! loss propagates gradients to every node, including parameter leaves bound
+//! from a [`crate::params::Params`] store. The op set is tailored to the
+//! needs of heterogeneous GNNs: gather/segment operations for message
+//! passing over sampled neighborhoods, segment softmax for attention over
+//! variable-size neighbor sets, circular correlation for HolE-style
+//! entity-relation composition, and pairwise distances plus Student-t
+//! transforms for DEC-style soft clustering.
+
+use crate::params::{ParamId, Params};
+use crate::tensor::{circular_correlation, dot, softmax_in_place, Tensor};
+
+/// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
+/// that created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The recorded operation of a node, holding parent handles and whatever
+/// auxiliary data the backward pass needs.
+#[derive(Debug)]
+enum Op {
+    /// Leaf node: an input or a bound parameter. No parents.
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    /// `a (n x m) + row (1 x m)` broadcast over rows.
+    AddRow(Var, Var),
+    /// `a (n x m) * row (1 x m)` broadcast over rows.
+    MulRow(Var, Var),
+    /// `a (n x m) * col (n x 1)` broadcast over columns.
+    MulCol(Var, Var),
+    /// `a (n x m) / col (n x 1)` broadcast over columns.
+    DivCol(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Neg(Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Softplus(Var),
+    Exp(Var),
+    /// `ln(max(x, EPS))`.
+    Log(Var),
+    Square(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    SumRows(Var),
+    SumCols(Var),
+    SoftmaxRows(Var),
+    ConcatCols(Var, Var),
+    /// `[a; b]` vertical concatenation.
+    ConcatRows(Var, Var),
+    GatherRows(Var, Vec<usize>),
+    /// Sums rows of `a` into output rows keyed by `segments`.
+    SegmentSum(Var, Vec<usize>),
+    /// Softmax over the entries of an `n x 1` column, independently within
+    /// each contiguous-or-not segment id group.
+    SegmentSoftmax(Var, Vec<usize>),
+    /// Row-wise dot product of two `n x d` tensors, yielding `n x 1`.
+    RowwiseDot(Var, Var),
+    /// Row-wise circular correlation of two `n x d` tensors.
+    CircCorr(Var, Var),
+    /// Pairwise squared distances: rows of `a` (n x d) vs rows of `b` (k x d),
+    /// yielding `n x k`.
+    PairwiseSqDist(Var, Var),
+    /// `y = 1 / (1 + x)` element-wise (Student-t kernel numerator).
+    Recip1p(Var),
+    /// Extracts column `j` of `a` as an `n x 1` tensor.
+    ColSlice(Var, usize),
+    /// Element-wise product with a constant tensor (no gradient to it).
+    MulConst(Var, Tensor),
+    /// Mean squared error against a constant target; output is `1 x 1`.
+    Mse(Var, Tensor),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// Floor used inside [`Graph::log`] to keep gradients finite.
+pub const LOG_EPS: f32 = 1e-12;
+
+/// A single forward pass's computation tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    bindings: Vec<(ParamId, Var)>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        debug_assert!(self.nodes.len() < u32::MAX as usize);
+        self.nodes.push(Node { value, grad: None, op });
+        Var((self.nodes.len() - 1) as u32)
+    }
+
+    /// Records a constant/input leaf. It receives a gradient during backward
+    /// (readable via [`Graph::grad`]) but is not bound to any parameter.
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf)
+    }
+
+    /// Records a `1 x 1` scalar constant.
+    pub fn scalar(&mut self, v: f32) -> Var {
+        self.input(Tensor::from_vec(1, 1, vec![v]))
+    }
+
+    /// Binds a parameter from `params` as a leaf; its gradient is later
+    /// collected by the optimizer. Binding the same parameter several times
+    /// is allowed — gradients are summed at step time.
+    pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
+        let v = self.input(params.value(id).clone());
+        self.bindings.push((id, v));
+        v
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.idx()].value
+    }
+
+    /// The accumulated gradient of `v`, if backward has reached it.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.idx()].grad.as_ref()
+    }
+
+    /// Shape of the forward value of `v`.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.idx()].value.shape()
+    }
+
+    /// `(ParamId, Var)` pairs recorded by [`Graph::param`].
+    pub fn bindings(&self) -> &[(ParamId, Var)] {
+        &self.bindings
+    }
+
+    // -----------------------------------------------------------------
+    // Op constructors (forward pass).
+    // -----------------------------------------------------------------
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div(self.value(b));
+        self.push(v, Op::Div(a, b))
+    }
+
+    /// Adds a `1 x m` row vector to every row of an `n x m` tensor.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (n, m) = self.shape(a);
+        let (rr, rm) = self.shape(row);
+        assert_eq!((rr, rm), (1, m), "add_row: expected 1x{m} row, got {rr}x{rm}");
+        let mut out = self.value(a).clone();
+        let r = self.value(row).as_slice().to_vec();
+        for i in 0..n {
+            for (o, &x) in out.row_mut(i).iter_mut().zip(&r) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::AddRow(a, row))
+    }
+
+    /// Multiplies every row of an `n x m` tensor by a `1 x m` row vector.
+    pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
+        let (n, m) = self.shape(a);
+        assert_eq!(self.shape(row), (1, m), "mul_row shape mismatch");
+        let mut out = self.value(a).clone();
+        let r = self.value(row).as_slice().to_vec();
+        for i in 0..n {
+            for (o, &x) in out.row_mut(i).iter_mut().zip(&r) {
+                *o *= x;
+            }
+        }
+        self.push(out, Op::MulRow(a, row))
+    }
+
+    /// Scales row `i` of an `n x m` tensor by `col[i]` (`col` is `n x 1`).
+    pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
+        let (n, _m) = self.shape(a);
+        assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
+        let mut out = self.value(a).clone();
+        let c = self.value(col).as_slice().to_vec();
+        for i in 0..n {
+            let s = c[i];
+            for o in out.row_mut(i) {
+                *o *= s;
+            }
+        }
+        self.push(out, Op::MulCol(a, col))
+    }
+
+    /// Divides row `i` of an `n x m` tensor by `col[i]` (`col` is `n x 1`).
+    pub fn div_col(&mut self, a: Var, col: Var) -> Var {
+        let (n, _m) = self.shape(a);
+        assert_eq!(self.shape(col), (n, 1), "div_col shape mismatch");
+        let mut out = self.value(a).clone();
+        let c = self.value(col).as_slice().to_vec();
+        for i in 0..n {
+            let s = c[i];
+            for o in out.row_mut(i) {
+                *o /= s;
+            }
+        }
+        self.push(out, Op::DivCol(a, col))
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).scale(alpha);
+        self.push(v, Op::Scale(a, alpha))
+    }
+
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(v, Op::Neg(a))
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stable_sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// `softplus(x) = ln(1 + e^x)`, computed stably.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                (1.0 + x.exp()).ln()
+            }
+        });
+        self.push(v, Op::Softplus(a))
+    }
+
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Natural log with input clamped to [`LOG_EPS`] for finiteness.
+    pub fn log(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(LOG_EPS).ln());
+        self.push(v, Op::Log(a))
+    }
+
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Sums all elements into a `1 x 1` scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements as a `1 x 1` scalar.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Per-row sums, `n x m -> n x 1`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(v, Op::SumRows(a))
+    }
+
+    /// Per-column sums, `n x m -> 1 x m`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = self.value(a).col_sums();
+        self.push(v, Op::SumCols(a))
+    }
+
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// `[a | b]` horizontal concatenation.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_cols(self.value(b));
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// `[a; b]` vertical concatenation.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).concat_rows(self.value(b));
+        self.push(v, Op::ConcatRows(a, b))
+    }
+
+    /// Gathers rows of `a` by `indices` (duplicates allowed).
+    pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
+        let v = self.value(a).gather_rows(&indices);
+        self.push(v, Op::GatherRows(a, indices))
+    }
+
+    /// Scatter-sums the rows of `a` into `n_segments` buckets:
+    /// `out[s] = sum over i with segments[i] == s of a[i, :]`.
+    pub fn segment_sum(&mut self, a: Var, segments: Vec<usize>, n_segments: usize) -> Var {
+        let av = self.value(a);
+        assert_eq!(segments.len(), av.rows(), "segment_sum: one segment id per row");
+        let mut out = Tensor::zeros(n_segments, av.cols());
+        for (i, &s) in segments.iter().enumerate() {
+            assert!(s < n_segments, "segment id {s} out of range");
+            for (o, &x) in out.row_mut(s).iter_mut().zip(av.row(i)) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::SegmentSum(a, segments))
+    }
+
+    /// Softmax over the entries of an `n x 1` score column, normalised
+    /// independently within each segment-id group. Used for attention over
+    /// variable-size neighbor sets.
+    pub fn segment_softmax(&mut self, scores: Var, segments: Vec<usize>) -> Var {
+        let sv = self.value(scores);
+        assert_eq!(sv.cols(), 1, "segment_softmax expects an n x 1 column");
+        assert_eq!(segments.len(), sv.rows());
+        let out = segment_softmax_forward(sv.as_slice(), &segments);
+        let t = Tensor::col_vec(out);
+        self.push(t, Op::SegmentSoftmax(scores, segments))
+    }
+
+    /// Row-wise dot product, `n x d . n x d -> n x 1`.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
+        let data = av.rows_iter().zip(bv.rows_iter()).map(|(x, y)| dot(x, y)).collect();
+        self.push(Tensor::col_vec(data), Op::RowwiseDot(a, b))
+    }
+
+    /// Row-wise circular correlation (HolE composition), `n x d` each.
+    pub fn circ_corr(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape(), bv.shape(), "circ_corr shape mismatch");
+        let (n, d) = av.shape();
+        let mut out = Tensor::zeros(n, d);
+        for i in 0..n {
+            let mut tmp = vec![0.0; d];
+            circular_correlation(av.row(i), bv.row(i), &mut tmp);
+            out.row_mut(i).copy_from_slice(&tmp);
+        }
+        self.push(out, Op::CircCorr(a, b))
+    }
+
+    /// Pairwise squared distances between rows of `a` (`n x d`) and rows of
+    /// `b` (`k x d`), differentiable in both arguments.
+    pub fn pairwise_sq_dist(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).pairwise_sq_dists(self.value(b));
+        self.push(v, Op::PairwiseSqDist(a, b))
+    }
+
+    /// `y = 1 / (1 + x)` element-wise.
+    pub fn recip1p(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + x));
+        self.push(v, Op::Recip1p(a))
+    }
+
+    /// Extracts column `j` as an `n x 1` tensor.
+    pub fn col_slice(&mut self, a: Var, j: usize) -> Var {
+        let av = self.value(a);
+        assert!(j < av.cols(), "col_slice index out of bounds");
+        let data = (0..av.rows()).map(|i| av.get(i, j)).collect();
+        self.push(Tensor::col_vec(data), Op::ColSlice(a, j))
+    }
+
+    /// Element-wise product with a constant tensor (no gradient flows to the
+    /// constant). Used for fixed mixing weights such as the self-training
+    /// target distribution P in DEC-style losses.
+    pub fn mul_const(&mut self, a: Var, c: &Tensor) -> Var {
+        let v = self.value(a).mul(c);
+        self.push(v, Op::MulConst(a, c.clone()))
+    }
+
+    /// Mean squared error against a constant target, `1 x 1` output.
+    pub fn mse(&mut self, pred: Var, target: &Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse shape mismatch");
+        let n = pv.len().max(1) as f32;
+        let loss: f32 =
+            pv.as_slice().iter().zip(target.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum();
+        self.push(Tensor::from_vec(1, 1, vec![loss / n]), Op::Mse(pred, target.clone()))
+    }
+
+    // Convenience compounds ---------------------------------------------
+
+    /// `x W + b` for a batch `x: n x d_in`, `w: d_in x d_out`, `b: 1 x d_out`.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row(xw, b)
+    }
+
+    /// Sum of squared elements as a `1 x 1` scalar (L2 penalty building block).
+    pub fn l2(&mut self, a: Var) -> Var {
+        let s = self.square(a);
+        self.sum_all(s)
+    }
+
+    // -----------------------------------------------------------------
+    // Backward pass.
+    // -----------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation seeded at `loss`, which must be a
+    /// `1 x 1` scalar. Gradients accumulate on every reachable node.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
+        let idx = loss.idx();
+        self.nodes[idx].grad = Some(Tensor::ones(1, 1));
+        for i in (0..=idx).rev() {
+            let g = match self.nodes[i].grad.take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.propagate(i, &g);
+            self.nodes[i].grad = Some(g);
+        }
+    }
+
+    fn accum(&mut self, v: Var, delta: &Tensor) {
+        let node = &mut self.nodes[v.idx()];
+        match &mut node.grad {
+            Some(g) => g.add_assign(delta),
+            None => node.grad = Some(delta.clone()),
+        }
+    }
+
+    /// Adds `alpha * delta` into the gradient of `v` without allocating when
+    /// a buffer already exists.
+    fn accum_scaled(&mut self, v: Var, delta: &Tensor, alpha: f32) {
+        let node = &mut self.nodes[v.idx()];
+        match &mut node.grad {
+            Some(g) => g.add_scaled(delta, alpha),
+            None => node.grad = Some(delta.scale(alpha)),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Tensor) {
+        // `op` is taken by reference through a raw pattern: we clone the
+        // small auxiliary data we need up front to satisfy the borrow
+        // checker, keeping tensors borrowed only while computing deltas.
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            &Op::Add(a, b) => {
+                self.accum(a, g);
+                self.accum(b, g);
+            }
+            &Op::Sub(a, b) => {
+                self.accum(a, g);
+                self.accum_scaled(b, g, -1.0);
+            }
+            &Op::Mul(a, b) => {
+                let da = g.mul(self.value(b));
+                let db = g.mul(self.value(a));
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::Div(a, b) => {
+                let bv = self.value(b);
+                let da = g.div(bv);
+                let db_raw = g.mul(self.value(a)).div(bv).div(bv).scale(-1.0);
+                self.accum(a, &da);
+                self.accum(b, &db_raw);
+            }
+            &Op::AddRow(a, row) => {
+                self.accum(a, g);
+                let dr = g.col_sums();
+                self.accum(row, &dr);
+            }
+            &Op::MulRow(a, row) => {
+                let rv = self.value(row).as_slice().to_vec();
+                let av = self.value(a);
+                let (n, m) = av.shape();
+                let mut da = g.clone();
+                let mut dr = Tensor::zeros(1, m);
+                for r in 0..n {
+                    let grow = g.row(r);
+                    let arow = av.row(r);
+                    for c in 0..m {
+                        dr.as_mut_slice()[c] += grow[c] * arow[c];
+                    }
+                    for (d, &rvc) in da.row_mut(r).iter_mut().zip(&rv) {
+                        *d *= rvc;
+                    }
+                }
+                self.accum(a, &da);
+                self.accum(row, &dr);
+            }
+            &Op::MulCol(a, col) => {
+                let cv = self.value(col).as_slice().to_vec();
+                let av = self.value(a);
+                let n = av.rows();
+                let mut da = g.clone();
+                let mut dc = Tensor::zeros(n, 1);
+                for r in 0..n {
+                    dc.as_mut_slice()[r] = dot(g.row(r), av.row(r));
+                    let s = cv[r];
+                    for d in da.row_mut(r) {
+                        *d *= s;
+                    }
+                }
+                self.accum(a, &da);
+                self.accum(col, &dc);
+            }
+            &Op::DivCol(a, col) => {
+                let cv = self.value(col).as_slice().to_vec();
+                let av = self.value(a);
+                let n = av.rows();
+                let mut da = g.clone();
+                let mut dc = Tensor::zeros(n, 1);
+                for r in 0..n {
+                    let s = cv[r];
+                    dc.as_mut_slice()[r] = -dot(g.row(r), av.row(r)) / (s * s);
+                    for d in da.row_mut(r) {
+                        *d /= s;
+                    }
+                }
+                self.accum(a, &da);
+                self.accum(col, &dc);
+            }
+            &Op::Scale(a, alpha) => self.accum_scaled(a, g, alpha),
+            &Op::AddScalar(a) => self.accum(a, g),
+            &Op::Neg(a) => self.accum_scaled(a, g, -1.0),
+            &Op::MatMul(a, b) => {
+                let da = g.matmul_tb(self.value(b));
+                let db = self.value(a).matmul_ta(g);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::Transpose(a) => {
+                let da = g.transpose();
+                self.accum(a, &da);
+            }
+            &Op::Relu(a) => {
+                let mut da = g.clone();
+                for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice()) {
+                    if y <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            &Op::LeakyRelu(a, slope) => {
+                let av = self.value(a);
+                let mut da = g.clone();
+                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                    if x <= 0.0 {
+                        *d *= slope;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            &Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let mut da = g.clone();
+                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= yv * (1.0 - yv);
+                }
+                self.accum(a, &da);
+            }
+            &Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let mut da = g.clone();
+                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= 1.0 - yv * yv;
+                }
+                self.accum(a, &da);
+            }
+            &Op::Softplus(a) => {
+                let av = self.value(a);
+                let mut da = g.clone();
+                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                    *d *= stable_sigmoid(x);
+                }
+                self.accum(a, &da);
+            }
+            &Op::Exp(a) => {
+                let da = g.mul(&self.nodes[i].value);
+                self.accum(a, &da);
+            }
+            &Op::Log(a) => {
+                let av = self.value(a);
+                let mut da = g.clone();
+                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                    *d /= x.max(LOG_EPS);
+                }
+                self.accum(a, &da);
+            }
+            &Op::Square(a) => {
+                let av = self.value(a);
+                let mut da = g.clone();
+                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                    *d *= 2.0 * x;
+                }
+                self.accum(a, &da);
+            }
+            &Op::SumAll(a) => {
+                let (n, m) = self.shape(a);
+                let da = Tensor::full(n, m, g.as_slice()[0]);
+                self.accum(a, &da);
+            }
+            &Op::MeanAll(a) => {
+                let (n, m) = self.shape(a);
+                let da = Tensor::full(n, m, g.as_slice()[0] / (n * m).max(1) as f32);
+                self.accum(a, &da);
+            }
+            &Op::SumRows(a) => {
+                let (n, m) = self.shape(a);
+                let mut da = Tensor::zeros(n, m);
+                for r in 0..n {
+                    let gv = g.as_slice()[r];
+                    da.row_mut(r).iter_mut().for_each(|d| *d = gv);
+                }
+                self.accum(a, &da);
+            }
+            &Op::SumCols(a) => {
+                let (n, m) = self.shape(a);
+                let mut da = Tensor::zeros(n, m);
+                for r in 0..n {
+                    da.row_mut(r).copy_from_slice(g.as_slice());
+                }
+                self.accum(a, &da);
+            }
+            &Op::SoftmaxRows(a) => {
+                let y = &self.nodes[i].value;
+                let (n, m) = y.shape();
+                let mut da = Tensor::zeros(n, m);
+                for r in 0..n {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let s = dot(yr, gr);
+                    for c in 0..m {
+                        da.row_mut(r)[c] = yr[c] * (gr[c] - s);
+                    }
+                }
+                self.accum(a, &da);
+            }
+            &Op::ConcatCols(a, b) => {
+                let (n, ma) = self.shape(a);
+                let (_, mb) = self.shape(b);
+                let mut da = Tensor::zeros(n, ma);
+                let mut db = Tensor::zeros(n, mb);
+                for r in 0..n {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ma]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ma..]);
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::ConcatRows(a, b) => {
+                let (na, m) = self.shape(a);
+                let (nb, _) = self.shape(b);
+                let mut da = Tensor::zeros(na, m);
+                let mut db = Tensor::zeros(nb, m);
+                da.as_mut_slice().copy_from_slice(&g.as_slice()[..na * m]);
+                db.as_mut_slice().copy_from_slice(&g.as_slice()[na * m..]);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::GatherRows(a, indices) => {
+                let a = *a;
+                let indices = indices.clone();
+                let (n, m) = self.shape(a);
+                let mut da = Tensor::zeros(n, m);
+                for (r, &src) in indices.iter().enumerate() {
+                    for (d, &x) in da.row_mut(src).iter_mut().zip(g.row(r)) {
+                        *d += x;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::SegmentSum(a, segments) => {
+                let a = *a;
+                let segments = segments.clone();
+                let (n, m) = self.shape(a);
+                let mut da = Tensor::zeros(n, m);
+                for (r, &s) in segments.iter().enumerate() {
+                    da.row_mut(r).copy_from_slice(g.row(s));
+                }
+                self.accum(a, &da);
+            }
+            Op::SegmentSoftmax(a, segments) => {
+                let a = *a;
+                let segments = segments.clone();
+                let y = self.nodes[i].value.as_slice().to_vec();
+                // Group entries per segment, apply the softmax Jacobian
+                // within each group: da_j = y_j * (g_j - sum_k y_k g_k).
+                let mut per_seg_dot: std::collections::HashMap<usize, f32> =
+                    std::collections::HashMap::new();
+                for (j, &s) in segments.iter().enumerate() {
+                    *per_seg_dot.entry(s).or_insert(0.0) += y[j] * g.as_slice()[j];
+                }
+                let mut da = Tensor::zeros(y.len(), 1);
+                for (j, &s) in segments.iter().enumerate() {
+                    let sdot = per_seg_dot[&s];
+                    da.as_mut_slice()[j] = y[j] * (g.as_slice()[j] - sdot);
+                }
+                self.accum(a, &da);
+            }
+            &Op::RowwiseDot(a, b) => {
+                let av = self.value(a);
+                let bv = self.value(b);
+                let (n, m) = av.shape();
+                let mut da = Tensor::zeros(n, m);
+                let mut db = Tensor::zeros(n, m);
+                for r in 0..n {
+                    let gv = g.as_slice()[r];
+                    for c in 0..m {
+                        da.row_mut(r)[c] = gv * bv.get(r, c);
+                        db.row_mut(r)[c] = gv * av.get(r, c);
+                    }
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::CircCorr(a, b) => {
+                // out[k] = sum_j a[j] * b[(j+k) mod d]
+                // da[j]  = sum_k g[k] * b[(j+k) mod d]  = circcorr(g, b)[j]
+                // db[m]  = sum_k g[k] * a[(m-k) mod d]  = circconv(g, a)[m]
+                let av = self.value(a);
+                let bv = self.value(b);
+                let (n, d) = av.shape();
+                let mut da = Tensor::zeros(n, d);
+                let mut db = Tensor::zeros(n, d);
+                let mut tmp = vec![0.0; d];
+                for r in 0..n {
+                    circular_correlation(g.row(r), bv.row(r), &mut tmp);
+                    da.row_mut(r).copy_from_slice(&tmp);
+                    circular_convolution(g.row(r), av.row(r), &mut tmp);
+                    db.row_mut(r).copy_from_slice(&tmp);
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::PairwiseSqDist(a, b) => {
+                // d[i,k] = |a_i - b_k|^2
+                // da_i += sum_k g[i,k] * 2 (a_i - b_k)
+                // db_k += sum_i g[i,k] * 2 (b_k - a_i)
+                let av = self.value(a);
+                let bv = self.value(b);
+                let (n, d) = av.shape();
+                let k = bv.rows();
+                let mut da = Tensor::zeros(n, d);
+                let mut db = Tensor::zeros(k, d);
+                for i_ in 0..n {
+                    for k_ in 0..k {
+                        let gv = 2.0 * g.get(i_, k_);
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for c in 0..d {
+                            let diff = av.get(i_, c) - bv.get(k_, c);
+                            da.row_mut(i_)[c] += gv * diff;
+                            db.row_mut(k_)[c] -= gv * diff;
+                        }
+                    }
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::Recip1p(a) => {
+                // y = 1/(1+x), dy/dx = -y^2
+                let y = &self.nodes[i].value;
+                let mut da = g.clone();
+                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *d *= -yv * yv;
+                }
+                self.accum(a, &da);
+            }
+            &Op::ColSlice(a, j) => {
+                let (n, m) = self.shape(a);
+                let mut da = Tensor::zeros(n, m);
+                for r in 0..n {
+                    da.row_mut(r)[j] = g.as_slice()[r];
+                }
+                self.accum(a, &da);
+            }
+            Op::MulConst(a, c) => {
+                let a = *a;
+                let da = g.mul(c);
+                self.accum(a, &da);
+            }
+            Op::Mse(pred, target) => {
+                let pred = *pred;
+                let target = target.clone();
+                let pv = self.value(pred);
+                let n = pv.len().max(1) as f32;
+                let scale = 2.0 * g.as_slice()[0] / n;
+                let mut da = pv.sub(&target);
+                da.scale_assign(scale);
+                self.accum(pred, &da);
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Circular convolution: `out[m] = sum_k a[k] * b[(m - k) mod d]`.
+pub fn circular_convolution(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let d = a.len();
+    debug_assert_eq!(b.len(), d);
+    debug_assert_eq!(out.len(), d);
+    for (m, o) in out.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (k, &ak) in a.iter().enumerate() {
+            let j = (m + d - (k % d)) % d;
+            s += ak * b[j];
+        }
+        *o = s;
+    }
+}
+
+fn segment_softmax_forward(scores: &[f32], segments: &[usize]) -> Vec<f32> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (j, &s) in segments.iter().enumerate() {
+        groups.entry(s).or_default().push(j);
+    }
+    let mut out = scores.to_vec();
+    let mut buf = Vec::new();
+    for idxs in groups.values() {
+        buf.clear();
+        buf.extend(idxs.iter().map(|&j| scores[j]));
+        softmax_in_place(&mut buf);
+        for (&j, &v) in idxs.iter().zip(&buf) {
+            out[j] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_are_recorded() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.input(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let c = g.add(a, b);
+        assert_eq!(g.value(c).as_slice(), &[4.0, 6.0]);
+        let d = g.mul(c, c);
+        assert_eq!(g.value(d).as_slice(), &[16.0, 36.0]);
+    }
+
+    #[test]
+    fn backward_through_add_mul() {
+        // loss = sum((a + b) * a) ; dl/da = 2a + b, dl/db = a
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.input(Tensor::from_rows(&[&[3.0, 5.0]]));
+        let s = g.add(a, b);
+        let p = g.mul(s, a);
+        let loss = g.sum_all(p);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[5.0, 9.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_matmul_known_value() {
+        // loss = sum(A B); dA = ones * B^T, dB = A^T * ones
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        g.backward(loss);
+        // dA[i,p] = sum_j B[p,j] -> row sums of B
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[p,j] = sum_i A[i,p] -> col sums of A
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_gradient_sums_to_zero() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[0.3, -1.0, 2.0]]));
+        let s = g.softmax_rows(a);
+        // Pick out one coordinate as loss.
+        let picked = g.mul_const(s, &Tensor::from_rows(&[&[0.0, 1.0, 0.0]]));
+        let loss = g.sum_all(picked);
+        g.backward(loss);
+        let da = g.grad(a).unwrap();
+        // Softmax Jacobian rows sum to zero along the input axis.
+        assert!(da.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_rows_accumulates_duplicates() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]));
+        let gth = g.gather_rows(a, vec![0, 0, 1]);
+        let loss = g.sum_all(gth);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_sum_routes_gradient() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let ss = g.segment_sum(a, vec![1, 0, 1], 2);
+        assert_eq!(g.value(ss).as_slice(), &[2.0, 4.0]);
+        let w = g.mul_const(ss, &Tensor::from_rows(&[&[10.0], &[1.0]]));
+        let loss = g.sum_all(w);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 10.0, 1.0]);
+    }
+
+    #[test]
+    fn segment_softmax_normalises_within_segments() {
+        let mut g = Graph::new();
+        let s = g.input(Tensor::col_vec(vec![1.0, 1.0, 5.0, 2.0, 2.0]));
+        let sm = g.segment_softmax(s, vec![0, 0, 0, 7, 7]);
+        let v = g.value(sm).as_slice().to_vec();
+        assert!((v[0] + v[1] + v[2] - 1.0).abs() < 1e-5);
+        assert!((v[3] + v[4] - 1.0).abs() < 1e-5);
+        assert!(v[2] > v[0]);
+        assert!((v[3] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_matches_manual() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::col_vec(vec![1.0, 3.0]));
+        let t = Tensor::col_vec(vec![0.0, 1.0]);
+        let loss = g.mse(p, &t);
+        assert!((g.value(loss).as_slice()[0] - 2.5).abs() < 1e-6);
+        g.backward(loss);
+        // d = 2 (p - t) / n = [1.0, 2.0]
+        assert_eq!(g.grad(p).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn circular_convolution_inverts_correlation_grad() {
+        // Check: circconv(g, a)[m] = sum_k g[k] a[(m-k)%d]
+        let g_ = [1.0, 0.0, 0.0];
+        let a = [2.0, 3.0, 4.0];
+        let mut out = [0.0; 3];
+        circular_convolution(&g_, &a, &mut out);
+        assert_eq!(out, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(2, 2));
+        let b = g.relu(a);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            g.backward(b);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pairwise_sq_dist_gradients() {
+        let mut g = Graph::new();
+        let h = g.input(Tensor::from_rows(&[&[1.0, 0.0]]));
+        let c = g.input(Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+        let d = g.pairwise_sq_dist(h, c);
+        assert_eq!(g.value(d).as_slice(), &[1.0, 1.0]);
+        let loss = g.sum_all(d);
+        g.backward(loss);
+        // dh = 2(h-c0) + 2(h-c1) = (2,0) + (0,-2)
+        assert_eq!(g.grad(h).unwrap().as_slice(), &[2.0, -2.0]);
+        assert_eq!(g.grad(c).unwrap().as_slice(), &[-2.0, 0.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Weight initialisation schemes.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Supported initialisation distributions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases).
+    Zeros,
+    /// All ones.
+    Ones,
+    /// Uniform on `[-a, a]`.
+    Uniform(f32),
+    /// Gaussian with the given standard deviation.
+    Normal(f32),
+    /// Glorot/Xavier uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)` — for ReLU stacks.
+    HeNormal,
+}
+
+impl Initializer {
+    /// Draws a `rows x cols` tensor. For the fan-based schemes, `rows` is
+    /// treated as fan-in and `cols` as fan-out (matching `x W` layout).
+    pub fn sample<R: Rng>(self, rows: usize, cols: usize, rng: &mut R) -> Tensor {
+        let n = rows * cols;
+        let data: Vec<f32> = match self {
+            Initializer::Zeros => vec![0.0; n],
+            Initializer::Ones => vec![1.0; n],
+            Initializer::Uniform(a) => (0..n).map(|_| rng.gen_range(-a..=a)).collect(),
+            Initializer::Normal(std) => (0..n).map(|_| gaussian(rng) * std).collect(),
+            Initializer::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Initializer::HeNormal => {
+                let std = (2.0 / rows.max(1) as f32).sqrt();
+                (0..n).map(|_| gaussian(rng) * std).collect()
+            }
+        };
+        Tensor::from_vec(rows, cols, data)
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(Initializer::Zeros.sample(2, 2, &mut rng).sum(), 0.0);
+        assert_eq!(Initializer::Ones.sample(2, 2, &mut rng).sum(), 4.0);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = Initializer::Normal(2.0).sample(100, 100, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let wide = Initializer::HeNormal.sample(1000, 10, &mut rng);
+        let narrow = Initializer::HeNormal.sample(10, 10, &mut rng);
+        assert!(wide.norm_sq() / (wide.len() as f32) < narrow.norm_sq() / narrow.len() as f32);
+    }
+}

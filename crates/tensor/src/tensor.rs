@@ -1,0 +1,656 @@
+//! Dense row-major 2-D tensor storage and element-wise / linear-algebra
+//! kernels that do not participate in automatic differentiation.
+//!
+//! [`Tensor`] is deliberately minimal: a shape `(rows, cols)` and a flat
+//! `Vec<f32>`. Vectors are represented as `n x 1` (column) or `1 x n` (row)
+//! tensors. All differentiable computation lives in [`crate::graph`], which
+//! stores its node values as `Tensor`s and calls back into these kernels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, 2-dimensional `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A `rows x cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows x cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// A `rows x cols` tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Builds a tensor from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        Tensor { rows, cols, data }
+    }
+
+    /// Builds a column vector (`n x 1`).
+    pub fn col_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor { rows: n, cols: 1, data }
+    }
+
+    /// Builds a row vector (`1 x n`).
+    pub fn row_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor { rows: 1, cols: n, data }
+    }
+
+    /// Builds a tensor from nested slices (handy in tests).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Tensor { rows: r, cols: c, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols);
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    // ---------------------------------------------------------------
+    // Element-wise arithmetic (allocating and in-place variants).
+    // ---------------------------------------------------------------
+
+    fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Tensor { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a / b)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns `self * alpha` element-wise.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` to every element, allocating a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Fills every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|a| *a = v);
+    }
+
+    // ---------------------------------------------------------------
+    // Reductions.
+    // ---------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for the empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() { 0.0 } else { self.sum() / self.data.len() as f32 }
+    }
+
+    /// Maximum element (`-inf` for the empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`inf` for the empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared Frobenius norm.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Per-row sums as an `n x 1` column vector.
+    pub fn row_sums(&self) -> Tensor {
+        let data = self.rows_iter().map(|r| r.iter().sum()).collect();
+        Tensor { rows: self.rows, cols: 1, data }
+    }
+
+    /// Per-column sums as a `1 x m` row vector.
+    pub fn col_sums(&self) -> Tensor {
+        let mut out = vec![0.0; self.cols];
+        for r in self.rows_iter() {
+            for (o, &x) in out.iter_mut().zip(r) {
+                *o += x;
+            }
+        }
+        Tensor { rows: 1, cols: self.cols, data: out }
+    }
+
+    /// Index of the maximum entry in each row.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        self.rows_iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map_or(0, |(i, _)| i)
+            })
+            .collect()
+    }
+
+    // ---------------------------------------------------------------
+    // Linear algebra.
+    // ---------------------------------------------------------------
+
+    /// Matrix product `self * other`.
+    ///
+    /// Straightforward ikj-ordered kernel: cache-friendly on row-major data
+    /// and fast enough for the embedding sizes used in this project
+    /// (d <= a few hundred).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * m..(i + 1) * m];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * m..(p + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// Matrix product `self * other^T` without materialising the transpose.
+    pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..m {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                out[i * m + j] = dot(a_row, b_row);
+            }
+        }
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// Matrix product `self^T * other` without materialising the transpose.
+    pub fn matmul_ta(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.cols, self.rows, other.cols);
+        let mut out = vec![0.0f32; n * m];
+        for p in 0..k {
+            let a_row = &self.data[p * n..(p + 1) * n];
+            let b_row = &other.data[p * m..(p + 1) * m];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * m..(i + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { rows: n, cols: m, data: out }
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        Tensor { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Gathers rows by index into a new tensor (`indices.len() x cols`).
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "gather index {i} out of bounds ({} rows)", self.rows);
+            data.extend_from_slice(self.row(i));
+        }
+        Tensor { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Tensor { rows: self.rows, cols, data }
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn concat_rows(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "concat_rows col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Per-row softmax, numerically stabilised by max subtraction.
+    pub fn softmax_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in out.data.chunks_exact_mut(self.cols.max(1)) {
+            softmax_in_place(r);
+        }
+        out
+    }
+
+    /// Per-row L2 normalisation; zero rows are left untouched.
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        let mut out = self.clone();
+        for r in out.data.chunks_exact_mut(self.cols.max(1)) {
+            let n: f32 = r.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if n > 1e-12 {
+                r.iter_mut().for_each(|x| *x /= n);
+            }
+        }
+        out
+    }
+
+    /// Pairwise squared Euclidean distances between the rows of `self`
+    /// (`n x d`) and the rows of `centers` (`k x d`), yielding `n x k`.
+    ///
+    /// Uses the expansion `|x - c|^2 = |x|^2 - 2 x.c + |c|^2` and clamps
+    /// tiny negatives arising from cancellation to zero.
+    pub fn pairwise_sq_dists(&self, centers: &Tensor) -> Tensor {
+        assert_eq!(self.cols, centers.cols, "dimension mismatch");
+        let mut out = self.matmul_tb(centers); // n x k of x.c
+        let xn: Vec<f32> = self.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
+        let cn: Vec<f32> = centers.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
+        for i in 0..out.rows {
+            for j in 0..out.cols {
+                let v = xn[i] - 2.0 * out.data[i * out.cols + j] + cn[j];
+                out.data[i * out.cols + j] = v.max(0.0);
+            }
+        }
+        out
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Numerically-stable in-place softmax over a slice.
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut s = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - m).exp();
+        s += *v;
+    }
+    if s > 0.0 {
+        for v in x.iter_mut() {
+            *v /= s;
+        }
+    }
+}
+
+/// Circular correlation of two equal-length slices:
+/// `out[k] = sum_i a[i] * b[(i + k) mod d]` (HolE-style composition).
+pub fn circular_correlation(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let d = a.len();
+    debug_assert_eq!(b.len(), d);
+    debug_assert_eq!(out.len(), d);
+    for k in 0..d {
+        let mut s = 0.0;
+        for (i, &ai) in a.iter().enumerate() {
+            let j = i + k;
+            let j = if j >= d { j - d } else { j };
+            s += ai * b[j];
+        }
+        out[k] = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.sum(), 0.0);
+        let u = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(u.get(1, 0), 3.0);
+        assert_eq!(u.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.add(&b).as_slice(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(b.div(&a).as_slice(), &[5.0, 3.0, 7.0 / 3.0, 2.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2.0);
+        assert_eq!(c.as_slice(), &[11.0, 14.0, 17.0, 20.0]);
+    }
+
+    #[test]
+    fn matmul_known_value() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_variants_agree() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[4.0, 5.0, -6.0]]);
+        let b = Tensor::from_rows(&[&[2.0, 1.0, 0.0], &[0.5, -1.0, 3.0]]);
+        // a * b^T via matmul_tb must equal a.matmul(b.transpose()).
+        assert_eq!(a.matmul_tb(&b), a.matmul(&b.transpose()));
+        // a^T * b via matmul_ta with compatible shapes.
+        let c = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let d = Tensor::from_rows(&[&[1.0], &[0.0], &[-1.0]]);
+        assert_eq!(c.matmul_ta(&d), c.transpose().matmul(&d));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 1.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(a.norm_sq(), 1.0 + 4.0 + 9.0 + 16.0);
+        assert_eq!(a.row_sums().as_slice(), &[-1.0, 7.0]);
+        assert_eq!(a.col_sums().as_slice(), &[4.0, 2.0]);
+        assert_eq!(a.argmax_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn gather_and_concat() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let b = Tensor::from_rows(&[&[9.0], &[8.0], &[7.0]]);
+        let cc = a.concat_cols(&b);
+        assert_eq!(cc.shape(), (3, 3));
+        assert_eq!(cc.row(1), &[3.0, 4.0, 8.0]);
+        let cr = a.concat_rows(&a);
+        assert_eq!(cr.shape(), (6, 2));
+    }
+
+    #[test]
+    fn softmax_rows_is_a_distribution() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for r in s.rows_iter() {
+            let sum: f32 = r.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        // Monotone in the logits.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+        // Extreme logits must not overflow.
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn pairwise_sq_dists_matches_direct() {
+        let x = Tensor::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let c = Tensor::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]);
+        let d = x.pairwise_sq_dists(&c);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(0, 1), 25.0);
+        assert_eq!(d.get(1, 0), 2.0);
+        assert_eq!(d.get(1, 1), 13.0);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let a = Tensor::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        let n = a.l2_normalize_rows();
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(n.row(1), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn circular_correlation_known_value() {
+        // d = 3: out[k] = sum_i a[i] b[(i+k)%3]
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let mut out = [0.0; 3];
+        circular_correlation(&a, &b, &mut out);
+        assert_eq!(out, [4.0 + 10.0 + 18.0, 5.0 + 12.0 + 12.0, 6.0 + 8.0 + 15.0]);
+    }
+}

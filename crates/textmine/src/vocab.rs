@@ -1,0 +1,148 @@
+//! String-interned vocabulary with corpus frequencies.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of an interned token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A growable token <-> id mapping with occurrence counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, TokenId>,
+}
+
+impl Vocab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `token`, bumping its count, and returns its id.
+    pub fn intern(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.index.get(token) {
+            self.counts[id.index()] += 1;
+            return id;
+        }
+        let id = TokenId(self.tokens.len() as u32);
+        self.tokens.push(token.to_string());
+        self.counts.push(1);
+        self.index.insert(token.to_string(), id);
+        id
+    }
+
+    /// Looks up a token without interning.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.index.get(token).copied()
+    }
+
+    /// The token string of an id.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id.index()]
+    }
+
+    /// Total occurrences recorded for `id`.
+    pub fn count(&self, id: TokenId) -> u64 {
+        self.counts[id.index()]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Iterates `(id, token, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str, u64)> {
+        self.tokens
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (t, &c))| (TokenId(i as u32), t.as_str(), c))
+    }
+
+    /// Ids of the `k` most frequent tokens, ties broken by id.
+    pub fn top_k(&self, k: usize) -> Vec<TokenId> {
+        let mut ids: Vec<TokenId> = (0..self.tokens.len() as u32).map(TokenId).collect();
+        ids.sort_by_key(|id| (std::cmp::Reverse(self.counts[id.index()]), id.0));
+        ids.truncate(k);
+        ids
+    }
+}
+
+/// Lower-cases and splits text on non-alphanumeric boundaries, dropping
+/// tokens shorter than `min_len` and common English stopwords.
+pub fn tokenize(text: &str, min_len: usize) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| w.len() >= min_len)
+        .map(|w| w.to_ascii_lowercase())
+        .filter(|w| !STOPWORDS.contains(&w.as_str()))
+        .collect()
+}
+
+/// A compact stopword list for scientific titles.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "via", "with", "towards", "toward", "using",
+    "based", "new", "novel", "approach", "method", "study",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_on_id_and_counts_occurrences() {
+        let mut v = Vocab::new();
+        let a = v.intern("graph");
+        let b = v.intern("neural");
+        let c = v.intern("graph");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.count(b), 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.token(a), "graph");
+        assert_eq!(v.get("graph"), Some(a));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency() {
+        let mut v = Vocab::new();
+        for _ in 0..3 {
+            v.intern("graph");
+        }
+        for _ in 0..5 {
+            v.intern("learning");
+        }
+        v.intern("rare");
+        let top = v.top_k(2);
+        assert_eq!(v.token(top[0]), "learning");
+        assert_eq!(v.token(top[1]), "graph");
+    }
+
+    #[test]
+    fn tokenize_strips_stopwords_and_case() {
+        let toks = tokenize("Graphs over Time: A Novel Study of the Densification LAWS", 3);
+        assert_eq!(toks, vec!["graphs", "over", "time", "densification", "laws"]);
+    }
+
+    #[test]
+    fn tokenize_honours_min_len() {
+        let toks = tokenize("x yy zzz", 3);
+        assert_eq!(toks, vec!["zzz"]);
+    }
+}

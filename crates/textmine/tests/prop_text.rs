@@ -1,0 +1,115 @@
+//! Property tests for the text substrate: TF-IDF bounds, vocabulary
+//! invariants, embedding normalisation, and SimBert's distribution
+//! properties on arbitrary corpora.
+
+use proptest::prelude::*;
+use textmine::{SimBert, TfIdf, TokenId, Vocab, WordEmbeddings};
+
+/// Arbitrary corpus over a vocab of `v` tokens.
+fn corpus(v: u32, docs: usize) -> impl Strategy<Value = Vec<Vec<TokenId>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..v).prop_map(TokenId), 1..12),
+        1..docs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tfidf_weights_are_finite_and_nonnegative(docs in corpus(20, 30)) {
+        let m = TfIdf::fit(&docs);
+        for doc in &docs {
+            for (t, w) in m.weights(doc) {
+                prop_assert!(w.is_finite());
+                prop_assert!(w >= 0.0);
+                prop_assert!(m.doc_freq(t) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn idf_is_monotone_in_rarity(docs in corpus(10, 30)) {
+        let m = TfIdf::fit(&docs);
+        for a in 0..10u32 {
+            for b in 0..10u32 {
+                let (fa, fb) = (m.doc_freq(TokenId(a)), m.doc_freq(TokenId(b)));
+                if fa > 0 && fb > 0 && fa < fb {
+                    prop_assert!(m.idf(TokenId(a)) >= m.idf(TokenId(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tf_weights_of_a_doc_reflect_counts(docs in corpus(8, 20)) {
+        // For two terms in the same doc with the same doc-frequency, the
+        // more frequent term in the doc must weigh at least as much.
+        let m = TfIdf::fit(&docs);
+        for doc in &docs {
+            let ws = m.weights(doc);
+            for (t1, w1) in &ws {
+                for (t2, w2) in &ws {
+                    let c1 = doc.iter().filter(|&&t| t == *t1).count();
+                    let c2 = doc.iter().filter(|&&t| t == *t2).count();
+                    if m.doc_freq(*t1) == m.doc_freq(*t2) && c1 > c2 {
+                        prop_assert!(w1 >= w2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embeddings_are_unit_or_zero(docs in corpus(12, 25), dim in 4usize..16) {
+        let emb = WordEmbeddings::train(&docs, 12, dim, 3);
+        for t in 0..12u32 {
+            let e = emb.embedding(TokenId(t));
+            let n: f32 = e.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            prop_assert!(n < 1.0 + 1e-3);
+            prop_assert!(e.iter().all(|x| x.is_finite()));
+        }
+        // Aggregation of any subset is unit-or-zero too.
+        let agg = emb.aggregate(&[TokenId(0), TokenId(5)]);
+        let n: f32 = agg.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        prop_assert!(n < 1.0 + 1e-3);
+    }
+
+    #[test]
+    fn simbert_outputs_a_truncated_distribution(docs in corpus(15, 25)) {
+        let mut freqs = vec![0u64; 15];
+        for d in &docs {
+            for t in d {
+                freqs[t.index()] += 1;
+            }
+        }
+        let mlm = SimBert::train(&docs, &freqs, 8, 9);
+        let out = mlm.predict_masked(TokenId(0), 6);
+        prop_assert!(out.len() <= 6);
+        let mut prev = f32::INFINITY;
+        let mut total = 0.0;
+        for (t, p) in &out {
+            prop_assert!(*t != TokenId(0), "query excluded");
+            prop_assert!(*p >= 0.0 && *p <= 1.0);
+            prop_assert!(*p <= prev, "sorted descending");
+            prev = *p;
+            total += *p;
+        }
+        prop_assert!(total <= 1.0 + 1e-4);
+    }
+}
+
+#[test]
+fn vocab_intern_is_a_bijection() {
+    let mut v = Vocab::new();
+    let words = ["alpha", "beta", "gamma", "alpha", "beta", "alpha"];
+    let ids: Vec<TokenId> = words.iter().map(|w| v.intern(w)).collect();
+    assert_eq!(ids[0], ids[3]);
+    assert_eq!(ids[1], ids[4]);
+    assert_eq!(v.len(), 3);
+    for (i, w) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        assert_eq!(v.get(w), Some(TokenId(i as u32)));
+        assert_eq!(v.token(TokenId(i as u32)), *w);
+    }
+    assert_eq!(v.count(ids[0]), 3);
+}

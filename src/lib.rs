@@ -1,0 +1,20 @@
+//! # catehgn-repro — reproduction of CATE-HGN (ICDE 2023) in Rust
+//!
+//! Umbrella crate re-exporting the workspace members. See the README for
+//! the quickstart and DESIGN.md for the system inventory.
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autodiff;
+//! * [`hetgraph`] — heterogeneous graph storage, sampling, walks;
+//! * [`textmine`] — tokenizer, TF-IDF, embeddings, SimBert masked-LM;
+//! * [`dblp_sim`] — the synthetic DBLP publication-world generator;
+//! * [`catehgn`] — the CATE-HGN model (HGN + CA + TE, Algorithm 1);
+//! * [`baselines`] — the 12 compared systems of Table II;
+//! * [`eval`] — metrics and the per-table/figure experiment harness.
+
+pub use baselines;
+pub use catehgn;
+pub use dblp_sim;
+pub use eval;
+pub use hetgraph;
+pub use tensor;
+pub use textmine;

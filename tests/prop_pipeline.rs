@@ -1,0 +1,107 @@
+//! Property tests at the pipeline level: dataset invariants must hold for
+//! arbitrary world configurations, not just the presets.
+
+use dblp_sim::{Dataset, WorldConfig};
+use proptest::prelude::*;
+
+fn arb_world() -> impl Strategy<Value = WorldConfig> {
+    (2usize..4, 60usize..160, 30usize..80, 4usize..10, 1000u64..2000).prop_map(
+        |(domains, papers, authors, qterms, seed)| WorldConfig {
+            n_domains: domains,
+            n_papers: papers,
+            n_authors: authors,
+            n_venues: domains * 2,
+            quality_terms_per_domain: qterms,
+            n_generic_terms: 20,
+            n_noise_terms: 20,
+            seed,
+            ..WorldConfig::tiny()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dataset_invariants_hold_for_arbitrary_worlds(cfg in arb_world()) {
+        let ds = Dataset::full(&cfg, 8);
+        // Structure.
+        prop_assert_eq!(ds.n_papers(), cfg.n_papers);
+        prop_assert_eq!(
+            ds.graph.num_nodes(),
+            ds.paper_nodes.len() + ds.author_nodes.len() + ds.venue_nodes.len()
+                + ds.term_nodes.len()
+        );
+        prop_assert_eq!(ds.features.rows(), ds.graph.num_nodes());
+        prop_assert!(ds.features.all_finite());
+        // Split partitions the papers.
+        prop_assert_eq!(
+            ds.split.train.len() + ds.split.val.len() + ds.split.test.len(),
+            ds.n_papers()
+        );
+        // Citations never point forward in time.
+        for p in &ds.papers {
+            for &c in &p.cites {
+                prop_assert!(ds.papers[c].year <= p.year);
+            }
+        }
+        // The cites link type has no reverse (label-leakage guard).
+        let cites_def = ds.graph.schema().link_type(ds.link_types.cites);
+        prop_assert!(cites_def.reverse_of.is_none());
+        // Writes/written_by stay mirrored.
+        prop_assert_eq!(
+            ds.graph.num_links_of(ds.link_types.writes),
+            ds.graph.num_links_of(ds.link_types.written_by)
+        );
+        // Labels are non-negative and the historical-rate feature column is
+        // zero for every test paper (no leakage through features).
+        prop_assert!(ds.labels.iter().all(|&l| l >= 0.0));
+        let hist_col = ds.features.cols() - 1;
+        for &i in &ds.split.test {
+            let known_refs = ds.papers[i]
+                .cites
+                .iter()
+                .any(|&c| ds.papers[c].year < 2014);
+            let v = ds.features.get(ds.paper_nodes[i].index(), hist_col);
+            if !known_refs {
+                prop_assert_eq!(v, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_subset_is_consistent(cfg in arb_world()) {
+        let ds = Dataset::single(&cfg, 8, "data");
+        for p in &ds.papers {
+            prop_assert!(ds.world.venues[p.venue].name.contains("data"));
+            for &c in &p.cites {
+                prop_assert!(c < ds.n_papers());
+            }
+        }
+        // Vocabulary covers every doc token.
+        for doc in &ds.docs {
+            for t in doc {
+                prop_assert!(t.index() < ds.vocab.len());
+            }
+        }
+    }
+
+    #[test]
+    fn random_variant_preserves_everything_but_term_links(cfg in arb_world()) {
+        let full = Dataset::full(&cfg, 8);
+        let random = Dataset::random(&cfg, 8);
+        prop_assert_eq!(&full.docs, &random.docs);
+        prop_assert_eq!(&full.labels, &random.labels);
+        prop_assert_eq!(
+            full.graph.num_links_of(full.link_types.writes),
+            random.graph.num_links_of(random.link_types.writes)
+        );
+        prop_assert_eq!(
+            full.graph.num_links_of(full.link_types.cites),
+            random.graph.num_links_of(random.link_types.cites)
+        );
+        // Features identical (the historical-rate column ignores keywords).
+        prop_assert_eq!(full.features.as_slice(), random.features.as_slice());
+    }
+}
