@@ -63,6 +63,122 @@ fn bench(c: &mut Criterion) {
         rgcn.num_weights(),
         ds.graph.schema().num_link_types()
     );
+
+    bench_matmul_kernels(c);
+    write_bench_report(c);
+}
+
+/// Deterministic operand fill for the kernel benches.
+fn filled(rows: usize, cols: usize, salt: f32) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| ((i as f32 * 0.37 + salt).rem_euclid(7.0) - 3.5) / 3.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Serial seed kernel vs the blocked/parallel matmul family (this PR's
+/// tentpole): `serial_seed` is the retained pre-PR kernel from
+/// `tensor::tensor::reference`; `blocked_tN` is the production kernel
+/// pinned to `N` worker threads.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    use tensor::{par, tensor::reference};
+
+    let mut g = c.benchmark_group("matmul_kernels");
+    for s in [128usize, 256, 512] {
+        let a = filled(s, s, 1.0);
+        let b = filled(s, s, 2.0);
+        g.bench_with_input(BenchmarkId::new("serial_seed", s), &s, |bch, _| {
+            bch.iter(|| std::hint::black_box(reference::matmul(&a, &b)))
+        });
+        for threads in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("blocked_t{threads}"), s),
+                &s,
+                |bch, _| {
+                    par::set_num_threads(threads);
+                    bch.iter(|| std::hint::black_box(a.matmul(&b)));
+                    par::set_num_threads(0);
+                },
+            );
+        }
+    }
+    // Transposed variants at the headline size only.
+    let s = 512usize;
+    let a = filled(s, s, 3.0);
+    let b = filled(s, s, 4.0);
+    g.bench_with_input(BenchmarkId::new("serial_seed_tb", s), &s, |bch, _| {
+        bch.iter(|| std::hint::black_box(reference::matmul_tb(&a, &b)))
+    });
+    g.bench_with_input(BenchmarkId::new("blocked_t4_tb", s), &s, |bch, _| {
+        par::set_num_threads(4);
+        bch.iter(|| std::hint::black_box(a.matmul_tb(&b)));
+        par::set_num_threads(0);
+    });
+    g.bench_with_input(BenchmarkId::new("serial_seed_ta", s), &s, |bch, _| {
+        bch.iter(|| std::hint::black_box(reference::matmul_ta(&a, &b)))
+    });
+    g.bench_with_input(BenchmarkId::new("blocked_t4_ta", s), &s, |bch, _| {
+        par::set_num_threads(4);
+        bch.iter(|| std::hint::black_box(a.matmul_ta(&b)));
+        par::set_num_threads(0);
+    });
+    g.finish();
+}
+
+/// Snapshots every measurement (plus the headline serial-vs-parallel
+/// matmul speedups) to `results/BENCH_PR1.json`.
+fn write_bench_report(c: &Criterion) {
+    let mean_of = |name: &str| {
+        c.results.iter().find(|m| m.name == name).map(|m| m.mean_ns)
+    };
+    let gflops = |s: usize, ns: f64| (2.0 * (s as f64).powi(3)) / ns;
+
+    let mut speedups = Vec::new();
+    for s in [128usize, 256, 512] {
+        let serial = mean_of(&format!("matmul_kernels/serial_seed/{s}"));
+        for threads in [1usize, 4] {
+            let blocked = mean_of(&format!("matmul_kernels/blocked_t{threads}/{s}"));
+            if let (Some(ser), Some(blk)) = (serial, blocked) {
+                speedups.push(serde_json::json!({
+                    "size": s,
+                    "threads": threads,
+                    "serial_seed_ms": ser / 1e6,
+                    "blocked_ms": blk / 1e6,
+                    "serial_gflops": gflops(s, ser),
+                    "blocked_gflops": gflops(s, blk),
+                    "speedup": ser / blk,
+                }));
+            }
+        }
+    }
+    let all: Vec<serde_json::Value> = c
+        .results
+        .iter()
+        .map(|m| {
+            serde_json::json!({
+                "name": m.name.clone(),
+                "iterations": m.iterations,
+                "mean_ns": m.mean_ns,
+                "min_ns": m.min_ns,
+                "max_ns": m.max_ns,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "bench": "components",
+        "pr": 1,
+        "headline": "blocked parallel matmul vs serial seed kernel",
+        "matmul_speedups": speedups,
+        "measurements": all,
+    });
+    // Anchor on the workspace root: `cargo bench` sets the cwd to the
+    // package directory.
+    let path = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    std::fs::create_dir_all(path).expect("create results dir");
+    let file = path.join("BENCH_PR1.json");
+    std::fs::write(&file, serde_json::to_string_pretty(&report).expect("render json"))
+        .expect("write BENCH_PR1.json");
+    println!("wrote {}", file.display());
 }
 
 criterion_group! {

@@ -65,17 +65,25 @@ pub fn target_distribution(q: &Tensor) -> Tensor {
     // f_k = soft cluster frequencies.
     let f = q.col_sums();
     let mut p = Tensor::zeros(n, k);
-    for i in 0..n {
-        let mut denom = 0.0f32;
-        for j in 0..k {
-            denom += q.get(i, j) * q.get(i, j) / f.as_slice()[j].max(1e-12);
+    let qs = q.as_slice();
+    let fs = f.as_slice();
+    // Each output row depends only on its own `Q` row and the shared
+    // frequency vector, so rows sharpen independently across workers; the
+    // per-row arithmetic is unchanged, keeping results identical to the
+    // serial loop at any thread count.
+    tensor::par::par_row_chunks_mut(p.as_mut_slice(), k, 2 * k, |lo, _hi, chunk| {
+        for (row, prow) in chunk.chunks_exact_mut(k).enumerate() {
+            let qrow = &qs[(lo + row) * k..][..k];
+            let mut denom = 0.0f32;
+            for j in 0..k {
+                denom += qrow[j] * qrow[j] / fs[j].max(1e-12);
+            }
+            let denom = denom.max(1e-12);
+            for j in 0..k {
+                prow[j] = qrow[j] * qrow[j] / fs[j].max(1e-12) / denom;
+            }
         }
-        let denom = denom.max(1e-12);
-        for j in 0..k {
-            let v = q.get(i, j) * q.get(i, j) / f.as_slice()[j].max(1e-12);
-            p.set(i, j, v / denom);
-        }
-    }
+    });
     p
 }
 

@@ -67,7 +67,10 @@ impl LayerParams {
         let a_link = (0..cfg.heads_link)
             .map(|h| params.add_init(format!("l{l}.a_link.h{h}"), 3 * dim, 1, XavierUniform, rng))
             .collect();
-        let w_y = params.add_init(format!("l{l}.w_y"), dim, 1, XavierUniform, rng);
+        // Zero-init output head: with the train-mean bias warm start this
+        // makes the untrained model exactly the mean predictor, which the
+        // best-on-validation selection then only improves on.
+        let w_y = params.add_init(format!("l{l}.w_y"), dim, 1, Zeros, rng);
         let b_y = params.add_init(format!("l{l}.b_y"), 1, 1, Zeros, rng);
         let w_d = params.add_init(format!("l{l}.w_d"), dim, dim, XavierUniform, rng);
         LayerParams { w_a, w_self, w_b, a_node, a_link, w_y, b_y, w_d }
@@ -114,28 +117,77 @@ pub fn layer_forward(
     let w_a = g.param(params, lp.w_a);
     let attn = cfg.ablation.attention;
 
-    // Per-type aggregation results awaiting cross-type combination:
-    // (link type, active dst positions, aggregated rows `h_nvt`).
+    // Per-type index preparation is pure bookkeeping over the block, so
+    // the link types fan out across workers (`par_map` keeps type order);
+    // the autodiff graph mutation below stays on the calling thread.
+    struct TypeIdx {
+        lt: usize,
+        src_idx: Vec<usize>,
+        dst_idx: Vec<usize>,
+        prev_idx: Vec<usize>,
+        /// Sorted, deduped dst positions with >=1 edge of this type.
+        active_dst: Vec<usize>,
+        /// `dst_idx` remapped to positions in `active_dst`.
+        local_seg: Vec<usize>,
+        /// `dst_in_src` of each `active_dst` entry (cross-type features).
+        active_prev: Vec<usize>,
+        /// Uniform within-type weights `1 / deg_t(v)` (attention off).
+        uniform_w: Vec<f32>,
+    }
+    let type_idx: Vec<Option<TypeIdx>> =
+        tensor::par::par_map(block.edges_by_type.len(), |lt| {
+            let edges = &block.edges_by_type[lt];
+            if edges.is_empty() {
+                return None;
+            }
+            let src_idx: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
+            let dst_idx: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
+            let prev_idx: Vec<usize> =
+                edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize).collect();
+            let mut active_dst = dst_idx.clone();
+            active_dst.sort_unstable();
+            active_dst.dedup();
+            let local_seg: Vec<usize> = dst_idx
+                .iter()
+                .map(|d| active_dst.binary_search(d).expect("dst present"))
+                .collect();
+            let active_prev: Vec<usize> =
+                active_dst.iter().map(|&d| block.dst_in_src[d] as usize).collect();
+            let uniform_w = if attn {
+                Vec::new()
+            } else {
+                let mut deg = vec![0.0f32; n_dst];
+                for &d in &dst_idx {
+                    deg[d] += 1.0;
+                }
+                dst_idx.iter().map(|&d| 1.0 / deg[d]).collect()
+            };
+            Some(TypeIdx {
+                lt,
+                src_idx,
+                dst_idx,
+                prev_idx,
+                active_dst,
+                local_seg,
+                active_prev,
+                uniform_w,
+            })
+        });
+
+    // Per-type aggregation results awaiting cross-type combination.
     struct TypeAgg {
         active_dst: Vec<usize>,
+        active_prev: Vec<usize>,
         agg_active: Var,
         h_e: Var,
     }
     let mut per_type: Vec<TypeAgg> = Vec::new();
 
-    for (lt, edges) in block.edges_by_type.iter().enumerate() {
-        if edges.is_empty() {
-            continue;
-        }
-        let m = edges.len();
-        let src_idx: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
-        let dst_idx: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
-        let prev_idx: Vec<usize> =
-            edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize).collect();
-
-        let h_u = g.gather_rows(h_src, src_idx);
-        let h_v_prev = g.gather_rows(h_src, prev_idx.clone());
-        let e_tiled = tile_rows(g, h_edge[lt], m);
+    for ti in type_idx.into_iter().flatten() {
+        let m = ti.src_idx.len();
+        let h_u = g.gather_rows(h_src, ti.src_idx);
+        let h_v_prev = g.gather_rows(h_src, ti.prev_idx);
+        let e_tiled = tile_rows(g, h_edge[ti.lt], m);
 
         // Eq. 3: message = W_a (phi(h_u, h_e) concat h_v).
         let phi = compose(g, h_u, e_tiled, cfg.composition);
@@ -147,40 +199,33 @@ pub fn layer_forward(
             let hv_he = g.concat_cols(h_v_prev, e_tiled);
             let feat = g.concat_cols(hv_he, h_u);
             let mut acc: Option<Var> = None;
-            for &aid in &lp.a_node[lt] {
+            for &aid in &lp.a_node[ti.lt] {
                 let a = g.param(params, aid);
                 let s = g.matmul(feat, a);
                 let s = g.leaky_relu(s, 0.2);
-                let sm = g.segment_softmax(s, dst_idx.clone());
+                let sm = g.segment_softmax(s, ti.dst_idx.clone());
                 acc = Some(match acc {
                     Some(prev) => g.add(prev, sm),
                     None => sm,
                 });
             }
             let summed = acc.expect("at least one head");
-            g.scale(summed, 1.0 / lp.a_node[lt].len().max(1) as f32)
+            g.scale(summed, 1.0 / lp.a_node[ti.lt].len().max(1) as f32)
         } else {
-            // Uniform within type: alpha = 1 / deg_t(v).
-            let mut deg = vec![0.0f32; n_dst];
-            for &d in &dst_idx {
-                deg[d] += 1.0;
-            }
-            let w: Vec<f32> = dst_idx.iter().map(|&d| 1.0 / deg[d]).collect();
-            g.input(Tensor::col_vec(w))
+            g.input(Tensor::col_vec(ti.uniform_w))
         };
         let weighted = g.mul_col(msg, alpha);
 
         // Aggregate into *active-dst-local* slots to keep the cross-type
         // softmax free of phantom zero rows.
-        let mut active_dst: Vec<usize> = dst_idx.clone();
-        active_dst.sort_unstable();
-        active_dst.dedup();
-        let local_of: std::collections::HashMap<usize, usize> =
-            active_dst.iter().enumerate().map(|(i, &d)| (d, i)).collect();
-        let local_seg: Vec<usize> = dst_idx.iter().map(|d| local_of[d]).collect();
-        let agg_active = g.segment_sum(weighted, local_seg, active_dst.len());
+        let agg_active = g.segment_sum(weighted, ti.local_seg, ti.active_dst.len());
 
-        per_type.push(TypeAgg { active_dst, agg_active, h_e: h_edge[lt] });
+        per_type.push(TypeAgg {
+            active_dst: ti.active_dst,
+            active_prev: ti.active_prev,
+            agg_active,
+            h_e: h_edge[ti.lt],
+        });
     }
 
     // Self-connection (the `I` of Eq. 1's `A + I`): every node's own
@@ -201,9 +246,7 @@ pub fn layer_forward(
         let mut stacked_feat: Option<Var> = None;
         let mut segments: Vec<usize> = Vec::new();
         for ta in &per_type {
-            let prev_idx: Vec<usize> =
-                ta.active_dst.iter().map(|&d| block.dst_in_src[d] as usize).collect();
-            let h_v = g.gather_rows(h_src, prev_idx);
+            let h_v = g.gather_rows(h_src, ta.active_prev.clone());
             let e_tiled = tile_rows(g, ta.h_e, ta.active_dst.len());
             let hv_he = g.concat_cols(h_v, e_tiled);
             let feat = g.concat_cols(hv_he, ta.agg_active);

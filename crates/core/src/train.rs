@@ -76,11 +76,30 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
     let train_idx = ds.split.train.clone();
     assert!(!train_idx.is_empty(), "empty training split");
 
+    // Output-bias warm start: every layer's prediction head opens at the
+    // train-label mean, so round one already matches the mean predictor
+    // and gradient steps refine from there instead of climbing to it.
+    let label_mean = {
+        let labels = ds.labels_of(&train_idx);
+        labels.iter().sum::<f32>() / labels.len() as f32
+    };
+    for layer in &model.layers {
+        model.params.value_mut(layer.b_y).fill(label_mean);
+    }
+
     // Best-on-validation model selection: the 2014 validation split exists
     // for exactly this (Sec. IV-A1); heavy-tailed labels make late epochs
     // drift, so we keep the parameters of the best validation round.
+    // The initial (warm-started) parameters seed the selection, so a run
+    // whose every round validates worse keeps the mean-predictor head.
     let mut best_val = f32::INFINITY;
     let mut best_params: Option<tensor::Params> = None;
+    if !ds.split.val.is_empty() {
+        let seeds = ds.paper_nodes_of(&ds.split.val);
+        let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xE7A1);
+        best_val = rmse(&preds, &ds.labels_of(&ds.split.val));
+        best_params = Some(model.params.clone());
+    }
 
     for outer in 0..cfg.outer_iters {
         // ---- HGN mini-iterations (lines 3-9) --------------------------

@@ -1,6 +1,5 @@
 //! Configuration of the synthetic publication world.
 
-use serde::{Deserialize, Serialize};
 
 /// The research-domain names the paper bootstraps quality terms from
 /// (footnote 4), plus an implicit "other" cluster at training time.
@@ -14,7 +13,7 @@ pub const DOMAIN_NAMES: [&str; 9] =
 /// *domain-conditioned* (so cluster-awareness pays off), and observed
 /// keyword terms are a noisy view of the latent quality terms (so term
 /// mining pays off).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// Number of latent research domains (each named after
     /// [`DOMAIN_NAMES`], cycling if larger).
@@ -72,7 +71,7 @@ impl WorldConfig {
             w_term: 1.1,
             label_noise: 0.15,
             label_scale: 4.0,
-            seed: 0xD_B1_9,
+            seed: 0xDB19,
         }
     }
 
@@ -147,3 +146,24 @@ mod tests {
         assert_eq!(cfg.domain_name(9), "data");
     }
 }
+
+serde::impl_serde_struct!(WorldConfig {
+    n_domains,
+    n_papers,
+    n_authors,
+    n_venues,
+    quality_terms_per_domain,
+    n_generic_terms,
+    n_noise_terms,
+    year_range,
+    refs_per_paper,
+    keywords_per_paper,
+    keyword_quality,
+    domain_name_rate,
+    w_author,
+    w_venue,
+    w_term,
+    label_noise,
+    label_scale,
+    seed,
+});

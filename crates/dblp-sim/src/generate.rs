@@ -14,11 +14,10 @@ use crate::world::TermKind;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use tensor::init::gaussian;
 
 /// One generated paper.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Paper {
     pub domain: usize,
     pub year: u16,
@@ -43,7 +42,7 @@ pub struct Paper {
 }
 
 /// All generated papers, in ascending-year order.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Corpus {
     pub papers: Vec<Paper>,
 }
@@ -59,7 +58,7 @@ impl Corpus {
         let mut papers: Vec<Paper> = Vec::with_capacity(cfg.n_papers);
         // Per-domain weighted pools of earlier papers for citation targets.
         let mut pools: Vec<Pool> = (0..cfg.n_domains).map(|_| Pool::default()).collect();
-        for i in 0..cfg.n_papers {
+        for (i, &year) in years.iter().enumerate() {
             let domain = rng.gen_range(0..cfg.n_domains);
             let venue = pick_venue(world, domain, &mut rng);
             let authors = author_pick.pick(world, domain, &mut rng);
@@ -72,7 +71,7 @@ impl Corpus {
             pools[domain].push(i, 1.0 + rate);
             papers.push(Paper {
                 domain,
-                year: years[i],
+                year,
                 authors,
                 venue,
                 true_terms,
@@ -447,3 +446,17 @@ mod tests {
         assert_eq!(a.papers[42].cites, b.papers[42].cites);
     }
 }
+
+serde::impl_serde_struct!(Paper {
+    domain,
+    year,
+    authors,
+    venue,
+    true_terms,
+    keywords,
+    title_terms,
+    cites,
+    rate,
+    label,
+});
+serde::impl_serde_struct!(Corpus { papers });

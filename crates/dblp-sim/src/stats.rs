@@ -1,10 +1,9 @@
 //! Dataset statistics (Table I of the paper).
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// The row shape of Table I.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DatasetStats {
     pub name: String,
     pub n_papers: usize,
@@ -95,3 +94,17 @@ mod tests {
         );
     }
 }
+
+serde::impl_serde_struct!(DatasetStats {
+    name,
+    n_papers,
+    n_authors,
+    n_venues,
+    n_terms,
+    n_links,
+    n_train,
+    n_val,
+    n_test,
+    label_mean,
+    label_std,
+});

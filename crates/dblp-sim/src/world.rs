@@ -8,11 +8,10 @@ use crate::config::WorldConfig;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use tensor::init::gaussian;
 
 /// Ground-truth role of a term in the generative process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TermKind {
     /// The name of a research domain (the weak supervision TE starts from).
     DomainName { domain: usize },
@@ -25,7 +24,7 @@ pub enum TermKind {
 }
 
 /// One term of the world vocabulary.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Term {
     pub text: String,
     pub kind: TermKind,
@@ -38,7 +37,7 @@ pub struct Term {
 /// discounted in the secondary, negligible elsewhere. This is exactly the
 /// "Jiawei Han is more impactful in data mining than machine learning"
 /// structure of Figure 3(a).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AuthorProfile {
     pub name: String,
     pub primary: usize,
@@ -65,7 +64,7 @@ impl AuthorProfile {
 }
 
 /// A venue with a primary domain and heavy-tailed authority.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct VenueProfile {
     pub name: String,
     pub domain: usize,
@@ -84,7 +83,7 @@ impl VenueProfile {
 }
 
 /// The full latent world.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LatentWorld {
     pub config: WorldConfig,
     pub terms: Vec<Term>,
@@ -250,3 +249,21 @@ mod tests {
         assert_eq!(data_venues, cfg.n_venues / cfg.n_domains);
     }
 }
+
+serde::impl_serde_enum!(TermKind {
+    DomainName { domain },
+    Quality { domain },
+    Generic,
+    Noise,
+});
+serde::impl_serde_struct!(Term { text, kind, impact });
+serde::impl_serde_struct!(AuthorProfile {
+    name,
+    primary,
+    secondary,
+    prestige,
+    secondary_discount,
+    productivity,
+});
+serde::impl_serde_struct!(VenueProfile { name, domain, authority });
+serde::impl_serde_struct!(LatentWorld { config, terms, authors, venues });

@@ -6,10 +6,9 @@ use crate::harness::{run_catehgn_variant, ExperimentConfig};
 use crate::metrics::rmse;
 use catehgn::{Ablation, Composition, ModelConfig};
 use dblp_sim::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// One ablation bar: the variant label and its test RMSE.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AblationBar {
     pub group: String,
     pub variant: String,
@@ -80,7 +79,7 @@ pub fn run_ablation(cfg: &ExperimentConfig, ds: &Dataset, verbose: bool) -> Vec<
 }
 
 /// One point of a hyper-parameter sweep.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SweepPoint {
     pub value: usize,
     pub rmse: f32,
@@ -159,3 +158,6 @@ mod tests {
         }
     }
 }
+
+serde::impl_serde_struct!(AblationBar { group, variant, rmse });
+serde::impl_serde_struct!(SweepPoint { value, rmse });

@@ -3,7 +3,6 @@
 
 use catehgn::{CaseStudy, CateHgn, TrainReport};
 use dblp_sim::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Renders a Table-III-style listing for the requested domains.
 pub fn render_case_study(cs: &CaseStudy, ds: &Dataset, domains: &[usize], top_n: usize) -> String {
@@ -29,7 +28,7 @@ pub fn render_case_study(cs: &CaseStudy, ds: &Dataset, domains: &[usize], top_n:
 /// top-listed authors whose generator-assigned primary domain matches the
 /// cluster they were listed under, and likewise for venues. (The paper can
 /// only eyeball this; the simulator lets us score it.)
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CaseStudyAccuracy {
     pub author_domain_match: f32,
     pub venue_domain_match: f32,
@@ -82,7 +81,7 @@ pub fn score_case_study(cs: &CaseStudy, ds: &Dataset, domains: &[usize]) -> Case
 
 /// One Fig. 5 row: the TE round and the mean term-mining precision over
 /// real domains.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Point {
     pub round: usize,
     pub mean_precision: f32,
@@ -146,3 +145,10 @@ mod tests {
         assert!(trace[1].mean_precision > trace[0].mean_precision);
     }
 }
+
+serde::impl_serde_struct!(CaseStudyAccuracy {
+    author_domain_match,
+    venue_domain_match,
+    author_prestige_percentile,
+});
+serde::impl_serde_struct!(Fig5Point { round, mean_precision, per_domain, sample_terms });

@@ -5,7 +5,6 @@ use crate::metrics::{paired_ttest_sq_err, rmse};
 use baselines::{all_baselines, GnnConfig};
 use catehgn::{train_model, Ablation, CateHgn, ModelConfig};
 use dblp_sim::{Dataset, WorldConfig};
-use serde::{Deserialize, Serialize};
 
 /// Scale presets for the harness. `Small` reproduces the result shapes in
 /// minutes on a laptop; `Full` uses the DESIGN.md reference sizes.
@@ -123,7 +122,7 @@ pub fn run_catehgn_variant(
         );
         let report = train_model(&mut model, &mut ds_run);
         let val = report.val_rmse.iter().cloned().fold(f32::INFINITY, f32::min);
-        if best.as_ref().map_or(true, |(b, _, _)| val < *b) {
+        if best.as_ref().is_none_or(|(b, _, _)| val < *b) {
             best = Some((val, model, ds_run));
         }
     }
@@ -134,7 +133,7 @@ pub fn run_catehgn_variant(
 }
 
 /// One row of Table II.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table2Row {
     pub name: String,
     pub full: f32,
@@ -145,7 +144,7 @@ pub struct Table2Row {
 }
 
 /// The full Table II result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Table2 {
     pub rows: Vec<Table2Row>,
 }
@@ -290,3 +289,6 @@ mod tests {
         assert!(t.row("Y").is_none());
     }
 }
+
+serde::impl_serde_struct!(Table2Row { name, full, single, random, significant });
+serde::impl_serde_struct!(Table2 { rows });

@@ -7,10 +7,9 @@
 //! weighted neighbors of node v under link type t" is two slice lookups.
 
 use crate::schema::{LinkTypeId, NodeTypeId, Schema};
-use serde::{Deserialize, Serialize};
 
 /// Global dense node identifier, valid within one [`HetGraph`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -22,7 +21,7 @@ impl NodeId {
 
 /// Compressed sparse row adjacency over global node ids, with parallel
 /// weight storage.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<u32>,
@@ -93,7 +92,7 @@ impl Csr {
 
 /// A heterogeneous, weighted, typed graph (Definition 3.1 plus the link
 /// weight function `omega`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct HetGraph {
     schema: Schema,
     /// Node type of each global node id.
@@ -361,3 +360,7 @@ mod tests {
         assert_eq!(h.num_links(), g.num_links());
     }
 }
+
+serde::impl_serde_newtype!(NodeId);
+serde::impl_serde_struct!(Csr { offsets, targets, weights });
+serde::impl_serde_struct!(HetGraph { schema, node_types, by_type, adj });

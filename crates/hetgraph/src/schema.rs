@@ -9,18 +9,17 @@
 //! [`LinkTypeDef::reverse_of`]), except for symmetric relations such as
 //! paper-paper citation where a single type may serve both ends.
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node type within a [`Schema`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeTypeId(pub u8);
 
 /// Identifier of a link type within a [`Schema`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkTypeId(pub u8);
 
 /// Definition of one link type: its name and endpoint node types.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LinkTypeDef {
     pub name: String,
     pub src: NodeTypeId,
@@ -31,7 +30,7 @@ pub struct LinkTypeDef {
 }
 
 /// The typed shape of a heterogeneous network.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Schema {
     node_types: Vec<String>,
     link_types: Vec<LinkTypeDef>,
@@ -196,3 +195,8 @@ mod tests {
         assert_eq!(s, t);
     }
 }
+
+serde::impl_serde_newtype!(NodeTypeId);
+serde::impl_serde_newtype!(LinkTypeId);
+serde::impl_serde_struct!(LinkTypeDef { name, src, dst, reverse_of });
+serde::impl_serde_struct!(Schema { node_types, link_types });

@@ -46,6 +46,7 @@ pub mod gradcheck;
 pub mod graph;
 pub mod init;
 pub mod optim;
+pub mod par;
 pub mod params;
 #[allow(clippy::module_inception)]
 pub mod tensor;

@@ -1,0 +1,208 @@
+//! Parallel execution primitives on `std::thread::scope` — no external
+//! runtime, no persistent pool.
+//!
+//! Two entry points:
+//!
+//! * [`par_row_chunks_mut`] splits a row-major output buffer into
+//!   contiguous row ranges and runs a kernel on each range concurrently.
+//!   Range boundaries are aligned to [`ROW_BLOCK`], so a blocked kernel
+//!   sees exactly the same row grouping at every thread count — the
+//!   foundation of the bitwise-identical guarantee for the parallel
+//!   matmul family (see DESIGN.md, "Parallel runtime & determinism").
+//! * [`par_map`] runs an indexed task set on the worker pool and returns
+//!   results in task order (coarse parallelism, e.g. per-link-type
+//!   neighbour aggregation).
+//!
+//! The worker count comes from [`set_num_threads`], else the
+//! `TENSOR_NUM_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`. Work smaller than
+//! [`PAR_THRESHOLD`] runs serially on the calling thread: for the tensor
+//! shapes this workspace trains with, spawn overhead dominates below that
+//! size.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Row-block granularity shared with the blocked kernels: chunk starts are
+/// multiples of this, so each row's block membership is independent of the
+/// thread count.
+pub const ROW_BLOCK: usize = 4;
+
+/// Work size (in f32 multiply-adds) below which [`par_row_chunks_mut`]
+/// stays serial.
+pub const PAR_THRESHOLD: usize = 1 << 16;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for this process; `0` restores the
+/// environment-derived default.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count used for parallel dispatch.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("TENSOR_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+/// Workers to use for `rows` rows of `work_per_row` mul-adds each.
+fn plan(rows: usize, work_per_row: usize) -> usize {
+    if rows == 0 || rows.saturating_mul(work_per_row) < PAR_THRESHOLD {
+        return 1;
+    }
+    num_threads().clamp(1, rows.div_ceil(ROW_BLOCK))
+}
+
+/// Runs `f(lo, hi, chunk)` over disjoint, [`ROW_BLOCK`]-aligned row ranges
+/// covering `out` (a row-major `rows x cols` buffer, `rows` inferred from
+/// the length). `chunk` is `out[lo*cols..hi*cols]`. Ranges run
+/// concurrently when the total work clears [`PAR_THRESHOLD`]; the kernel
+/// must make each output row a function of `(row, inputs)` only, which
+/// keeps the result identical at any worker count.
+pub fn par_row_chunks_mut<F>(out: &mut [f32], cols: usize, work_per_row: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let rows = out.len().checked_div(cols).unwrap_or(0);
+    debug_assert_eq!(rows * cols, out.len(), "out is not rows x cols");
+    let workers = plan(rows, work_per_row);
+    if workers <= 1 {
+        if rows > 0 {
+            f(0, rows, out);
+        }
+        return;
+    }
+    let per_rows = rows.div_ceil(ROW_BLOCK).div_ceil(workers) * ROW_BLOCK;
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut lo = 0usize;
+        let mut own: Option<(usize, usize, &mut [f32])> = None;
+        while lo < rows {
+            let hi = (lo + per_rows).min(rows);
+            let (head, tail) = rest.split_at_mut((hi - lo) * cols);
+            rest = tail;
+            if own.is_none() {
+                own = Some((lo, hi, head));
+            } else {
+                s.spawn(move || f(lo, hi, head));
+            }
+            lo = hi;
+        }
+        if let Some((lo, hi, head)) = own {
+            f(lo, hi, head);
+        }
+    });
+}
+
+/// Runs `f(0..n)` on the worker pool, returning results in task order.
+/// Tasks are statically chunked; panics in workers propagate.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = num_threads().clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let per = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                let lo = (w * per).min(n);
+                let hi = ((w + 1) * per).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        let mut out: Vec<T> = (0..per.min(n)).map(f).collect();
+        for h in handles {
+            out.extend(h.join().expect("tensor::par worker panicked"));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests mutate the process-global override; serialize them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chunk_bounds_are_block_aligned_and_cover() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(3);
+        let rows = 11;
+        let cols = 1;
+        let mut out = vec![0.0f32; rows * cols];
+        let seen = std::sync::Mutex::new(Vec::new());
+        par_row_chunks_mut(&mut out, cols, PAR_THRESHOLD, |lo, hi, chunk| {
+            assert_eq!(chunk.len(), (hi - lo) * cols);
+            assert_eq!(lo % ROW_BLOCK, 0, "chunk start not block-aligned");
+            for v in chunk.iter_mut() {
+                *v = 1.0;
+            }
+            seen.lock().unwrap().push((lo, hi));
+        });
+        set_num_threads(0);
+        assert!(out.iter().all(|&v| v == 1.0), "rows not covered exactly once");
+        let mut ranges = seen.into_inner().unwrap();
+        ranges.sort_unstable();
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, rows);
+    }
+
+    #[test]
+    fn small_work_stays_serial_and_empty_is_fine() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(8);
+        let mut out = vec![0.0f32; 8];
+        let main = std::thread::current().id();
+        par_row_chunks_mut(&mut out, 2, 1, |_, _, chunk| {
+            assert_eq!(std::thread::current().id(), main, "tiny work must not spawn");
+            chunk.fill(2.0);
+        });
+        assert!(out.iter().all(|&v| v == 2.0));
+        let mut empty: Vec<f32> = Vec::new();
+        par_row_chunks_mut(&mut empty, 0, 1, |_, _, _| panic!("no rows to visit"));
+        par_row_chunks_mut(&mut empty, 3, 1, |_, _, _| panic!("no rows to visit"));
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        for t in [1, 2, 4, 8] {
+            set_num_threads(t);
+            let out = par_map(13, |i| i * i);
+            assert_eq!(out, (0..13).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_num_threads(0);
+        assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn thread_count_override_wins() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(5);
+        assert_eq!(num_threads(), 5);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

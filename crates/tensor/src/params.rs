@@ -9,13 +9,12 @@
 use crate::init::Initializer;
 use crate::tensor::Tensor;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Stable handle to a parameter inside a [`Params`] store.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ParamId(pub(crate) usize);
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 struct Entry {
     name: String,
     value: Tensor,
@@ -27,7 +26,7 @@ struct Entry {
 
 /// A collection of named, trainable tensors with per-parameter optimizer
 /// state.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Params {
     entries: Vec<Entry>,
 }
@@ -144,3 +143,7 @@ mod tests {
         assert_eq!(q.value(ParamId(0)).as_slice(), &[1.0, 2.0]);
     }
 }
+
+serde::impl_serde_newtype!(ParamId);
+serde::impl_serde_struct!(Entry { name, value, m, v });
+serde::impl_serde_struct!(Params { entries });

@@ -6,11 +6,12 @@
 //! tensors. All differentiable computation lives in [`crate::graph`], which
 //! stores its node values as `Tensor`s and calls back into these kernels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::par;
+
 /// A dense, row-major, 2-dimensional `f32` tensor.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -312,9 +313,10 @@ impl Tensor {
 
     /// Matrix product `self * other`.
     ///
-    /// Straightforward ikj-ordered kernel: cache-friendly on row-major data
-    /// and fast enough for the embedding sizes used in this project
-    /// (d <= a few hundred).
+    /// Cache-tiled, register-blocked kernel with row-parallel dispatch
+    /// (see [`crate::par`]). Per output element the reduction runs over
+    /// `p = 0..k` in ascending order, so for finite inputs the result is
+    /// bitwise identical to [`reference::matmul`] at every thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.rows,
@@ -323,23 +325,17 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
+            matmul_block(a, b, k, m, lo, hi, chunk);
+        });
         Tensor { rows: n, cols: m, data: out }
     }
 
     /// Matrix product `self * other^T` without materialising the transpose.
+    ///
+    /// Same tiling and bitwise guarantee as [`Tensor::matmul`], against
+    /// [`reference::matmul_tb`].
     pub fn matmul_tb(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -348,17 +344,17 @@ impl Tensor {
         );
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..m {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                out[i * m + j] = dot(a_row, b_row);
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
+            matmul_tb_block(a, b, k, m, lo, hi, chunk);
+        });
         Tensor { rows: n, cols: m, data: out }
     }
 
     /// Matrix product `self^T * other` without materialising the transpose.
+    ///
+    /// Same tiling and bitwise guarantee as [`Tensor::matmul`], against
+    /// [`reference::matmul_ta`].
     pub fn matmul_ta(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -367,19 +363,10 @@ impl Tensor {
         );
         let (n, k, m) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0f32; n * m];
-        for p in 0..k {
-            let a_row = &self.data[p * n..(p + 1) * n];
-            let b_row = &other.data[p * m..(p + 1) * m];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o_row = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
+            matmul_ta_block(a, b, k, n, m, lo, hi, chunk);
+        });
         Tensor { rows: n, cols: m, data: out }
     }
 
@@ -455,10 +442,9 @@ impl Tensor {
         let mut out = self.matmul_tb(centers); // n x k of x.c
         let xn: Vec<f32> = self.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
         let cn: Vec<f32> = centers.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
-        for i in 0..out.rows {
-            for j in 0..out.cols {
-                let v = xn[i] - 2.0 * out.data[i * out.cols + j] + cn[j];
-                out.data[i * out.cols + j] = v.max(0.0);
+        for (row, &xni) in out.data.chunks_exact_mut(centers.rows).zip(&xn) {
+            for (v, &cnj) in row.iter_mut().zip(&cn) {
+                *v = (xni - 2.0 * *v + cnj).max(0.0);
             }
         }
         out
@@ -470,11 +456,338 @@ impl Tensor {
     }
 }
 
+// -------------------------------------------------------------------
+// Blocked kernels behind the matmul family.
+//
+// Shared shape: MR output rows x NR output columns of C live in register
+// accumulators while the k dimension streams through in KC-high panels.
+// Every kernel accumulates each output element strictly in ascending-k
+// order — panel and tile loops only regroup the row/column traversal —
+// which is what makes the result bitwise-equal to the naive reference
+// (and independent of the thread count, since `par` aligns chunk bounds
+// to MR rows).
+// -------------------------------------------------------------------
+
+/// Output rows per micro-kernel; equals [`par::ROW_BLOCK`] so parallel
+/// chunk boundaries never split a row block.
+const MR: usize = par::ROW_BLOCK;
+/// Half-row width of the accumulator tile: each half-row is one vector
+/// register's worth of f32 on AVX-512, two on AVX2.
+const NR: usize = 16;
+/// Full output-column width of the micro-kernel tile (`2 * NR`): with
+/// MR = 4 rows that is eight independent multiply-add chains, enough to
+/// hide FP-add latency on two execution ports.
+const NRW: usize = 32;
+/// k-panel height: keeps the streamed operand panel (`KC * NRW` floats)
+/// L1-resident across the row blocks of one chunk.
+const KC: usize = 256;
+
+/// C[lo..hi, :] += A[lo..hi, :] * B for row-major A (n x k) and B (k x m);
+/// `out` holds rows `lo..hi` of C and arrives zeroed.
+fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, out: &mut [f32]) {
+    // Every hot-loop index goes through a slice whose length the
+    // optimiser can see, so no bounds checks survive in the k loop.
+    let mut i = lo;
+    while i < hi {
+        let mr = MR.min(hi - i);
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KC).min(k);
+            let pa = ke - kb;
+            let mut j = 0;
+            while j < m {
+                let nr = NRW.min(m - j);
+                if mr == MR && nr == NRW {
+                    let a0 = &a[i * k + kb..][..pa];
+                    let a1 = &a[(i + 1) * k + kb..][..pa];
+                    let a2 = &a[(i + 2) * k + kb..][..pa];
+                    let a3 = &a[(i + 3) * k + kb..][..pa];
+                    // Two NR-wide half-tiles per row: each half is one
+                    // full vector register, which keeps the whole
+                    // accumulator tile register-resident.
+                    let mut acc_lo = [[0.0f32; NR]; MR];
+                    let mut acc_hi = [[0.0f32; NR]; MR];
+                    for r in 0..MR {
+                        let row = &out[(i - lo + r) * m + j..][..NRW];
+                        acc_lo[r].copy_from_slice(&row[..NR]);
+                        acc_hi[r].copy_from_slice(&row[NR..]);
+                    }
+                    let mut boff = kb * m + j;
+                    // Constant row indices and one scalar A element per
+                    // row steer vectorisation along the NR columns (one
+                    // register per half-row) rather than across rows.
+                    macro_rules! fma_row {
+                        ($ar:expr, $rl:expr, $rh:expr, $bl:expr, $bh:expr) => {{
+                            let ar = $ar;
+                            for q in 0..NR {
+                                $rl[q] += ar * $bl[q];
+                                $rh[q] += ar * $bh[q];
+                            }
+                        }};
+                    }
+                    for t in 0..pa {
+                        let (bl, bh) = b[boff..boff + NRW].split_at(NR);
+                        let bl: &[f32; NR] = bl.try_into().unwrap();
+                        let bh: &[f32; NR] = bh.try_into().unwrap();
+                        fma_row!(a0[t], acc_lo[0], acc_hi[0], bl, bh);
+                        fma_row!(a1[t], acc_lo[1], acc_hi[1], bl, bh);
+                        fma_row!(a2[t], acc_lo[2], acc_hi[2], bl, bh);
+                        fma_row!(a3[t], acc_lo[3], acc_hi[3], bl, bh);
+                        boff += m;
+                    }
+                    for r in 0..MR {
+                        let row = &mut out[(i - lo + r) * m + j..][..NRW];
+                        row[..NR].copy_from_slice(&acc_lo[r]);
+                        row[NR..].copy_from_slice(&acc_hi[r]);
+                    }
+                } else {
+                    for p in kb..ke {
+                        let brow = &b[p * m + j..p * m + j + nr];
+                        for r in 0..mr {
+                            let av = a[(i + r) * k + p];
+                            let orow = &mut out[(i - lo + r) * m + j..][..nr];
+                            for (o, &bv) in orow.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+                j += nr;
+            }
+            kb = ke;
+        }
+        i += mr;
+    }
+}
+
+/// C[lo..hi, :] += A[lo..hi, :] * B^T for row-major A (n x k), B (m x k).
+fn matmul_tb_block(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    let mut i = lo;
+    while i < hi {
+        let mr = MR.min(hi - i);
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KC).min(k);
+            let mut j = 0;
+            while j < m {
+                let nr = NR.min(m - j);
+                if mr == MR && nr == NR {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        accr.copy_from_slice(&out[(i - lo + r) * m + j..][..NR]);
+                    }
+                    for p in kb..ke {
+                        let mut brow = [0.0f32; NR];
+                        for (q, bq) in brow.iter_mut().enumerate() {
+                            *bq = b[(j + q) * k + p];
+                        }
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let av = a[(i + r) * k + p];
+                            for q in 0..NR {
+                                accr[q] += av * brow[q];
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        out[(i - lo + r) * m + j..][..NR].copy_from_slice(accr);
+                    }
+                } else {
+                    for p in kb..ke {
+                        for r in 0..mr {
+                            let av = a[(i + r) * k + p];
+                            for q in 0..nr {
+                                out[(i - lo + r) * m + j + q] += av * b[(j + q) * k + p];
+                            }
+                        }
+                    }
+                }
+                j += nr;
+            }
+            kb = ke;
+        }
+        i += mr;
+    }
+}
+
+/// C[lo..hi, :] += (A^T)[lo..hi, :] * B for row-major A (k x n), B (k x m).
+#[allow(clippy::too_many_arguments)] // internal kernel: shapes + row range
+fn matmul_ta_block(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    m: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    let mut i = lo;
+    while i < hi {
+        let mr = MR.min(hi - i);
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KC).min(k);
+            let mut j = 0;
+            while j < m {
+                let nr = NRW.min(m - j);
+                if mr == MR && nr == NRW {
+                    // Same register-tiled shape as `matmul_block`; only
+                    // the A access differs (column panel, stride n).
+                    let mut acc_lo = [[0.0f32; NR]; MR];
+                    let mut acc_hi = [[0.0f32; NR]; MR];
+                    for r in 0..MR {
+                        let row = &out[(i - lo + r) * m + j..][..NRW];
+                        acc_lo[r].copy_from_slice(&row[..NR]);
+                        acc_hi[r].copy_from_slice(&row[NR..]);
+                    }
+                    let mut boff = kb * m + j;
+                    let mut aoff = kb * n + i;
+                    macro_rules! fma_row {
+                        ($ar:expr, $rl:expr, $rh:expr, $bl:expr, $bh:expr) => {{
+                            let ar = $ar;
+                            for q in 0..NR {
+                                $rl[q] += ar * $bl[q];
+                                $rh[q] += ar * $bh[q];
+                            }
+                        }};
+                    }
+                    for _ in kb..ke {
+                        let (bl, bh) = b[boff..boff + NRW].split_at(NR);
+                        let bl: &[f32; NR] = bl.try_into().unwrap();
+                        let bh: &[f32; NR] = bh.try_into().unwrap();
+                        let arow: &[f32; MR] = (&a[aoff..aoff + MR]).try_into().unwrap();
+                        fma_row!(arow[0], acc_lo[0], acc_hi[0], bl, bh);
+                        fma_row!(arow[1], acc_lo[1], acc_hi[1], bl, bh);
+                        fma_row!(arow[2], acc_lo[2], acc_hi[2], bl, bh);
+                        fma_row!(arow[3], acc_lo[3], acc_hi[3], bl, bh);
+                        boff += m;
+                        aoff += n;
+                    }
+                    for r in 0..MR {
+                        let row = &mut out[(i - lo + r) * m + j..][..NRW];
+                        row[..NR].copy_from_slice(&acc_lo[r]);
+                        row[NR..].copy_from_slice(&acc_hi[r]);
+                    }
+                } else {
+                    for p in kb..ke {
+                        let brow = &b[p * m + j..p * m + j + nr];
+                        for r in 0..mr {
+                            let av = a[p * n + i + r];
+                            let orow = &mut out[(i - lo + r) * m + j..][..nr];
+                            for (o, &bv) in orow.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+                j += nr;
+            }
+            kb = ke;
+        }
+        i += mr;
+    }
+}
+
+pub mod reference {
+    //! Serial reference implementations of the matmul family: the plain
+    //! single-pass kernels the blocked/parallel versions are
+    //! property-tested against. For finite inputs the public kernels are
+    //! bitwise-equal to these at every thread count; with non-finite
+    //! operand elements they may differ (the references skip
+    //! zero-coefficient rows, turning `0 * inf` into `0` instead of NaN).
+
+    use super::Tensor;
+
+    /// Naive ikj-ordered `a * b`.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &ad[i * k..(i + 1) * k];
+            let o_row = &mut out[i * m..(i + 1) * m];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &bd[p * m..(p + 1) * m];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Naive per-element `a * b^T`.
+    pub fn matmul_tb(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.cols(), b.cols(), "matmul_tb shape mismatch");
+        let (n, k, m) = (a.rows(), a.cols(), b.rows());
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            let a_row = &ad[i * k..(i + 1) * k];
+            for j in 0..m {
+                let b_row = &bd[j * k..(j + 1) * k];
+                out[i * m + j] = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+
+    /// Naive p-outer `a^T * b`.
+    pub fn matmul_ta(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.rows(), b.rows(), "matmul_ta shape mismatch");
+        let (n, k, m) = (a.cols(), a.rows(), b.cols());
+        let (ad, bd) = (a.as_slice(), b.as_slice());
+        let mut out = vec![0.0f32; n * m];
+        for p in 0..k {
+            let a_row = &ad[p * n..(p + 1) * n];
+            let b_row = &bd[p * m..(p + 1) * m];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out[i * m..(i + 1) * m];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(n, m, out)
+    }
+}
+
 /// Dot product of two equal-length slices.
+///
+/// Four independent accumulators break the serial add dependence chain;
+/// partials combine as `(s0 + s1) + (s2 + s3)` followed by the tail terms
+/// in order, so for `len < 4` the result is identical to the plain
+/// sequential sum.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    let quads = a.len() / 4;
+    let mut acc = [0.0f32; 4];
+    for (ca, cb) in a[..quads * 4].chunks_exact(4).zip(b[..quads * 4].chunks_exact(4)) {
+        for q in 0..4 {
+            acc[q] += ca[q] * cb[q];
+        }
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in a[quads * 4..].iter().zip(&b[quads * 4..]) {
+        s += x * y;
+    }
+    s
 }
 
 /// Numerically-stable in-place softmax over a slice.
@@ -501,14 +814,14 @@ pub fn circular_correlation(a: &[f32], b: &[f32], out: &mut [f32]) {
     let d = a.len();
     debug_assert_eq!(b.len(), d);
     debug_assert_eq!(out.len(), d);
-    for k in 0..d {
+    for (k, o) in out.iter_mut().enumerate() {
         let mut s = 0.0;
         for (i, &ai) in a.iter().enumerate() {
             let j = i + k;
             let j = if j >= d { j - d } else { j };
             s += ai * b[j];
         }
-        out[k] = s;
+        *o = s;
     }
 }
 
@@ -654,3 +967,5 @@ mod tests {
         assert_eq!(out, [4.0 + 10.0 + 18.0, 5.0 + 12.0 + 12.0, 6.0 + 8.0 + 15.0]);
     }
 }
+
+serde::impl_serde_struct!(Tensor { rows, cols, data });

@@ -1,0 +1,148 @@
+//! Property tests for the parallel blocked matmul family: at every thread
+//! count the blocked kernels must be *bitwise* equal to the retained serial
+//! reference implementations in [`tensor::tensor::reference`].
+//!
+//! The thread count is process-global, so each case runs the whole
+//! {1, 2, 4, 8}-thread sweep under a shared lock instead of splitting the
+//! sweep across #[test] functions.
+
+use proptest::prelude::*;
+use tensor::tensor::reference;
+use tensor::{par, Tensor};
+
+/// Serialises access to the process-global thread override.
+static THREADS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Dimensions biased toward the interesting edges: empty, single, below /
+/// at / above the kernel's MR=4, NR=16 and NRW=32 block boundaries, and
+/// non-divisible sizes.
+const DIMS: [usize; 12] = [0, 1, 2, 3, 4, 5, 7, 16, 17, 32, 33, 41];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Deterministic, mildly irregular fill so every (shape, seed) case sees
+/// distinct data without needing flat-mapped strategies.
+fn fill(rows: usize, cols: usize, state: &mut f32) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            *state = (*state * 1.3 + i as f32 * 0.7).rem_euclid(37.0) - 18.0;
+            *state / 5.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn assert_bitwise(tag: &str, got: &Tensor, want: &Tensor, threads: usize) {
+    assert_eq!(got.shape(), want.shape(), "{tag}: shape at {threads} threads");
+    for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{tag}: element {i} differs at {threads} threads: {x:?} vs {y:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `A (n x k) * B (k x m)` is bitwise-stable across thread counts and
+    /// equal to the serial reference.
+    #[test]
+    fn matmul_matches_reference_at_all_thread_counts(
+        (n, k, m) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+    ) {
+        let mut state = seed;
+        let a = fill(n, k, &mut state);
+        let b = fill(k, m, &mut state);
+        let want = reference::matmul(&a, &b);
+        let _guard = THREADS.lock().unwrap();
+        for t in THREAD_COUNTS {
+            par::set_num_threads(t);
+            let got = a.matmul(&b);
+            assert_bitwise("matmul", &got, &want, t);
+        }
+        par::set_num_threads(0);
+    }
+
+    /// `A (n x k) * B^T (m x k)` bitwise-matches the reference.
+    #[test]
+    fn matmul_tb_matches_reference_at_all_thread_counts(
+        (n, k, m) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+    ) {
+        let mut state = seed + 0.5;
+        let a = fill(n, k, &mut state);
+        let bt = fill(m, k, &mut state);
+        let want = reference::matmul_tb(&a, &bt);
+        let _guard = THREADS.lock().unwrap();
+        for t in THREAD_COUNTS {
+            par::set_num_threads(t);
+            let got = a.matmul_tb(&bt);
+            assert_bitwise("matmul_tb", &got, &want, t);
+        }
+        par::set_num_threads(0);
+    }
+
+    /// `A^T (k x n) * B (k x m)` bitwise-matches the reference.
+    #[test]
+    fn matmul_ta_matches_reference_at_all_thread_counts(
+        (n, k, m) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+    ) {
+        let mut state = seed + 0.25;
+        let at = fill(k, n, &mut state);
+        let b = fill(k, m, &mut state);
+        let want = reference::matmul_ta(&at, &b);
+        let _guard = THREADS.lock().unwrap();
+        for t in THREAD_COUNTS {
+            par::set_num_threads(t);
+            let got = at.matmul_ta(&b);
+            assert_bitwise("matmul_ta", &got, &want, t);
+        }
+        par::set_num_threads(0);
+    }
+
+    /// The chunked dot product is deterministic and stays within
+    /// gradcheck-grade agreement of the plain sequential sum (it
+    /// reassociates, so exact equality is not required).
+    #[test]
+    fn dot_is_deterministic_and_close_to_sequential(
+        v in proptest::collection::vec(-2.0f32..2.0, 0..130),
+    ) {
+        let w: Vec<f32> = v.iter().map(|x| x * 0.5 + 0.1).collect();
+        let seq: f64 = v.iter().zip(&w).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let got = tensor::dot(&v, &w);
+        let got2 = tensor::dot(&v, &w);
+        assert_eq!(got.to_bits(), got2.to_bits(), "dot must be deterministic");
+        let tol = 1e-4 * (1.0 + seq.abs());
+        assert!(
+            ((got as f64) - seq).abs() < tol,
+            "dot {got} too far from sequential {seq}"
+        );
+    }
+}
+
+/// 0 x N, N x 0 and 1 x 1 shapes run through the full dispatch path
+/// without panicking, at every thread count.
+#[test]
+fn degenerate_shapes_are_safe_at_all_thread_counts() {
+    let _guard = THREADS.lock().unwrap();
+    for t in THREAD_COUNTS {
+        par::set_num_threads(t);
+        for (n, k, m) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (1, 1, 1), (0, 0, 0)] {
+            let a = Tensor::zeros(n, k);
+            let b = Tensor::zeros(k, m);
+            assert_eq!(a.matmul(&b).shape(), (n, m));
+            let bt = Tensor::zeros(m, k);
+            assert_eq!(a.matmul_tb(&bt).shape(), (n, m));
+            let at = Tensor::zeros(k, n);
+            assert_eq!(at.matmul_ta(&b).shape(), (n, m));
+        }
+    }
+    par::set_num_threads(0);
+}

@@ -1,10 +1,9 @@
 //! String-interned vocabulary with corpus frequencies.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of an interned token.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TokenId(pub u32);
 
 impl TokenId {
@@ -15,7 +14,7 @@ impl TokenId {
 }
 
 /// A growable token <-> id mapping with occurrence counts.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Vocab {
     tokens: Vec<String>,
     counts: Vec<u64>,
@@ -146,3 +145,6 @@ mod tests {
         assert_eq!(toks, vec!["zzz"]);
     }
 }
+
+serde::impl_serde_newtype!(TokenId);
+serde::impl_serde_struct!(Vocab { tokens, counts, index });

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus a quick kernel-bench smoke run.
+#
+#   scripts/verify.sh          # build + full test suite + quick bench
+#   scripts/verify.sh --no-bench
+#
+# The bench runs the `components` suite in CRITERION_QUICK mode and
+# refreshes results/BENCH_PR1.json with serial-vs-parallel matmul
+# throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== components bench (quick mode) =="
+    CRITERION_QUICK=1 cargo bench -q -p bench --bench components
+fi
+
+echo "verify: OK"

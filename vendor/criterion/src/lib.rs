@@ -1,0 +1,332 @@
+//! Offline in-tree shim for the subset of `criterion` this workspace uses:
+//! `Criterion` with `sample_size` / `warm_up_time` / `measurement_time`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a simple wall-clock loop: warm up for the configured
+//! time, then run timed batches until the measurement window closes, and
+//! report the mean, min, and max per-iteration time. Honouring
+//! `CRITERION_QUICK=1` trims both windows for CI smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque optimisation barrier (same contract as `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark measurement, exposed so callers can snapshot results.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    pub iterations: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// All measurements recorded through this driver, in run order.
+    pub results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        Criterion {
+            sample_size: 10,
+            warm_up: if quick { Duration::from_millis(20) } else { Duration::from_millis(300) },
+            measurement: if quick {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(2)
+            },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        if std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false) {
+            return self;
+        }
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        if std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false) {
+            return self;
+        }
+        self.measurement = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        self.run_one(id.0, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, name: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            record: None,
+        };
+        f(&mut b);
+        let m = match b.record.take() {
+            Some(mut m) => {
+                m.name = name;
+                m
+            }
+            None => Measurement {
+                name,
+                iterations: 0,
+                mean_ns: f64::NAN,
+                min_ns: f64::NAN,
+                max_ns: f64::NAN,
+            },
+        };
+        println!(
+            "{:<50} time: [{} .. {} .. {}]  ({} iters)",
+            m.name,
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            fmt_ns(m.max_ns),
+            m.iterations
+        );
+        self.results.push(m);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks (prefixes measurement names).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false) {
+            return self;
+        }
+        self.c.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false) {
+            return self;
+        }
+        self.c.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        self.c.run_one(name, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        self.c.run_one(name, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier passed to `bench_function` / `bench_with_input`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    record: Option<Measurement>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Aim for `sample_size` samples inside the measurement window.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64) / est_ns).clamp(1.0, 1e9) as u64;
+
+        let mut total_iters: u64 = 0;
+        let mut total_ns: f64 = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = f64::NEG_INFINITY;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let sample_ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += sample_ns * iters_per_sample as f64;
+            total_iters += iters_per_sample;
+            min_ns = min_ns.min(sample_ns);
+            max_ns = max_ns.max(sample_ns);
+            if run_start.elapsed() > self.measurement * 2 {
+                break; // Runaway payload: stop early rather than hang.
+            }
+        }
+        self.record = Some(Measurement {
+            name: String::new(),
+            iterations: total_iters,
+            mean_ns: total_ns / total_iters as f64,
+            min_ns,
+            max_ns,
+        });
+    }
+}
+
+/// Declares a bench entry point compatible with both `criterion_group!`
+/// forms used in this workspace.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Runs the declared groups as `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_times() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        let m = &c.results[0];
+        assert!(m.iterations > 0);
+        assert!(m.mean_ns > 0.0 && m.mean_ns.is_finite());
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("op", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.finish();
+        assert_eq!(c.results[0].name, "grp/op/4");
+    }
+}

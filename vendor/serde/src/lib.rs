@@ -1,0 +1,448 @@
+//! Offline in-tree shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of the full serde data model + proc-macro derives, this shim
+//! routes everything through one concrete value tree ([`Value`]):
+//!
+//! * [`Serialize`] turns a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`&Value`](Value);
+//! * the `impl_serde_struct!` / `impl_serde_newtype!` / `impl_serde_enum!`
+//!   macros generate those impls for the shapes the workspace actually has
+//!   (named-field structs, one-field tuple structs, unit enums), replacing
+//!   `#[derive(Serialize, Deserialize)]`.
+//!
+//! The companion `serde_json` shim renders a [`Value`] to JSON text and
+//! parses it back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A JSON-shaped value tree. Object entries keep insertion order so struct
+/// fields serialize in declaration order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers, including integers; `u64`/`i64` fit losslessly below
+    /// 2^53 which covers every count this workspace serializes.
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Required object field, as an error rather than an option.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key).ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`, yielding `Null` for absent keys (as serde_json does).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- scalar impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! num_impls {
+    // `$null` is what a JSON null decodes to: NaN for the float types
+    // (serde_json writes non-finite floats as null), an error for the
+    // integer types.
+    ($null:expr => $($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::Null => {
+                        let null: fn() -> Result<f64, Error> = $null;
+                        null().map(|n| n as $t)
+                    }
+                    other => Err(Error::new(format!(
+                        concat!("expected number for ", stringify!($t), ", got {}"),
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+num_impls!(|| Err(Error::new("expected number, got null".to_string()))
+    => u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+num_impls!(|| Ok(f64::NAN) => f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+// --- container impls ----------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!("expected array, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected object, got {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident / $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == N => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::new(format!(
+                        "expected {}-element array, got {}",
+                        N,
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// --- impl macros replacing the proc-macro derives -----------------------
+
+/// Implements [`Serialize`] / [`Deserialize`] for a named-field struct.
+///
+/// ```
+/// struct P { x: f32, tag: String }
+/// serde::impl_serde_struct!(P { x, tag });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)),)*
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($name {
+                    $($field: $crate::Deserialize::from_value(v.field(stringify!($field))?)?,)*
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] / [`Deserialize`] for a one-field tuple struct,
+/// serialized transparently as its inner value (matching the derive).
+#[macro_export]
+macro_rules! impl_serde_newtype {
+    ($name:ident) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                Ok($name($crate::Deserialize::from_value(v)?))
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] / [`Deserialize`] for an enum of unit and/or
+/// named-field variants, using serde's externally-tagged representation:
+/// unit variants as the variant-name string, struct variants as
+/// `{"Variant": {fields...}}`.
+#[macro_export]
+macro_rules! impl_serde_enum {
+    ($name:ident { $( $variant:ident $( { $($f:ident),* $(,)? } )? ),* $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $($name::$variant $( { $($f),* } )? =>
+                        $crate::__serde_enum_ser_variant!($variant $( { $($f),* } )?),)*
+                }
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                $($crate::__serde_enum_de_variant!($name, v, $variant $( { $($f),* } )?);)*
+                Err($crate::Error::new(format!(
+                    concat!("unknown ", stringify!($name), " variant: {:?}"),
+                    v
+                )))
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __serde_enum_ser_variant {
+    ($variant:ident { $($f:ident),* }) => {
+        $crate::Value::Object(vec![(
+            stringify!($variant).to_string(),
+            $crate::Value::Object(vec![
+                $((stringify!($f).to_string(), $crate::Serialize::to_value($f)),)*
+            ]),
+        )])
+    };
+    ($variant:ident) => {
+        $crate::Value::Str(stringify!($variant).to_string())
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __serde_enum_de_variant {
+    ($name:ident, $v:expr, $variant:ident { $($f:ident),* }) => {
+        if let Some(inner) = $v.get(stringify!($variant)) {
+            return Ok($name::$variant {
+                $($f: $crate::Deserialize::from_value(inner.field(stringify!($f))?)?,)*
+            });
+        }
+    };
+    ($name:ident, $v:expr, $variant:ident) => {
+        if let $crate::Value::Str(s) = $v {
+            if s == stringify!($variant) {
+                return Ok($name::$variant);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct P {
+        x: f32,
+        tag: String,
+        opt: Option<u32>,
+    }
+    impl_serde_struct!(P { x, tag, opt });
+
+    #[derive(Debug, PartialEq)]
+    struct Id(u32);
+    impl_serde_newtype!(Id);
+
+    #[derive(Debug, PartialEq)]
+    enum K {
+        A,
+        B,
+    }
+    impl_serde_enum!(K { A, B });
+
+    #[test]
+    fn struct_round_trip() {
+        let p = P { x: 1.5, tag: "hi".into(), opt: None };
+        let v = p.to_value();
+        assert_eq!(v["x"], Value::Num(1.5));
+        assert_eq!(P::from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let v = Id(7).to_value();
+        assert_eq!(v, Value::Num(7.0));
+        assert_eq!(Id::from_value(&v).unwrap(), Id(7));
+    }
+
+    #[test]
+    fn enum_round_trip_and_reject() {
+        assert_eq!(K::from_value(&K::B.to_value()).unwrap(), K::B);
+        assert!(K::from_value(&Value::Str("C".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Object(vec![("x".into(), Value::Num(0.0))]);
+        assert!(P::from_value(&v).is_err());
+    }
+}
