@@ -80,7 +80,7 @@ impl Cart {
                     continue;
                 }
                 let sse = (ql - sl * sl / nl as f32) + (qr - sr * sr / nr as f32);
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((feat, thresh, sse));
                 }
             }

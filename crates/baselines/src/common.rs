@@ -83,17 +83,18 @@ pub fn train_regressor<M: BatchRegressor>(model: &mut M, ds: &Dataset) -> Vec<f3
     let eval_every = (cfg.steps / 8).max(10);
     let mut best_val = f32::INFINITY;
     let mut best_params: Option<Params> = None;
+    let mut g = Graph::new();
     for step in 0..cfg.steps {
         let batch: Vec<usize> = (0..cfg.batch_size)
             .map(|_| ds.split.train[rng.gen_range(0..ds.split.train.len())])
             .collect();
         let labels = Tensor::col_vec(ds.labels_of(&batch));
-        let mut g = Graph::new();
+        g.reset();
         let pred = model.batch_forward(&mut g, ds, &batch, &mut rng);
         let loss = g.mse(pred, &labels);
         losses.push(g.value(loss).as_slice()[0]);
         g.backward(loss);
-        opt.step_clipped(model.params_mut(), &g, Some(cfg.clip));
+        opt.step_clipped(model.params_mut(), &mut g, Some(cfg.clip));
         if !ds.split.val.is_empty() && (step + 1) % eval_every == 0 {
             let val_idx: Vec<usize> = ds.split.val.iter().take(256).copied().collect();
             let preds = predict_regressor(model, ds, &val_idx);
@@ -119,8 +120,9 @@ pub fn predict_regressor<M: BatchRegressor>(
     let cfg = model.cfg();
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xEBA1));
     let mut out = Vec::with_capacity(papers.len());
+    let mut g = Graph::new();
     for chunk in papers.chunks(cfg.batch_size.max(1)) {
-        let mut g = Graph::new();
+        g.reset();
         let pred = model.batch_forward(&mut g, ds, chunk, &mut rng);
         out.extend_from_slice(&g.value(pred).as_slice()[..chunk.len()]);
     }

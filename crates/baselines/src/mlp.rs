@@ -78,18 +78,19 @@ impl Mlp {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut opt = Optimizer::adam(lr);
         let mut last = f32::NAN;
+        let mut g = Graph::new();
         for _ in 0..steps {
             let idx: Vec<usize> =
                 (0..batch.min(y.len())).map(|_| rng.gen_range(0..y.len())).collect();
             let xb = x.gather_rows(&idx);
             let yb = Tensor::col_vec(idx.iter().map(|&i| y[i]).collect());
-            let mut g = Graph::new();
+            g.reset();
             let xv = g.input(xb);
             let pred = self.forward(&mut g, xv);
             let loss = g.mse(pred, &yb);
             last = g.value(loss).as_slice()[0];
             g.backward(loss);
-            opt.step_clipped(&mut self.params, &g, Some(5.0));
+            opt.step_clipped(&mut self.params, &mut g, Some(5.0));
         }
         last
     }

@@ -31,7 +31,7 @@ fn catehgn_step(ds: &dblp_sim::Dataset, ablation: Ablation) {
     let (loss, _, _) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
     g.backward(loss);
     let mut opt = Optimizer::adam(cfg.lr);
-    opt.step_clipped(&mut model.params, &g, Some(cfg.clip));
+    opt.step_clipped(&mut model.params, &mut g, Some(cfg.clip));
 }
 
 fn bench(c: &mut Criterion) {

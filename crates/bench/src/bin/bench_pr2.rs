@@ -1,0 +1,96 @@
+//! PR-2 benchmark: steady-state training-step cost, seed path (fresh
+//! `Graph` per batch) vs pooled path (one long-lived `Graph` + `reset`).
+//!
+//! Reports wall-clock per step and — when built with `--features
+//! alloc-count` — heap allocations/step and bytes/step for both paths,
+//! into `results/BENCH_PR2.json`. The two paths replay the identical batch
+//! with identical RNG streams and must produce bitwise-identical per-step
+//! losses; the pooled path must allocate at least 10x less.
+//!
+//! ```text
+//! cargo run --release -p bench --features alloc-count --bin bench_pr2
+//! ```
+
+use bench::stepbench::{fixed_batch, run_training_path, MEASURE_STEPS, WARMUP_STEPS};
+use bench::{alloc_snapshot, bench_model_cfg};
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or("null".into(), |x| format!("{x:.1}"))
+}
+
+fn main() {
+    let fb = fixed_batch();
+    let cfg = bench_model_cfg(&fb.ds);
+
+    let seed_path = run_training_path(&fb, false);
+    let pooled = run_training_path(&fb, true);
+
+    assert_eq!(
+        seed_path.losses, pooled.losses,
+        "pooled path must be bitwise-identical to the seed path"
+    );
+
+    let speedup = seed_path.ns_per_step / pooled.ns_per_step;
+    let alloc_ratio = seed_path
+        .allocs_per_step
+        .zip(pooled.allocs_per_step)
+        .map(|(a, b)| a / b.max(1.0));
+    if let Some(r) = alloc_ratio {
+        assert!(
+            r >= 10.0,
+            "pooled path must allocate >= 10x less than the seed path, got {r:.1}x"
+        );
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "bench_pr2",
+  "pr": 2,
+  "headline": "arena-backed tensor pool + zero-allocation tape reuse",
+  "config": {{
+    "batch_size": {batch},
+    "layers": {layers},
+    "fanout": {fanout},
+    "dim": {dim},
+    "warmup_steps": {warm},
+    "measured_steps": {meas}
+  }},
+  "alloc_counting_enabled": {counted},
+  "seed_path": {{
+    "description": "fresh Graph per batch (pre-PR behaviour)",
+    "ms_per_step": {seed_ms:.4},
+    "allocs_per_step": {seed_allocs},
+    "bytes_per_step": {seed_bytes}
+  }},
+  "pooled_path": {{
+    "description": "one long-lived Graph, reset per batch",
+    "ms_per_step": {pool_ms:.4},
+    "allocs_per_step": {pool_allocs},
+    "bytes_per_step": {pool_bytes}
+  }},
+  "speedup": {speedup:.3},
+  "alloc_ratio": {ratio},
+  "losses_bitwise_identical": true
+}}
+"#,
+        batch = cfg.batch_size,
+        layers = cfg.layers,
+        fanout = cfg.fanout,
+        dim = cfg.dim,
+        warm = WARMUP_STEPS,
+        meas = MEASURE_STEPS,
+        counted = alloc_snapshot().is_some(),
+        seed_ms = seed_path.ns_per_step / 1e6,
+        seed_allocs = json_opt(seed_path.allocs_per_step),
+        seed_bytes = json_opt(seed_path.bytes_per_step),
+        pool_ms = pooled.ns_per_step / 1e6,
+        pool_allocs = json_opt(pooled.allocs_per_step),
+        pool_bytes = json_opt(pooled.bytes_per_step),
+        ratio = json_opt(alloc_ratio),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_PR2.json");
+    std::fs::write(path, &json).expect("write results/BENCH_PR2.json");
+    println!("{json}");
+    println!("wrote {path}");
+}

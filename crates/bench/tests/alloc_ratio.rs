@@ -1,0 +1,23 @@
+//! PR-2 acceptance (allocation half): the pooled training path must make
+//! at least 10x fewer heap allocations per steady-state step than the seed
+//! fresh-graph path, at bitwise-identical losses. Requires the counting
+//! global allocator, so the whole test is gated on the `alloc-count`
+//! feature (`cargo test -p bench --features alloc-count --release`); the
+//! bitwise half is always-on in `crates/core/tests/pool_equivalence.rs`.
+#![cfg(feature = "alloc-count")]
+
+use bench::stepbench::{fixed_batch, run_training_path};
+
+#[test]
+fn pooled_path_allocates_at_least_10x_less() {
+    let fb = fixed_batch();
+    let seed_path = run_training_path(&fb, false);
+    let pooled = run_training_path(&fb, true);
+    assert_eq!(seed_path.losses, pooled.losses, "paths diverged");
+    let a = seed_path.allocs_per_step.expect("alloc counting enabled");
+    let b = pooled.allocs_per_step.expect("alloc counting enabled");
+    assert!(
+        a >= 10.0 * b.max(1.0),
+        "expected >= 10x fewer allocations, got {a:.0} vs {b:.0} per step"
+    );
+}

@@ -2,7 +2,7 @@
 //! clustering over *all* node types in the one shared embedding space,
 //! masked-embedding prediction, and the consistency/disparity regularisers.
 
-use tensor::{Graph, ParamId, Params, Tensor, Var};
+use tensor::{ConstId, Graph, ParamId, Params, Tensor, Var};
 
 /// Trainable CA parameters: per layer, `K` cluster centers (a `K x d`
 /// tensor) and `K` embedding masks (each `1 x d`, passed through sigmoid).
@@ -91,12 +91,24 @@ pub fn target_distribution(q: &Tensor) -> Tensor {
 /// `sum p log p` entropy term is folded in on the CPU so the returned value
 /// is the true KL (its gradient is unaffected).
 pub fn self_training_loss(g: &mut Graph, q: Var, p: &Tensor) -> Var {
+    let pid = g.constant_from(p);
+    self_training_loss_id(g, q, pid)
+}
+
+/// [`self_training_loss`] against a target already interned in the graph's
+/// constant arena — intern `P` by move (`Graph::constant`) and the DEC loss
+/// costs zero tensor copies per batch.
+pub fn self_training_loss_id(g: &mut Graph, q: Var, p: ConstId) -> Var {
     let log_q = g.log(q);
-    let cross = g.mul_const(log_q, p);
+    let cross = g.mul_const_id(log_q, p);
     let neg_ce = g.sum_all(cross); // sum p log q
     let ce = g.neg(neg_ce);
-    let entropy: f32 =
-        p.as_slice().iter().map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 }).sum();
+    let entropy: f32 = g
+        .constant_value(p)
+        .as_slice()
+        .iter()
+        .map(|&x| if x > 0.0 { x * x.ln() } else { 0.0 })
+        .sum();
     g.add_scalar(ce, entropy)
 }
 

@@ -99,7 +99,7 @@ pub fn encode_nodes(
 pub fn encode_links(g: &mut Graph, params: &Params, enc: &EncoderParams) -> Vec<Var> {
     (0..enc.link_w.len())
         .map(|t| {
-            let x = g.input(enc.link_feat[t].clone());
+            let x = g.input_from(&enc.link_feat[t]);
             let w = g.param(params, enc.link_w[t]);
             let b = g.param(params, enc.link_b[t]);
             let lin = g.linear(x, w, b);

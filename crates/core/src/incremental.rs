@@ -46,6 +46,7 @@ pub fn adapt<R: Rng>(
     // Lower learning rate: adaptation, not re-training.
     let mut opt = Optimizer::adam(cfg.lr * 0.3);
     let mut total = 0.0f32;
+    let mut g = Graph::new();
     for _ in 0..steps {
         let batch: Vec<usize> = (0..cfg.batch_size.min(new_papers.len() * 2))
             .map(|_| new_papers[rng.gen_range(0..new_papers.len())])
@@ -63,12 +64,12 @@ pub fn adapt<R: Rng>(
             }
             Tensor::col_vec(blocks[0].dst_nodes.iter().map(|n| first[n]).collect())
         };
-        let mut g = Graph::new();
+        g.reset();
         let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
         let (loss, sup, _) = model.hgn_loss(&mut g, &fw, &blocks, &labels, rng);
         total += sup;
         g.backward(loss);
-        opt.step_clipped(&mut model.params, &g, Some(cfg.clip));
+        opt.step_clipped(&mut model.params, &mut g, Some(cfg.clip));
     }
     IncrementalReport { adapted_on: new_papers.len(), mean_loss: total / steps.max(1) as f32 }
 }

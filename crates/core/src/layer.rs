@@ -117,9 +117,12 @@ pub fn layer_forward(
     let w_a = g.param(params, lp.w_a);
     let attn = cfg.ablation.attention;
 
-    // Per-type index preparation is pure bookkeeping over the block, so
-    // the link types fan out across workers (`par_map` keeps type order);
-    // the autodiff graph mutation below stays on the calling thread.
+    // Per-type index preparation is pure bookkeeping over the block. Every
+    // list is checked out of the graph's scratch pool and either handed to
+    // an op (reclaimed by the next `reset`) or recycled below, so the
+    // steady-state step rebuilds all of it without touching the heap —
+    // which is also why this runs serially on the tape thread: the pool is
+    // part of the (single-threaded) graph.
     struct TypeIdx {
         lt: usize,
         src_idx: Vec<usize>,
@@ -134,45 +137,46 @@ pub fn layer_forward(
         /// Uniform within-type weights `1 / deg_t(v)` (attention off).
         uniform_w: Vec<f32>,
     }
-    let type_idx: Vec<Option<TypeIdx>> =
-        tensor::par::par_map(block.edges_by_type.len(), |lt| {
-            let edges = &block.edges_by_type[lt];
-            if edges.is_empty() {
-                return None;
+    let mut type_idx: Vec<TypeIdx> = Vec::with_capacity(block.edges_by_type.len());
+    for lt in 0..block.edges_by_type.len() {
+        let edges = &block.edges_by_type[lt];
+        if edges.is_empty() {
+            continue;
+        }
+        let mut src_idx = g.scratch_idx();
+        src_idx.extend(edges.iter().map(|e| e.src_pos as usize));
+        let mut dst_idx = g.scratch_idx();
+        dst_idx.extend(edges.iter().map(|e| e.dst_pos as usize));
+        let mut prev_idx = g.scratch_idx();
+        prev_idx.extend(edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize));
+        let mut active_dst = g.scratch_idx_from(&dst_idx);
+        active_dst.sort_unstable();
+        active_dst.dedup();
+        let mut local_seg = g.scratch_idx();
+        local_seg
+            .extend(dst_idx.iter().map(|d| active_dst.binary_search(d).expect("dst present")));
+        let mut active_prev = g.scratch_idx();
+        active_prev.extend(active_dst.iter().map(|&d| block.dst_in_src[d] as usize));
+        let uniform_w = if attn {
+            Vec::new()
+        } else {
+            let mut deg = vec![0.0f32; n_dst];
+            for &d in &dst_idx {
+                deg[d] += 1.0;
             }
-            let src_idx: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
-            let dst_idx: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
-            let prev_idx: Vec<usize> =
-                edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize).collect();
-            let mut active_dst = dst_idx.clone();
-            active_dst.sort_unstable();
-            active_dst.dedup();
-            let local_seg: Vec<usize> = dst_idx
-                .iter()
-                .map(|d| active_dst.binary_search(d).expect("dst present"))
-                .collect();
-            let active_prev: Vec<usize> =
-                active_dst.iter().map(|&d| block.dst_in_src[d] as usize).collect();
-            let uniform_w = if attn {
-                Vec::new()
-            } else {
-                let mut deg = vec![0.0f32; n_dst];
-                for &d in &dst_idx {
-                    deg[d] += 1.0;
-                }
-                dst_idx.iter().map(|&d| 1.0 / deg[d]).collect()
-            };
-            Some(TypeIdx {
-                lt,
-                src_idx,
-                dst_idx,
-                prev_idx,
-                active_dst,
-                local_seg,
-                active_prev,
-                uniform_w,
-            })
+            dst_idx.iter().map(|&d| 1.0 / deg[d]).collect()
+        };
+        type_idx.push(TypeIdx {
+            lt,
+            src_idx,
+            dst_idx,
+            prev_idx,
+            active_dst,
+            local_seg,
+            active_prev,
+            uniform_w,
         });
+    }
 
     // Per-type aggregation results awaiting cross-type combination.
     struct TypeAgg {
@@ -183,7 +187,7 @@ pub fn layer_forward(
     }
     let mut per_type: Vec<TypeAgg> = Vec::new();
 
-    for ti in type_idx.into_iter().flatten() {
+    for ti in type_idx {
         let m = ti.src_idx.len();
         let h_u = g.gather_rows(h_src, ti.src_idx);
         let h_v_prev = g.gather_rows(h_src, ti.prev_idx);
@@ -203,7 +207,8 @@ pub fn layer_forward(
                 let a = g.param(params, aid);
                 let s = g.matmul(feat, a);
                 let s = g.leaky_relu(s, 0.2);
-                let sm = g.segment_softmax(s, ti.dst_idx.clone());
+                let seg = g.scratch_idx_from(&ti.dst_idx);
+                let sm = g.segment_softmax(s, seg);
                 acc = Some(match acc {
                     Some(prev) => g.add(prev, sm),
                     None => sm,
@@ -214,6 +219,7 @@ pub fn layer_forward(
         } else {
             g.input(Tensor::col_vec(ti.uniform_w))
         };
+        g.recycle_idx(ti.dst_idx);
         let weighted = g.mul_col(msg, alpha);
 
         // Aggregate into *active-dst-local* slots to keep the cross-type
@@ -231,7 +237,8 @@ pub fn layer_forward(
     // Self-connection (the `I` of Eq. 1's `A + I`): every node's own
     // previous-layer embedding contributes alongside its typed neighbors,
     // and keeps isolated nodes represented.
-    let prev_idx: Vec<usize> = block.dst_in_src.iter().map(|&p| p as usize).collect();
+    let mut prev_idx = g.scratch_idx();
+    prev_idx.extend(block.dst_in_src.iter().map(|&p| p as usize));
     let h_prev_dst = g.gather_rows(h_src, prev_idx);
     let w_self = g.param(params, lp.w_self);
     let self_term = g.matmul(h_prev_dst, w_self);
@@ -244,9 +251,9 @@ pub fn layer_forward(
         // normalises across the types present at each node.
         let mut stacked_agg: Option<Var> = None;
         let mut stacked_feat: Option<Var> = None;
-        let mut segments: Vec<usize> = Vec::new();
-        for ta in &per_type {
-            let h_v = g.gather_rows(h_src, ta.active_prev.clone());
+        let mut segments = g.scratch_idx();
+        for ta in per_type {
+            let h_v = g.gather_rows(h_src, ta.active_prev);
             let e_tiled = tile_rows(g, ta.h_e, ta.active_dst.len());
             let hv_he = g.concat_cols(h_v, e_tiled);
             let feat = g.concat_cols(hv_he, ta.agg_active);
@@ -259,6 +266,7 @@ pub fn layer_forward(
                 None => feat,
             });
             segments.extend(ta.active_dst.iter().copied());
+            g.recycle_idx(ta.active_dst);
         }
         let stacked_agg = stacked_agg.expect("non-empty per_type");
         let stacked_feat = stacked_feat.expect("non-empty per_type");
@@ -269,7 +277,8 @@ pub fn layer_forward(
                 let a = g.param(params, aid);
                 let s = g.matmul(stacked_feat, a);
                 let s = g.leaky_relu(s, 0.2);
-                let sm = g.segment_softmax(s, segments.clone());
+                let seg = g.scratch_idx_from(&segments);
+                let sm = g.segment_softmax(s, seg);
                 acc = Some(match acc {
                     Some(prev) => g.add(prev, sm),
                     None => sm,

@@ -29,21 +29,13 @@ pub fn mi_loss<R: Rng>(
     max_edges: usize,
     rng: &mut R,
 ) -> Option<Var> {
-    // Flatten candidate edges as (src_pos, dst_pos, weight). Each link
-    // type flattens independently; concatenating the per-type vectors in
-    // type order reproduces the serial nested loop exactly, so the
-    // RNG-driven subsample below sees the same candidate order at any
-    // thread count.
-    let per_type = tensor::par::par_map(block.edges_by_type.len(), |t| {
-        block.edges_by_type[t]
-            .iter()
-            .map(|e| (e.src_pos as usize, e.dst_pos as usize, e.weight))
-            .collect::<Vec<(usize, usize, f32)>>()
-    });
-    let mut all: Vec<(usize, usize, f32)> =
-        Vec::with_capacity(per_type.iter().map(Vec::len).sum());
-    for v in per_type {
-        all.extend(v);
+    // Flatten candidate edges as (src_pos, dst_pos, weight), in type order
+    // — the candidate order the RNG-driven subsample below sees is defined
+    // by the block alone.
+    let total: usize = block.edges_by_type.iter().map(Vec::len).sum();
+    let mut all: Vec<(usize, usize, f32)> = Vec::with_capacity(total);
+    for edges in &block.edges_by_type {
+        all.extend(edges.iter().map(|e| (e.src_pos as usize, e.dst_pos as usize, e.weight)));
     }
     if all.is_empty() {
         return None;
@@ -58,9 +50,12 @@ pub fn mi_loss<R: Rng>(
     }
     let n_src = block.src_nodes.len();
     let m = all.len();
-    let src_idx: Vec<usize> = all.iter().map(|&(s, _, _)| s).collect();
-    let dst_idx: Vec<usize> = all.iter().map(|&(_, d, _)| d).collect();
-    let neg_idx: Vec<usize> = (0..m).map(|_| rng.gen_range(0..n_src)).collect();
+    let mut src_idx = g.scratch_idx();
+    src_idx.extend(all.iter().map(|&(s, _, _)| s));
+    let mut dst_idx = g.scratch_idx();
+    dst_idx.extend(all.iter().map(|&(_, d, _)| d));
+    let mut neg_idx = g.scratch_idx();
+    neg_idx.extend((0..m).map(|_| rng.gen_range(0..n_src)));
     // True link weights, clamped into sigmoid's range.
     let omega: Vec<f32> = all.iter().map(|&(_, _, w)| w.clamp(0.0, 1.0)).collect();
 
@@ -205,7 +200,7 @@ mod tests {
             let hn = g.input(h_next_t.clone());
             let loss = mi_loss(&mut g, &params, w_d, &block, hs, hn, 16, &mut rng).unwrap();
             g.backward(loss);
-            opt.step(&mut params, &g);
+            opt.step(&mut params, &mut g);
         }
         // Check D(pos) > D(neg-ish): pos pair (dst0, src2), neg pair (dst0, src1).
         let wd = params.value(w_d);

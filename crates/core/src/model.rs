@@ -143,7 +143,7 @@ impl CateHgn {
                 let centers = if bind_centers {
                     g.param(&self.params, self.ca.centers[l - 1])
                 } else {
-                    g.input(self.params.value(self.ca.centers[l - 1]).clone())
+                    g.input_from(self.params.value(self.ca.centers[l - 1]))
                 };
                 let q = ca::soft_assign(g, h_next, centers);
                 q_layers.push(q);
@@ -180,11 +180,13 @@ impl CateHgn {
         rng: &mut R,
     ) -> (Var, f32, f32) {
         let b = labels.rows();
-        // Supervised loss over all layers (Eq. 6).
+        // Supervised loss over all layers (Eq. 6). The label column is
+        // interned once and shared by every layer's MSE.
+        let labels_id = g.constant_from(labels);
         let mut sup: Option<Var> = None;
         for l in 1..=self.cfg.layers {
             let pred = self.predict_rows(g, fw, l, b);
-            let m = g.mse(pred, labels);
+            let m = g.mse_id(pred, labels_id);
             sup = Some(match sup {
                 Some(prev) => g.add(prev, m),
                 None => m,
@@ -243,7 +245,8 @@ impl CateHgn {
         if ab.ca_self_training {
             for &q in &fw.q_layers {
                 let p = ca::target_distribution(g.value(q));
-                let st = ca::self_training_loss(g, q, &p);
+                let pid = g.constant(p); // interned by move — no copy of P
+                let st = ca::self_training_loss_id(g, q, pid);
                 add(g, st, self.cfg.lambda_st, &mut total);
             }
         }
@@ -283,13 +286,14 @@ impl CateHgn {
     ) -> Vec<f32> {
         const PREDICT_SAMPLES: u64 = 5;
         let mut out = vec![0.0f32; seeds.len()];
+        let mut g = Graph::new();
         for s in 0..PREDICT_SAMPLES {
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s.wrapping_mul(0x9E37)));
             let mut offset = 0;
             for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
                 let blocks =
                     sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout * 2, &mut rng);
-                let mut g = Graph::new();
+                g.reset();
                 let fw = self.forward(&mut g, graph, features, &blocks, false);
                 // Eq. 6 trains a regressor at every layer; averaging the
                 // per-layer predictions is the natural deep-supervision
@@ -322,10 +326,11 @@ impl CateHgn {
     ) -> Vec<(f32, usize)> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(seeds.len());
+        let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
             let blocks =
                 sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout * 2, &mut rng);
-            let mut g = Graph::new();
+            g.reset();
             let fw = self.forward(&mut g, graph, features, &blocks, false);
             let pred = self.predict_rows(&mut g, &fw, self.cfg.layers, chunk.len());
             let preds = g.value(pred).as_slice().to_vec();
@@ -351,6 +356,7 @@ impl CateHgn {
     ) -> Vec<Tensor> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); self.cfg.layers];
+        let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
             let blocks = sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout, &mut rng);
             // Duplicate seeds dedup in the sampler: resolve each requested
@@ -362,7 +368,7 @@ impl CateHgn {
                 .enumerate()
                 .map(|(i, &n)| (n, i))
                 .collect();
-            let mut g = Graph::new();
+            g.reset();
             let fw = self.forward(&mut g, graph, features, &blocks, false);
             for (l, &h) in fw.h_layers.iter().enumerate() {
                 let hv = g.value(h);

@@ -80,6 +80,7 @@ impl TemporalHead {
         let mut opt = Optimizer::adam(lr);
         let mut last = f32::NAN;
         let bsz = 64.min(train.len());
+        let mut g = Graph::new();
         for _ in 0..steps {
             let idx: Vec<usize> = (0..bsz).map(|_| rng.gen_range(0..train.len())).collect();
             let xb = x_all.gather_rows(&idx);
@@ -87,13 +88,13 @@ impl TemporalHead {
             for (r, &i) in idx.iter().enumerate() {
                 yb.set_row(r, &y_all[i]);
             }
-            let mut g = Graph::new();
+            g.reset();
             let xv = g.input(xb);
             let pred = self.forward(&mut g, xv);
             let loss = g.mse(pred, &yb);
             last = g.value(loss).as_slice()[0];
             g.backward(loss);
-            opt.step_clipped(&mut self.params, &g, Some(5.0));
+            opt.step_clipped(&mut self.params, &mut g, Some(5.0));
         }
         last
     }

@@ -101,6 +101,11 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
         best_params = Some(model.params.clone());
     }
 
+    // One long-lived tape for the whole run: reset between batches recycles
+    // every node buffer through the graph's pool, so steady-state training
+    // steps run allocation-free (see DESIGN.md, "Memory model").
+    let mut g = Graph::new();
+
     for outer in 0..cfg.outer_iters {
         // ---- HGN mini-iterations (lines 3-9) --------------------------
         let mut tot = 0.0;
@@ -114,13 +119,13 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
             let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
             // Seed dedup can shrink the frontier prefix; relabel to match.
             let labels = dedup_labels(&seeds, &blocks[0].dst_nodes, &labels);
-            let mut g = Graph::new();
+            g.reset();
             let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
             let (loss, sup, _mi) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
             tot += g.value(loss).as_slice()[0];
             sup_tot += sup;
             g.backward(loss);
-            opt.step_clipped(&mut model.params, &g, Some(cfg.clip));
+            opt.step_clipped(&mut model.params, &mut g, Some(cfg.clip));
         }
         report.hgn_losses.push(tot / cfg.mini_iters as f32);
         report.sup_losses.push(sup_tot / cfg.mini_iters as f32);
@@ -140,11 +145,11 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
                     .map(|_| all_nodes[rng.gen_range(0..all_nodes.len())])
                     .collect();
                 let blocks = sample_blocks(&ds.graph, &batch, cfg.layers, cfg.fanout, &mut rng);
-                let mut g = Graph::new();
+                g.reset();
                 let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, true);
                 if let Some(loss) = model.ca_loss(&mut g, &fw) {
                     g.backward(loss);
-                    ca_opt.step_filtered(&mut model.params, &g, Some(cfg.clip), &center_ids);
+                    ca_opt.step_filtered(&mut model.params, &mut g, Some(cfg.clip), &center_ids);
                 }
             }
         }

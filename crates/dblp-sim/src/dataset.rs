@@ -357,10 +357,10 @@ fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize)
         features.set_row(venue_nodes[l].index(), &row);
     }
     // Terms: their own word embedding (historical-rate slot stays zero).
-    for l in 0..used_terms.len() {
+    for (l, term_node) in term_nodes.iter().enumerate().take(used_terms.len()) {
         let mut e: Vec<f32> = word_embeddings.embedding(TokenId(l as u32)).to_vec();
         e.push(0.0);
-        features.set_row(term_nodes[l].index(), &e);
+        features.set_row(term_node.index(), &e);
     }
 
     // ---- Labels & split ------------------------------------------------

@@ -141,7 +141,7 @@ mod tests {
         assert_eq!(v.iter().filter(|(g, _, _)| *g == "CATE-HGN").count(), 4);
         // Each group ends in its full model.
         for g in ["HGN", "CA-HGN", "CATE-HGN"] {
-            let last = v.iter().filter(|(gr, _, _)| *gr == g).last().unwrap();
+            let last = v.iter().rfind(|(gr, _, _)| *gr == g).unwrap();
             assert_eq!(last.1, "full");
         }
         // HGN rows must not enable CA or TE.

@@ -58,11 +58,8 @@ pub fn check_binary(
     });
     let gb = check_unary(b, eps, |g, bv| {
         // Note the input order: we must still pass (a, b).
-        let loss = {
-            let av = g.input(a.clone());
-            f(g, av, bv)
-        };
-        loss
+        let av = g.input(a.clone());
+        f(g, av, bv)
     });
     (ga, gb)
 }

@@ -9,16 +9,42 @@
 //! variable-size neighbor sets, circular correlation for HolE-style
 //! entity-relation composition, and pairwise distances plus Student-t
 //! transforms for DEC-style soft clustering.
+//!
+//! ## Memory model
+//!
+//! Every node value, gradient, and backward scratch buffer is checked out
+//! of a per-graph [`BufferPool`] and [`Graph::reset`] returns them all, so
+//! a long-lived graph that is reset between batches replays the training
+//! step without heap allocations once the pool has warmed up. Constant
+//! tensors (MSE targets, fixed mixing weights) are interned once per tape
+//! in a constant arena ([`ConstId`]) instead of being cloned into the op
+//! that uses them. Pooled execution is bitwise-identical to running each
+//! step on a fresh graph — pooled buffers are either fully overwritten or
+//! zero-filled before use, and no compute order depends on the pool (see
+//! DESIGN.md, "Memory model").
 
 use crate::params::{ParamId, Params};
+use crate::pool::BufferPool;
 use crate::tensor::{circular_correlation, dot, softmax_in_place, Tensor};
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
-/// that created it.
+/// that created it, and only until the next [`Graph::reset`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Var(u32);
 
 impl Var {
+    #[inline]
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a constant tensor interned in a [`Graph`]'s constant arena via
+/// [`Graph::constant`]. Valid until the next [`Graph::reset`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConstId(u32);
+
+impl ConstId {
     #[inline]
     fn idx(self) -> usize {
         self.0 as usize
@@ -82,10 +108,10 @@ enum Op {
     Recip1p(Var),
     /// Extracts column `j` of `a` as an `n x 1` tensor.
     ColSlice(Var, usize),
-    /// Element-wise product with a constant tensor (no gradient to it).
-    MulConst(Var, Tensor),
-    /// Mean squared error against a constant target; output is `1 x 1`.
-    Mse(Var, Tensor),
+    /// Element-wise product with an interned constant (no gradient to it).
+    MulConst(Var, ConstId),
+    /// Mean squared error against an interned constant target; `1 x 1`.
+    Mse(Var, ConstId),
 }
 
 struct Node {
@@ -98,10 +124,36 @@ struct Node {
 pub const LOG_EPS: f32 = 1e-12;
 
 /// A single forward pass's computation tape.
+///
+/// Build one `Graph` per training run and call [`Graph::reset`] between
+/// batches: the tape clears but its node storage and the buffer pool
+/// survive, so the next batch's forward/backward reuses last batch's
+/// allocations.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     bindings: Vec<(ParamId, Var)>,
+    consts: Vec<Tensor>,
+    pool: BufferPool,
+}
+
+/// Pooled element-wise map (`out[i] = f(src[i])`), same shape as `src`.
+fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = pool.take_raw(src.len());
+    for (o, &x) in buf.iter_mut().zip(src.as_slice()) {
+        *o = f(x);
+    }
+    Tensor::from_vec(src.rows(), src.cols(), buf)
+}
+
+/// Pooled element-wise zip (`out[i] = f(a[i], b[i])`); shapes must match.
+fn pooled_zip(pool: &mut BufferPool, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let mut buf = pool.take_raw(a.len());
+    for ((o, &x), &y) in buf.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = f(x, y);
+    }
+    Tensor::from_vec(a.rows(), a.cols(), buf)
 }
 
 impl Graph {
@@ -118,6 +170,81 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Clears the tape for reuse: every node's value/grad buffer, every
+    /// interned constant, and all parameter bindings are recycled into the
+    /// graph's buffer pool, while the tape's own node storage keeps its
+    /// capacity. All [`Var`]/[`ConstId`] handles from before the reset
+    /// become invalid. Replaying the same ops after a reset produces
+    /// bitwise-identical values and gradients to a fresh graph.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.give(node.value.into_vec());
+            if let Some(grad) = node.grad {
+                self.pool.give(grad.into_vec());
+            }
+            match node.op {
+                Op::GatherRows(_, idx) | Op::SegmentSum(_, idx) | Op::SegmentSoftmax(_, idx) => {
+                    self.pool.give_idx(idx)
+                }
+                _ => {}
+            }
+        }
+        for c in self.consts.drain(..) {
+            self.pool.give(c.into_vec());
+        }
+        self.bindings.clear();
+    }
+
+    /// Checkout statistics of the graph's buffer pool.
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Checks a cleared index buffer out of the graph's pool. Build gather
+    /// indices or segment ids into it and hand it to the op taking it by
+    /// value — [`Graph::reset`] recycles it with the rest of the tape.
+    /// Buffers that never reach an op go back via [`Graph::recycle_idx`].
+    pub fn scratch_idx(&mut self) -> Vec<usize> {
+        self.pool.take_idx()
+    }
+
+    /// A pooled copy of `indices` (see [`Graph::scratch_idx`]).
+    pub fn scratch_idx_from(&mut self, indices: &[usize]) -> Vec<usize> {
+        let mut buf = self.pool.take_idx();
+        buf.extend_from_slice(indices);
+        buf
+    }
+
+    /// Returns an index buffer to the graph's pool.
+    pub fn recycle_idx(&mut self, buf: Vec<usize>) {
+        self.pool.give_idx(buf);
+    }
+
+    /// Returns a tensor's storage to the graph's pool.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.recycle(t);
+    }
+
+    /// Sums bound-parameter gradients (over repeated bindings, in binding
+    /// order) into pooled tensors, sorted by parameter id. Parameters whose
+    /// bound vars received no gradient are omitted. The caller returns each
+    /// tensor via [`Graph::recycle`] once consumed, keeping optimizer steps
+    /// off the heap.
+    pub fn collect_param_grads(&mut self) -> Vec<(ParamId, Tensor)> {
+        let Graph { nodes, bindings, pool, .. } = self;
+        let mut out: Vec<(ParamId, Tensor)> = Vec::new();
+        for &(pid, var) in bindings.iter() {
+            if let Some(grad) = nodes[var.idx()].grad.as_ref() {
+                match out.iter_mut().find(|(p, _)| *p == pid) {
+                    Some((_, acc)) => acc.add_assign(grad),
+                    None => out.push((pid, pool.tensor_copy(grad))),
+                }
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         debug_assert!(self.nodes.len() < u32::MAX as usize);
         self.nodes.push(Node { value, grad: None, op });
@@ -130,18 +257,47 @@ impl Graph {
         self.push(t, Op::Leaf)
     }
 
+    /// Records a leaf holding a pooled copy of `t` — equivalent to
+    /// `input(t.clone())` without the steady-state heap allocation.
+    pub fn input_from(&mut self, t: &Tensor) -> Var {
+        let v = self.pool.tensor_copy(t);
+        self.push(v, Op::Leaf)
+    }
+
     /// Records a `1 x 1` scalar constant.
     pub fn scalar(&mut self, v: f32) -> Var {
-        self.input(Tensor::from_vec(1, 1, vec![v]))
+        let mut t = self.pool.tensor_raw(1, 1);
+        t.as_mut_slice()[0] = v;
+        self.input(t)
     }
 
     /// Binds a parameter from `params` as a leaf; its gradient is later
     /// collected by the optimizer. Binding the same parameter several times
     /// is allowed — gradients are summed at step time.
     pub fn param(&mut self, params: &Params, id: ParamId) -> Var {
-        let v = self.input(params.value(id).clone());
+        let v = self.input_from(params.value(id));
         self.bindings.push((id, v));
         v
+    }
+
+    /// Interns a constant tensor in the graph's arena. The handle can feed
+    /// any number of [`Graph::mul_const_id`] / [`Graph::mse_id`] ops without
+    /// copying the data again.
+    pub fn constant(&mut self, t: Tensor) -> ConstId {
+        debug_assert!(self.consts.len() < u32::MAX as usize);
+        self.consts.push(t);
+        ConstId((self.consts.len() - 1) as u32)
+    }
+
+    /// Interns a pooled copy of `t` (see [`Graph::constant`]).
+    pub fn constant_from(&mut self, t: &Tensor) -> ConstId {
+        let c = self.pool.tensor_copy(t);
+        self.constant(c)
+    }
+
+    /// The tensor interned under `c`.
+    pub fn constant_value(&self, c: ConstId) -> &Tensor {
+        &self.consts[c.idx()]
     }
 
     /// The forward value of `v`.
@@ -169,22 +325,42 @@ impl Graph {
     // -----------------------------------------------------------------
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).add(self.value(b));
+        let v = pooled_zip(
+            &mut self.pool,
+            &self.nodes[a.idx()].value,
+            &self.nodes[b.idx()].value,
+            |x, y| x + y,
+        );
         self.push(v, Op::Add(a, b))
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).sub(self.value(b));
+        let v = pooled_zip(
+            &mut self.pool,
+            &self.nodes[a.idx()].value,
+            &self.nodes[b.idx()].value,
+            |x, y| x - y,
+        );
         self.push(v, Op::Sub(a, b))
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).mul(self.value(b));
+        let v = pooled_zip(
+            &mut self.pool,
+            &self.nodes[a.idx()].value,
+            &self.nodes[b.idx()].value,
+            |x, y| x * y,
+        );
         self.push(v, Op::Mul(a, b))
     }
 
     pub fn div(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).div(self.value(b));
+        let v = pooled_zip(
+            &mut self.pool,
+            &self.nodes[a.idx()].value,
+            &self.nodes[b.idx()].value,
+            |x, y| x / y,
+        );
         self.push(v, Op::Div(a, b))
     }
 
@@ -193,10 +369,10 @@ impl Graph {
         let (n, m) = self.shape(a);
         let (rr, rm) = self.shape(row);
         assert_eq!((rr, rm), (1, m), "add_row: expected 1x{m} row, got {rr}x{rm}");
-        let mut out = self.value(a).clone();
-        let r = self.value(row).as_slice().to_vec();
+        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        let r = &self.nodes[row.idx()].value;
         for i in 0..n {
-            for (o, &x) in out.row_mut(i).iter_mut().zip(&r) {
+            for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
                 *o += x;
             }
         }
@@ -207,10 +383,10 @@ impl Graph {
     pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
         let (n, m) = self.shape(a);
         assert_eq!(self.shape(row), (1, m), "mul_row shape mismatch");
-        let mut out = self.value(a).clone();
-        let r = self.value(row).as_slice().to_vec();
+        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        let r = &self.nodes[row.idx()].value;
         for i in 0..n {
-            for (o, &x) in out.row_mut(i).iter_mut().zip(&r) {
+            for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
                 *o *= x;
             }
         }
@@ -221,10 +397,10 @@ impl Graph {
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
         let (n, _m) = self.shape(a);
         assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
-        let mut out = self.value(a).clone();
-        let c = self.value(col).as_slice().to_vec();
+        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        let c = &self.nodes[col.idx()].value;
         for i in 0..n {
-            let s = c[i];
+            let s = c.as_slice()[i];
             for o in out.row_mut(i) {
                 *o *= s;
             }
@@ -236,10 +412,10 @@ impl Graph {
     pub fn div_col(&mut self, a: Var, col: Var) -> Var {
         let (n, _m) = self.shape(a);
         assert_eq!(self.shape(col), (n, 1), "div_col shape mismatch");
-        let mut out = self.value(a).clone();
-        let c = self.value(col).as_slice().to_vec();
+        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        let c = &self.nodes[col.idx()].value;
         for i in 0..n {
-            let s = c[i];
+            let s = c.as_slice()[i];
             for o in out.row_mut(i) {
                 *o /= s;
             }
@@ -248,53 +424,64 @@ impl Graph {
     }
 
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
-        let v = self.value(a).scale(alpha);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x * alpha);
         self.push(v, Op::Scale(a, alpha))
     }
 
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = self.value(a).map(|x| x + c);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x + c);
         self.push(v, Op::AddScalar(a))
     }
 
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = self.value(a).scale(-1.0);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| -x);
         self.push(v, Op::Neg(a))
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
-        self.push(v, Op::MatMul(a, b))
+        let (n, _) = self.shape(a);
+        let (_, m) = self.shape(b);
+        let mut out = self.pool.tensor_raw(n, m);
+        self.nodes[a.idx()].value.matmul_into(&self.nodes[b.idx()].value, &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.value(a).transpose();
-        self.push(v, Op::Transpose(a))
+        let (n, m) = self.shape(a);
+        let mut out = self.pool.tensor_raw(m, n);
+        self.nodes[a.idx()].value.transpose_into(&mut out);
+        self.push(out, Op::Transpose(a))
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x.max(0.0));
         self.push(v, Op::Relu(a))
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { slope * x });
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| {
+            if x > 0.0 {
+                x
+            } else {
+                slope * x
+            }
+        });
         self.push(v, Op::LeakyRelu(a, slope))
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(stable_sigmoid);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, stable_sigmoid);
         self.push(v, Op::Sigmoid(a))
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, f32::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     /// `softplus(x) = ln(1 + e^x)`, computed stably.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| {
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| {
             if x > 20.0 {
                 x
             } else if x < -20.0 {
@@ -307,74 +494,115 @@ impl Graph {
     }
 
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::exp);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, f32::exp);
         self.push(v, Op::Exp(a))
     }
 
     /// Natural log with input clamped to [`LOG_EPS`] for finiteness.
     pub fn log(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(LOG_EPS).ln());
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x.max(LOG_EPS).ln());
         self.push(v, Op::Log(a))
     }
 
     pub fn square(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x * x);
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x * x);
         self.push(v, Op::Square(a))
     }
 
     /// Sums all elements into a `1 x 1` scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).sum()]);
-        self.push(v, Op::SumAll(a))
+        let s = self.nodes[a.idx()].value.sum();
+        let mut out = self.pool.tensor_raw(1, 1);
+        out.as_mut_slice()[0] = s;
+        self.push(out, Op::SumAll(a))
     }
 
     /// Mean of all elements as a `1 x 1` scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).mean()]);
-        self.push(v, Op::MeanAll(a))
+        let s = self.nodes[a.idx()].value.mean();
+        let mut out = self.pool.tensor_raw(1, 1);
+        out.as_mut_slice()[0] = s;
+        self.push(out, Op::MeanAll(a))
     }
 
     /// Per-row sums, `n x m -> n x 1`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let v = self.value(a).row_sums();
-        self.push(v, Op::SumRows(a))
+        let (n, _m) = self.shape(a);
+        let mut out = self.pool.tensor_raw(n, 1);
+        for (o, r) in out.as_mut_slice().iter_mut().zip(self.nodes[a.idx()].value.rows_iter()) {
+            *o = r.iter().sum();
+        }
+        self.push(out, Op::SumRows(a))
     }
 
     /// Per-column sums, `n x m -> 1 x m`.
     pub fn sum_cols(&mut self, a: Var) -> Var {
-        let v = self.value(a).col_sums();
-        self.push(v, Op::SumCols(a))
+        let (_n, m) = self.shape(a);
+        let mut out = self.pool.tensor_zeroed(1, m);
+        for r in self.nodes[a.idx()].value.rows_iter() {
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(r) {
+                *o += x;
+            }
+        }
+        self.push(out, Op::SumCols(a))
     }
 
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let v = self.value(a).softmax_rows();
-        self.push(v, Op::SoftmaxRows(a))
+        let (_n, m) = self.shape(a);
+        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        for r in out.as_mut_slice().chunks_exact_mut(m.max(1)) {
+            softmax_in_place(r);
+        }
+        self.push(out, Op::SoftmaxRows(a))
     }
 
     /// `[a | b]` horizontal concatenation.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_cols(self.value(b));
-        self.push(v, Op::ConcatCols(a, b))
+        let (n, ma) = self.shape(a);
+        let (nb, mb) = self.shape(b);
+        assert_eq!(n, nb, "concat_cols row mismatch");
+        let mut out = self.pool.tensor_raw(n, ma + mb);
+        let av = &self.nodes[a.idx()].value;
+        let bv = &self.nodes[b.idx()].value;
+        for r in 0..n {
+            out.row_mut(r)[..ma].copy_from_slice(av.row(r));
+            out.row_mut(r)[ma..].copy_from_slice(bv.row(r));
+        }
+        self.push(out, Op::ConcatCols(a, b))
     }
 
     /// `[a; b]` vertical concatenation.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).concat_rows(self.value(b));
-        self.push(v, Op::ConcatRows(a, b))
+        let (na, m) = self.shape(a);
+        let (nb, mb) = self.shape(b);
+        assert_eq!(m, mb, "concat_rows col mismatch");
+        let mut out = self.pool.tensor_raw(na + nb, m);
+        let av = &self.nodes[a.idx()].value;
+        let bv = &self.nodes[b.idx()].value;
+        out.as_mut_slice()[..na * m].copy_from_slice(av.as_slice());
+        out.as_mut_slice()[na * m..].copy_from_slice(bv.as_slice());
+        self.push(out, Op::ConcatRows(a, b))
     }
 
     /// Gathers rows of `a` by `indices` (duplicates allowed).
     pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
-        let v = self.value(a).gather_rows(&indices);
-        self.push(v, Op::GatherRows(a, indices))
+        let (n, m) = self.shape(a);
+        let mut out = self.pool.tensor_raw(indices.len(), m);
+        let av = &self.nodes[a.idx()].value;
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < n, "gather index {i} out of bounds ({n} rows)");
+            out.row_mut(r).copy_from_slice(av.row(i));
+        }
+        self.push(out, Op::GatherRows(a, indices))
     }
 
     /// Scatter-sums the rows of `a` into `n_segments` buckets:
     /// `out[s] = sum over i with segments[i] == s of a[i, :]`.
     pub fn segment_sum(&mut self, a: Var, segments: Vec<usize>, n_segments: usize) -> Var {
-        let av = self.value(a);
-        assert_eq!(segments.len(), av.rows(), "segment_sum: one segment id per row");
-        let mut out = Tensor::zeros(n_segments, av.cols());
+        let (n, m) = self.shape(a);
+        assert_eq!(segments.len(), n, "segment_sum: one segment id per row");
+        let mut out = self.pool.tensor_zeroed(n_segments, m);
+        let av = &self.nodes[a.idx()].value;
         for (i, &s) in segments.iter().enumerate() {
             assert!(s < n_segments, "segment id {s} out of range");
             for (o, &x) in out.row_mut(s).iter_mut().zip(av.row(i)) {
@@ -388,32 +616,59 @@ impl Graph {
     /// independently within each segment-id group. Used for attention over
     /// variable-size neighbor sets.
     pub fn segment_softmax(&mut self, scores: Var, segments: Vec<usize>) -> Var {
-        let sv = self.value(scores);
-        assert_eq!(sv.cols(), 1, "segment_softmax expects an n x 1 column");
-        assert_eq!(segments.len(), sv.rows());
-        let out = segment_softmax_forward(sv.as_slice(), &segments);
-        let t = Tensor::col_vec(out);
-        self.push(t, Op::SegmentSoftmax(scores, segments))
+        let (n, c) = self.shape(scores);
+        assert_eq!(c, 1, "segment_softmax expects an n x 1 column");
+        assert_eq!(segments.len(), n);
+        let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
+        let mut out = self.pool.tensor_raw(n, 1);
+        let mut seg_max = self.pool.take_raw(n_seg);
+        let mut seg_sum = self.pool.take_zeroed(n_seg);
+        seg_max.fill(f32::NEG_INFINITY);
+        {
+            // Same arithmetic as a per-group `softmax_in_place`: per-group
+            // max, exp(x - max) accumulated in index order, then normalise.
+            let sv = self.nodes[scores.idx()].value.as_slice();
+            for (j, &s) in segments.iter().enumerate() {
+                seg_max[s] = seg_max[s].max(sv[j]);
+            }
+            for (j, &s) in segments.iter().enumerate() {
+                let e = (sv[j] - seg_max[s]).exp();
+                out.as_mut_slice()[j] = e;
+                seg_sum[s] += e;
+            }
+            for (j, &s) in segments.iter().enumerate() {
+                if seg_sum[s] > 0.0 {
+                    out.as_mut_slice()[j] /= seg_sum[s];
+                }
+            }
+        }
+        self.pool.give(seg_max);
+        self.pool.give(seg_sum);
+        self.push(out, Op::SegmentSoftmax(scores, segments))
     }
 
     /// Row-wise dot product, `n x d . n x d -> n x 1`.
     pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape(), "rowwise_dot shape mismatch");
-        let data = av.rows_iter().zip(bv.rows_iter()).map(|(x, y)| dot(x, y)).collect();
-        self.push(Tensor::col_vec(data), Op::RowwiseDot(a, b))
+        let (n, _d) = self.shape(a);
+        assert_eq!(self.shape(a), self.shape(b), "rowwise_dot shape mismatch");
+        let mut out = self.pool.tensor_raw(n, 1);
+        let av = &self.nodes[a.idx()].value;
+        let bv = &self.nodes[b.idx()].value;
+        for ((o, x), y) in out.as_mut_slice().iter_mut().zip(av.rows_iter()).zip(bv.rows_iter()) {
+            *o = dot(x, y);
+        }
+        self.push(out, Op::RowwiseDot(a, b))
     }
 
     /// Row-wise circular correlation (HolE composition), `n x d` each.
     pub fn circ_corr(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape(), bv.shape(), "circ_corr shape mismatch");
-        let (n, d) = av.shape();
-        let mut out = Tensor::zeros(n, d);
+        let (n, d) = self.shape(a);
+        assert_eq!(self.shape(a), self.shape(b), "circ_corr shape mismatch");
+        let mut out = self.pool.tensor_raw(n, d);
+        let av = &self.nodes[a.idx()].value;
+        let bv = &self.nodes[b.idx()].value;
         for i in 0..n {
-            let mut tmp = vec![0.0; d];
-            circular_correlation(av.row(i), bv.row(i), &mut tmp);
-            out.row_mut(i).copy_from_slice(&tmp);
+            circular_correlation(av.row(i), bv.row(i), out.row_mut(i));
         }
         self.push(out, Op::CircCorr(a, b))
     }
@@ -421,40 +676,99 @@ impl Graph {
     /// Pairwise squared distances between rows of `a` (`n x d`) and rows of
     /// `b` (`k x d`), differentiable in both arguments.
     pub fn pairwise_sq_dist(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).pairwise_sq_dists(self.value(b));
-        self.push(v, Op::PairwiseSqDist(a, b))
+        let (n, d) = self.shape(a);
+        let (k, d2) = self.shape(b);
+        assert_eq!(d, d2, "dimension mismatch");
+        // |x - c|^2 = |x|^2 - 2 x.c + |c|^2, exactly as
+        // `Tensor::pairwise_sq_dists` but through pooled storage.
+        let mut out = self.pool.tensor_raw(n, k);
+        self.nodes[a.idx()].value.matmul_tb_into(&self.nodes[b.idx()].value, &mut out);
+        let mut xn = self.pool.take_raw(n);
+        let mut cn = self.pool.take_raw(k);
+        {
+            let av = &self.nodes[a.idx()].value;
+            let bv = &self.nodes[b.idx()].value;
+            for (o, r) in xn.iter_mut().zip(av.rows_iter()) {
+                *o = r.iter().map(|&x| x * x).sum();
+            }
+            for (o, r) in cn.iter_mut().zip(bv.rows_iter()) {
+                *o = r.iter().map(|&x| x * x).sum();
+            }
+            for (row, &xni) in out.as_mut_slice().chunks_exact_mut(k).zip(&xn) {
+                for (v, &cnj) in row.iter_mut().zip(&cn) {
+                    *v = (xni - 2.0 * *v + cnj).max(0.0);
+                }
+            }
+        }
+        self.pool.give(xn);
+        self.pool.give(cn);
+        self.push(out, Op::PairwiseSqDist(a, b))
     }
 
     /// `y = 1 / (1 + x)` element-wise.
     pub fn recip1p(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + x));
+        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| 1.0 / (1.0 + x));
         self.push(v, Op::Recip1p(a))
     }
 
     /// Extracts column `j` as an `n x 1` tensor.
     pub fn col_slice(&mut self, a: Var, j: usize) -> Var {
-        let av = self.value(a);
-        assert!(j < av.cols(), "col_slice index out of bounds");
-        let data = (0..av.rows()).map(|i| av.get(i, j)).collect();
-        self.push(Tensor::col_vec(data), Op::ColSlice(a, j))
+        let (n, m) = self.shape(a);
+        assert!(j < m, "col_slice index out of bounds");
+        let mut out = self.pool.tensor_raw(n, 1);
+        let av = &self.nodes[a.idx()].value;
+        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = av.get(i, j);
+        }
+        self.push(out, Op::ColSlice(a, j))
     }
 
-    /// Element-wise product with a constant tensor (no gradient flows to the
-    /// constant). Used for fixed mixing weights such as the self-training
-    /// target distribution P in DEC-style losses.
+    /// Element-wise product with an interned constant (no gradient flows to
+    /// the constant). Used for fixed mixing weights such as the
+    /// self-training target distribution P in DEC-style losses.
+    pub fn mul_const_id(&mut self, a: Var, c: ConstId) -> Var {
+        let v = pooled_zip(
+            &mut self.pool,
+            &self.nodes[a.idx()].value,
+            &self.consts[c.idx()],
+            |x, y| x * y,
+        );
+        self.push(v, Op::MulConst(a, c))
+    }
+
+    /// [`Graph::mul_const_id`] for a constant not yet interned; the tensor
+    /// is interned (pooled copy) first.
     pub fn mul_const(&mut self, a: Var, c: &Tensor) -> Var {
-        let v = self.value(a).mul(c);
-        self.push(v, Op::MulConst(a, c.clone()))
+        let cid = self.constant_from(c);
+        self.mul_const_id(a, cid)
     }
 
-    /// Mean squared error against a constant target, `1 x 1` output.
+    /// Mean squared error against an interned constant target, `1 x 1`.
+    pub fn mse_id(&mut self, pred: Var, target: ConstId) -> Var {
+        let loss = {
+            let pv = &self.nodes[pred.idx()].value;
+            let tv = &self.consts[target.idx()];
+            assert_eq!(pv.shape(), tv.shape(), "mse shape mismatch");
+            let n = pv.len().max(1) as f32;
+            let s: f32 = pv
+                .as_slice()
+                .iter()
+                .zip(tv.as_slice())
+                .map(|(&p, &t)| (p - t) * (p - t))
+                .sum();
+            s / n
+        };
+        let mut out = self.pool.tensor_raw(1, 1);
+        out.as_mut_slice()[0] = loss;
+        self.push(out, Op::Mse(pred, target))
+    }
+
+    /// [`Graph::mse_id`] for a target not yet interned; the tensor is
+    /// interned (pooled copy) first. Intern targets reused across several
+    /// losses once with [`Graph::constant_from`] instead.
     pub fn mse(&mut self, pred: Var, target: &Tensor) -> Var {
-        let pv = self.value(pred);
-        assert_eq!(pv.shape(), target.shape(), "mse shape mismatch");
-        let n = pv.len().max(1) as f32;
-        let loss: f32 =
-            pv.as_slice().iter().zip(target.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum();
-        self.push(Tensor::from_vec(1, 1, vec![loss / n]), Op::Mse(pred, target.clone()))
+        let cid = self.constant_from(target);
+        self.mse_id(pred, cid)
     }
 
     // Convenience compounds ---------------------------------------------
@@ -480,7 +794,9 @@ impl Graph {
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
         let idx = loss.idx();
-        self.nodes[idx].grad = Some(Tensor::ones(1, 1));
+        let mut seed = self.pool.tensor_raw(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.nodes[idx].grad = Some(seed);
         for i in (0..=idx).rev() {
             let g = match self.nodes[i].grad.take() {
                 Some(g) => g,
@@ -491,29 +807,46 @@ impl Graph {
         }
     }
 
+    /// Adds `delta` into the gradient of `v`, installing a pooled copy when
+    /// no gradient buffer exists yet.
     fn accum(&mut self, v: Var, delta: &Tensor) {
-        let node = &mut self.nodes[v.idx()];
-        match &mut node.grad {
-            Some(g) => g.add_assign(delta),
-            None => node.grad = Some(delta.clone()),
+        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
+            g.add_assign(delta);
+        } else {
+            let copy = self.pool.tensor_copy(delta);
+            self.nodes[v.idx()].grad = Some(copy);
         }
     }
 
     /// Adds `alpha * delta` into the gradient of `v` without allocating when
     /// a buffer already exists.
     fn accum_scaled(&mut self, v: Var, delta: &Tensor, alpha: f32) {
-        let node = &mut self.nodes[v.idx()];
-        match &mut node.grad {
-            Some(g) => g.add_scaled(delta, alpha),
-            None => node.grad = Some(delta.scale(alpha)),
+        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
+            g.add_scaled(delta, alpha);
+        } else {
+            let scaled = pooled_map(&mut self.pool, delta, |x| x * alpha);
+            self.nodes[v.idx()].grad = Some(scaled);
+        }
+    }
+
+    /// Moves `delta` into the gradient of `v` when it has none (zero-copy),
+    /// otherwise adds it in place and recycles `delta`'s buffer.
+    fn accum_owned(&mut self, v: Var, delta: Tensor) {
+        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
+            g.add_assign(&delta);
+            self.pool.give(delta.into_vec());
+        } else {
+            self.nodes[v.idx()].grad = Some(delta);
         }
     }
 
     fn propagate(&mut self, i: usize, g: &Tensor) {
-        // `op` is taken by reference through a raw pattern: we clone the
-        // small auxiliary data we need up front to satisfy the borrow
-        // checker, keeping tensors borrowed only while computing deltas.
-        match &self.nodes[i].op {
+        // Move the op out of the node for the duration of the match: the
+        // arms can then borrow node values, constants, and the pool freely
+        // (and use index lists in place instead of cloning them). Nothing
+        // reads `nodes[i].op` while the placeholder Leaf sits there.
+        let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+        match &op {
             Op::Leaf => {}
             &Op::Add(a, b) => {
                 self.accum(a, g);
@@ -524,347 +857,372 @@ impl Graph {
                 self.accum_scaled(b, g, -1.0);
             }
             &Op::Mul(a, b) => {
-                let da = g.mul(self.value(b));
-                let db = g.mul(self.value(a));
-                self.accum(a, &da);
-                self.accum(b, &db);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[b.idx()].value, |gv, y| gv * y);
+                let db = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| gv * x);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::Div(a, b) => {
-                let bv = self.value(b);
-                let da = g.div(bv);
-                let db_raw = g.mul(self.value(a)).div(bv).div(bv).scale(-1.0);
-                self.accum(a, &da);
-                self.accum(b, &db_raw);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[b.idx()].value, |gv, y| gv / y);
+                let mut db = self.pool.tensor_raw(g.rows(), g.cols());
+                {
+                    let av = self.nodes[a.idx()].value.as_slice();
+                    let bv = self.nodes[b.idx()].value.as_slice();
+                    let gs = g.as_slice();
+                    for (j, o) in db.as_mut_slice().iter_mut().enumerate() {
+                        *o = -(((gs[j] * av[j]) / bv[j]) / bv[j]);
+                    }
+                }
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::AddRow(a, row) => {
                 self.accum(a, g);
-                let dr = g.col_sums();
-                self.accum(row, &dr);
+                let mut dr = self.pool.tensor_zeroed(1, g.cols());
+                for r in g.rows_iter() {
+                    for (o, &x) in dr.as_mut_slice().iter_mut().zip(r) {
+                        *o += x;
+                    }
+                }
+                self.accum_owned(row, dr);
             }
             &Op::MulRow(a, row) => {
-                let rv = self.value(row).as_slice().to_vec();
-                let av = self.value(a);
-                let (n, m) = av.shape();
-                let mut da = g.clone();
-                let mut dr = Tensor::zeros(1, m);
-                for r in 0..n {
-                    let grow = g.row(r);
-                    let arow = av.row(r);
-                    for c in 0..m {
-                        dr.as_mut_slice()[c] += grow[c] * arow[c];
-                    }
-                    for (d, &rvc) in da.row_mut(r).iter_mut().zip(&rv) {
-                        *d *= rvc;
+                let (n, m) = self.shape(a);
+                let mut da = self.pool.tensor_copy(g);
+                let mut dr = self.pool.tensor_zeroed(1, m);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let rv = &self.nodes[row.idx()].value;
+                    for r in 0..n {
+                        let grow = g.row(r);
+                        let arow = av.row(r);
+                        for c in 0..m {
+                            dr.as_mut_slice()[c] += grow[c] * arow[c];
+                        }
+                        for (d, &rvc) in da.row_mut(r).iter_mut().zip(rv.as_slice()) {
+                            *d *= rvc;
+                        }
                     }
                 }
-                self.accum(a, &da);
-                self.accum(row, &dr);
+                self.accum_owned(a, da);
+                self.accum_owned(row, dr);
             }
             &Op::MulCol(a, col) => {
-                let cv = self.value(col).as_slice().to_vec();
-                let av = self.value(a);
-                let n = av.rows();
-                let mut da = g.clone();
-                let mut dc = Tensor::zeros(n, 1);
-                for r in 0..n {
-                    dc.as_mut_slice()[r] = dot(g.row(r), av.row(r));
-                    let s = cv[r];
-                    for d in da.row_mut(r) {
-                        *d *= s;
+                let (n, _) = self.shape(a);
+                let mut da = self.pool.tensor_copy(g);
+                let mut dc = self.pool.tensor_raw(n, 1);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let cv = &self.nodes[col.idx()].value;
+                    for r in 0..n {
+                        dc.as_mut_slice()[r] = dot(g.row(r), av.row(r));
+                        let s = cv.as_slice()[r];
+                        for d in da.row_mut(r) {
+                            *d *= s;
+                        }
                     }
                 }
-                self.accum(a, &da);
-                self.accum(col, &dc);
+                self.accum_owned(a, da);
+                self.accum_owned(col, dc);
             }
             &Op::DivCol(a, col) => {
-                let cv = self.value(col).as_slice().to_vec();
-                let av = self.value(a);
-                let n = av.rows();
-                let mut da = g.clone();
-                let mut dc = Tensor::zeros(n, 1);
-                for r in 0..n {
-                    let s = cv[r];
-                    dc.as_mut_slice()[r] = -dot(g.row(r), av.row(r)) / (s * s);
-                    for d in da.row_mut(r) {
-                        *d /= s;
+                let (n, _) = self.shape(a);
+                let mut da = self.pool.tensor_copy(g);
+                let mut dc = self.pool.tensor_raw(n, 1);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let cv = &self.nodes[col.idx()].value;
+                    for r in 0..n {
+                        let s = cv.as_slice()[r];
+                        dc.as_mut_slice()[r] = -dot(g.row(r), av.row(r)) / (s * s);
+                        for d in da.row_mut(r) {
+                            *d /= s;
+                        }
                     }
                 }
-                self.accum(a, &da);
-                self.accum(col, &dc);
+                self.accum_owned(a, da);
+                self.accum_owned(col, dc);
             }
             &Op::Scale(a, alpha) => self.accum_scaled(a, g, alpha),
             &Op::AddScalar(a) => self.accum(a, g),
             &Op::Neg(a) => self.accum_scaled(a, g, -1.0),
             &Op::MatMul(a, b) => {
-                let da = g.matmul_tb(self.value(b));
-                let db = self.value(a).matmul_ta(g);
-                self.accum(a, &da);
-                self.accum(b, &db);
+                let (ar, ac) = self.shape(a);
+                let (br, bc) = self.shape(b);
+                let mut da = self.pool.tensor_raw(ar, ac);
+                g.matmul_tb_into(&self.nodes[b.idx()].value, &mut da);
+                let mut db = self.pool.tensor_raw(br, bc);
+                self.nodes[a.idx()].value.matmul_ta_into(g, &mut db);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::Transpose(a) => {
-                let da = g.transpose();
-                self.accum(a, &da);
+                let (n, m) = self.shape(a);
+                let mut da = self.pool.tensor_raw(n, m);
+                g.transpose_into(&mut da);
+                self.accum_owned(a, da);
             }
             &Op::Relu(a) => {
-                let mut da = g.clone();
+                let mut da = self.pool.tensor_copy(g);
                 for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice()) {
                     if y <= 0.0 {
                         *d = 0.0;
                     }
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             &Op::LeakyRelu(a, slope) => {
-                let av = self.value(a);
-                let mut da = g.clone();
-                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
+                let mut da = self.pool.tensor_copy(g);
+                for (d, &x) in da.as_mut_slice().iter_mut().zip(self.nodes[a.idx()].value.as_slice())
+                {
                     if x <= 0.0 {
                         *d *= slope;
                     }
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             &Op::Sigmoid(a) => {
-                let y = &self.nodes[i].value;
-                let mut da = g.clone();
-                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                    *d *= yv * (1.0 - yv);
-                }
-                self.accum(a, &da);
+                let da =
+                    pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
+                        gv * (yv * (1.0 - yv))
+                    });
+                self.accum_owned(a, da);
             }
             &Op::Tanh(a) => {
-                let y = &self.nodes[i].value;
-                let mut da = g.clone();
-                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                    *d *= 1.0 - yv * yv;
-                }
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
+                    gv * (1.0 - yv * yv)
+                });
+                self.accum_owned(a, da);
             }
             &Op::Softplus(a) => {
-                let av = self.value(a);
-                let mut da = g.clone();
-                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
-                    *d *= stable_sigmoid(x);
-                }
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
+                    gv * stable_sigmoid(x)
+                });
+                self.accum_owned(a, da);
             }
             &Op::Exp(a) => {
-                let da = g.mul(&self.nodes[i].value);
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| gv * yv);
+                self.accum_owned(a, da);
             }
             &Op::Log(a) => {
-                let av = self.value(a);
-                let mut da = g.clone();
-                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
-                    *d /= x.max(LOG_EPS);
-                }
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
+                    gv / x.max(LOG_EPS)
+                });
+                self.accum_owned(a, da);
             }
             &Op::Square(a) => {
-                let av = self.value(a);
-                let mut da = g.clone();
-                for (d, &x) in da.as_mut_slice().iter_mut().zip(av.as_slice()) {
-                    *d *= 2.0 * x;
-                }
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
+                    gv * (2.0 * x)
+                });
+                self.accum_owned(a, da);
             }
             &Op::SumAll(a) => {
                 let (n, m) = self.shape(a);
-                let da = Tensor::full(n, m, g.as_slice()[0]);
-                self.accum(a, &da);
+                let mut da = self.pool.tensor_raw(n, m);
+                da.fill(g.as_slice()[0]);
+                self.accum_owned(a, da);
             }
             &Op::MeanAll(a) => {
                 let (n, m) = self.shape(a);
-                let da = Tensor::full(n, m, g.as_slice()[0] / (n * m).max(1) as f32);
-                self.accum(a, &da);
+                let mut da = self.pool.tensor_raw(n, m);
+                da.fill(g.as_slice()[0] / (n * m).max(1) as f32);
+                self.accum_owned(a, da);
             }
             &Op::SumRows(a) => {
                 let (n, m) = self.shape(a);
-                let mut da = Tensor::zeros(n, m);
+                let mut da = self.pool.tensor_raw(n, m);
                 for r in 0..n {
                     let gv = g.as_slice()[r];
                     da.row_mut(r).iter_mut().for_each(|d| *d = gv);
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             &Op::SumCols(a) => {
                 let (n, m) = self.shape(a);
-                let mut da = Tensor::zeros(n, m);
+                let mut da = self.pool.tensor_raw(n, m);
                 for r in 0..n {
                     da.row_mut(r).copy_from_slice(g.as_slice());
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             &Op::SoftmaxRows(a) => {
-                let y = &self.nodes[i].value;
-                let (n, m) = y.shape();
-                let mut da = Tensor::zeros(n, m);
-                for r in 0..n {
-                    let yr = y.row(r);
-                    let gr = g.row(r);
-                    let s = dot(yr, gr);
-                    for c in 0..m {
-                        da.row_mut(r)[c] = yr[c] * (gr[c] - s);
+                let (n, m) = self.nodes[i].value.shape();
+                let mut da = self.pool.tensor_raw(n, m);
+                {
+                    let y = &self.nodes[i].value;
+                    for r in 0..n {
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let s = dot(yr, gr);
+                        for c in 0..m {
+                            da.row_mut(r)[c] = yr[c] * (gr[c] - s);
+                        }
                     }
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             &Op::ConcatCols(a, b) => {
                 let (n, ma) = self.shape(a);
                 let (_, mb) = self.shape(b);
-                let mut da = Tensor::zeros(n, ma);
-                let mut db = Tensor::zeros(n, mb);
+                let mut da = self.pool.tensor_raw(n, ma);
+                let mut db = self.pool.tensor_raw(n, mb);
                 for r in 0..n {
                     da.row_mut(r).copy_from_slice(&g.row(r)[..ma]);
                     db.row_mut(r).copy_from_slice(&g.row(r)[ma..]);
                 }
-                self.accum(a, &da);
-                self.accum(b, &db);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::ConcatRows(a, b) => {
                 let (na, m) = self.shape(a);
                 let (nb, _) = self.shape(b);
-                let mut da = Tensor::zeros(na, m);
-                let mut db = Tensor::zeros(nb, m);
+                let mut da = self.pool.tensor_raw(na, m);
+                let mut db = self.pool.tensor_raw(nb, m);
                 da.as_mut_slice().copy_from_slice(&g.as_slice()[..na * m]);
                 db.as_mut_slice().copy_from_slice(&g.as_slice()[na * m..]);
-                self.accum(a, &da);
-                self.accum(b, &db);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             Op::GatherRows(a, indices) => {
                 let a = *a;
-                let indices = indices.clone();
                 let (n, m) = self.shape(a);
-                let mut da = Tensor::zeros(n, m);
+                let mut da = self.pool.tensor_zeroed(n, m);
                 for (r, &src) in indices.iter().enumerate() {
                     for (d, &x) in da.row_mut(src).iter_mut().zip(g.row(r)) {
                         *d += x;
                     }
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             Op::SegmentSum(a, segments) => {
                 let a = *a;
-                let segments = segments.clone();
                 let (n, m) = self.shape(a);
-                let mut da = Tensor::zeros(n, m);
+                let mut da = self.pool.tensor_raw(n, m);
                 for (r, &s) in segments.iter().enumerate() {
                     da.row_mut(r).copy_from_slice(g.row(s));
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
             Op::SegmentSoftmax(a, segments) => {
                 let a = *a;
-                let segments = segments.clone();
-                let y = self.nodes[i].value.as_slice().to_vec();
-                // Group entries per segment, apply the softmax Jacobian
-                // within each group: da_j = y_j * (g_j - sum_k y_k g_k).
-                let mut per_seg_dot: std::collections::HashMap<usize, f32> =
-                    std::collections::HashMap::new();
-                for (j, &s) in segments.iter().enumerate() {
-                    *per_seg_dot.entry(s).or_insert(0.0) += y[j] * g.as_slice()[j];
-                }
-                let mut da = Tensor::zeros(y.len(), 1);
-                for (j, &s) in segments.iter().enumerate() {
-                    let sdot = per_seg_dot[&s];
-                    da.as_mut_slice()[j] = y[j] * (g.as_slice()[j] - sdot);
-                }
-                self.accum(a, &da);
-            }
-            &Op::RowwiseDot(a, b) => {
-                let av = self.value(a);
-                let bv = self.value(b);
-                let (n, m) = av.shape();
-                let mut da = Tensor::zeros(n, m);
-                let mut db = Tensor::zeros(n, m);
-                for r in 0..n {
-                    let gv = g.as_slice()[r];
-                    for c in 0..m {
-                        da.row_mut(r)[c] = gv * bv.get(r, c);
-                        db.row_mut(r)[c] = gv * av.get(r, c);
+                let n = segments.len();
+                let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
+                // Softmax Jacobian within each group:
+                // da_j = y_j * (g_j - sum_k y_k g_k), dots accumulated in
+                // index order per segment.
+                let mut sdot = self.pool.take_zeroed(n_seg);
+                let mut da = self.pool.tensor_raw(n, 1);
+                {
+                    let y = self.nodes[i].value.as_slice();
+                    let gs = g.as_slice();
+                    for (j, &s) in segments.iter().enumerate() {
+                        sdot[s] += y[j] * gs[j];
+                    }
+                    for (j, &s) in segments.iter().enumerate() {
+                        da.as_mut_slice()[j] = y[j] * (gs[j] - sdot[s]);
                     }
                 }
-                self.accum(a, &da);
-                self.accum(b, &db);
+                self.pool.give(sdot);
+                self.accum_owned(a, da);
+            }
+            &Op::RowwiseDot(a, b) => {
+                let (n, m) = self.shape(a);
+                let mut da = self.pool.tensor_raw(n, m);
+                let mut db = self.pool.tensor_raw(n, m);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let bv = &self.nodes[b.idx()].value;
+                    for r in 0..n {
+                        let gv = g.as_slice()[r];
+                        for c in 0..m {
+                            da.row_mut(r)[c] = gv * bv.get(r, c);
+                            db.row_mut(r)[c] = gv * av.get(r, c);
+                        }
+                    }
+                }
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::CircCorr(a, b) => {
                 // out[k] = sum_j a[j] * b[(j+k) mod d]
                 // da[j]  = sum_k g[k] * b[(j+k) mod d]  = circcorr(g, b)[j]
                 // db[m]  = sum_k g[k] * a[(m-k) mod d]  = circconv(g, a)[m]
-                let av = self.value(a);
-                let bv = self.value(b);
-                let (n, d) = av.shape();
-                let mut da = Tensor::zeros(n, d);
-                let mut db = Tensor::zeros(n, d);
-                let mut tmp = vec![0.0; d];
-                for r in 0..n {
-                    circular_correlation(g.row(r), bv.row(r), &mut tmp);
-                    da.row_mut(r).copy_from_slice(&tmp);
-                    circular_convolution(g.row(r), av.row(r), &mut tmp);
-                    db.row_mut(r).copy_from_slice(&tmp);
+                let (n, d) = self.shape(a);
+                let mut da = self.pool.tensor_raw(n, d);
+                let mut db = self.pool.tensor_raw(n, d);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let bv = &self.nodes[b.idx()].value;
+                    for r in 0..n {
+                        circular_correlation(g.row(r), bv.row(r), da.row_mut(r));
+                        circular_convolution(g.row(r), av.row(r), db.row_mut(r));
+                    }
                 }
-                self.accum(a, &da);
-                self.accum(b, &db);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::PairwiseSqDist(a, b) => {
                 // d[i,k] = |a_i - b_k|^2
                 // da_i += sum_k g[i,k] * 2 (a_i - b_k)
                 // db_k += sum_i g[i,k] * 2 (b_k - a_i)
-                let av = self.value(a);
-                let bv = self.value(b);
-                let (n, d) = av.shape();
-                let k = bv.rows();
-                let mut da = Tensor::zeros(n, d);
-                let mut db = Tensor::zeros(k, d);
-                for i_ in 0..n {
-                    for k_ in 0..k {
-                        let gv = 2.0 * g.get(i_, k_);
-                        if gv == 0.0 {
-                            continue;
-                        }
-                        for c in 0..d {
-                            let diff = av.get(i_, c) - bv.get(k_, c);
-                            da.row_mut(i_)[c] += gv * diff;
-                            db.row_mut(k_)[c] -= gv * diff;
+                let (n, d) = self.shape(a);
+                let (k, _) = self.shape(b);
+                let mut da = self.pool.tensor_zeroed(n, d);
+                let mut db = self.pool.tensor_zeroed(k, d);
+                {
+                    let av = &self.nodes[a.idx()].value;
+                    let bv = &self.nodes[b.idx()].value;
+                    for i_ in 0..n {
+                        for k_ in 0..k {
+                            let gv = 2.0 * g.get(i_, k_);
+                            if gv == 0.0 {
+                                continue;
+                            }
+                            for c in 0..d {
+                                let diff = av.get(i_, c) - bv.get(k_, c);
+                                da.row_mut(i_)[c] += gv * diff;
+                                db.row_mut(k_)[c] -= gv * diff;
+                            }
                         }
                     }
                 }
-                self.accum(a, &da);
-                self.accum(b, &db);
+                self.accum_owned(a, da);
+                self.accum_owned(b, db);
             }
             &Op::Recip1p(a) => {
                 // y = 1/(1+x), dy/dx = -y^2
-                let y = &self.nodes[i].value;
-                let mut da = g.clone();
-                for (d, &yv) in da.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                    *d *= -yv * yv;
-                }
-                self.accum(a, &da);
+                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
+                    gv * (-yv * yv)
+                });
+                self.accum_owned(a, da);
             }
             &Op::ColSlice(a, j) => {
                 let (n, m) = self.shape(a);
-                let mut da = Tensor::zeros(n, m);
+                let mut da = self.pool.tensor_zeroed(n, m);
                 for r in 0..n {
                     da.row_mut(r)[j] = g.as_slice()[r];
                 }
-                self.accum(a, &da);
+                self.accum_owned(a, da);
             }
-            Op::MulConst(a, c) => {
-                let a = *a;
-                let da = g.mul(c);
-                self.accum(a, &da);
+            &Op::MulConst(a, c) => {
+                let da = pooled_zip(&mut self.pool, g, &self.consts[c.idx()], |gv, cv| gv * cv);
+                self.accum_owned(a, da);
             }
-            Op::Mse(pred, target) => {
-                let pred = *pred;
-                let target = target.clone();
-                let pv = self.value(pred);
-                let n = pv.len().max(1) as f32;
-                let scale = 2.0 * g.as_slice()[0] / n;
-                let mut da = pv.sub(&target);
-                da.scale_assign(scale);
-                self.accum(pred, &da);
+            &Op::Mse(pred, target) => {
+                let scale = {
+                    let pv = &self.nodes[pred.idx()].value;
+                    2.0 * g.as_slice()[0] / pv.len().max(1) as f32
+                };
+                let da = pooled_zip(
+                    &mut self.pool,
+                    &self.nodes[pred.idx()].value,
+                    &self.consts[target.idx()],
+                    |p, t| (p - t) * scale,
+                );
+                self.accum_owned(pred, da);
             }
         }
+        self.nodes[i].op = op;
     }
 }
 
@@ -893,25 +1251,6 @@ pub fn circular_convolution(a: &[f32], b: &[f32], out: &mut [f32]) {
         }
         *o = s;
     }
-}
-
-fn segment_softmax_forward(scores: &[f32], segments: &[usize]) -> Vec<f32> {
-    use std::collections::HashMap;
-    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
-    for (j, &s) in segments.iter().enumerate() {
-        groups.entry(s).or_default().push(j);
-    }
-    let mut out = scores.to_vec();
-    let mut buf = Vec::new();
-    for idxs in groups.values() {
-        buf.clear();
-        buf.extend(idxs.iter().map(|&j| scores[j]));
-        softmax_in_place(&mut buf);
-        for (&j, &v) in idxs.iter().zip(&buf) {
-            out[j] = v;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -1051,5 +1390,63 @@ mod tests {
         // dh = 2(h-c0) + 2(h-c1) = (2,0) + (0,-2)
         assert_eq!(g.grad(h).unwrap().as_slice(), &[2.0, -2.0]);
         assert_eq!(g.grad(c).unwrap().as_slice(), &[-2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn constants_are_interned_not_cloned_per_op() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let cid = g.constant(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let m1 = g.mul_const_id(a, cid);
+        let m2 = g.mul_const_id(a, cid);
+        assert_eq!(g.value(m1).as_slice(), &[3.0, 8.0]);
+        assert_eq!(g.value(m1), g.value(m2));
+        assert_eq!(g.constant_value(cid).as_slice(), &[3.0, 4.0]);
+    }
+
+    /// The reset contract: a reused graph replays the same program with
+    /// bitwise-identical values and gradients, and the pool actually serves
+    /// the second run's checkouts.
+    #[test]
+    fn reset_replay_is_bitwise_identical_and_pooled() {
+        let run = |g: &mut Graph| -> (Vec<u32>, Vec<u32>) {
+            let x = g.input(Tensor::from_rows(&[&[0.5, -1.5], &[2.0, 0.25]]));
+            let w = g.input(Tensor::from_rows(&[&[1.0, -0.5], &[0.75, 2.0]]));
+            let xw = g.matmul(x, w);
+            let h = g.sigmoid(xw);
+            let t = Tensor::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+            let loss = g.mse(h, &t);
+            g.backward(loss);
+            let vbits = g.value(loss).as_slice().iter().map(|v| v.to_bits()).collect();
+            let gbits = g.grad(w).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+            (vbits, gbits)
+        };
+        let mut fresh = Graph::new();
+        let expected = run(&mut fresh);
+        let mut reused = Graph::new();
+        let first = run(&mut reused);
+        assert_eq!(first, expected);
+        reused.reset();
+        let before = reused.pool_stats();
+        let second = run(&mut reused);
+        assert_eq!(second, expected, "pooled replay must be bitwise identical");
+        let after = reused.pool_stats();
+        assert!(after.hits > before.hits, "replay must reuse pooled buffers");
+        assert_eq!(after.misses, before.misses, "warm replay should not hit the heap");
+    }
+
+    #[test]
+    fn reset_invalidates_tape_but_keeps_working() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::ones(2, 2));
+        let s = g.sum_all(a);
+        assert_eq!(g.value(s).as_slice(), &[4.0]);
+        assert_eq!(g.len(), 2);
+        g.reset();
+        assert!(g.is_empty());
+        assert!(g.bindings().is_empty());
+        let b = g.input(Tensor::full(1, 3, 2.0));
+        let s = g.sum_all(b);
+        assert_eq!(g.value(s).as_slice(), &[6.0]);
     }
 }

@@ -36,7 +36,7 @@
 //!     let pred = g.matmul(xv, wv);
 //!     let loss = g.mse(pred, &y);
 //!     g.backward(loss);
-//!     opt.step(&mut params, &g);
+//!     opt.step(&mut params, &mut g);
 //! }
 //! let learned = params.value(w).as_slice();
 //! assert!((learned[0] - 2.0).abs() < 0.05 && (learned[1] - 1.0).abs() < 0.05);
@@ -48,11 +48,13 @@ pub mod init;
 pub mod optim;
 pub mod par;
 pub mod params;
+pub mod pool;
 #[allow(clippy::module_inception)]
 pub mod tensor;
 
-pub use graph::{stable_sigmoid, Graph, Var, LOG_EPS};
+pub use graph::{stable_sigmoid, ConstId, Graph, Var, LOG_EPS};
 pub use init::Initializer;
 pub use optim::Optimizer;
 pub use params::{ParamId, Params};
+pub use pool::{BufferPool, PoolStats};
 pub use tensor::{circular_correlation, dot, softmax_in_place, Tensor};

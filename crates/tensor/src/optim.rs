@@ -4,7 +4,6 @@
 use crate::graph::Graph;
 use crate::params::{ParamId, Params};
 use crate::tensor::Tensor;
-use std::collections::HashMap;
 
 /// Optimizer configuration and state.
 #[derive(Clone, Debug)]
@@ -43,7 +42,10 @@ impl Optimizer {
     /// Collects the gradients of all parameters bound in `graph` (summing
     /// over repeated bindings), optionally clips the global norm, and
     /// applies one update step. Returns the pre-clip global gradient norm.
-    pub fn step(&mut self, params: &mut Params, graph: &Graph) -> f32 {
+    ///
+    /// `graph` is borrowed mutably only to route the collected gradient
+    /// buffers through its pool; values and gradients are not modified.
+    pub fn step(&mut self, params: &mut Params, graph: &mut Graph) -> f32 {
         self.step_clipped(params, graph, None)
     }
 
@@ -53,13 +55,20 @@ impl Optimizer {
     pub fn step_filtered(
         &mut self,
         params: &mut Params,
-        graph: &Graph,
+        graph: &mut Graph,
         max_norm: Option<f32>,
         allow: &std::collections::HashSet<ParamId>,
     ) -> f32 {
-        let mut grads = collect_grads(graph);
-        grads.retain(|pid, _| allow.contains(pid));
-        self.apply(params, grads, max_norm)
+        let grads = graph.collect_param_grads();
+        let mut kept = Vec::with_capacity(grads.len());
+        for (pid, grad) in grads {
+            if allow.contains(&pid) {
+                kept.push((pid, grad));
+            } else {
+                graph.recycle(grad);
+            }
+        }
+        self.apply(params, kept, max_norm, graph)
     }
 
     /// Like [`Optimizer::step`], clipping the global gradient norm to
@@ -67,23 +76,22 @@ impl Optimizer {
     pub fn step_clipped(
         &mut self,
         params: &mut Params,
-        graph: &Graph,
+        graph: &mut Graph,
         max_norm: Option<f32>,
     ) -> f32 {
-        let grads = collect_grads(graph);
-        self.apply(params, grads, max_norm)
+        let grads = graph.collect_param_grads();
+        self.apply(params, grads, max_norm, graph)
     }
 
     fn apply(
         &mut self,
         params: &mut Params,
-        grads: HashMap<ParamId, Tensor>,
+        grads: Vec<(ParamId, Tensor)>,
         max_norm: Option<f32>,
+        graph: &mut Graph,
     ) -> f32 {
-        // Deterministic parameter order: HashMap iteration order would make
-        // the clip norm (a float sum) run-dependent in its last ulp.
-        let mut grads: Vec<(ParamId, Tensor)> = grads.into_iter().collect();
-        grads.sort_by_key(|(id, _)| *id);
+        // `grads` arrives sorted by parameter id: a deterministic order
+        // keeps the clip norm (a float sum) stable to the last ulp.
         let mut total_sq = 0.0f32;
         for (_, g) in &grads {
             total_sq += g.norm_sq();
@@ -104,6 +112,7 @@ impl Optimizer {
                     } else {
                         value.add_scaled(&grad, -*lr * clip);
                     }
+                    graph.recycle(grad);
                 }
             }
             Optimizer::Adam { lr, beta1, beta2, eps, t } => {
@@ -116,8 +125,12 @@ impl Optimizer {
                     m.scale_assign(*beta1);
                     m.add_scaled(&grad, 1.0 - *beta1);
                     v.scale_assign(*beta2);
-                    let g2 = grad.mul(&grad);
-                    v.add_scaled(&g2, 1.0 - *beta2);
+                    // Fused `v += (1 - beta2) * grad^2`: same rounding as
+                    // materialising grad^2 first, without the temporary.
+                    let c2 = 1.0 - *beta2;
+                    for (vi, &gi) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                        *vi += c2 * (gi * gi);
+                    }
                     let step = *lr;
                     for ((w, mi), vi) in
                         value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
@@ -126,28 +139,12 @@ impl Optimizer {
                         let vhat = vi / bc2;
                         *w -= step * mhat / (vhat.sqrt() + *eps);
                     }
+                    graph.recycle(grad);
                 }
             }
         }
         norm
     }
-}
-
-/// Sums gradients per parameter over all graph bindings. Parameters whose
-/// bound vars received no gradient are omitted.
-fn collect_grads(graph: &Graph) -> HashMap<ParamId, Tensor> {
-    let mut out: HashMap<ParamId, Tensor> = HashMap::new();
-    for &(pid, var) in graph.bindings() {
-        if let Some(g) = graph.grad(var) {
-            match out.get_mut(&pid) {
-                Some(acc) => acc.add_assign(g),
-                None => {
-                    out.insert(pid, g.clone());
-                }
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -166,7 +163,7 @@ mod tests {
             let target = Tensor::from_vec(1, 1, vec![3.0]);
             let loss = g.mse(wv, &target);
             g.backward(loss);
-            opt.step(&mut params, &g);
+            opt.step(&mut params, &mut g);
         }
         params.value(w).as_slice()[0]
     }
@@ -202,7 +199,7 @@ mod tests {
         let loss = g.add(s1, s2);
         g.backward(loss);
         let mut opt = Optimizer::sgd(0.5);
-        opt.step(&mut params, &g);
+        opt.step(&mut params, &mut g);
         // w := 1 - 0.5 * 2 = 0
         assert_eq!(params.value(w).as_slice(), &[0.0, 0.0]);
     }
@@ -219,7 +216,7 @@ mod tests {
         let loss = g.sum_all(sq);
         g.backward(loss);
         let mut opt = Optimizer::sgd(1e-3);
-        let norm = opt.step_clipped(&mut params, &g, Some(1.0));
+        let norm = opt.step_clipped(&mut params, &mut g, Some(1.0));
         assert!(norm > 1.0); // raw norm was huge
         // Applied update magnitude is at most lr * 1.0.
         assert!(params.value(w).as_slice()[0].abs() <= 1e-3 + 1e-7);

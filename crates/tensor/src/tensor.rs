@@ -370,6 +370,57 @@ impl Tensor {
         Tensor { rows: n, cols: m, data: out }
     }
 
+    /// Writes `self * other` into `out` (which must already be `n x m`),
+    /// reusing its storage. Bitwise identical to [`Tensor::matmul`].
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        assert_eq!(out.shape(), (n, m), "matmul_into: out must be {n}x{m}");
+        out.data.fill(0.0);
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out.data, m, k * m, |lo, hi, chunk| {
+            matmul_block(a, b, k, m, lo, hi, chunk);
+        });
+    }
+
+    /// Writes `self * other^T` into `out`, reusing its storage. Bitwise
+    /// identical to [`Tensor::matmul_tb`].
+    pub fn matmul_tb_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        assert_eq!(out.shape(), (n, m), "matmul_tb_into: out must be {n}x{m}");
+        out.data.fill(0.0);
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out.data, m, k * m, |lo, hi, chunk| {
+            matmul_tb_block(a, b, k, m, lo, hi, chunk);
+        });
+    }
+
+    /// Writes `self^T * other` into `out`, reusing its storage. Bitwise
+    /// identical to [`Tensor::matmul_ta`].
+    pub fn matmul_ta_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (n, k, m) = (self.cols, self.rows, other.cols);
+        assert_eq!(out.shape(), (n, m), "matmul_ta_into: out must be {n}x{m}");
+        out.data.fill(0.0);
+        let (a, b) = (&self.data, &other.data);
+        par::par_row_chunks_mut(&mut out.data, m, k * m, |lo, hi, chunk| {
+            matmul_ta_block(a, b, k, n, m, lo, hi, chunk);
+        });
+    }
+
     /// The transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = vec![0.0f32; self.data.len()];
@@ -379,6 +430,23 @@ impl Tensor {
             }
         }
         Tensor { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Writes the transpose into `out` (which must be `cols x rows`),
+    /// reusing its storage.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into: out must be {}x{}",
+            self.cols,
+            self.rows
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
     }
 
     /// Gathers rows by index into a new tensor (`indices.len() x cols`).
@@ -886,6 +954,25 @@ mod tests {
         let c = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let d = Tensor::from_rows(&[&[1.0], &[0.0], &[-1.0]]);
         assert_eq!(c.matmul_ta(&d), c.transpose().matmul(&d));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0, 0.5], &[4.0, 5.0, -6.0]]);
+        let b = Tensor::from_rows(&[&[2.0, 1.0], &[0.5, -1.0], &[3.0, 0.0]]);
+        let mut out = Tensor::full(2, 2, f32::NAN); // stale contents must not leak
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let c = Tensor::from_rows(&[&[2.0, 1.0, 0.0], &[0.5, -1.0, 3.0]]);
+        let mut out = Tensor::full(2, 2, f32::NAN);
+        a.matmul_tb_into(&c, &mut out);
+        assert_eq!(out, a.matmul_tb(&c));
+        let mut out = Tensor::full(3, 3, f32::NAN);
+        a.matmul_ta_into(&c, &mut out);
+        assert_eq!(out, a.matmul_ta(&c));
+        let mut out = Tensor::zeros(3, 2);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
     }
 
     #[test]

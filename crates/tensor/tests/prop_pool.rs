@@ -1,0 +1,176 @@
+//! Property tests for the buffer pool's determinism contract: a reused
+//! (reset) [`Graph`] must produce *bitwise* identical values, gradients,
+//! and optimizer updates to a freshly constructed one, for random shapes,
+//! seeds, and op mixes — at every thread count.
+//!
+//! The thread count is process-global, so each case runs the whole
+//! {1, 2, 4}-thread sweep under a shared lock.
+
+use proptest::prelude::*;
+use tensor::{par, Graph, Optimizer, Params, Tensor};
+
+/// Serialises access to the process-global thread override.
+static THREADS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Shapes biased toward kernel block edges (MR=4, NR=16) and odd sizes.
+const DIMS: [usize; 8] = [1, 2, 3, 4, 5, 7, 16, 17];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Deterministic, mildly irregular fill (same scheme as prop_parallel.rs).
+fn fill(rows: usize, cols: usize, state: &mut f32) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|i| {
+            *state = (*state * 1.3 + i as f32 * 0.7).rem_euclid(37.0) - 18.0;
+            *state / 5.0
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// One randomized training step exercising a broad op mix: linear layers,
+/// activations, gather/segment ops, softmax attention, constant-arena MSE,
+/// backward, and an Adam update. Returns (loss bits, per-param value bits).
+#[allow(clippy::too_many_arguments)]
+fn step(
+    g: &mut Graph,
+    params: &mut Params,
+    opt: &mut Optimizer,
+    x: &Tensor,
+    y: &Tensor,
+    indices: &[usize],
+    segments: &[usize],
+    op_mix: u8,
+) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let ids: Vec<tensor::ParamId> = params.iter().map(|(id, _, _)| id).collect();
+    let xv = g.input_from(x);
+    let w = g.param(params, ids[0]);
+    let b = g.param(params, ids[1]);
+    let lin = g.linear(xv, w, b);
+    let mut h = match op_mix % 4 {
+        0 => g.relu(lin),
+        1 => g.tanh(lin),
+        2 => g.sigmoid(lin),
+        _ => g.leaky_relu(lin, 0.1),
+    };
+    if op_mix & 4 != 0 {
+        h = g.gather_rows(h, indices.to_vec());
+        let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
+        h = g.segment_sum(h, segments.to_vec(), n_seg);
+    }
+    if op_mix & 8 != 0 {
+        h = g.softmax_rows(h);
+    }
+    let col = g.sum_rows(h);
+    let scores = g.tanh(col);
+    let segs: Vec<usize> = (0..g.shape(scores).0).map(|i| i % 2).collect();
+    let att = g.segment_softmax(scores, segs);
+    let hw = g.mul_col(h, att);
+    let pred = g.sum_rows(hw);
+    let yv: Vec<f32> = (0..g.shape(pred).0)
+        .map(|i| y.as_slice()[i % y.len()])
+        .collect();
+    let loss = g.mse(pred, &Tensor::col_vec(yv));
+    let lbits = bits(g.value(loss));
+    g.backward(loss);
+    opt.step_clipped(params, g, Some(5.0));
+    let pbits = params.iter().map(|(_, _, v)| bits(v)).collect();
+    (lbits, pbits)
+}
+
+fn make_params(d_in: usize, d_out: usize, state: &mut f32) -> Params {
+    let mut params = Params::new();
+    let w = fill(d_in, d_out, state);
+    let b = fill(1, d_out, state);
+    params.add("w", w);
+    params.add("b", b);
+    params
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Three steps on a reused/reset graph bitwise-match three steps each on
+    /// a fresh graph — losses, parameters, and Adam state-driven updates —
+    /// at thread counts {1, 2, 4}.
+    #[test]
+    fn reused_tape_matches_fresh_tape_bitwise(
+        (n, d_in, d_out) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+        op_mix in 0u8..16,
+    ) {
+        let mut state = seed + 0.125;
+        let x = fill(n, d_in, &mut state);
+        let y = fill(n, 1, &mut state);
+        let indices: Vec<usize> = (0..n + 1).map(|i| (i * 7 + 3) % n.max(1)).collect();
+        let segments: Vec<usize> = (0..indices.len()).map(|i| i % 3).collect();
+
+        let _guard = THREADS.lock().unwrap();
+        for t in THREAD_COUNTS {
+            par::set_num_threads(t);
+
+            // Arm A: fresh graph per step (the seed path).
+            let mut params_a = make_params(d_in, d_out, &mut state.clone());
+            let mut opt_a = Optimizer::adam(0.01);
+            let mut trace_a = Vec::new();
+            for _ in 0..3 {
+                let mut g = Graph::new();
+                trace_a.push(step(
+                    &mut g, &mut params_a, &mut opt_a, &x, &y, &indices, &segments, op_mix,
+                ));
+            }
+
+            // Arm B: one long-lived graph, reset between steps.
+            let mut params_b = make_params(d_in, d_out, &mut state.clone());
+            let mut opt_b = Optimizer::adam(0.01);
+            let mut g = Graph::new();
+            let mut trace_b = Vec::new();
+            for _ in 0..3 {
+                g.reset();
+                trace_b.push(step(
+                    &mut g, &mut params_b, &mut opt_b, &x, &y, &indices, &segments, op_mix,
+                ));
+            }
+
+            assert_eq!(trace_a, trace_b, "fresh vs reused tape diverged at {t} threads");
+        }
+        par::set_num_threads(0);
+    }
+
+    /// After a warm-up step, every buffer a replayed step needs comes from
+    /// the pool — the steady state allocates nothing through the tape.
+    #[test]
+    fn warm_replay_serves_all_checkouts_from_the_pool(
+        (n, d_in, d_out) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+        op_mix in 0u8..16,
+    ) {
+        let mut state = seed + 0.375;
+        let x = fill(n, d_in, &mut state);
+        let y = fill(n, 1, &mut state);
+        let indices: Vec<usize> = (0..n + 1).map(|i| (i * 5 + 1) % n.max(1)).collect();
+        let segments: Vec<usize> = (0..indices.len()).map(|i| i % 2).collect();
+
+        let mut params = make_params(d_in, d_out, &mut state);
+        let mut opt = Optimizer::adam(0.01);
+        let mut g = Graph::new();
+        step(&mut g, &mut params, &mut opt, &x, &y, &indices, &segments, op_mix);
+        g.reset();
+        let before = g.pool_stats();
+        step(&mut g, &mut params, &mut opt, &x, &y, &indices, &segments, op_mix);
+        let after = g.pool_stats();
+        prop_assert_eq!(
+            after.misses, before.misses,
+            "warm replay hit the heap: {} new misses", after.misses - before.misses
+        );
+        prop_assert!(after.hits > before.hits, "warm replay never touched the pool");
+    }
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Offline CI gate — everything runs against the vendored deps in vendor/,
+# no network access required.
+#
+#   scripts/ci.sh          # fmt + clippy + release build + tier-1 tests
+#   scripts/ci.sh --full   # also: workspace tests + pooled-allocation gate
+#
+# Stages:
+#   1. cargo fmt --check on the incrementally-adopted file list below. The
+#      seed tree predates rustfmt enforcement and reformatting it wholesale
+#      would bury real diffs, so formatting is ratcheted: files added or
+#      rewritten by a PR go on the list and stay clean forever after.
+#   2. cargo clippy -D warnings across the whole workspace (all targets).
+#   3. cargo build --release.
+#   4. cargo test -q — the tier-1 suite (root-package integration tests).
+#      --full widens this to every workspace crate and runs the
+#      alloc-count gate asserting the pooled training path performs >= 10x
+#      fewer heap allocations than the fresh-graph path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUSTFMT_RATCHET=(
+    crates/tensor/src/pool.rs
+    crates/tensor/tests/prop_pool.rs
+    crates/core/tests/pool_equivalence.rs
+    crates/bench/src/bin/bench_pr2.rs
+    crates/bench/tests/alloc_ratio.rs
+)
+
+echo "== rustfmt (ratcheted file list) =="
+rustfmt --edition 2021 --check "${RUSTFMT_RATCHET[@]}"
+
+echo "== clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test (tier-1) =="
+cargo test -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "== cargo test (workspace) =="
+    cargo test --workspace -q
+    echo "== pooled-allocation gate (>= 10x fewer allocs/step) =="
+    cargo test -p bench --features alloc-count --release --test alloc_ratio
+fi
+
+echo "ci: OK"

@@ -403,7 +403,7 @@ mod tests {
 
     #[test]
     fn floats_round_trip_exactly() {
-        for x in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1.23456789e-30, 3.4e38] {
+        for x in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1.234_567_9e-30, 3.4e38] {
             let text = to_string(&x).unwrap();
             let back: f32 = from_str(&text).unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
