@@ -4,7 +4,7 @@
 //! edges, self-loops, meta-path neighbor sampling).
 
 use dblp_sim::Dataset;
-use hetgraph::{Block, BlockEdge, NodeId};
+use hetgraph::{sample_blocks, Block, BlockEdge, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -127,6 +127,97 @@ pub fn predict_regressor<M: BatchRegressor>(
         out.extend_from_slice(&g.value(pred).as_slice()[..chunk.len()]);
     }
     out
+}
+
+/// Pooled per-step batch assembly shared by the GNN baselines (GAT / HGT /
+/// R-GCN / HGCN): seed resolution, neighborhood sampling, and the raw input
+/// feature leaf over the deepest frontier. The feature gather — the largest
+/// per-step tensor these models build — goes through the graph's buffer
+/// pool ([`Graph::input_rows`]), so steady-state training steps reuse the
+/// same arena instead of allocating `B * S^L x feat_dim` floats each time.
+pub struct BatchInputs {
+    /// Seed nodes of the batch papers (pre-dedup order).
+    pub seeds: Vec<NodeId>,
+    /// Sampled message-passing blocks, seeds first.
+    pub blocks: Vec<Block>,
+    /// Raw input features of the deepest frontier (a pooled leaf).
+    pub x: Var,
+}
+
+/// Samples the batch neighborhood and assembles the pooled feature leaf.
+pub fn build_batch<R: Rng>(
+    g: &mut Graph,
+    ds: &Dataset,
+    papers: &[usize],
+    layers: usize,
+    fanout: usize,
+    rng: &mut R,
+) -> BatchInputs {
+    let seeds = ds.paper_nodes_of(papers);
+    let blocks = sample_blocks(&ds.graph, &seeds, layers, fanout, rng);
+    let mut rows = g.scratch_idx();
+    rows.extend(blocks[layers - 1].src_nodes.iter().map(|v| v.index()));
+    let x = g.input_rows(&ds.features, &rows);
+    g.recycle_idx(rows);
+    BatchInputs { seeds, blocks, x }
+}
+
+/// Pooled per-link-type edge index lists. Move the buffers into
+/// `gather_rows` / `segment_sum` / `segment_softmax` ops — the tape hands
+/// them back to the pool on [`Graph::reset`].
+pub struct EdgeIdx {
+    /// Source position of each edge.
+    pub src: Vec<usize>,
+    /// Destination position of each edge (non-decreasing within a block's
+    /// single link type).
+    pub dst: Vec<usize>,
+    /// Position of each edge's destination among the block's sources
+    /// (reads the previous-layer embedding of the target).
+    pub prev: Vec<usize>,
+}
+
+/// Builds the `(src, dst, prev)` index triple for one edge list from the
+/// graph's pooled index scratch.
+pub fn edge_idx(g: &mut Graph, block: &Block, edges: &[BlockEdge]) -> EdgeIdx {
+    let mut src = g.scratch_idx();
+    src.extend(edges.iter().map(|e| e.src_pos as usize));
+    let mut dst = g.scratch_idx();
+    dst.extend(edges.iter().map(|e| e.dst_pos as usize));
+    let mut prev = g.scratch_idx();
+    prev.extend(edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize));
+    EdgeIdx { src, dst, prev }
+}
+
+/// Mean-aggregation normaliser `1 / deg(dst(e))` per edge, as a pooled
+/// `m x 1` leaf. Requires each destination's edges to be contiguous in
+/// `dst` (true for per-type block edge lists and for
+/// [`merged_edges_with_self_loops`] output per segment) — the run length is
+/// the degree, so no per-destination counter array is needed.
+pub fn mean_norm_col(g: &mut Graph, dst: &[usize]) -> Var {
+    g.input_with(dst.len(), 1, |out| {
+        let mut i = 0;
+        while i < dst.len() {
+            let mut j = i + 1;
+            while j < dst.len() && dst[j] == dst[i] {
+                j += 1;
+            }
+            let w = 1.0 / (j - i) as f32;
+            out[i..j].fill(w);
+            i = j;
+        }
+    })
+}
+
+/// Seed read-out: gathers each seed's row of `h` (the deduped frontier
+/// prefix of `block0`) into a `B x d` tensor through pooled index scratch.
+pub fn gather_seed_rows(g: &mut Graph, block0: &Block, seeds: &[NodeId], h: Var) -> Var {
+    // Duplicate papers in a batch dedup in the sampler's frontier, so look
+    // each paper's row up by node id rather than by position.
+    let pos_of: std::collections::HashMap<NodeId, usize> =
+        block0.dst_nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut rows = g.scratch_idx();
+    rows.extend(seeds.iter().map(|n| pos_of[n]));
+    g.gather_rows(h, rows)
 }
 
 /// Merges all link types of a block into one homogeneous edge list and adds

@@ -5,11 +5,10 @@
 //! blindness.
 
 use crate::common::{
-    merged_edges_with_self_loops, predict_regressor, train_regressor, BatchRegressor,
-    CitationModel, GnnConfig,
+    build_batch, edge_idx, gather_seed_rows, merged_edges_with_self_loops, predict_regressor,
+    train_regressor, BatchInputs, BatchRegressor, CitationModel, GnnConfig,
 };
 use dblp_sim::Dataset;
-use hetgraph::sample_blocks;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -78,11 +77,8 @@ impl BatchRegressor for Gat {
         papers: &[usize],
         rng: &mut R,
     ) -> Var {
-        let seeds = ds.paper_nodes_of(papers);
-        let blocks = sample_blocks(&ds.graph, &seeds, self.cfg.layers, self.cfg.fanout, rng);
-        let deep = &blocks[self.cfg.layers - 1].src_nodes;
-        let rows: Vec<usize> = deep.iter().map(|v| v.index()).collect();
-        let x = g.input(ds.features.gather_rows(&rows));
+        let BatchInputs { seeds, blocks, x } =
+            build_batch(g, ds, papers, self.cfg.layers, self.cfg.fanout, rng);
         let w_in = g.param(&self.params, self.w_in);
         let b_in = g.param(&self.params, self.b_in);
         let lin = g.linear(x, w_in, b_in);
@@ -92,14 +88,11 @@ impl BatchRegressor for Gat {
             let block = &blocks[self.cfg.layers - 1 - l];
             let n_dst = block.dst_nodes.len();
             let edges = merged_edges_with_self_loops(block);
-            let src: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
-            let dst: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
-            let prev: Vec<usize> =
-                edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize).collect();
+            let idx = edge_idx(g, block, &edges);
             let w = g.param(&self.params, self.w[l]);
             let wh = g.matmul(h, w);
-            let wh_u = g.gather_rows(wh, src);
-            let wh_v = g.gather_rows(wh, prev);
+            let wh_u = g.gather_rows(wh, idx.src);
+            let wh_v = g.gather_rows(wh, idx.prev);
             let feat = g.concat_cols(wh_v, wh_u);
             // Head-averaged attention weights.
             let mut alpha: Option<Var> = None;
@@ -107,7 +100,8 @@ impl BatchRegressor for Gat {
                 let a = g.param(&self.params, aid);
                 let s = g.matmul(feat, a);
                 let s = g.leaky_relu(s, 0.2);
-                let sm = g.segment_softmax(s, dst.clone());
+                let seg = g.scratch_idx_from(&idx.dst);
+                let sm = g.segment_softmax(s, seg);
                 alpha = Some(match alpha {
                     Some(prev_a) => g.add(prev_a, sm),
                     None => sm,
@@ -116,19 +110,10 @@ impl BatchRegressor for Gat {
             let alpha = alpha.expect("heads >= 1");
             let alpha = g.scale(alpha, 1.0 / self.heads as f32);
             let weighted = g.mul_col(wh_u, alpha);
-            let agg = g.segment_sum(weighted, dst, n_dst);
+            let agg = g.segment_sum(weighted, idx.dst, n_dst);
             h = g.relu(agg);
         }
-        // Duplicate papers in a batch dedup in the sampler's frontier, so
-        // look each paper's row up by node id rather than by position.
-        let pos_of: std::collections::HashMap<hetgraph::NodeId, usize> = blocks[0]
-            .dst_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
-        let rows: Vec<usize> = seeds.iter().map(|n| pos_of[n]).collect();
-        let hb = g.gather_rows(h, rows);
+        let hb = gather_seed_rows(g, &blocks[0], &seeds, h);
         let w_out = g.param(&self.params, self.w_out);
         let b_out = g.param(&self.params, self.b_out);
         g.linear(hb, w_out, b_out)

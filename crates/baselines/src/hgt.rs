@@ -6,14 +6,14 @@
 //! output projection with a residual connection.
 
 use crate::common::{
-    predict_regressor, train_regressor, BatchRegressor, CitationModel, GnnConfig,
+    build_batch, edge_idx, gather_seed_rows, predict_regressor, train_regressor, BatchInputs,
+    BatchRegressor, CitationModel, GnnConfig,
 };
 use dblp_sim::Dataset;
-use hetgraph::sample_blocks;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tensor::{Graph, Initializer, ParamId, Params, Tensor, Var};
+use tensor::{Graph, Initializer, ParamId, Params, Var};
 
 /// Heterogeneous graph transformer regressor.
 #[derive(Debug)]
@@ -95,11 +95,8 @@ impl BatchRegressor for Hgt {
         papers: &[usize],
         rng: &mut R,
     ) -> Var {
-        let seeds = ds.paper_nodes_of(papers);
-        let blocks = sample_blocks(&ds.graph, &seeds, self.cfg.layers, self.cfg.fanout, rng);
-        let deep = &blocks[self.cfg.layers - 1].src_nodes;
-        let rows: Vec<usize> = deep.iter().map(|x| x.index()).collect();
-        let x = g.input(ds.features.gather_rows(&rows));
+        let BatchInputs { seeds, blocks, x } =
+            build_batch(g, ds, papers, self.cfg.layers, self.cfg.fanout, rng);
         let w_in = g.param(&self.params, self.w_in);
         let b_in = g.param(&self.params, self.b_in);
         let lin = g.linear(x, w_in, b_in);
@@ -111,39 +108,35 @@ impl BatchRegressor for Hgt {
             let n_dst = block.dst_nodes.len();
             // Type-specific projections of the whole frontier: compute per
             // node type and reassemble (Q for dst positions, K/V for src).
-            let src_types: Vec<usize> =
-                block.src_nodes.iter().map(|n| ds.graph.node_type(*n).0 as usize).collect();
-            let project = |g: &mut Graph, ids: &[ParamId], h: Var| -> Var {
-                project_by_type(g, &self.params, ids, h, &src_types)
-            };
-            let kh = project(g, &self.k[l], h);
-            let vh = project(g, &self.v[l], h);
-            let qh = project(g, &self.q[l], h);
+            let mut src_types = g.scratch_idx();
+            src_types.extend(block.src_nodes.iter().map(|n| ds.graph.node_type(*n).0 as usize));
+            let kh = project_by_type(g, &self.params, &self.k[l], h, &src_types);
+            let vh = project_by_type(g, &self.params, &self.v[l], h, &src_types);
+            let qh = project_by_type(g, &self.params, &self.q[l], h, &src_types);
+            g.recycle_idx(src_types);
 
             // Stack all typed edges; attention normalised per dst across
             // every incoming edge regardless of type, with a per-type prior.
-            let mut src_all: Vec<usize> = Vec::new();
-            let mut dst_all: Vec<usize> = Vec::new();
+            let mut dst_all = g.scratch_idx();
             let mut scores: Option<Var> = None;
             let mut values: Option<Var> = None;
             for (lt, edges) in block.edges_by_type.iter().enumerate() {
                 if edges.is_empty() {
                     continue;
                 }
-                let src: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
-                let dst: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
-                let prev: Vec<usize> =
-                    edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize).collect();
-                let k_u = g.gather_rows(kh, src.clone());
-                let q_v = g.gather_rows(qh, prev);
+                let n_edges = edges.len();
+                let idx = edge_idx(g, block, edges);
+                let src2 = g.scratch_idx_from(&idx.src);
+                let k_u = g.gather_rows(kh, src2);
+                let q_v = g.gather_rows(qh, idx.prev);
                 let s = g.rowwise_dot(k_u, q_v);
                 let s = g.scale(s, scale);
                 // Per-link-type prior: multiply scores by mu_lt.
                 let mu = g.param(&self.params, self.mu[l][lt]);
-                let ones = g.input(Tensor::ones(src.len(), 1));
+                let ones = g.input_with(n_edges, 1, |col| col.fill(1.0));
                 let mu_col = g.matmul(ones, mu);
                 let s = g.mul(s, mu_col);
-                let v_u = g.gather_rows(vh, src.clone());
+                let v_u = g.gather_rows(vh, idx.src);
                 scores = Some(match scores {
                     Some(p) => g.concat_rows(p, s),
                     None => s,
@@ -152,36 +145,33 @@ impl BatchRegressor for Hgt {
                     Some(p) => g.concat_rows(p, v_u),
                     None => v_u,
                 });
-                src_all.extend(src);
-                dst_all.extend(dst);
+                dst_all.extend_from_slice(&idx.dst);
+                g.recycle_idx(idx.dst);
             }
             let agg = match (scores, values) {
                 (Some(s), Some(val)) => {
-                    let alpha = g.segment_softmax(s, dst_all.clone());
+                    let seg = g.scratch_idx_from(&dst_all);
+                    let alpha = g.segment_softmax(s, seg);
                     let weighted = g.mul_col(val, alpha);
                     g.segment_sum(weighted, dst_all, n_dst)
                 }
-                _ => g.input(Tensor::zeros(n_dst, self.cfg.dim)),
+                _ => {
+                    g.recycle_idx(dst_all);
+                    g.input_with(n_dst, self.cfg.dim, |rows| rows.fill(0.0))
+                }
             };
             // Node-type-specific output projection + residual.
-            let dst_types: Vec<usize> =
-                block.dst_nodes.iter().map(|n| ds.graph.node_type(*n).0 as usize).collect();
+            let mut dst_types = g.scratch_idx();
+            dst_types.extend(block.dst_nodes.iter().map(|n| ds.graph.node_type(*n).0 as usize));
             let projected = project_by_type(g, &self.params, &self.out[l], agg, &dst_types);
-            let prev_idx: Vec<usize> = block.dst_in_src.iter().map(|&p| p as usize).collect();
+            g.recycle_idx(dst_types);
+            let mut prev_idx = g.scratch_idx();
+            prev_idx.extend(block.dst_in_src.iter().map(|&p| p as usize));
             let residual = g.gather_rows(h, prev_idx);
             let summed = g.add(projected, residual);
             h = g.relu(summed);
         }
-        // Duplicate papers in a batch dedup in the sampler's frontier, so
-        // look each paper's row up by node id rather than by position.
-        let pos_of: std::collections::HashMap<hetgraph::NodeId, usize> = blocks[0]
-            .dst_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
-        let rows: Vec<usize> = seeds.iter().map(|n| pos_of[n]).collect();
-        let hb = g.gather_rows(h, rows);
+        let hb = gather_seed_rows(g, &blocks[0], &seeds, h);
         let w_out = g.param(&self.params, self.w_out);
         let b_out = g.param(&self.params, self.b_out);
         g.linear(hb, w_out, b_out)
@@ -203,15 +193,17 @@ fn project_by_type(
         groups[t].push(pos);
     }
     let mut stacked: Option<Var> = None;
-    let mut landing = vec![0usize; types.len()];
+    let mut landing = g.scratch_idx();
+    landing.resize(types.len(), 0);
     let mut offset = 0usize;
     for (t, group) in groups.iter().enumerate() {
         if group.is_empty() {
             continue;
         }
-        let rows = g.gather_rows(h, group.clone());
+        let rows = g.scratch_idx_from(group);
+        let gathered = g.gather_rows(h, rows);
         let w = g.param(params, ids[t]);
-        let proj = g.matmul(rows, w);
+        let proj = g.matmul(gathered, w);
         for (i, &pos) in group.iter().enumerate() {
             landing[pos] = offset + i;
         }
@@ -243,6 +235,7 @@ impl CitationModel for Hgt {
 mod tests {
     use super::*;
     use dblp_sim::WorldConfig;
+    use tensor::Tensor;
 
     #[test]
     fn trains_and_predicts_finite() {

@@ -4,10 +4,10 @@
 //! (Sec. III-C1).
 
 use crate::common::{
-    predict_regressor, train_regressor, BatchRegressor, CitationModel, GnnConfig,
+    build_batch, edge_idx, gather_seed_rows, mean_norm_col, predict_regressor, train_regressor,
+    BatchInputs, BatchRegressor, CitationModel, GnnConfig,
 };
 use dblp_sim::Dataset;
-use hetgraph::sample_blocks;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -81,13 +81,10 @@ impl BatchRegressor for Rgcn {
         papers: &[usize],
         rng: &mut R,
     ) -> Var {
-        let seeds = ds.paper_nodes_of(papers);
-        let blocks = sample_blocks(&ds.graph, &seeds, self.cfg.layers, self.cfg.fanout, rng);
         // Input encoding (shared across node types — R-GCN is feature-typed
         // through its relations, not its inputs).
-        let deep = &blocks[self.cfg.layers - 1].src_nodes;
-        let rows: Vec<usize> = deep.iter().map(|v| v.index()).collect();
-        let x = g.input(ds.features.gather_rows(&rows));
+        let BatchInputs { seeds, blocks, x } =
+            build_batch(g, ds, papers, self.cfg.layers, self.cfg.fanout, rng);
         let w_in = g.param(&self.params, self.w_in);
         let b_in = g.param(&self.params, self.b_in);
         let lin = g.linear(x, w_in, b_in);
@@ -97,7 +94,8 @@ impl BatchRegressor for Rgcn {
             let block = &blocks[self.cfg.layers - 1 - l];
             let n_dst = block.dst_nodes.len();
             // Self-loop term.
-            let prev: Vec<usize> = block.dst_in_src.iter().map(|&p| p as usize).collect();
+            let mut prev = g.scratch_idx();
+            prev.extend(block.dst_in_src.iter().map(|&p| p as usize));
             let h_self = g.gather_rows(h, prev);
             let ws = g.param(&self.params, self.w_self[l]);
             let mut acc = g.matmul(h_self, ws);
@@ -106,33 +104,19 @@ impl BatchRegressor for Rgcn {
                 if edges.is_empty() {
                     continue;
                 }
-                let src: Vec<usize> = edges.iter().map(|e| e.src_pos as usize).collect();
-                let dst: Vec<usize> = edges.iter().map(|e| e.dst_pos as usize).collect();
-                let mut deg = vec![0.0f32; n_dst];
-                for &d_ in &dst {
-                    deg[d_] += 1.0;
-                }
-                let norm: Vec<f32> = dst.iter().map(|&d_| 1.0 / deg[d_]).collect();
-                let h_u = g.gather_rows(h, src);
+                let idx = edge_idx(g, block, edges);
+                g.recycle_idx(idx.prev);
+                let nv = mean_norm_col(g, &idx.dst);
+                let h_u = g.gather_rows(h, idx.src);
                 let w = g.param(&self.params, self.w_rel[l][lt]);
                 let msg = g.matmul(h_u, w);
-                let nv = g.input(tensor::Tensor::col_vec(norm));
                 let weighted = g.mul_col(msg, nv);
-                let agg = g.segment_sum(weighted, dst, n_dst);
+                let agg = g.segment_sum(weighted, idx.dst, n_dst);
                 acc = g.add(acc, agg);
             }
             h = g.relu(acc);
         }
-        // Duplicate papers in a batch dedup in the sampler's frontier, so
-        // look each paper's row up by node id rather than by position.
-        let pos_of: std::collections::HashMap<hetgraph::NodeId, usize> = blocks[0]
-            .dst_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i))
-            .collect();
-        let rows: Vec<usize> = seeds.iter().map(|n| pos_of[n]).collect();
-        let hb = g.gather_rows(h, rows);
+        let hb = gather_seed_rows(g, &blocks[0], &seeds, h);
         let w_out = g.param(&self.params, self.w_out);
         let b_out = g.param(&self.params, self.b_out);
         g.linear(hb, w_out, b_out)

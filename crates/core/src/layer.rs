@@ -120,9 +120,9 @@ pub fn layer_forward(
     // Per-type index preparation is pure bookkeeping over the block. Every
     // list is checked out of the graph's scratch pool and either handed to
     // an op (reclaimed by the next `reset`) or recycled below, so the
-    // steady-state step rebuilds all of it without touching the heap —
-    // which is also why this runs serially on the tape thread: the pool is
-    // part of the (single-threaded) graph.
+    // steady-state step rebuilds all of it without touching the heap. The
+    // (single-threaded) pool checkout happens on the tape thread; the fill
+    // itself is independent per link type and runs on the worker pool.
     struct TypeIdx {
         lt: usize,
         src_idx: Vec<usize>,
@@ -139,44 +139,40 @@ pub fn layer_forward(
     }
     let mut type_idx: Vec<TypeIdx> = Vec::with_capacity(block.edges_by_type.len());
     for lt in 0..block.edges_by_type.len() {
-        let edges = &block.edges_by_type[lt];
-        if edges.is_empty() {
+        if block.edges_by_type[lt].is_empty() {
             continue;
         }
-        let mut src_idx = g.scratch_idx();
-        src_idx.extend(edges.iter().map(|e| e.src_pos as usize));
-        let mut dst_idx = g.scratch_idx();
-        dst_idx.extend(edges.iter().map(|e| e.dst_pos as usize));
-        let mut prev_idx = g.scratch_idx();
-        prev_idx.extend(edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize));
-        let mut active_dst = g.scratch_idx_from(&dst_idx);
-        active_dst.sort_unstable();
-        active_dst.dedup();
-        let mut local_seg = g.scratch_idx();
-        local_seg
-            .extend(dst_idx.iter().map(|d| active_dst.binary_search(d).expect("dst present")));
-        let mut active_prev = g.scratch_idx();
-        active_prev.extend(active_dst.iter().map(|&d| block.dst_in_src[d] as usize));
-        let uniform_w = if attn {
-            Vec::new()
-        } else {
-            let mut deg = vec![0.0f32; n_dst];
-            for &d in &dst_idx {
-                deg[d] += 1.0;
-            }
-            dst_idx.iter().map(|&d| 1.0 / deg[d]).collect()
-        };
         type_idx.push(TypeIdx {
             lt,
-            src_idx,
-            dst_idx,
-            prev_idx,
-            active_dst,
-            local_seg,
-            active_prev,
-            uniform_w,
+            src_idx: g.scratch_idx(),
+            dst_idx: g.scratch_idx(),
+            prev_idx: g.scratch_idx(),
+            active_dst: g.scratch_idx(),
+            local_seg: g.scratch_idx(),
+            active_prev: g.scratch_idx(),
+            uniform_w: Vec::new(),
         });
     }
+    tensor::par::par_for_each_mut(&mut type_idx, |_, ti| {
+        let edges = &block.edges_by_type[ti.lt];
+        ti.src_idx.extend(edges.iter().map(|e| e.src_pos as usize));
+        ti.dst_idx.extend(edges.iter().map(|e| e.dst_pos as usize));
+        ti.prev_idx.extend(edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize));
+        ti.active_dst.extend_from_slice(&ti.dst_idx);
+        ti.active_dst.sort_unstable();
+        ti.active_dst.dedup();
+        let active_dst = &ti.active_dst;
+        ti.local_seg
+            .extend(ti.dst_idx.iter().map(|d| active_dst.binary_search(d).expect("dst present")));
+        ti.active_prev.extend(ti.active_dst.iter().map(|&d| block.dst_in_src[d] as usize));
+        if !attn {
+            let mut deg = vec![0.0f32; n_dst];
+            for &d in &ti.dst_idx {
+                deg[d] += 1.0;
+            }
+            ti.uniform_w.extend(ti.dst_idx.iter().map(|&d| 1.0 / deg[d]));
+        }
+    });
 
     // Per-type aggregation results awaiting cross-type combination.
     struct TypeAgg {

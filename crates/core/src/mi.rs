@@ -12,6 +12,10 @@ use hetgraph::Block;
 use rand::Rng;
 use tensor::{Graph, ParamId, Params, Tensor, Var};
 
+/// One per-link-type flatten task: the type's candidate edges and the
+/// disjoint output segment they fill.
+type EdgeSegment<'a> = (&'a [hetgraph::BlockEdge], &'a mut [(usize, usize, f32)]);
+
 /// Builds the (negated, to-minimise) MI loss for one layer transition.
 ///
 /// `h_src` holds layer-`l` embeddings of `block.src_nodes`; `h_next` holds
@@ -31,11 +35,33 @@ pub fn mi_loss<R: Rng>(
 ) -> Option<Var> {
     // Flatten candidate edges as (src_pos, dst_pos, weight), in type order
     // — the candidate order the RNG-driven subsample below sees is defined
-    // by the block alone.
+    // by the block alone. Each type writes a disjoint pre-sized segment, so
+    // the parallel fill reproduces the serial concatenation exactly.
     let total: usize = block.edges_by_type.iter().map(Vec::len).sum();
-    let mut all: Vec<(usize, usize, f32)> = Vec::with_capacity(total);
-    for edges in &block.edges_by_type {
-        all.extend(edges.iter().map(|e| (e.src_pos as usize, e.dst_pos as usize, e.weight)));
+    let mut all: Vec<(usize, usize, f32)> = vec![(0, 0, 0.0); total];
+    {
+        let mut segments: Vec<EdgeSegment> = Vec::with_capacity(block.edges_by_type.len());
+        let mut rest = all.as_mut_slice();
+        for edges in &block.edges_by_type {
+            let (seg, tail) = rest.split_at_mut(edges.len());
+            rest = tail;
+            if !edges.is_empty() {
+                segments.push((edges.as_slice(), seg));
+            }
+        }
+        if total >= 2048 {
+            tensor::par::par_for_each_mut(&mut segments, |_, (edges, seg)| {
+                for (slot, e) in seg.iter_mut().zip(edges.iter()) {
+                    *slot = (e.src_pos as usize, e.dst_pos as usize, e.weight);
+                }
+            });
+        } else {
+            for (edges, seg) in &mut segments {
+                for (slot, e) in seg.iter_mut().zip(edges.iter()) {
+                    *slot = (e.src_pos as usize, e.dst_pos as usize, e.weight);
+                }
+            }
+        }
     }
     if all.is_empty() {
         return None;

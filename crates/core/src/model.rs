@@ -7,7 +7,7 @@ use crate::config::ModelConfig;
 use crate::encoder::{encode_links, encode_nodes, EncoderParams};
 use crate::layer::{layer_forward, LayerParams};
 use crate::mi::mi_loss;
-use hetgraph::{sample_blocks, Block, HetGraph, NodeId};
+use hetgraph::{Block, BlockCache, HetGraph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,6 +22,38 @@ pub struct CateHgn {
     pub enc: EncoderParams,
     pub layers: Vec<LayerParams>,
     pub ca: CaParams,
+    /// Neighborhood-sampling cache for the deterministic inference paths
+    /// (`predict` / `impact_and_cluster` / `embed`): repeated Algorithm-1
+    /// evaluation rounds replay their blocks instead of resampling.
+    pub sampling_cache: SharedBlockCache,
+}
+
+/// [`BlockCache`] behind a mutex so the `&self` inference methods can use
+/// it; training mini-batches draw from an ever-advancing RNG and bypass it.
+pub struct SharedBlockCache(std::sync::Mutex<BlockCache<ChaCha8Rng>>);
+
+/// Resident entries bound the memory held by cached blocks; validation
+/// predict needs `PREDICT_SAMPLES x n_chunks` slots to replay fully.
+const SAMPLING_CACHE_CAPACITY: usize = 128;
+
+impl Default for SharedBlockCache {
+    fn default() -> Self {
+        SharedBlockCache(std::sync::Mutex::new(BlockCache::new(SAMPLING_CACHE_CAPACITY)))
+    }
+}
+
+// The cache is replay state, not model state: clones start cold.
+impl Clone for SharedBlockCache {
+    fn clone(&self) -> Self {
+        SharedBlockCache::default()
+    }
+}
+
+impl std::fmt::Debug for SharedBlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (hits, misses) = self.0.lock().unwrap().stats();
+        write!(f, "SharedBlockCache {{ hits: {hits}, misses: {misses} }}")
+    }
 }
 
 /// Everything a forward pass produces that the losses need.
@@ -56,7 +88,30 @@ impl CateHgn {
             .map(|l| LayerParams::init(&mut params, l, cfg.dim, n_link_types, &cfg, &mut rng))
             .collect();
         let ca = CaParams::init(&mut params, cfg.layers, cfg.dim, cfg.n_clusters, &mut rng);
-        CateHgn { cfg, params, enc, layers, ca }
+        CateHgn { cfg, params, enc, layers, ca, sampling_cache: SharedBlockCache::default() }
+    }
+
+    /// `(hits, misses)` of the neighborhood-sampling cache since this model
+    /// was built.
+    pub fn sampling_cache_stats(&self) -> (u64, u64) {
+        self.sampling_cache.0.lock().unwrap().stats()
+    }
+
+    /// Cached [`sample_blocks`] for the deterministic inference paths.
+    fn sample_cached(
+        &self,
+        graph: &HetGraph,
+        seeds: &[NodeId],
+        fanout: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Block> {
+        self.sampling_cache.0.lock().unwrap().sample(
+            graph,
+            seeds,
+            self.cfg.layers,
+            fanout,
+            rng,
+        )
     }
 
     /// Total number of scalar weights (constant in the graph size —
@@ -291,8 +346,7 @@ impl CateHgn {
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s.wrapping_mul(0x9E37)));
             let mut offset = 0;
             for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
-                let blocks =
-                    sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout * 2, &mut rng);
+                let blocks = self.sample_cached(graph, chunk, self.cfg.fanout * 2, &mut rng);
                 g.reset();
                 let fw = self.forward(&mut g, graph, features, &blocks, false);
                 // Eq. 6 trains a regressor at every layer; averaging the
@@ -328,8 +382,7 @@ impl CateHgn {
         let mut out = Vec::with_capacity(seeds.len());
         let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
-            let blocks =
-                sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout * 2, &mut rng);
+            let blocks = self.sample_cached(graph, chunk, self.cfg.fanout * 2, &mut rng);
             g.reset();
             let fw = self.forward(&mut g, graph, features, &blocks, false);
             let pred = self.predict_rows(&mut g, &fw, self.cfg.layers, chunk.len());
@@ -358,7 +411,7 @@ impl CateHgn {
         let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); self.cfg.layers];
         let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
-            let blocks = sample_blocks(graph, chunk, self.cfg.layers, self.cfg.fanout, &mut rng);
+            let blocks = self.sample_cached(graph, chunk, self.cfg.fanout, &mut rng);
             // Duplicate seeds dedup in the sampler: resolve each requested
             // seed to its row in the deduped frontier prefix.
             let pos_of: std::collections::HashMap<NodeId, usize> = blocks
@@ -388,6 +441,7 @@ impl CateHgn {
 mod tests {
     use super::*;
     use dblp_sim::{Dataset, WorldConfig};
+    use hetgraph::sample_blocks;
 
     fn tiny_model_and_data() -> (CateHgn, Dataset) {
         let ds = Dataset::full(&WorldConfig::tiny(), 8);
@@ -492,6 +546,21 @@ mod tests {
         assert_eq!(p1.len(), 50);
         assert_eq!(p1, p2);
         assert!(p1.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn repeated_predict_hits_sampling_cache() {
+        let (model, ds) = tiny_model_and_data();
+        let seeds: Vec<NodeId> = ds.paper_nodes.iter().take(20).copied().collect();
+        let p1 = model.predict(&ds.graph, &ds.features, &seeds, 9);
+        let (h0, m0) = model.sampling_cache_stats();
+        assert_eq!(h0, 0, "cold cache cannot hit");
+        assert!(m0 > 0);
+        let p2 = model.predict(&ds.graph, &ds.features, &seeds, 9);
+        let (h1, m1) = model.sampling_cache_stats();
+        assert_eq!(p1, p2, "replayed blocks must reproduce predictions exactly");
+        assert_eq!(m1, m0, "warm replay resamples nothing");
+        assert_eq!(h1, m0, "every sampling call replays from the cache");
     }
 
     #[test]

@@ -21,7 +21,7 @@ impl NodeId {
 
 /// Compressed sparse row adjacency over global node ids, with parallel
 /// weight storage.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<u32>,
@@ -101,11 +101,30 @@ pub struct HetGraph {
     by_type: Vec<Vec<NodeId>>,
     /// One CSR per link type, indexed over all global node ids.
     adj: Vec<Csr>,
+    /// Process-unique stamp of this graph's content state; refreshed
+    /// whenever [`HetGraph::replace_links`] actually changes an edge set,
+    /// so sampling caches keyed on it can never serve stale blocks.
+    stamp: u64,
+}
+
+/// Draws a process-unique graph content stamp (never zero).
+fn next_graph_stamp() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl HetGraph {
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Identifies this graph's current content state: two `HetGraph`
+    /// values report the same stamp only if one is a clone of the other
+    /// and neither has had its links replaced since. Sampling caches use
+    /// it as the coarse invalidation key.
+    #[inline]
+    pub fn sampling_stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Total number of nodes across all types.
@@ -182,7 +201,15 @@ impl HetGraph {
             assert_eq!(self.node_type(d), def.dst, "dst node type mismatch for {}", def.name);
         }
         let raw: Vec<(u32, u32, f32)> = edges.iter().map(|&(s, d, w)| (s.0, d.0, w)).collect();
-        self.adj[t.0 as usize] = Csr::from_edges(self.num_nodes(), &raw);
+        let next = Csr::from_edges(self.num_nodes(), &raw);
+        // A rebuild that reproduces the existing edge set (e.g. a TE
+        // refinement round whose term sets have converged) keeps the stamp,
+        // so downstream sampling caches stay warm.
+        if next == self.adj[t.0 as usize] {
+            return;
+        }
+        self.adj[t.0 as usize] = next;
+        self.stamp = next_graph_stamp();
     }
 }
 
@@ -263,7 +290,13 @@ impl HetGraphBuilder {
             by_type[t.0 as usize].push(NodeId(i as u32));
         }
         let adj = self.edges.iter().map(|e| Csr::from_edges(n, e)).collect();
-        HetGraph { schema: self.schema, node_types: self.node_types, by_type, adj }
+        HetGraph {
+            schema: self.schema,
+            node_types: self.node_types,
+            by_type,
+            adj,
+            stamp: next_graph_stamp(),
+        }
     }
 }
 
@@ -363,4 +396,28 @@ mod tests {
 
 serde::impl_serde_newtype!(NodeId);
 serde::impl_serde_struct!(Csr { offsets, targets, weights });
-serde::impl_serde_struct!(HetGraph { schema, node_types, by_type, adj });
+
+// Manual impl (not `impl_serde_struct!`): the stamp is process-local
+// identity, so it is not serialised, and deserialisation draws a fresh one.
+impl serde::Serialize for HetGraph {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("schema".to_string(), serde::Serialize::to_value(&self.schema)),
+            ("node_types".to_string(), serde::Serialize::to_value(&self.node_types)),
+            ("by_type".to_string(), serde::Serialize::to_value(&self.by_type)),
+            ("adj".to_string(), serde::Serialize::to_value(&self.adj)),
+        ])
+    }
+}
+
+impl serde::Deserialize for HetGraph {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(HetGraph {
+            schema: serde::Deserialize::from_value(v.field("schema")?)?,
+            node_types: serde::Deserialize::from_value(v.field("node_types")?)?,
+            by_type: serde::Deserialize::from_value(v.field("by_type")?)?,
+            adj: serde::Deserialize::from_value(v.field("adj")?)?,
+            stamp: next_graph_stamp(),
+        })
+    }
+}

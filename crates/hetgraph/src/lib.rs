@@ -32,6 +32,6 @@ pub mod schema;
 pub mod walks;
 
 pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId};
-pub use sampling::{sample_blocks, Block, BlockEdge};
+pub use sampling::{sample_blocks, Block, BlockCache, BlockEdge};
 pub use schema::{LinkTypeId, LinkTypeDef, NodeTypeId, Schema};
 pub use walks::{corpus_metapath_walks, metapath_walk, uniform_typed_walk, MetaPath};

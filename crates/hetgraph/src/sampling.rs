@@ -121,6 +121,124 @@ fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut
     Block { dst_nodes: dst.to_vec(), src_nodes, dst_in_src, edges_by_type }
 }
 
+/// LRU cache over [`sample_blocks`] results, keyed by everything the
+/// sampler's output depends on: the graph content stamp
+/// ([`HetGraph::sampling_stamp`]), the exact seed list, the hop count, the
+/// fanout, and the RNG state (observed through a 4-word probe drawn from a
+/// *clone*, so the caller's generator is untouched by a lookup).
+///
+/// On a hit the cached blocks are returned and the caller's RNG is
+/// replaced with the state the sampler left behind when the entry was
+/// recorded — downstream draws continue exactly as if sampling had run.
+/// Repeated Algorithm-1 evaluation rounds (validation `predict` with a
+/// fixed seed, per-round TE read-outs) therefore replay for free as long
+/// as the graph itself has not been relinked.
+pub struct BlockCache<R> {
+    capacity: usize,
+    /// Most-recently-used last.
+    entries: Vec<CacheEntry<R>>,
+    hits: u64,
+    misses: u64,
+}
+
+struct CacheEntry<R> {
+    key: CacheKey,
+    /// Exact seed list — kills the (astronomically unlikely) seed-hash
+    /// collision instead of serving a wrong neighborhood.
+    seeds: Vec<NodeId>,
+    blocks: Vec<Block>,
+    rng_after: R,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct CacheKey {
+    graph_stamp: u64,
+    seed_hash: u64,
+    hops: usize,
+    fanout: usize,
+    rng_probe: [u32; 4],
+}
+
+impl<R: Rng + Clone> BlockCache<R> {
+    /// A cache holding at most `capacity` sampled neighborhoods.
+    pub fn new(capacity: usize) -> Self {
+        BlockCache { capacity: capacity.max(1), entries: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// [`sample_blocks`] through the cache. Bitwise-equivalent to calling
+    /// the sampler directly: both the returned blocks and the caller's RNG
+    /// state afterwards are identical on hit and miss paths.
+    pub fn sample(
+        &mut self,
+        g: &HetGraph,
+        seeds: &[NodeId],
+        hops: usize,
+        fanout: usize,
+        rng: &mut R,
+    ) -> Vec<Block> {
+        let key = CacheKey {
+            graph_stamp: g.sampling_stamp(),
+            seed_hash: hash_seeds(seeds),
+            hops,
+            fanout,
+            rng_probe: rng_probe(rng),
+        };
+        if let Some(pos) =
+            self.entries.iter().position(|e| e.key == key && e.seeds == seeds)
+        {
+            let entry = self.entries.remove(pos);
+            *rng = entry.rng_after.clone();
+            let blocks = entry.blocks.clone();
+            self.entries.push(entry);
+            self.hits += 1;
+            return blocks;
+        }
+        let blocks = sample_blocks(g, seeds, hops, fanout, rng);
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(CacheEntry {
+            key,
+            seeds: seeds.to_vec(),
+            blocks: blocks.clone(),
+            rng_after: rng.clone(),
+        });
+        blocks
+    }
+}
+
+/// Fingerprints the generator's state by drawing four words from a clone;
+/// the argument itself never advances.
+fn rng_probe<R: Rng + Clone>(rng: &R) -> [u32; 4] {
+    let mut probe = rng.clone();
+    [probe.next_u32(), probe.next_u32(), probe.next_u32(), probe.next_u32()]
+}
+
+/// FNV-1a over the seed ids (cheap pre-filter; exact list compared on hit).
+fn hash_seeds(seeds: &[NodeId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for s in seeds {
+        h ^= s.0 as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 fn dedup_preserve_order(nodes: &[NodeId]) -> Vec<NodeId> {
     let mut seen = HashMap::with_capacity(nodes.len());
     let mut out = Vec::with_capacity(nodes.len());
@@ -137,6 +255,7 @@ mod tests {
     use super::*;
     use crate::graph::HetGraphBuilder;
     use crate::schema::Schema;
+    use rand::RngCore;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -250,5 +369,87 @@ mod tests {
 
     fn s_handle(b: &HetGraphBuilder, name: &str) -> crate::schema::LinkTypeId {
         b.schema().link_type_by_name(name).unwrap()
+    }
+
+    fn blocks_eq(a: &[Block], b: &[Block]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.dst_nodes == y.dst_nodes
+                    && x.src_nodes == y.src_nodes
+                    && x.dst_in_src == y.dst_in_src
+                    && x.edges_by_type == y.edges_by_type
+            })
+    }
+
+    #[test]
+    fn cache_hit_replays_blocks_and_rng_state() {
+        let (g, p, _) = star(20);
+        let mut cache = BlockCache::new(8);
+        // Reference: two uncached rounds from the same seed state.
+        let mut r_ref = ChaCha8Rng::seed_from_u64(7);
+        let b_ref = sample_blocks(&g, &[p], 2, 5, &mut r_ref);
+        let follow_ref: u32 = r_ref.next_u32();
+        // Cached: miss then hit, both from the same initial state.
+        let mut r1 = ChaCha8Rng::seed_from_u64(7);
+        let b1 = cache.sample(&g, &[p], 2, 5, &mut r1);
+        let follow1 = r1.next_u32();
+        let mut r2 = ChaCha8Rng::seed_from_u64(7);
+        let b2 = cache.sample(&g, &[p], 2, 5, &mut r2);
+        let follow2 = r2.next_u32();
+        assert!(blocks_eq(&b_ref, &b1) && blocks_eq(&b_ref, &b2));
+        assert_eq!((follow_ref, follow_ref), (follow1, follow2), "RNG must continue identically");
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_misses_on_different_rng_state_or_params() {
+        let (g, p, _) = star(20);
+        let mut cache = BlockCache::new(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        cache.sample(&g, &[p], 1, 5, &mut rng); // advances rng
+        cache.sample(&g, &[p], 1, 5, &mut rng); // different state -> miss
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        cache.sample(&g, &[p], 1, 4, &mut rng2); // different fanout -> miss
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn cache_invalidates_after_relink() {
+        let (mut g, p, authors) = star(4);
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let mut cache = BlockCache::new(8);
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        cache.sample(&g, &[p], 1, 5, &mut r1);
+        // Identical relink keeps the stamp: next lookup hits.
+        let same: Vec<_> = g
+            .iter_links(writes)
+            .collect::<Vec<_>>();
+        g.replace_links(writes, &same);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        cache.sample(&g, &[p], 1, 5, &mut r2);
+        assert_eq!(cache.stats(), (1, 1));
+        // A real change refreshes the stamp: stale entry cannot hit, and
+        // the resample sees the new adjacency.
+        let wb = g.schema().link_type_by_name("written_by").unwrap();
+        g.replace_links(wb, &[(p, authors[0], 0.25)]);
+        let mut r3 = ChaCha8Rng::seed_from_u64(3);
+        let blocks = cache.sample(&g, &[p], 1, 5, &mut r3);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(blocks[0].edges_by_type[wb.0 as usize].len(), 1, "resample sees replaced links");
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let (g, p, authors) = star(6);
+        let mut cache = BlockCache::new(2);
+        let key_rng = || ChaCha8Rng::seed_from_u64(9);
+        cache.sample(&g, &[p], 1, 3, &mut key_rng()); // A
+        cache.sample(&g, &[authors[0]], 1, 3, &mut key_rng()); // B
+        cache.sample(&g, &[p], 1, 3, &mut key_rng()); // A hits, becomes MRU
+        cache.sample(&g, &[authors[1]], 1, 3, &mut key_rng()); // C evicts B
+        assert_eq!(cache.len(), 2);
+        cache.sample(&g, &[p], 1, 3, &mut key_rng()); // A still resident
+        cache.sample(&g, &[authors[0]], 1, 3, &mut key_rng()); // B was evicted
+        assert_eq!(cache.stats(), (2, 4));
     }
 }

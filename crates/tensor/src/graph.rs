@@ -22,10 +22,34 @@
 //! step on a fresh graph — pooled buffers are either fully overwritten or
 //! zero-filled before use, and no compute order depends on the pool (see
 //! DESIGN.md, "Memory model").
+//!
+//! ## Parallel backward
+//!
+//! Large tapes run the reverse sweep branch-parallel on the
+//! [`crate::par`] worker count: a one-shot dependency analysis
+//! ([`BackwardPlan`]) counts each node's gradient contributions, assigns
+//! every contribution a dedicated accumulation slot checked out of the main
+//! pool on the tape thread, and a work-stealing-free ready queue executes a
+//! node once all of its consumers have deposited their contributions. Slots
+//! for a node are folded in a fixed canonical order — consumers in
+//! descending node id, emits in op-argument order — which is exactly the
+//! order the serial sweep accumulates in, so gradients are bitwise-identical
+//! to [`Graph::backward_serial`] at every thread count (see DESIGN.md,
+//! "Parallel backward"). Each worker owns a private scratch [`BufferPool`]
+//! for op-internal temporaries; those buffers are taken and returned within
+//! a single node's backward rule, so per-worker pools converge to a fixed
+//! working set and the steady state stays allocation-free.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use crate::params::{ParamId, Params};
 use crate::pool::BufferPool;
-use crate::tensor::{circular_correlation, dot, softmax_in_place, Tensor};
+use crate::tensor::{
+    circular_convolution_windowed, circular_correlation_windowed, dot, fill_conv_window,
+    fill_corr_window, softmax_in_place, Tensor,
+};
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that created it, and only until the next [`Graph::reset`].
@@ -114,14 +138,64 @@ enum Op {
     Mse(Var, ConstId),
 }
 
-struct Node {
-    value: Tensor,
-    grad: Option<Tensor>,
-    op: Op,
+impl Op {
+    /// Visits this op's parents in exactly the order [`backward_op`] emits
+    /// their gradient contributions. The backward planner relies on that
+    /// correspondence to pre-assign accumulation slots, so the two functions
+    /// must stay in lock-step.
+    fn for_each_parent(&self, mut f: impl FnMut(Var)) {
+        match self {
+            Op::Leaf => {}
+            &Op::Add(a, b)
+            | &Op::Sub(a, b)
+            | &Op::Mul(a, b)
+            | &Op::Div(a, b)
+            | &Op::AddRow(a, b)
+            | &Op::MulRow(a, b)
+            | &Op::MulCol(a, b)
+            | &Op::DivCol(a, b)
+            | &Op::MatMul(a, b)
+            | &Op::ConcatCols(a, b)
+            | &Op::ConcatRows(a, b)
+            | &Op::RowwiseDot(a, b)
+            | &Op::CircCorr(a, b)
+            | &Op::PairwiseSqDist(a, b) => {
+                f(a);
+                f(b);
+            }
+            &Op::Scale(a, _)
+            | &Op::AddScalar(a)
+            | &Op::Neg(a)
+            | &Op::Transpose(a)
+            | &Op::Relu(a)
+            | &Op::LeakyRelu(a, _)
+            | &Op::Sigmoid(a)
+            | &Op::Tanh(a)
+            | &Op::Softplus(a)
+            | &Op::Exp(a)
+            | &Op::Log(a)
+            | &Op::Square(a)
+            | &Op::SumAll(a)
+            | &Op::MeanAll(a)
+            | &Op::SumRows(a)
+            | &Op::SumCols(a)
+            | &Op::SoftmaxRows(a)
+            | &Op::Recip1p(a)
+            | &Op::ColSlice(a, _)
+            | &Op::MulConst(a, _)
+            | &Op::Mse(a, _) => f(a),
+            Op::GatherRows(a, _) | Op::SegmentSum(a, _) | Op::SegmentSoftmax(a, _) => f(*a),
+        }
+    }
 }
 
 /// Floor used inside [`Graph::log`] to keep gradients finite.
 pub const LOG_EPS: f32 = 1e-12;
+
+/// Tapes shorter than this always take the serial backward path: the
+/// scheduler's per-node bookkeeping costs more than it recovers on tiny
+/// graphs, and unit-test tapes keep their exact historical pool behavior.
+pub const PAR_TAPE_MIN: usize = 256;
 
 /// A single forward pass's computation tape.
 ///
@@ -131,10 +205,20 @@ pub const LOG_EPS: f32 = 1e-12;
 /// allocations.
 #[derive(Default)]
 pub struct Graph {
-    nodes: Vec<Node>,
+    // Node storage is struct-of-arrays: `values`, `grads`, and `ops` are
+    // indexed by node id. The split lets the backward pass borrow values
+    // and ops immutably while gradients are written through disjoint-index
+    // cells.
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    ops: Vec<Op>,
     bindings: Vec<(ParamId, Var)>,
     consts: Vec<Tensor>,
     pool: BufferPool,
+    /// One private scratch pool per backward worker, reused across steps.
+    worker_scratch: Vec<BufferPool>,
+    /// Reusable dependency-analysis storage for the parallel backward.
+    plan: BackwardPlan,
 }
 
 /// Pooled element-wise map (`out[i] = f(src[i])`), same shape as `src`.
@@ -163,11 +247,11 @@ impl Graph {
 
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.values.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.values.is_empty()
     }
 
     /// Clears the tape for reuse: every node's value/grad buffer, every
@@ -177,12 +261,14 @@ impl Graph {
     /// become invalid. Replaying the same ops after a reset produces
     /// bitwise-identical values and gradients to a fresh graph.
     pub fn reset(&mut self) {
-        for node in self.nodes.drain(..) {
-            self.pool.give(node.value.into_vec());
-            if let Some(grad) = node.grad {
-                self.pool.give(grad.into_vec());
-            }
-            match node.op {
+        for v in self.values.drain(..) {
+            self.pool.give(v.into_vec());
+        }
+        for grad in self.grads.drain(..).flatten() {
+            self.pool.give(grad.into_vec());
+        }
+        for op in self.ops.drain(..) {
+            match op {
                 Op::GatherRows(_, idx) | Op::SegmentSum(_, idx) | Op::SegmentSoftmax(_, idx) => {
                     self.pool.give_idx(idx)
                 }
@@ -193,6 +279,15 @@ impl Graph {
             self.pool.give(c.into_vec());
         }
         self.bindings.clear();
+        // Safety net: a backward pass that panicked mid-flight can leave
+        // accumulation slots parked; return them so the pool's books stay
+        // balanced. After a clean backward every cell is already empty.
+        for cell in self.plan.slots.iter_mut() {
+            if let Some(t) = cell.0.get_mut().take() {
+                self.pool.give(t.into_vec());
+            }
+        }
+        self.plan.n_slots = 0;
     }
 
     /// Checkout statistics of the graph's buffer pool.
@@ -231,10 +326,10 @@ impl Graph {
     /// tensor via [`Graph::recycle`] once consumed, keeping optimizer steps
     /// off the heap.
     pub fn collect_param_grads(&mut self) -> Vec<(ParamId, Tensor)> {
-        let Graph { nodes, bindings, pool, .. } = self;
+        let Graph { grads, bindings, pool, .. } = self;
         let mut out: Vec<(ParamId, Tensor)> = Vec::new();
         for &(pid, var) in bindings.iter() {
-            if let Some(grad) = nodes[var.idx()].grad.as_ref() {
+            if let Some(grad) = grads[var.idx()].as_ref() {
                 match out.iter_mut().find(|(p, _)| *p == pid) {
                     Some((_, acc)) => acc.add_assign(grad),
                     None => out.push((pid, pool.tensor_copy(grad))),
@@ -246,9 +341,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
-        debug_assert!(self.nodes.len() < u32::MAX as usize);
-        self.nodes.push(Node { value, grad: None, op });
-        Var((self.nodes.len() - 1) as u32)
+        debug_assert!(self.values.len() < u32::MAX as usize);
+        self.values.push(value);
+        self.grads.push(None);
+        self.ops.push(op);
+        Var((self.values.len() - 1) as u32)
     }
 
     /// Records a constant/input leaf. It receives a gradient during backward
@@ -262,6 +359,33 @@ impl Graph {
     pub fn input_from(&mut self, t: &Tensor) -> Var {
         let v = self.pool.tensor_copy(t);
         self.push(v, Op::Leaf)
+    }
+
+    /// Records a leaf holding a pooled gather of `src`'s rows — equivalent
+    /// to `input(src.gather_rows(rows))` without the steady-state heap
+    /// allocation. Used by batch assembly that selects feature rows for a
+    /// sampled node set.
+    pub fn input_rows(&mut self, src: &Tensor, rows: &[usize]) -> Var {
+        let m = src.cols();
+        let mut out = self.pool.tensor_raw(rows.len(), m);
+        for (r, &i) in rows.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(src.row(i));
+        }
+        self.push(out, Op::Leaf)
+    }
+
+    /// Records a pooled `rows x cols` input leaf whose contents `fill`
+    /// writes. The buffer arrives with arbitrary pooled contents; `fill`
+    /// must overwrite every element.
+    pub fn input_with(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        fill: impl FnOnce(&mut [f32]),
+    ) -> Var {
+        let mut t = self.pool.tensor_raw(rows, cols);
+        fill(t.as_mut_slice());
+        self.push(t, Op::Leaf)
     }
 
     /// Records a `1 x 1` scalar constant.
@@ -302,17 +426,17 @@ impl Graph {
 
     /// The forward value of `v`.
     pub fn value(&self, v: Var) -> &Tensor {
-        &self.nodes[v.idx()].value
+        &self.values[v.idx()]
     }
 
     /// The accumulated gradient of `v`, if backward has reached it.
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
-        self.nodes[v.idx()].grad.as_ref()
+        self.grads[v.idx()].as_ref()
     }
 
     /// Shape of the forward value of `v`.
     pub fn shape(&self, v: Var) -> (usize, usize) {
-        self.nodes[v.idx()].value.shape()
+        self.values[v.idx()].shape()
     }
 
     /// `(ParamId, Var)` pairs recorded by [`Graph::param`].
@@ -327,8 +451,8 @@ impl Graph {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let v = pooled_zip(
             &mut self.pool,
-            &self.nodes[a.idx()].value,
-            &self.nodes[b.idx()].value,
+            &self.values[a.idx()],
+            &self.values[b.idx()],
             |x, y| x + y,
         );
         self.push(v, Op::Add(a, b))
@@ -337,8 +461,8 @@ impl Graph {
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let v = pooled_zip(
             &mut self.pool,
-            &self.nodes[a.idx()].value,
-            &self.nodes[b.idx()].value,
+            &self.values[a.idx()],
+            &self.values[b.idx()],
             |x, y| x - y,
         );
         self.push(v, Op::Sub(a, b))
@@ -347,8 +471,8 @@ impl Graph {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let v = pooled_zip(
             &mut self.pool,
-            &self.nodes[a.idx()].value,
-            &self.nodes[b.idx()].value,
+            &self.values[a.idx()],
+            &self.values[b.idx()],
             |x, y| x * y,
         );
         self.push(v, Op::Mul(a, b))
@@ -357,8 +481,8 @@ impl Graph {
     pub fn div(&mut self, a: Var, b: Var) -> Var {
         let v = pooled_zip(
             &mut self.pool,
-            &self.nodes[a.idx()].value,
-            &self.nodes[b.idx()].value,
+            &self.values[a.idx()],
+            &self.values[b.idx()],
             |x, y| x / y,
         );
         self.push(v, Op::Div(a, b))
@@ -369,8 +493,8 @@ impl Graph {
         let (n, m) = self.shape(a);
         let (rr, rm) = self.shape(row);
         assert_eq!((rr, rm), (1, m), "add_row: expected 1x{m} row, got {rr}x{rm}");
-        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
-        let r = &self.nodes[row.idx()].value;
+        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
+        let r = &self.values[row.idx()];
         for i in 0..n {
             for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
                 *o += x;
@@ -383,8 +507,8 @@ impl Graph {
     pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
         let (n, m) = self.shape(a);
         assert_eq!(self.shape(row), (1, m), "mul_row shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
-        let r = &self.nodes[row.idx()].value;
+        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
+        let r = &self.values[row.idx()];
         for i in 0..n {
             for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
                 *o *= x;
@@ -397,8 +521,8 @@ impl Graph {
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
         let (n, _m) = self.shape(a);
         assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
-        let c = &self.nodes[col.idx()].value;
+        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
+        let c = &self.values[col.idx()];
         for i in 0..n {
             let s = c.as_slice()[i];
             for o in out.row_mut(i) {
@@ -412,8 +536,8 @@ impl Graph {
     pub fn div_col(&mut self, a: Var, col: Var) -> Var {
         let (n, _m) = self.shape(a);
         assert_eq!(self.shape(col), (n, 1), "div_col shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
-        let c = &self.nodes[col.idx()].value;
+        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
+        let c = &self.values[col.idx()];
         for i in 0..n {
             let s = c.as_slice()[i];
             for o in out.row_mut(i) {
@@ -424,17 +548,17 @@ impl Graph {
     }
 
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x * alpha);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x * alpha);
         self.push(v, Op::Scale(a, alpha))
     }
 
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x + c);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x + c);
         self.push(v, Op::AddScalar(a))
     }
 
     pub fn neg(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| -x);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| -x);
         self.push(v, Op::Neg(a))
     }
 
@@ -442,24 +566,24 @@ impl Graph {
         let (n, _) = self.shape(a);
         let (_, m) = self.shape(b);
         let mut out = self.pool.tensor_raw(n, m);
-        self.nodes[a.idx()].value.matmul_into(&self.nodes[b.idx()].value, &mut out);
+        self.values[a.idx()].matmul_into(&self.values[b.idx()], &mut out);
         self.push(out, Op::MatMul(a, b))
     }
 
     pub fn transpose(&mut self, a: Var) -> Var {
         let (n, m) = self.shape(a);
         let mut out = self.pool.tensor_raw(m, n);
-        self.nodes[a.idx()].value.transpose_into(&mut out);
+        self.values[a.idx()].transpose_into(&mut out);
         self.push(out, Op::Transpose(a))
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x.max(0.0));
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x.max(0.0));
         self.push(v, Op::Relu(a))
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| {
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| {
             if x > 0.0 {
                 x
             } else {
@@ -470,18 +594,18 @@ impl Graph {
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, stable_sigmoid);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], stable_sigmoid);
         self.push(v, Op::Sigmoid(a))
     }
 
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, f32::tanh);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], f32::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     /// `softplus(x) = ln(1 + e^x)`, computed stably.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| {
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| {
             if x > 20.0 {
                 x
             } else if x < -20.0 {
@@ -494,24 +618,24 @@ impl Graph {
     }
 
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, f32::exp);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], f32::exp);
         self.push(v, Op::Exp(a))
     }
 
     /// Natural log with input clamped to [`LOG_EPS`] for finiteness.
     pub fn log(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x.max(LOG_EPS).ln());
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x.max(LOG_EPS).ln());
         self.push(v, Op::Log(a))
     }
 
     pub fn square(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| x * x);
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x * x);
         self.push(v, Op::Square(a))
     }
 
     /// Sums all elements into a `1 x 1` scalar.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let s = self.nodes[a.idx()].value.sum();
+        let s = self.values[a.idx()].sum();
         let mut out = self.pool.tensor_raw(1, 1);
         out.as_mut_slice()[0] = s;
         self.push(out, Op::SumAll(a))
@@ -519,7 +643,7 @@ impl Graph {
 
     /// Mean of all elements as a `1 x 1` scalar.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let s = self.nodes[a.idx()].value.mean();
+        let s = self.values[a.idx()].mean();
         let mut out = self.pool.tensor_raw(1, 1);
         out.as_mut_slice()[0] = s;
         self.push(out, Op::MeanAll(a))
@@ -529,7 +653,7 @@ impl Graph {
     pub fn sum_rows(&mut self, a: Var) -> Var {
         let (n, _m) = self.shape(a);
         let mut out = self.pool.tensor_raw(n, 1);
-        for (o, r) in out.as_mut_slice().iter_mut().zip(self.nodes[a.idx()].value.rows_iter()) {
+        for (o, r) in out.as_mut_slice().iter_mut().zip(self.values[a.idx()].rows_iter()) {
             *o = r.iter().sum();
         }
         self.push(out, Op::SumRows(a))
@@ -539,7 +663,7 @@ impl Graph {
     pub fn sum_cols(&mut self, a: Var) -> Var {
         let (_n, m) = self.shape(a);
         let mut out = self.pool.tensor_zeroed(1, m);
-        for r in self.nodes[a.idx()].value.rows_iter() {
+        for r in self.values[a.idx()].rows_iter() {
             for (o, &x) in out.as_mut_slice().iter_mut().zip(r) {
                 *o += x;
             }
@@ -549,7 +673,7 @@ impl Graph {
 
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let (_n, m) = self.shape(a);
-        let mut out = self.pool.tensor_copy(&self.nodes[a.idx()].value);
+        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
         for r in out.as_mut_slice().chunks_exact_mut(m.max(1)) {
             softmax_in_place(r);
         }
@@ -562,8 +686,8 @@ impl Graph {
         let (nb, mb) = self.shape(b);
         assert_eq!(n, nb, "concat_cols row mismatch");
         let mut out = self.pool.tensor_raw(n, ma + mb);
-        let av = &self.nodes[a.idx()].value;
-        let bv = &self.nodes[b.idx()].value;
+        let av = &self.values[a.idx()];
+        let bv = &self.values[b.idx()];
         for r in 0..n {
             out.row_mut(r)[..ma].copy_from_slice(av.row(r));
             out.row_mut(r)[ma..].copy_from_slice(bv.row(r));
@@ -577,8 +701,8 @@ impl Graph {
         let (nb, mb) = self.shape(b);
         assert_eq!(m, mb, "concat_rows col mismatch");
         let mut out = self.pool.tensor_raw(na + nb, m);
-        let av = &self.nodes[a.idx()].value;
-        let bv = &self.nodes[b.idx()].value;
+        let av = &self.values[a.idx()];
+        let bv = &self.values[b.idx()];
         out.as_mut_slice()[..na * m].copy_from_slice(av.as_slice());
         out.as_mut_slice()[na * m..].copy_from_slice(bv.as_slice());
         self.push(out, Op::ConcatRows(a, b))
@@ -588,7 +712,7 @@ impl Graph {
     pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
         let (n, m) = self.shape(a);
         let mut out = self.pool.tensor_raw(indices.len(), m);
-        let av = &self.nodes[a.idx()].value;
+        let av = &self.values[a.idx()];
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < n, "gather index {i} out of bounds ({n} rows)");
             out.row_mut(r).copy_from_slice(av.row(i));
@@ -602,7 +726,7 @@ impl Graph {
         let (n, m) = self.shape(a);
         assert_eq!(segments.len(), n, "segment_sum: one segment id per row");
         let mut out = self.pool.tensor_zeroed(n_segments, m);
-        let av = &self.nodes[a.idx()].value;
+        let av = &self.values[a.idx()];
         for (i, &s) in segments.iter().enumerate() {
             assert!(s < n_segments, "segment id {s} out of range");
             for (o, &x) in out.row_mut(s).iter_mut().zip(av.row(i)) {
@@ -627,7 +751,7 @@ impl Graph {
         {
             // Same arithmetic as a per-group `softmax_in_place`: per-group
             // max, exp(x - max) accumulated in index order, then normalise.
-            let sv = self.nodes[scores.idx()].value.as_slice();
+            let sv = self.values[scores.idx()].as_slice();
             for (j, &s) in segments.iter().enumerate() {
                 seg_max[s] = seg_max[s].max(sv[j]);
             }
@@ -652,8 +776,8 @@ impl Graph {
         let (n, _d) = self.shape(a);
         assert_eq!(self.shape(a), self.shape(b), "rowwise_dot shape mismatch");
         let mut out = self.pool.tensor_raw(n, 1);
-        let av = &self.nodes[a.idx()].value;
-        let bv = &self.nodes[b.idx()].value;
+        let av = &self.values[a.idx()];
+        let bv = &self.values[b.idx()];
         for ((o, x), y) in out.as_mut_slice().iter_mut().zip(av.rows_iter()).zip(bv.rows_iter()) {
             *o = dot(x, y);
         }
@@ -665,11 +789,16 @@ impl Graph {
         let (n, d) = self.shape(a);
         assert_eq!(self.shape(a), self.shape(b), "circ_corr shape mismatch");
         let mut out = self.pool.tensor_raw(n, d);
-        let av = &self.nodes[a.idx()].value;
-        let bv = &self.nodes[b.idx()].value;
-        for i in 0..n {
-            circular_correlation(av.row(i), bv.row(i), out.row_mut(i));
+        let mut win = self.pool.tensor_raw(1, 2 * d.max(1) - 1);
+        {
+            let av = &self.values[a.idx()];
+            let bv = &self.values[b.idx()];
+            for i in 0..n {
+                fill_corr_window(bv.row(i), win.as_mut_slice());
+                circular_correlation_windowed(av.row(i), win.as_slice(), out.row_mut(i));
+            }
         }
+        self.pool.give(win.into_vec());
         self.push(out, Op::CircCorr(a, b))
     }
 
@@ -682,12 +811,12 @@ impl Graph {
         // |x - c|^2 = |x|^2 - 2 x.c + |c|^2, exactly as
         // `Tensor::pairwise_sq_dists` but through pooled storage.
         let mut out = self.pool.tensor_raw(n, k);
-        self.nodes[a.idx()].value.matmul_tb_into(&self.nodes[b.idx()].value, &mut out);
+        self.values[a.idx()].matmul_tb_into(&self.values[b.idx()], &mut out);
         let mut xn = self.pool.take_raw(n);
         let mut cn = self.pool.take_raw(k);
         {
-            let av = &self.nodes[a.idx()].value;
-            let bv = &self.nodes[b.idx()].value;
+            let av = &self.values[a.idx()];
+            let bv = &self.values[b.idx()];
             for (o, r) in xn.iter_mut().zip(av.rows_iter()) {
                 *o = r.iter().map(|&x| x * x).sum();
             }
@@ -707,7 +836,7 @@ impl Graph {
 
     /// `y = 1 / (1 + x)` element-wise.
     pub fn recip1p(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.nodes[a.idx()].value, |x| 1.0 / (1.0 + x));
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| 1.0 / (1.0 + x));
         self.push(v, Op::Recip1p(a))
     }
 
@@ -716,7 +845,7 @@ impl Graph {
         let (n, m) = self.shape(a);
         assert!(j < m, "col_slice index out of bounds");
         let mut out = self.pool.tensor_raw(n, 1);
-        let av = &self.nodes[a.idx()].value;
+        let av = &self.values[a.idx()];
         for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
             *o = av.get(i, j);
         }
@@ -729,7 +858,7 @@ impl Graph {
     pub fn mul_const_id(&mut self, a: Var, c: ConstId) -> Var {
         let v = pooled_zip(
             &mut self.pool,
-            &self.nodes[a.idx()].value,
+            &self.values[a.idx()],
             &self.consts[c.idx()],
             |x, y| x * y,
         );
@@ -746,7 +875,7 @@ impl Graph {
     /// Mean squared error against an interned constant target, `1 x 1`.
     pub fn mse_id(&mut self, pred: Var, target: ConstId) -> Var {
         let loss = {
-            let pv = &self.nodes[pred.idx()].value;
+            let pv = &self.values[pred.idx()];
             let tv = &self.consts[target.idx()];
             assert_eq!(pv.shape(), tv.shape(), "mse shape mismatch");
             let n = pv.len().max(1) as f32;
@@ -791,438 +920,901 @@ impl Graph {
 
     /// Runs reverse-mode differentiation seeded at `loss`, which must be a
     /// `1 x 1` scalar. Gradients accumulate on every reachable node.
+    ///
+    /// Large gradient-free tapes dispatch to the branch-parallel scheduler
+    /// when more than one worker is configured; the result is
+    /// bitwise-identical to [`Graph::backward_serial`] either way. Tapes
+    /// that already carry gradients (repeated backward calls accumulate)
+    /// and tapes shorter than [`PAR_TAPE_MIN`] stay on the serial sweep.
     pub fn backward(&mut self, loss: Var) {
+        let idx = loss.idx();
+        let workers = crate::par::num_threads();
+        if workers > 1
+            && !crate::par::in_parallel_worker()
+            && idx + 1 >= PAR_TAPE_MIN
+            && self.grads[..=idx].iter().all(|g| g.is_none())
+        {
+            self.backward_parallel_impl(loss, workers);
+        } else {
+            self.backward_serial(loss);
+        }
+    }
+
+    /// The serial reverse sweep: nodes in descending id order, each op's
+    /// contributions accumulated in argument order. This ordering is the
+    /// canonical result every other backward strategy must reproduce
+    /// bitwise.
+    pub fn backward_serial(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
         let idx = loss.idx();
         let mut seed = self.pool.tensor_raw(1, 1);
         seed.as_mut_slice()[0] = 1.0;
-        self.nodes[idx].grad = Some(seed);
+        self.grads[idx] = Some(seed);
         for i in (0..=idx).rev() {
-            let g = match self.nodes[i].grad.take() {
-                Some(g) => g,
-                None => continue,
+            let Some(g) = self.grads[i].take() else { continue };
+            let mut sink = SerialSink {
+                values: &self.values,
+                grads: &mut self.grads,
+                pool: &mut self.pool,
             };
-            self.propagate(i, &g);
-            self.nodes[i].grad = Some(g);
+            backward_op(i, &self.ops[i], &g, &self.values, &self.consts, &mut sink);
+            self.grads[i] = Some(g);
         }
     }
 
-    /// Adds `delta` into the gradient of `v`, installing a pooled copy when
-    /// no gradient buffer exists yet.
-    fn accum(&mut self, v: Var, delta: &Tensor) {
-        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
-            g.add_assign(delta);
-        } else {
-            let copy = self.pool.tensor_copy(delta);
-            self.nodes[v.idx()].grad = Some(copy);
-        }
+    /// Forces the branch-parallel scheduler regardless of tape size (test
+    /// hook; [`Graph::backward`] applies the dispatch policy instead).
+    /// Requires a gradient-free tape — the parallel fold installs each
+    /// node's gradient rather than accumulating into a pre-existing one.
+    pub fn backward_parallel(&mut self, loss: Var) {
+        assert!(
+            self.grads.iter().all(|g| g.is_none()),
+            "parallel backward needs a gradient-free tape"
+        );
+        let workers = crate::par::num_threads().max(1);
+        self.backward_parallel_impl(loss, workers);
     }
 
-    /// Adds `alpha * delta` into the gradient of `v` without allocating when
-    /// a buffer already exists.
-    fn accum_scaled(&mut self, v: Var, delta: &Tensor, alpha: f32) {
-        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
-            g.add_scaled(delta, alpha);
-        } else {
-            let scaled = pooled_map(&mut self.pool, delta, |x| x * alpha);
-            self.nodes[v.idx()].grad = Some(scaled);
+    fn backward_parallel_impl(&mut self, loss: Var, workers: usize) {
+        assert_eq!(self.shape(loss), (1, 1), "backward seed must be a scalar");
+        let idx = loss.idx();
+        let mut seed = self.pool.tensor_raw(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.grads[idx] = Some(seed);
+        let Graph { values, grads, ops, consts, pool, worker_scratch, plan, .. } = self;
+        let values: &[Tensor] = values;
+        let ops: &[Op] = ops;
+        let consts: &[Tensor] = consts;
+        plan_backward(plan, ops, values, pool, idx);
+        if worker_scratch.len() < workers {
+            worker_scratch.resize_with(workers, BufferPool::default);
         }
-    }
-
-    /// Moves `delta` into the gradient of `v` when it has none (zero-copy),
-    /// otherwise adds it in place and recycles `delta`'s buffer.
-    fn accum_owned(&mut self, v: Var, delta: Tensor) {
-        if let Some(g) = self.nodes[v.idx()].grad.as_mut() {
-            g.add_assign(&delta);
-            self.pool.give(delta.into_vec());
-        } else {
-            self.nodes[v.idx()].grad = Some(delta);
-        }
-    }
-
-    fn propagate(&mut self, i: usize, g: &Tensor) {
-        // Move the op out of the node for the duration of the match: the
-        // arms can then borrow node values, constants, and the pool freely
-        // (and use index lists in place instead of cloning them). Nothing
-        // reads `nodes[i].op` while the placeholder Leaf sits there.
-        let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
-        match &op {
-            Op::Leaf => {}
-            &Op::Add(a, b) => {
-                self.accum(a, g);
-                self.accum(b, g);
+        let sched = Scheduler {
+            queue: Mutex::new(vec![loss.0]),
+            cv: Condvar::new(),
+            remaining: AtomicUsize::new(plan.n_scheduled),
+        };
+        let n = idx + 1;
+        // SAFETY: `GradCell` is `repr(transparent)` over
+        // `UnsafeCell<Option<Tensor>>`, which has the same in-memory
+        // representation as `Option<Tensor>`, so the cast reinterprets the
+        // gradient storage as shared cells. `grads` (the unique `&mut`) is
+        // not touched again until the scope below ends, and the scheduler
+        // hands each node to exactly one worker, so every cell has at most
+        // one writer at a time and is read only by that writer.
+        let grad_cells: &[GradCell] =
+            unsafe { std::slice::from_raw_parts(grads.as_ptr() as *const GradCell, n) };
+        let plan_ref: &BackwardPlan = plan;
+        let sched_ref = &sched;
+        std::thread::scope(|s| {
+            let mut pools = worker_scratch[..workers].iter_mut();
+            let own = pools.next().expect("at least one worker");
+            for p in pools {
+                s.spawn(move || {
+                    backward_worker(sched_ref, plan_ref, values, ops, consts, grad_cells, p)
+                });
             }
-            &Op::Sub(a, b) => {
-                self.accum(a, g);
-                self.accum_scaled(b, g, -1.0);
+            backward_worker(sched_ref, plan_ref, values, ops, consts, grad_cells, own);
+        });
+        // Return the parked (non-first) accumulation slots to the main pool
+        // in slot-id order — a fixed order independent of how the workers
+        // were scheduled, so the pool stays deterministic step to step.
+        for cell in &mut plan.slots[..plan.n_slots] {
+            if let Some(t) = cell.0.get_mut().take() {
+                pool.give(t.into_vec());
             }
-            &Op::Mul(a, b) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[b.idx()].value, |gv, y| gv * y);
-                let db = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| gv * x);
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::Div(a, b) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[b.idx()].value, |gv, y| gv / y);
-                let mut db = self.pool.tensor_raw(g.rows(), g.cols());
-                {
-                    let av = self.nodes[a.idx()].value.as_slice();
-                    let bv = self.nodes[b.idx()].value.as_slice();
-                    let gs = g.as_slice();
-                    for (j, o) in db.as_mut_slice().iter_mut().enumerate() {
-                        *o = -(((gs[j] * av[j]) / bv[j]) / bv[j]);
-                    }
+        }
+        plan.n_slots = 0;
+    }
+}
+
+/// Destination for the gradient contributions an op emits to its parents.
+///
+/// [`backward_op`] is the single source of truth for every backward rule;
+/// the sink decides where each contribution lands: [`SerialSink`]
+/// accumulates directly into the gradient array (the canonical serial
+/// semantics), [`ParallelSink`] materialises each contribution into its
+/// pre-assigned slot for a later ordered fold. Emits must happen in the
+/// exact order [`Op::for_each_parent`] enumerates parents.
+trait GradSink {
+    /// Emits `alpha * t` as the next contribution.
+    fn emit_scaled(&mut self, p: Var, t: &Tensor, alpha: f32);
+    /// Emits a computed contribution: `fill` must fully define the contents
+    /// of the provided buffer (shape = the parent's value shape; contents
+    /// unspecified on entry).
+    fn emit_with(&mut self, p: Var, fill: &mut dyn FnMut(&mut Tensor));
+    /// Pool for op-internal temporaries (taken and returned within one op).
+    fn scratch(&mut self) -> &mut BufferPool;
+}
+
+/// Accumulates contributions straight into `grads`, preserving the exact
+/// arithmetic of the historical serial sweep: the first contribution to a
+/// node installs a pooled copy (or scaled map), later ones add in place.
+struct SerialSink<'a> {
+    values: &'a [Tensor],
+    grads: &'a mut [Option<Tensor>],
+    pool: &'a mut BufferPool,
+}
+
+impl GradSink for SerialSink<'_> {
+    fn emit_scaled(&mut self, p: Var, t: &Tensor, alpha: f32) {
+        match &mut self.grads[p.idx()] {
+            Some(g) => {
+                if alpha == 1.0 {
+                    g.add_assign(t);
+                } else {
+                    g.add_scaled(t, alpha);
                 }
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
             }
-            &Op::AddRow(a, row) => {
-                self.accum(a, g);
-                let mut dr = self.pool.tensor_zeroed(1, g.cols());
+            slot => {
+                let init = if alpha == 1.0 {
+                    self.pool.tensor_copy(t)
+                } else {
+                    pooled_map(self.pool, t, |x| x * alpha)
+                };
+                *slot = Some(init);
+            }
+        }
+    }
+
+    fn emit_with(&mut self, p: Var, fill: &mut dyn FnMut(&mut Tensor)) {
+        let (r, c) = self.values[p.idx()].shape();
+        let mut t = self.pool.tensor_raw(r, c);
+        fill(&mut t);
+        match &mut self.grads[p.idx()] {
+            Some(g) => {
+                g.add_assign(&t);
+                self.pool.give(t.into_vec());
+            }
+            slot => *slot = Some(t),
+        }
+    }
+
+    fn scratch(&mut self) -> &mut BufferPool {
+        self.pool
+    }
+}
+
+/// One gradient-contribution slot, written by exactly one worker (the one
+/// executing the emitting consumer) and read by exactly one worker (the one
+/// folding the receiving node) strictly after the write, as ordered by the
+/// pending-counter/ready-queue handoff.
+#[repr(transparent)]
+#[derive(Default)]
+struct SlotCell(UnsafeCell<Option<Tensor>>);
+
+// SAFETY: disjoint-index access discipline above; the cell itself carries
+// no thread affinity.
+unsafe impl Sync for SlotCell {}
+
+/// A node's gradient cell during the parallel sweep; same layout as the
+/// `Option<Tensor>` it aliases. Written once by the folding worker, then
+/// read by that same worker while running the node's backward rule.
+#[repr(transparent)]
+struct GradCell(UnsafeCell<Option<Tensor>>);
+
+// SAFETY: single folding worker per node (scheduler invariant).
+unsafe impl Sync for GradCell {}
+
+/// Reusable one-shot dependency analysis over the tape prefix `0..=loss`.
+///
+/// For every reachable node the plan records how many gradient
+/// contributions it will receive (`pending`, counted down atomically as
+/// consumers emit) and a contiguous range of pre-checked-out accumulation
+/// slots (`slot_start`); for every consumer it records which slot each of
+/// its emits targets (`emit_start` / `emit_slots`). Slot ids within a
+/// node's range follow the serial accumulation order — consumers in
+/// descending node id, emits in op-argument order — so folding a node's
+/// slots in ascending slot id reproduces the serial gradient bitwise.
+#[derive(Default)]
+struct BackwardPlan {
+    reachable: Vec<bool>,
+    pending: Vec<AtomicU32>,
+    /// Prefix sums (len `n + 1`) of per-consumer emit counts.
+    emit_start: Vec<u32>,
+    /// Slot id for each emit, indexed by `emit_start[i] + emit_position`.
+    emit_slots: Vec<u32>,
+    /// Prefix sums (len `n + 1`) of per-parent contribution counts.
+    slot_start: Vec<u32>,
+    /// Scratch: contribution counts, then running slot cursors.
+    cursor: Vec<u32>,
+    slots: Vec<SlotCell>,
+    n_slots: usize,
+    n_scheduled: usize,
+}
+
+/// Builds the plan for a backward sweep seeded at node `loss`, checking one
+/// pooled buffer out of the main pool per contribution (all on the tape
+/// thread, in node-id order — fully deterministic pool traffic).
+fn plan_backward(
+    plan: &mut BackwardPlan,
+    ops: &[Op],
+    values: &[Tensor],
+    pool: &mut BufferPool,
+    loss: usize,
+) {
+    let n = loss + 1;
+    plan.reachable.clear();
+    plan.reachable.resize(n, false);
+    plan.reachable[loss] = true;
+    plan.cursor.clear();
+    plan.cursor.resize(n, 0);
+    plan.emit_start.clear();
+    plan.emit_start.resize(n + 1, 0);
+    let mut n_scheduled = 0usize;
+    for i in (0..n).rev() {
+        if !plan.reachable[i] {
+            continue;
+        }
+        n_scheduled += 1;
+        let mut emits = 0u32;
+        let (reachable, cursor) = (&mut plan.reachable, &mut plan.cursor);
+        ops[i].for_each_parent(|p| {
+            reachable[p.idx()] = true;
+            cursor[p.idx()] += 1;
+            emits += 1;
+        });
+        plan.emit_start[i + 1] = emits;
+    }
+    plan.n_scheduled = n_scheduled;
+    for i in 0..n {
+        plan.emit_start[i + 1] += plan.emit_start[i];
+    }
+    plan.slot_start.clear();
+    plan.slot_start.resize(n + 1, 0);
+    for p in 0..n {
+        plan.slot_start[p + 1] = plan.slot_start[p] + plan.cursor[p];
+    }
+    plan.pending.clear();
+    plan.pending.extend(plan.cursor.iter().map(|&c| AtomicU32::new(c)));
+    // Second descending pass assigns each emit its slot; because consumers
+    // are visited high-to-low and the cursor advances per parent, slot ids
+    // land in canonical (serial) accumulation order.
+    plan.cursor.copy_from_slice(&plan.slot_start[..n]);
+    let total = plan.slot_start[n] as usize;
+    plan.emit_slots.clear();
+    plan.emit_slots.resize(plan.emit_start[n] as usize, 0);
+    for i in (0..n).rev() {
+        if !plan.reachable[i] {
+            continue;
+        }
+        let mut at = plan.emit_start[i] as usize;
+        let (cursor, emit_slots) = (&mut plan.cursor, &mut plan.emit_slots);
+        ops[i].for_each_parent(|p| {
+            emit_slots[at] = cursor[p.idx()];
+            cursor[p.idx()] += 1;
+            at += 1;
+        });
+    }
+    if plan.slots.len() < total {
+        plan.slots.resize_with(total, SlotCell::default);
+    }
+    for (p, v) in values.iter().enumerate().take(n) {
+        let (rows, cols) = v.shape();
+        for s in plan.slot_start[p]..plan.slot_start[p + 1] {
+            *plan.slots[s as usize].0.get_mut() = Some(pool.tensor_raw(rows, cols));
+        }
+    }
+    plan.n_slots = total;
+}
+
+/// Ready-queue scheduler for the parallel sweep. `remaining` counts
+/// unprocessed reachable nodes; when it hits zero every worker drains out.
+struct Scheduler {
+    queue: Mutex<Vec<u32>>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+}
+
+impl Scheduler {
+    /// Pops a ready node, blocking until one arrives or the sweep finishes.
+    fn pop(&self) -> Option<u32> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(i) = q.pop() {
+                return Some(i);
+            }
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Marks one node done; the final completion releases all waiters.
+    fn finish_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the queue lock before notifying so a worker between its
+            // empty-queue check and its wait cannot miss the wakeup.
+            drop(self.queue.lock());
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Unblocks the sweep if a worker panics: remaining work is abandoned so
+/// the other workers exit their pop loops and `std::thread::scope` can
+/// propagate the panic instead of deadlocking.
+struct AbortOnPanic<'a>(&'a Scheduler);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.remaining.store(0, Ordering::Release);
+            drop(self.0.queue.lock());
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+/// Writes each contribution into its pre-assigned slot and counts down the
+/// receiving node's pending counter, enqueueing the node when it is ready.
+struct ParallelSink<'a> {
+    plan: &'a BackwardPlan,
+    sched: &'a Scheduler,
+    scratch: &'a mut BufferPool,
+    /// Next emit index in `plan.emit_slots` for the node being executed.
+    at: usize,
+}
+
+impl ParallelSink<'_> {
+    /// The slot tensor for the current emit.
+    ///
+    /// SAFETY: each slot id appears exactly once in `emit_slots` and the
+    /// executing worker is the unique owner of the current node, so this
+    /// worker is the slot's only writer; the folding reader is ordered
+    /// after it by the pending-counter release/acquire chain.
+    unsafe fn slot_out(&mut self) -> &mut Tensor {
+        let slot = self.plan.emit_slots[self.at] as usize;
+        self.at += 1;
+        (*self.plan.slots[slot].0.get()).as_mut().expect("slot checked out at plan time")
+    }
+
+    fn deposited(&mut self, p: Var) {
+        if self.plan.pending[p.idx()].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut q = self.sched.queue.lock().unwrap();
+            q.push(p.0);
+            drop(q);
+            self.sched.cv.notify_one();
+        }
+    }
+}
+
+impl GradSink for ParallelSink<'_> {
+    fn emit_scaled(&mut self, p: Var, t: &Tensor, alpha: f32) {
+        // SAFETY: see `slot_out`.
+        let out = unsafe { self.slot_out() };
+        debug_assert_eq!(out.shape(), t.shape());
+        if alpha == 1.0 {
+            out.as_mut_slice().copy_from_slice(t.as_slice());
+        } else {
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                *o = x * alpha;
+            }
+        }
+        self.deposited(p);
+    }
+
+    fn emit_with(&mut self, p: Var, fill: &mut dyn FnMut(&mut Tensor)) {
+        // SAFETY: see `slot_out`.
+        let out = unsafe { self.slot_out() };
+        fill(out);
+        self.deposited(p);
+    }
+
+    fn scratch(&mut self) -> &mut BufferPool {
+        self.scratch
+    }
+}
+
+/// One worker of the parallel sweep: pops ready nodes, folds their slots in
+/// ascending slot id (= canonical serial order) into the gradient cell,
+/// then runs the node's backward rule, emitting into consumers' slots.
+fn backward_worker(
+    sched: &Scheduler,
+    plan: &BackwardPlan,
+    values: &[Tensor],
+    ops: &[Op],
+    consts: &[Tensor],
+    grads: &[GradCell],
+    scratch: &mut BufferPool,
+) {
+    let _nested = crate::par::NestedSerialGuard::new();
+    let _abort = AbortOnPanic(sched);
+    while let Some(i) = sched.pop() {
+        let i = i as usize;
+        let lo = plan.slot_start[i] as usize;
+        let hi = plan.slot_start[i + 1] as usize;
+        // SAFETY: this worker uniquely owns node `i` (the scheduler hands
+        // each ready node to one popper); all slot writes in `lo..hi`
+        // happened-before via the pending-counter RMW chain plus the queue
+        // mutex. Non-first slots are only read and stay parked for the
+        // deterministic epilogue sweep.
+        unsafe {
+            if hi > lo {
+                let mut acc =
+                    (*plan.slots[lo].0.get()).take().expect("first slot deposited");
+                for cell in &plan.slots[lo + 1..hi] {
+                    acc.add_assign((*cell.0.get()).as_ref().expect("slot deposited"));
+                }
+                *grads[i].0.get() = Some(acc);
+            }
+            let g = (*grads[i].0.get()).as_ref().expect("gradient present before execute");
+            let mut sink = ParallelSink {
+                plan,
+                sched,
+                scratch,
+                at: plan.emit_start[i] as usize,
+            };
+            backward_op(i, &ops[i], g, values, consts, &mut sink);
+            debug_assert_eq!(sink.at, plan.emit_start[i + 1] as usize, "emit count mismatch");
+        }
+        sched.finish_one();
+    }
+}
+
+/// The backward rule of node `i`: emits each parent's gradient contribution
+/// to `sink`, in [`Op::for_each_parent`] order. Shared verbatim by the
+/// serial and parallel sweeps, so the two cannot drift apart — arithmetic
+/// is evaluated identically and only the accumulation site differs.
+fn backward_op(
+    i: usize,
+    op: &Op,
+    g: &Tensor,
+    values: &[Tensor],
+    consts: &[Tensor],
+    sink: &mut impl GradSink,
+) {
+    match op {
+        Op::Leaf => {}
+        &Op::Add(a, b) => {
+            sink.emit_scaled(a, g, 1.0);
+            sink.emit_scaled(b, g, 1.0);
+        }
+        &Op::Sub(a, b) => {
+            sink.emit_scaled(a, g, 1.0);
+            sink.emit_scaled(b, g, -1.0);
+        }
+        &Op::Mul(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(bv.as_slice())
+                {
+                    *o = gv * y;
+                }
+            });
+            sink.emit_with(b, &mut |out| {
+                for ((o, &gv), &x) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(av.as_slice())
+                {
+                    *o = gv * x;
+                }
+            });
+        }
+        &Op::Div(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(bv.as_slice())
+                {
+                    *o = gv / y;
+                }
+            });
+            sink.emit_with(b, &mut |out| {
+                let (gs, avs, bvs) = (g.as_slice(), av.as_slice(), bv.as_slice());
+                for (j, o) in out.as_mut_slice().iter_mut().enumerate() {
+                    *o = -(((gs[j] * avs[j]) / bvs[j]) / bvs[j]);
+                }
+            });
+        }
+        &Op::AddRow(a, row) => {
+            sink.emit_scaled(a, g, 1.0);
+            sink.emit_with(row, &mut |out| {
+                out.fill(0.0);
                 for r in g.rows_iter() {
-                    for (o, &x) in dr.as_mut_slice().iter_mut().zip(r) {
+                    for (o, &x) in out.as_mut_slice().iter_mut().zip(r) {
                         *o += x;
                     }
                 }
-                self.accum_owned(row, dr);
-            }
-            &Op::MulRow(a, row) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_copy(g);
-                let mut dr = self.pool.tensor_zeroed(1, m);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let rv = &self.nodes[row.idx()].value;
-                    for r in 0..n {
-                        let grow = g.row(r);
-                        let arow = av.row(r);
-                        for c in 0..m {
-                            dr.as_mut_slice()[c] += grow[c] * arow[c];
-                        }
-                        for (d, &rvc) in da.row_mut(r).iter_mut().zip(rv.as_slice()) {
-                            *d *= rvc;
-                        }
+            });
+        }
+        &Op::MulRow(a, row) => {
+            let (n, m) = values[a.idx()].shape();
+            let (av, rv) = (&values[a.idx()], &values[row.idx()]);
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(g.as_slice());
+                for r in 0..n {
+                    for (d, &rvc) in out.row_mut(r).iter_mut().zip(rv.as_slice()) {
+                        *d *= rvc;
                     }
                 }
-                self.accum_owned(a, da);
-                self.accum_owned(row, dr);
-            }
-            &Op::MulCol(a, col) => {
-                let (n, _) = self.shape(a);
-                let mut da = self.pool.tensor_copy(g);
-                let mut dc = self.pool.tensor_raw(n, 1);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let cv = &self.nodes[col.idx()].value;
-                    for r in 0..n {
-                        dc.as_mut_slice()[r] = dot(g.row(r), av.row(r));
-                        let s = cv.as_slice()[r];
-                        for d in da.row_mut(r) {
-                            *d *= s;
-                        }
+            });
+            sink.emit_with(row, &mut |out| {
+                out.fill(0.0);
+                for r in 0..n {
+                    let grow = g.row(r);
+                    let arow = av.row(r);
+                    for c in 0..m {
+                        out.as_mut_slice()[c] += grow[c] * arow[c];
                     }
                 }
-                self.accum_owned(a, da);
-                self.accum_owned(col, dc);
-            }
-            &Op::DivCol(a, col) => {
-                let (n, _) = self.shape(a);
-                let mut da = self.pool.tensor_copy(g);
-                let mut dc = self.pool.tensor_raw(n, 1);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let cv = &self.nodes[col.idx()].value;
-                    for r in 0..n {
-                        let s = cv.as_slice()[r];
-                        dc.as_mut_slice()[r] = -dot(g.row(r), av.row(r)) / (s * s);
-                        for d in da.row_mut(r) {
-                            *d /= s;
-                        }
+            });
+        }
+        &Op::MulCol(a, col) => {
+            let n = values[a.idx()].rows();
+            let (av, cv) = (&values[a.idx()], &values[col.idx()]);
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(g.as_slice());
+                for r in 0..n {
+                    let s = cv.as_slice()[r];
+                    for d in out.row_mut(r) {
+                        *d *= s;
                     }
                 }
-                self.accum_owned(a, da);
-                self.accum_owned(col, dc);
-            }
-            &Op::Scale(a, alpha) => self.accum_scaled(a, g, alpha),
-            &Op::AddScalar(a) => self.accum(a, g),
-            &Op::Neg(a) => self.accum_scaled(a, g, -1.0),
-            &Op::MatMul(a, b) => {
-                let (ar, ac) = self.shape(a);
-                let (br, bc) = self.shape(b);
-                let mut da = self.pool.tensor_raw(ar, ac);
-                g.matmul_tb_into(&self.nodes[b.idx()].value, &mut da);
-                let mut db = self.pool.tensor_raw(br, bc);
-                self.nodes[a.idx()].value.matmul_ta_into(g, &mut db);
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::Transpose(a) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
-                g.transpose_into(&mut da);
-                self.accum_owned(a, da);
-            }
-            &Op::Relu(a) => {
-                let mut da = self.pool.tensor_copy(g);
-                for (d, &y) in da.as_mut_slice().iter_mut().zip(self.nodes[i].value.as_slice()) {
+            });
+            sink.emit_with(col, &mut |out| {
+                for r in 0..n {
+                    out.as_mut_slice()[r] = dot(g.row(r), av.row(r));
+                }
+            });
+        }
+        &Op::DivCol(a, col) => {
+            let n = values[a.idx()].rows();
+            let (av, cv) = (&values[a.idx()], &values[col.idx()]);
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(g.as_slice());
+                for r in 0..n {
+                    let s = cv.as_slice()[r];
+                    for d in out.row_mut(r) {
+                        *d /= s;
+                    }
+                }
+            });
+            sink.emit_with(col, &mut |out| {
+                for r in 0..n {
+                    let s = cv.as_slice()[r];
+                    out.as_mut_slice()[r] = -dot(g.row(r), av.row(r)) / (s * s);
+                }
+            });
+        }
+        &Op::Scale(a, alpha) => sink.emit_scaled(a, g, alpha),
+        &Op::AddScalar(a) => sink.emit_scaled(a, g, 1.0),
+        &Op::Neg(a) => sink.emit_scaled(a, g, -1.0),
+        &Op::MatMul(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            sink.emit_with(a, &mut |out| g.matmul_tb_into(bv, out));
+            sink.emit_with(b, &mut |out| av.matmul_ta_into(g, out));
+        }
+        &Op::Transpose(a) => {
+            sink.emit_with(a, &mut |out| g.transpose_into(out));
+        }
+        &Op::Relu(a) => {
+            let yv = &values[i];
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(g.as_slice());
+                for (d, &y) in out.as_mut_slice().iter_mut().zip(yv.as_slice()) {
                     if y <= 0.0 {
                         *d = 0.0;
                     }
                 }
-                self.accum_owned(a, da);
-            }
-            &Op::LeakyRelu(a, slope) => {
-                let mut da = self.pool.tensor_copy(g);
-                for (d, &x) in da.as_mut_slice().iter_mut().zip(self.nodes[a.idx()].value.as_slice())
-                {
+            });
+        }
+        &Op::LeakyRelu(a, slope) => {
+            let xv = &values[a.idx()];
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(g.as_slice());
+                for (d, &x) in out.as_mut_slice().iter_mut().zip(xv.as_slice()) {
                     if x <= 0.0 {
                         *d *= slope;
                     }
                 }
-                self.accum_owned(a, da);
-            }
-            &Op::Sigmoid(a) => {
-                let da =
-                    pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
-                        gv * (yv * (1.0 - yv))
-                    });
-                self.accum_owned(a, da);
-            }
-            &Op::Tanh(a) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
-                    gv * (1.0 - yv * yv)
-                });
-                self.accum_owned(a, da);
-            }
-            &Op::Softplus(a) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
-                    gv * stable_sigmoid(x)
-                });
-                self.accum_owned(a, da);
-            }
-            &Op::Exp(a) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| gv * yv);
-                self.accum_owned(a, da);
-            }
-            &Op::Log(a) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
-                    gv / x.max(LOG_EPS)
-                });
-                self.accum_owned(a, da);
-            }
-            &Op::Square(a) => {
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[a.idx()].value, |gv, x| {
-                    gv * (2.0 * x)
-                });
-                self.accum_owned(a, da);
-            }
-            &Op::SumAll(a) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
-                da.fill(g.as_slice()[0]);
-                self.accum_owned(a, da);
-            }
-            &Op::MeanAll(a) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
-                da.fill(g.as_slice()[0] / (n * m).max(1) as f32);
-                self.accum_owned(a, da);
-            }
-            &Op::SumRows(a) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
+            });
+        }
+        &Op::Sigmoid(a) => {
+            let yv = &values[i];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                {
+                    *o = gv * (y * (1.0 - y));
+                }
+            });
+        }
+        &Op::Tanh(a) => {
+            let yv = &values[i];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                {
+                    *o = gv * (1.0 - y * y);
+                }
+            });
+        }
+        &Op::Softplus(a) => {
+            let xv = &values[a.idx()];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &x) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                {
+                    *o = gv * stable_sigmoid(x);
+                }
+            });
+        }
+        &Op::Exp(a) => {
+            let yv = &values[i];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                {
+                    *o = gv * y;
+                }
+            });
+        }
+        &Op::Log(a) => {
+            let xv = &values[a.idx()];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &x) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                {
+                    *o = gv / x.max(LOG_EPS);
+                }
+            });
+        }
+        &Op::Square(a) => {
+            let xv = &values[a.idx()];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &x) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                {
+                    *o = gv * (2.0 * x);
+                }
+            });
+        }
+        &Op::SumAll(a) => {
+            sink.emit_with(a, &mut |out| out.fill(g.as_slice()[0]));
+        }
+        &Op::MeanAll(a) => {
+            sink.emit_with(a, &mut |out| {
+                let (n, m) = out.shape();
+                out.fill(g.as_slice()[0] / (n * m).max(1) as f32);
+            });
+        }
+        &Op::SumRows(a) => {
+            sink.emit_with(a, &mut |out| {
+                let n = out.rows();
                 for r in 0..n {
                     let gv = g.as_slice()[r];
-                    da.row_mut(r).iter_mut().for_each(|d| *d = gv);
+                    out.row_mut(r).iter_mut().for_each(|d| *d = gv);
                 }
-                self.accum_owned(a, da);
-            }
-            &Op::SumCols(a) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
+            });
+        }
+        &Op::SumCols(a) => {
+            sink.emit_with(a, &mut |out| {
+                let n = out.rows();
                 for r in 0..n {
-                    da.row_mut(r).copy_from_slice(g.as_slice());
+                    out.row_mut(r).copy_from_slice(g.as_slice());
                 }
-                self.accum_owned(a, da);
-            }
-            &Op::SoftmaxRows(a) => {
-                let (n, m) = self.nodes[i].value.shape();
-                let mut da = self.pool.tensor_raw(n, m);
-                {
-                    let y = &self.nodes[i].value;
-                    for r in 0..n {
-                        let yr = y.row(r);
-                        let gr = g.row(r);
-                        let s = dot(yr, gr);
-                        for c in 0..m {
-                            da.row_mut(r)[c] = yr[c] * (gr[c] - s);
-                        }
+            });
+        }
+        &Op::SoftmaxRows(a) => {
+            let y = &values[i];
+            sink.emit_with(a, &mut |out| {
+                let (n, m) = out.shape();
+                for r in 0..n {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let s = dot(yr, gr);
+                    for c in 0..m {
+                        out.row_mut(r)[c] = yr[c] * (gr[c] - s);
                     }
                 }
-                self.accum_owned(a, da);
-            }
-            &Op::ConcatCols(a, b) => {
-                let (n, ma) = self.shape(a);
-                let (_, mb) = self.shape(b);
-                let mut da = self.pool.tensor_raw(n, ma);
-                let mut db = self.pool.tensor_raw(n, mb);
+            });
+        }
+        &Op::ConcatCols(a, b) => {
+            let n = g.rows();
+            let ma = values[a.idx()].cols();
+            sink.emit_with(a, &mut |out| {
                 for r in 0..n {
-                    da.row_mut(r).copy_from_slice(&g.row(r)[..ma]);
-                    db.row_mut(r).copy_from_slice(&g.row(r)[ma..]);
+                    out.row_mut(r).copy_from_slice(&g.row(r)[..ma]);
                 }
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::ConcatRows(a, b) => {
-                let (na, m) = self.shape(a);
-                let (nb, _) = self.shape(b);
-                let mut da = self.pool.tensor_raw(na, m);
-                let mut db = self.pool.tensor_raw(nb, m);
-                da.as_mut_slice().copy_from_slice(&g.as_slice()[..na * m]);
-                db.as_mut_slice().copy_from_slice(&g.as_slice()[na * m..]);
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            Op::GatherRows(a, indices) => {
-                let a = *a;
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_zeroed(n, m);
+            });
+            sink.emit_with(b, &mut |out| {
+                for r in 0..n {
+                    out.row_mut(r).copy_from_slice(&g.row(r)[ma..]);
+                }
+            });
+        }
+        &Op::ConcatRows(a, b) => {
+            let split = values[a.idx()].len();
+            sink.emit_with(a, &mut |out| {
+                out.as_mut_slice().copy_from_slice(&g.as_slice()[..split]);
+            });
+            sink.emit_with(b, &mut |out| {
+                out.as_mut_slice().copy_from_slice(&g.as_slice()[split..]);
+            });
+        }
+        Op::GatherRows(a, indices) => {
+            sink.emit_with(*a, &mut |out| {
+                out.fill(0.0);
                 for (r, &src) in indices.iter().enumerate() {
-                    for (d, &x) in da.row_mut(src).iter_mut().zip(g.row(r)) {
+                    for (d, &x) in out.row_mut(src).iter_mut().zip(g.row(r)) {
                         *d += x;
                     }
                 }
-                self.accum_owned(a, da);
-            }
-            Op::SegmentSum(a, segments) => {
-                let a = *a;
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
-                for (r, &s) in segments.iter().enumerate() {
-                    da.row_mut(r).copy_from_slice(g.row(s));
-                }
-                self.accum_owned(a, da);
-            }
-            Op::SegmentSoftmax(a, segments) => {
-                let a = *a;
-                let n = segments.len();
-                let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
-                // Softmax Jacobian within each group:
-                // da_j = y_j * (g_j - sum_k y_k g_k), dots accumulated in
-                // index order per segment.
-                let mut sdot = self.pool.take_zeroed(n_seg);
-                let mut da = self.pool.tensor_raw(n, 1);
-                {
-                    let y = self.nodes[i].value.as_slice();
-                    let gs = g.as_slice();
-                    for (j, &s) in segments.iter().enumerate() {
-                        sdot[s] += y[j] * gs[j];
-                    }
-                    for (j, &s) in segments.iter().enumerate() {
-                        da.as_mut_slice()[j] = y[j] * (gs[j] - sdot[s]);
-                    }
-                }
-                self.pool.give(sdot);
-                self.accum_owned(a, da);
-            }
-            &Op::RowwiseDot(a, b) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, m);
-                let mut db = self.pool.tensor_raw(n, m);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let bv = &self.nodes[b.idx()].value;
-                    for r in 0..n {
-                        let gv = g.as_slice()[r];
-                        for c in 0..m {
-                            da.row_mut(r)[c] = gv * bv.get(r, c);
-                            db.row_mut(r)[c] = gv * av.get(r, c);
-                        }
-                    }
-                }
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::CircCorr(a, b) => {
-                // out[k] = sum_j a[j] * b[(j+k) mod d]
-                // da[j]  = sum_k g[k] * b[(j+k) mod d]  = circcorr(g, b)[j]
-                // db[m]  = sum_k g[k] * a[(m-k) mod d]  = circconv(g, a)[m]
-                let (n, d) = self.shape(a);
-                let mut da = self.pool.tensor_raw(n, d);
-                let mut db = self.pool.tensor_raw(n, d);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let bv = &self.nodes[b.idx()].value;
-                    for r in 0..n {
-                        circular_correlation(g.row(r), bv.row(r), da.row_mut(r));
-                        circular_convolution(g.row(r), av.row(r), db.row_mut(r));
-                    }
-                }
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::PairwiseSqDist(a, b) => {
-                // d[i,k] = |a_i - b_k|^2
-                // da_i += sum_k g[i,k] * 2 (a_i - b_k)
-                // db_k += sum_i g[i,k] * 2 (b_k - a_i)
-                let (n, d) = self.shape(a);
-                let (k, _) = self.shape(b);
-                let mut da = self.pool.tensor_zeroed(n, d);
-                let mut db = self.pool.tensor_zeroed(k, d);
-                {
-                    let av = &self.nodes[a.idx()].value;
-                    let bv = &self.nodes[b.idx()].value;
-                    for i_ in 0..n {
-                        for k_ in 0..k {
-                            let gv = 2.0 * g.get(i_, k_);
-                            if gv == 0.0 {
-                                continue;
-                            }
-                            for c in 0..d {
-                                let diff = av.get(i_, c) - bv.get(k_, c);
-                                da.row_mut(i_)[c] += gv * diff;
-                                db.row_mut(k_)[c] -= gv * diff;
-                            }
-                        }
-                    }
-                }
-                self.accum_owned(a, da);
-                self.accum_owned(b, db);
-            }
-            &Op::Recip1p(a) => {
-                // y = 1/(1+x), dy/dx = -y^2
-                let da = pooled_zip(&mut self.pool, g, &self.nodes[i].value, |gv, yv| {
-                    gv * (-yv * yv)
-                });
-                self.accum_owned(a, da);
-            }
-            &Op::ColSlice(a, j) => {
-                let (n, m) = self.shape(a);
-                let mut da = self.pool.tensor_zeroed(n, m);
-                for r in 0..n {
-                    da.row_mut(r)[j] = g.as_slice()[r];
-                }
-                self.accum_owned(a, da);
-            }
-            &Op::MulConst(a, c) => {
-                let da = pooled_zip(&mut self.pool, g, &self.consts[c.idx()], |gv, cv| gv * cv);
-                self.accum_owned(a, da);
-            }
-            &Op::Mse(pred, target) => {
-                let scale = {
-                    let pv = &self.nodes[pred.idx()].value;
-                    2.0 * g.as_slice()[0] / pv.len().max(1) as f32
-                };
-                let da = pooled_zip(
-                    &mut self.pool,
-                    &self.nodes[pred.idx()].value,
-                    &self.consts[target.idx()],
-                    |p, t| (p - t) * scale,
-                );
-                self.accum_owned(pred, da);
-            }
+            });
         }
-        self.nodes[i].op = op;
+        Op::SegmentSum(a, segments) => {
+            sink.emit_with(*a, &mut |out| {
+                for (r, &s) in segments.iter().enumerate() {
+                    out.row_mut(r).copy_from_slice(g.row(s));
+                }
+            });
+        }
+        Op::SegmentSoftmax(a, segments) => {
+            let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
+            // Softmax Jacobian within each group:
+            // da_j = y_j * (g_j - sum_k y_k g_k), dots accumulated in index
+            // order per segment.
+            let mut sdot = sink.scratch().take_zeroed(n_seg);
+            let y = values[i].as_slice();
+            let gs = g.as_slice();
+            for (j, &s) in segments.iter().enumerate() {
+                sdot[s] += y[j] * gs[j];
+            }
+            sink.emit_with(*a, &mut |out| {
+                for (j, &s) in segments.iter().enumerate() {
+                    out.as_mut_slice()[j] = y[j] * (gs[j] - sdot[s]);
+                }
+            });
+            sink.scratch().give(sdot);
+        }
+        &Op::RowwiseDot(a, b) => {
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            sink.emit_with(a, &mut |out| {
+                let (n, m) = out.shape();
+                for r in 0..n {
+                    let gv = g.as_slice()[r];
+                    for c in 0..m {
+                        out.row_mut(r)[c] = gv * bv.get(r, c);
+                    }
+                }
+            });
+            sink.emit_with(b, &mut |out| {
+                let (n, m) = out.shape();
+                for r in 0..n {
+                    let gv = g.as_slice()[r];
+                    for c in 0..m {
+                        out.row_mut(r)[c] = gv * av.get(r, c);
+                    }
+                }
+            });
+        }
+        &Op::CircCorr(a, b) => {
+            // out[k] = sum_j a[j] * b[(j+k) mod d]
+            // da[j]  = sum_k g[k] * b[(j+k) mod d]  = circcorr(g, b)[j]
+            // db[m]  = sum_k g[k] * a[(m-k) mod d]  = circconv(g, a)[m]
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            let d = av.cols();
+            let mut win = sink.scratch().tensor_raw(1, 2 * d.max(1) - 1);
+            sink.emit_with(a, &mut |out| {
+                let n = out.rows();
+                for r in 0..n {
+                    fill_corr_window(bv.row(r), win.as_mut_slice());
+                    circular_correlation_windowed(g.row(r), win.as_slice(), out.row_mut(r));
+                }
+            });
+            sink.emit_with(b, &mut |out| {
+                let n = out.rows();
+                for r in 0..n {
+                    fill_conv_window(av.row(r), win.as_mut_slice());
+                    circular_convolution_windowed(g.row(r), win.as_slice(), out.row_mut(r));
+                }
+            });
+            let scratch = sink.scratch();
+            scratch.give(win.into_vec());
+        }
+        &Op::PairwiseSqDist(a, b) => {
+            // d[i,k] = |a_i - b_k|^2
+            // da_i += sum_k g[i,k] * 2 (a_i - b_k)
+            // db_k += sum_i g[i,k] * 2 (b_k - a_i)
+            // The two accumulations are independent, so each runs its own
+            // (i, k, c)-ascending loop — the per-entry sums visit terms in
+            // the same order as a single fused loop would.
+            let (av, bv) = (&values[a.idx()], &values[b.idx()]);
+            let (n, d) = av.shape();
+            let k = bv.rows();
+            sink.emit_with(a, &mut |out| {
+                out.fill(0.0);
+                for i_ in 0..n {
+                    for k_ in 0..k {
+                        let gv = 2.0 * g.get(i_, k_);
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for c in 0..d {
+                            out.row_mut(i_)[c] += gv * (av.get(i_, c) - bv.get(k_, c));
+                        }
+                    }
+                }
+            });
+            sink.emit_with(b, &mut |out| {
+                out.fill(0.0);
+                for i_ in 0..n {
+                    for k_ in 0..k {
+                        let gv = 2.0 * g.get(i_, k_);
+                        if gv == 0.0 {
+                            continue;
+                        }
+                        for c in 0..d {
+                            out.row_mut(k_)[c] -= gv * (av.get(i_, c) - bv.get(k_, c));
+                        }
+                    }
+                }
+            });
+        }
+        &Op::Recip1p(a) => {
+            // y = 1/(1+x), dy/dx = -y^2
+            let yv = &values[i];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &y) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                {
+                    *o = gv * (-y * y);
+                }
+            });
+        }
+        &Op::ColSlice(a, j) => {
+            sink.emit_with(a, &mut |out| {
+                out.fill(0.0);
+                let n = out.rows();
+                for r in 0..n {
+                    out.row_mut(r)[j] = g.as_slice()[r];
+                }
+            });
+        }
+        &Op::MulConst(a, c) => {
+            let cv = &consts[c.idx()];
+            sink.emit_with(a, &mut |out| {
+                for ((o, &gv), &cvx) in
+                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(cv.as_slice())
+                {
+                    *o = gv * cvx;
+                }
+            });
+        }
+        &Op::Mse(pred, target) => {
+            let pv = &values[pred.idx()];
+            let tv = &consts[target.idx()];
+            let scale = 2.0 * g.as_slice()[0] / pv.len().max(1) as f32;
+            sink.emit_with(pred, &mut |out| {
+                for ((o, &p), &t) in
+                    out.as_mut_slice().iter_mut().zip(pv.as_slice()).zip(tv.as_slice())
+                {
+                    *o = (p - t) * scale;
+                }
+            });
+        }
     }
 }
 
@@ -1448,5 +2040,113 @@ mod tests {
         let b = g.input(Tensor::full(1, 3, 2.0));
         let s = g.sum_all(b);
         assert_eq!(g.value(s).as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn input_rows_matches_gather() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut g = Graph::new();
+        let v = g.input_rows(&src, &[2, 0, 2]);
+        assert_eq!(g.value(v).as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(g.shape(v), (3, 2));
+    }
+
+    /// Builds a branchy tape (fan-out, fan-in, reused vars, every major op
+    /// family) and returns the loss plus probe vars to compare gradients on.
+    fn branchy_tape(g: &mut Graph) -> (Var, Vec<Var>) {
+        let x = g.input(Tensor::from_rows(&[&[0.4, -0.7, 1.2], &[0.1, 0.9, -0.3]]));
+        let w = g.input(Tensor::from_rows(&[&[0.5, -0.2, 0.8], &[1.1, 0.3, -0.6], &[
+            -0.4, 0.7, 0.2,
+        ]]));
+        let b = g.input(Tensor::from_rows(&[&[0.05, -0.1, 0.2]]));
+        let h = g.linear(x, w, b);
+        // Head 1: activations and softmax.
+        let h1 = g.sigmoid(h);
+        let s1 = g.softmax_rows(h1);
+        let l1 = g.sum_all(s1);
+        // Head 2: gather/segment path reusing `h`.
+        let gth = g.gather_rows(h, vec![0, 1, 0, 1]);
+        let col = g.col_slice(gth, 1);
+        let att = g.segment_softmax(col, vec![0, 0, 1, 1]);
+        let weighted = g.mul_col(gth, att);
+        let seg = g.segment_sum(weighted, vec![0, 1, 0, 1], 2);
+        let l2 = g.mean_all(seg);
+        // Head 3: elementwise branch reusing `x` twice (duplicate-parent op).
+        let sq = g.mul(x, x);
+        let tn = g.tanh(sq);
+        let l3 = g.mean_all(tn);
+        // Combine the heads.
+        let l12 = g.add(l1, l2);
+        let l3s = g.scale(l3, 0.5);
+        let loss = g.add(l12, l3s);
+        (loss, vec![x, w, b, h, gth, sq])
+    }
+
+    /// The forced-parallel scheduler must reproduce the serial sweep
+    /// bitwise, including after a reset replay, at whatever worker count the
+    /// environment provides (worker count never affects results).
+    #[test]
+    fn forced_parallel_backward_matches_serial_bitwise() {
+        let grads_of = |g: &Graph, probes: &[Var]| -> Vec<Vec<u32>> {
+            probes
+                .iter()
+                .map(|&v| g.grad(v).unwrap().as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        let mut gs = Graph::new();
+        let (loss_s, probes_s) = branchy_tape(&mut gs);
+        gs.backward_serial(loss_s);
+        let expected = grads_of(&gs, &probes_s);
+        let mut gp = Graph::new();
+        for round in 0..3 {
+            let (loss_p, probes_p) = branchy_tape(&mut gp);
+            gp.backward_parallel(loss_p);
+            let got = grads_of(&gp, &probes_p);
+            assert_eq!(got, expected, "parallel grads diverged on round {round}");
+            gp.reset();
+        }
+    }
+
+    /// A pure chain exposes zero branch parallelism: the scheduler must
+    /// still terminate (one ready node at a time) and match serial bitwise.
+    #[test]
+    fn deep_chain_parallel_backward_completes() {
+        let build = |g: &mut Graph| -> (Var, Var) {
+            let x = g.input(Tensor::from_rows(&[&[0.37]]));
+            let mut v = x;
+            for k in 0..(2 * PAR_TAPE_MIN) {
+                v = if k % 3 == 0 { g.sigmoid(v) } else { g.scale(v, 0.99) };
+            }
+            (v, x)
+        };
+        let mut gs = Graph::new();
+        let (loss_s, x_s) = build(&mut gs);
+        gs.backward_serial(loss_s);
+        let expected: Vec<u32> =
+            gs.grad(x_s).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let mut gp = Graph::new();
+        let (loss_p, x_p) = build(&mut gp);
+        gp.backward_parallel(loss_p);
+        let got: Vec<u32> =
+            gp.grad(x_p).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
+    }
+
+    /// The automatic dispatch threshold keeps small tapes serial and sends
+    /// big gradient-free tapes to the scheduler; both paths agree with the
+    /// explicit serial sweep.
+    #[test]
+    fn auto_dispatch_matches_serial() {
+        let mut gs = Graph::new();
+        let (loss_s, probes_s) = branchy_tape(&mut gs);
+        gs.backward_serial(loss_s);
+        let expected: Vec<u32> =
+            gs.grad(probes_s[0]).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let mut ga = Graph::new();
+        let (loss_a, probes_a) = branchy_tape(&mut ga);
+        ga.backward(loss_a);
+        let got: Vec<u32> =
+            ga.grad(probes_a[0]).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expected);
     }
 }

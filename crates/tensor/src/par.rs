@@ -20,6 +20,7 @@
 //! shapes this workspace trains with, spawn overhead dominates below that
 //! size.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -58,9 +59,45 @@ pub fn num_threads() -> usize {
     })
 }
 
+thread_local! {
+    /// Set while the current thread is itself a worker of an outer parallel
+    /// region (parallel backward, [`par_for_each_mut`]): inner kernels then
+    /// stay serial instead of oversubscribing the machine with nested
+    /// scopes. Results are unaffected — every parallel kernel here is
+    /// bitwise-identical at any worker count.
+    static NESTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread runs inside an outer parallel region.
+pub fn in_parallel_worker() -> bool {
+    NESTED.with(|c| c.get())
+}
+
+/// Marks the current thread as a parallel worker until dropped; nested
+/// parallel primitives on this thread run serially for the guard's
+/// lifetime.
+pub struct NestedSerialGuard {
+    prev: bool,
+}
+
+impl NestedSerialGuard {
+    #[allow(clippy::new_without_default)] // acquiring a guard is an action
+    pub fn new() -> Self {
+        let prev = NESTED.with(|c| c.replace(true));
+        NestedSerialGuard { prev }
+    }
+}
+
+impl Drop for NestedSerialGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        NESTED.with(|c| c.set(prev));
+    }
+}
+
 /// Workers to use for `rows` rows of `work_per_row` mul-adds each.
 fn plan(rows: usize, work_per_row: usize) -> usize {
-    if rows == 0 || rows.saturating_mul(work_per_row) < PAR_THRESHOLD {
+    if rows == 0 || rows.saturating_mul(work_per_row) < PAR_THRESHOLD || in_parallel_worker() {
         return 1;
     }
     num_threads().clamp(1, rows.div_ceil(ROW_BLOCK))
@@ -115,7 +152,8 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = num_threads().clamp(1, n.max(1));
+    let workers =
+        if in_parallel_worker() { 1 } else { num_threads().clamp(1, n.max(1)) };
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -135,6 +173,56 @@ where
         }
         out
     })
+}
+
+/// Runs `f(i, &mut items[i])` over every element, statically chunked across
+/// the worker pool exactly like [`par_map`] (the main thread takes the
+/// first chunk). Each element is visited by exactly one worker, so `f` may
+/// mutate freely; per-element results must not depend on visit order.
+/// Inside an outer parallel region this degrades to a serial loop.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers =
+        if in_parallel_worker() { 1 } else { num_threads().clamp(1, n.max(1)) };
+    if workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let per = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = items;
+        let mut base = 0usize;
+        let mut own: Option<(usize, &mut [T])> = None;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            if own.is_none() {
+                own = Some((base, head));
+            } else {
+                s.spawn(move || {
+                    let _nested = NestedSerialGuard::new();
+                    for (k, item) in head.iter_mut().enumerate() {
+                        f(base + k, item);
+                    }
+                });
+            }
+            base += take;
+        }
+        if let Some((b, head)) = own {
+            let _nested = NestedSerialGuard::new();
+            for (k, item) in head.iter_mut().enumerate() {
+                f(b + k, item);
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -195,6 +283,38 @@ mod tests {
         }
         set_num_threads(0);
         assert_eq!(par_map(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_each_element_once() {
+        let _g = LOCK.lock().unwrap();
+        for t in [1, 2, 4] {
+            set_num_threads(t);
+            let mut items: Vec<usize> = vec![0; 17];
+            par_for_each_mut(&mut items, |i, item| *item = i * 3 + 1);
+            assert_eq!(items, (0..17).map(|i| i * 3 + 1).collect::<Vec<_>>());
+        }
+        set_num_threads(0);
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| panic!("no items to visit"));
+    }
+
+    #[test]
+    fn nested_guard_serializes_inner_parallelism() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        {
+            let _nested = NestedSerialGuard::new();
+            assert!(in_parallel_worker());
+            let main = std::thread::current().id();
+            let out = par_map(8, |i| {
+                assert_eq!(std::thread::current().id(), main, "nested par_map must stay serial");
+                i
+            });
+            assert_eq!(out, (0..8).collect::<Vec<_>>());
+        }
+        assert!(!in_parallel_worker(), "guard must restore the flag");
+        set_num_threads(0);
     }
 
     #[test]

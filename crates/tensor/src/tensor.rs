@@ -893,6 +893,51 @@ pub fn circular_correlation(a: &[f32], b: &[f32], out: &mut [f32]) {
     }
 }
 
+/// [`circular_correlation`] against a pre-doubled window: `win` must hold
+/// `b` followed by `b[..d-1]` (length `2d - 1`), so every rotation of `b`
+/// is a contiguous slice and the inner sum becomes a branch-free [`dot`].
+pub fn circular_correlation_windowed(a: &[f32], win: &[f32], out: &mut [f32]) {
+    let d = a.len();
+    debug_assert_eq!(win.len(), 2 * d.max(1) - 1);
+    debug_assert_eq!(out.len(), d);
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = dot(a, &win[k..k + d]);
+    }
+}
+
+/// [`circular_convolution`](crate::circular_convolution) against a
+/// pre-reversed doubled window: `win[i] = a[(d - 1 - i).rem_euclid(d)]`
+/// (length `2d - 1`), i.e. `rev(a)` followed by `rev(a)[..d-1]`. Each
+/// output then reads `out[m] = dot(g, win[d-1-m .. 2d-1-m])`.
+pub fn circular_convolution_windowed(g: &[f32], win: &[f32], out: &mut [f32]) {
+    let d = g.len();
+    debug_assert_eq!(win.len(), 2 * d.max(1) - 1);
+    debug_assert_eq!(out.len(), d);
+    for (m, o) in out.iter_mut().enumerate() {
+        *o = dot(g, &win[d - 1 - m..2 * d - 1 - m]);
+    }
+}
+
+/// Fills `win` (length `2d - 1`) with `b` doubled for
+/// [`circular_correlation_windowed`].
+pub fn fill_corr_window(b: &[f32], win: &mut [f32]) {
+    let d = b.len();
+    win[..d].copy_from_slice(b);
+    win[d..].copy_from_slice(&b[..d - 1]);
+}
+
+/// Fills `win` (length `2d - 1`) with `a` reversed and doubled for
+/// [`circular_convolution_windowed`].
+pub fn fill_conv_window(a: &[f32], win: &mut [f32]) {
+    let d = a.len();
+    for (i, w) in win[..d].iter_mut().enumerate() {
+        *w = a[d - 1 - i];
+    }
+    for (i, w) in win[d..].iter_mut().enumerate() {
+        *w = a[d - 1 - i];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,9 @@
 #      rewritten by a PR go on the list and stay clean forever after.
 #   2. cargo clippy -D warnings across the whole workspace (all targets).
 #   3. cargo build --release.
-#   4. cargo test -q — the tier-1 suite (root-package integration tests).
+#   4. cargo test -q — the tier-1 suite (root-package integration tests),
+#      once under TENSOR_NUM_THREADS=1 and once under =4 (results are
+#      guaranteed bitwise-identical at any worker count).
 #      --full widens this to every workspace crate and runs the
 #      alloc-count gate asserting the pooled training path performs >= 10x
 #      fewer heap allocations than the fresh-graph path.
@@ -22,8 +24,10 @@ cd "$(dirname "$0")/.."
 RUSTFMT_RATCHET=(
     crates/tensor/src/pool.rs
     crates/tensor/tests/prop_pool.rs
+    crates/tensor/tests/prop_parallel_backward.rs
     crates/core/tests/pool_equivalence.rs
     crates/bench/src/bin/bench_pr2.rs
+    crates/bench/src/bin/bench_pr3.rs
     crates/bench/tests/alloc_ratio.rs
 )
 
@@ -36,8 +40,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test (tier-1) =="
-cargo test -q
+# Tier-1 runs under both a serial and a multi-threaded worker count: the
+# parallel kernels and the branch-parallel backward sweep guarantee
+# bitwise-identical results at any thread count, so the same suite must
+# pass unchanged under both.
+echo "== cargo test (tier-1, TENSOR_NUM_THREADS=1) =="
+TENSOR_NUM_THREADS=1 cargo test -q
+
+echo "== cargo test (tier-1, TENSOR_NUM_THREADS=4) =="
+TENSOR_NUM_THREADS=4 cargo test -q
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test (workspace) =="
