@@ -45,6 +45,7 @@ pub mod layer;
 pub mod mi;
 pub mod model;
 pub mod predict;
+pub mod resilience;
 pub mod te;
 pub mod temporal;
 pub mod train;
@@ -53,6 +54,10 @@ pub use config::{Ablation, Composition, ModelConfig};
 pub use model::{CateHgn, ForwardOut};
 pub use predict::{case_study, cluster_domain_agreement, CaseStudy, RankedNode};
 pub use incremental::{adapt, rolling_update, IncrementalReport};
+pub use resilience::{
+    params_fingerprint, report_fingerprint, CheckpointError, CheckpointManager, Fault, FaultPlan,
+    NonFiniteSource, RecoveryPolicy, TrainError, TrainOptions, TrainState,
+};
 pub use te::TextEnhancer;
 pub use temporal::{ageing_curve, trajectory_rmse, TemporalHead, DEFAULT_HORIZON};
-pub use train::{rmse, train as train_model, TrainReport};
+pub use train::{rmse, train as train_model, train_with, TeRound, TrainReport};

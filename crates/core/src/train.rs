@@ -1,8 +1,22 @@
 //! Algorithm 1: iterative training of HGN mini-iterations, CA center
 //! updates, and TE term refreshes.
+//!
+//! The loop is **resumable**: [`train_with`] can capture its full state at
+//! any HGN mini-iteration boundary into an atomic checkpoint (see
+//! `crate::resilience`) and later continue from it bitwise — a resumed run
+//! reproduces the losses and parameters of an uninterrupted one exactly.
+//! Every optimizer step is guarded against non-finite losses/gradients,
+//! with the reaction chosen by a [`RecoveryPolicy`]. [`train`] is the
+//! historical entry point and runs with all of this disabled (plain abort
+//! on non-finite, no checkpoints), which makes it byte-for-byte the old
+//! behavior on clean runs.
 
 use crate::config::ModelConfig;
 use crate::model::CateHgn;
+use crate::resilience::{
+    restore_params, snapshot_params, CheckpointError, CheckpointManager, NonFiniteSource,
+    RecoveryPolicy, TrainError, TrainOptions, TrainState,
+};
 use crate::te::TextEnhancer;
 use hetgraph::{sample_blocks, NodeId};
 use rand::seq::SliceRandom;
@@ -13,7 +27,7 @@ use std::collections::{HashMap, HashSet};
 use tensor::{Graph, Optimizer, Tensor};
 
 /// Snapshot of the TE term sets after one refinement round (Fig. 5 data).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TeRound {
     pub round: usize,
     /// Per-cluster precision against the generator's quality terms.
@@ -23,7 +37,7 @@ pub struct TeRound {
 }
 
 /// Training trace returned by [`train`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrainReport {
     /// Mean total HGN loss per outer round.
     pub hgn_losses: Vec<f32>,
@@ -33,42 +47,189 @@ pub struct TrainReport {
     pub val_rmse: Vec<f32>,
     /// TE refinement trace (empty when TE is off).
     pub te_rounds: Vec<TeRound>,
+    /// Batches dropped by [`RecoveryPolicy::SkipBatch`].
+    pub skipped: usize,
+    /// Rollbacks performed by [`RecoveryPolicy::Rollback`].
+    pub rollbacks: usize,
 }
 
 /// Trains `model` on `ds` per Algorithm 1. `ds` is mutable because the TE
 /// module rebuilds its paper-term links; callers wanting to reuse a dataset
 /// across models should pass a clone.
+///
+/// Equivalent to [`train_with`] under [`TrainOptions::default`]; panics on
+/// the (abort-policy) error path.
 pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
-    let cfg = model.cfg.clone();
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
-    let mut report = TrainReport::default();
+    let mut opts = TrainOptions::default();
+    train_with(model, ds, &mut opts).unwrap_or_else(|e| panic!("training failed: {e}"))
+}
 
-    // ---- TE initialisation (Algorithm 1, line 1) ----------------------
-    let mut te = if cfg.ablation.te {
-        let mut te = TextEnhancer::new(ds, cfg.n_clusters, cfg.dim.max(16), cfg.seed);
-        if cfg.ablation.te_init {
-            te.bootstrap(cfg.kappa);
-        } else {
-            te.bootstrap_from_keywords(ds);
-        }
-        te.relink(ds, cfg.ablation.te_tfidf);
-        report.te_rounds.push(snapshot(0, &te, ds));
-        Some(te)
-    } else {
-        None
+/// What the recovery policy decided to do about one non-finite step.
+enum Recovery {
+    Skip,
+    Rollback,
+}
+
+fn decide(
+    policy: RecoveryPolicy,
+    skips_in_row: usize,
+    rolls_in_row: usize,
+    source: &NonFiniteSource,
+    outer: usize,
+    step: usize,
+) -> Result<Recovery, TrainError> {
+    let fail = |exhausted: &'static str| TrainError::NonFinite {
+        source: source.clone(),
+        outer,
+        step,
+        exhausted,
     };
-
-    // Term-enhanced cluster-center initialisation (Sec. III-E1): centers
-    // start at the mean embedding of each bootstrapped term set. Without
-    // TE, the centers are re-seeded from actual node embeddings
-    // (k-means++-style spread) after the first warm-up round, once the
-    // embeddings carry signal.
-    if cfg.ablation.ca {
-        if let Some(te) = &te {
-            init_centers_from_terms(model, ds, te);
+    match policy {
+        RecoveryPolicy::Abort => Err(fail("policy is abort")),
+        RecoveryPolicy::SkipBatch { max_consecutive } => {
+            if skips_in_row > max_consecutive {
+                Err(fail("skip-batch limit reached"))
+            } else {
+                Ok(Recovery::Skip)
+            }
+        }
+        RecoveryPolicy::Rollback { max_retries, .. } => {
+            if rolls_in_row > max_retries {
+                Err(fail("rollback retries exhausted"))
+            } else {
+                Ok(Recovery::Rollback)
+            }
         }
     }
+}
 
+/// Captures the full training state at an HGN mini-iteration boundary.
+#[allow(clippy::too_many_arguments)]
+fn capture_state(
+    cfg_json: &str,
+    outer: usize,
+    mini: usize,
+    tot: f32,
+    sup_tot: f32,
+    model: &CateHgn,
+    opt: &Optimizer,
+    ca_opt: &Optimizer,
+    rng: &ChaCha8Rng,
+    best_val: f32,
+    best_params: &Option<tensor::Params>,
+    te: &Option<TextEnhancer>,
+    report: &TrainReport,
+    ds: &dblp_sim::Dataset,
+) -> TrainState {
+    TrainState {
+        config_json: cfg_json.to_string(),
+        outer: outer as u64,
+        mini: mini as u64,
+        tot,
+        sup_tot,
+        best_val,
+        opt_lr: opt.lr(),
+        opt_steps: opt.steps(),
+        ca_lr: ca_opt.lr(),
+        ca_steps: ca_opt.steps(),
+        rng_words: rng.state_words(),
+        params: snapshot_params(&model.params),
+        best_params: best_params.as_ref().map(snapshot_params),
+        te_term_sets: te
+            .as_ref()
+            .map(|te| te.term_sets.iter().map(|s| s.iter().map(|t| t.0).collect()).collect()),
+        report: report.clone(),
+        graph_fingerprint: ds.graph.content_fingerprint(),
+        cache_stamp: ds.graph.sampling_stamp(),
+    }
+}
+
+/// Restores a captured state into the live loop. Returns the partial-round
+/// loss accumulators `(tot, sup_tot)`; the caller takes the resume position
+/// from `state` itself.
+#[allow(clippy::too_many_arguments)]
+fn apply_snapshot(
+    state: &TrainState,
+    cfg: &ModelConfig,
+    model: &mut CateHgn,
+    ds: &mut dblp_sim::Dataset,
+    te: &mut Option<TextEnhancer>,
+    opt: &mut Optimizer,
+    ca_opt: &mut Optimizer,
+    rng: &mut ChaCha8Rng,
+    report: &mut TrainReport,
+    best_val: &mut f32,
+    best_params: &mut Option<tensor::Params>,
+) -> Result<(f32, f32), TrainError> {
+    restore_params(&mut model.params, &state.params)?;
+    *best_params = match &state.best_params {
+        Some(snaps) => {
+            let mut p = model.params.clone();
+            restore_params(&mut p, snaps)?;
+            Some(p)
+        }
+        None => None,
+    };
+    opt.set_lr(state.opt_lr);
+    opt.set_steps(state.opt_steps);
+    ca_opt.set_lr(state.ca_lr);
+    ca_opt.set_steps(state.ca_steps);
+    *rng = ChaCha8Rng::from_state_words(&state.rng_words);
+    *report = state.report.clone();
+    *best_val = state.best_val;
+    match (te.as_mut(), &state.te_term_sets) {
+        (Some(te), Some(sets)) => {
+            te.term_sets = sets
+                .iter()
+                .map(|s| s.iter().map(|&x| textmine::TokenId(x)).collect())
+                .collect();
+            // Replaying the persisted term sets through relink reproduces
+            // the snapshot-time paper-term links on the freshly built graph.
+            te.relink(ds, cfg.ablation.te_tfidf);
+        }
+        (None, None) => {}
+        (Some(_), None) => {
+            return Err(CheckpointError::Mismatch(
+                "snapshot has no TE state but TE is enabled".into(),
+            )
+            .into());
+        }
+        (None, Some(_)) => {
+            return Err(CheckpointError::Mismatch(
+                "snapshot carries TE state but TE is disabled".into(),
+            )
+            .into());
+        }
+    }
+    let fp = ds.graph.content_fingerprint();
+    if fp != state.graph_fingerprint {
+        return Err(CheckpointError::Mismatch(format!(
+            "graph content fingerprint {fp:#018x} != snapshot {:#018x}",
+            state.graph_fingerprint
+        ))
+        .into());
+    }
+    Ok((state.tot, state.sup_tot))
+}
+
+/// [`train`] with checkpoint/resume, non-finite recovery, and fault
+/// injection. See `crate::resilience` for the option types.
+///
+/// Determinism contract: on a clean run (no faults, no non-finite values)
+/// this performs arithmetic bitwise-identical to the historical loop
+/// regardless of checkpoint options, and a run resumed from a checkpoint
+/// continues bitwise-identical to the uninterrupted run.
+pub fn train_with(
+    model: &mut CateHgn,
+    ds: &mut dblp_sim::Dataset,
+    opts: &mut TrainOptions,
+) -> Result<TrainReport, TrainError> {
+    let cfg = model.cfg.clone();
+    let cfg_json = serde_json::to_string(&cfg).expect("model config serializes");
+    let mut manager = CheckpointManager::new(opts.checkpoint_path.clone());
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
+    let mut report = TrainReport::default();
     let mut opt = Optimizer::adam(cfg.lr);
     let mut ca_opt = Optimizer::adam(cfg.lr);
     let center_ids: HashSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
@@ -76,80 +237,316 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
     let train_idx = ds.split.train.clone();
     assert!(!train_idx.is_empty(), "empty training split");
 
-    // Output-bias warm start: every layer's prediction head opens at the
-    // train-label mean, so round one already matches the mean predictor
-    // and gradient steps refine from there instead of climbing to it.
-    let label_mean = {
-        let labels = ds.labels_of(&train_idx);
-        labels.iter().sum::<f32>() / labels.len() as f32
-    };
-    for layer in &model.layers {
-        model.params.value_mut(layer.b_y).fill(label_mean);
-    }
-
-    // Best-on-validation model selection: the 2014 validation split exists
-    // for exactly this (Sec. IV-A1); heavy-tailed labels make late epochs
-    // drift, so we keep the parameters of the best validation round.
-    // The initial (warm-started) parameters seed the selection, so a run
-    // whose every round validates worse keeps the mean-predictor head.
+    let mut te: Option<TextEnhancer>;
     let mut best_val = f32::INFINITY;
     let mut best_params: Option<tensor::Params> = None;
-    if !ds.split.val.is_empty() {
-        let seeds = ds.paper_nodes_of(&ds.split.val);
-        let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xE7A1);
-        best_val = rmse(&preds, &ds.labels_of(&ds.split.val));
-        best_params = Some(model.params.clone());
+    let (mut cur_outer, mut cur_mini): (usize, usize);
+    let (mut tot, mut sup_tot): (f32, f32);
+
+    if opts.resume {
+        let state = manager.load_latest()?;
+        if state.config_json != cfg_json {
+            return Err(CheckpointError::Mismatch(
+                "checkpoint was produced by a different model config".into(),
+            )
+            .into());
+        }
+        // The enhancer itself is a pure deterministic function of the
+        // dataset and config; only its mined term sets evolve, and those
+        // come back from the snapshot inside `apply_snapshot`.
+        te = cfg
+            .ablation
+            .te
+            .then(|| TextEnhancer::new(ds, cfg.n_clusters, cfg.dim.max(16), cfg.seed));
+        let (t, s) = apply_snapshot(
+            &state,
+            &cfg,
+            model,
+            ds,
+            &mut te,
+            &mut opt,
+            &mut ca_opt,
+            &mut rng,
+            &mut report,
+            &mut best_val,
+            &mut best_params,
+        )?;
+        tot = t;
+        sup_tot = s;
+        cur_outer = state.outer as usize;
+        cur_mini = state.mini as usize;
+    } else {
+        // ---- TE initialisation (Algorithm 1, line 1) ------------------
+        te = if cfg.ablation.te {
+            let mut te = TextEnhancer::new(ds, cfg.n_clusters, cfg.dim.max(16), cfg.seed);
+            if cfg.ablation.te_init {
+                te.bootstrap(cfg.kappa);
+            } else {
+                te.bootstrap_from_keywords(ds);
+            }
+            te.relink(ds, cfg.ablation.te_tfidf);
+            report.te_rounds.push(snapshot(0, &te, ds));
+            Some(te)
+        } else {
+            None
+        };
+
+        // Term-enhanced cluster-center initialisation (Sec. III-E1):
+        // centers start at the mean embedding of each bootstrapped term
+        // set. Without TE, the centers are re-seeded from actual node
+        // embeddings (k-means++-style spread) after the first warm-up
+        // round, once the embeddings carry signal.
+        if cfg.ablation.ca {
+            if let Some(te) = &te {
+                init_centers_from_terms(model, ds, te);
+            }
+        }
+
+        // Output-bias warm start: every layer's prediction head opens at
+        // the train-label mean, so round one already matches the mean
+        // predictor and gradient steps refine from there instead of
+        // climbing to it.
+        let label_mean = {
+            let labels = ds.labels_of(&train_idx);
+            labels.iter().sum::<f32>() / labels.len() as f32
+        };
+        for layer in &model.layers {
+            model.params.value_mut(layer.b_y).fill(label_mean);
+        }
+
+        // Best-on-validation model selection: the 2014 validation split
+        // exists for exactly this (Sec. IV-A1); heavy-tailed labels make
+        // late epochs drift, so we keep the parameters of the best
+        // validation round. The initial (warm-started) parameters seed the
+        // selection, so a run whose every round validates worse keeps the
+        // mean-predictor head.
+        if !ds.split.val.is_empty() {
+            let seeds = ds.paper_nodes_of(&ds.split.val);
+            let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xE7A1);
+            best_val = rmse(&preds, &ds.labels_of(&ds.split.val));
+            best_params = Some(model.params.clone());
+        }
+
+        cur_outer = 0;
+        cur_mini = 0;
+        tot = 0.0;
+        sup_tot = 0.0;
+    }
+
+    // Rollback needs a restore target even before the first periodic
+    // checkpoint: capture a run-entry baseline (memory only).
+    if matches!(opts.policy, RecoveryPolicy::Rollback { .. }) && !manager.has_snapshot() {
+        manager.set_baseline(&capture_state(
+            &cfg_json,
+            cur_outer,
+            cur_mini,
+            tot,
+            sup_tot,
+            model,
+            &opt,
+            &ca_opt,
+            &rng,
+            best_val,
+            &best_params,
+            &te,
+            &report,
+            ds,
+        ));
     }
 
     // One long-lived tape for the whole run: reset between batches recycles
     // every node buffer through the graph's pool, so steady-state training
     // steps run allocation-free (see DESIGN.md, "Memory model").
     let mut g = Graph::new();
+    // Consecutive-failure counters; both reset on any successful step.
+    let mut skips_in_row = 0usize;
+    let mut rolls_in_row = 0usize;
 
-    for outer in 0..cfg.outer_iters {
+    'outer_loop: while cur_outer < cfg.outer_iters {
         // ---- HGN mini-iterations (lines 3-9) --------------------------
-        let mut tot = 0.0;
-        let mut sup_tot = 0.0;
-        for _ in 0..cfg.mini_iters {
+        while cur_mini < cfg.mini_iters {
+            // Global step position; stable across resume and rollback
+            // replays, which is what makes fault injection deterministic.
+            let step = (cur_outer * cfg.mini_iters + cur_mini) as u64;
             let batch: Vec<usize> = (0..cfg.batch_size)
                 .map(|_| train_idx[rng.gen_range(0..train_idx.len())])
                 .collect();
             let seeds = ds.paper_nodes_of(&batch);
-            let labels = Tensor::col_vec(ds.labels_of(&batch));
+            let mut labels = Tensor::col_vec(ds.labels_of(&batch));
+            opts.faults.poison_batch(step, labels.as_mut_slice());
             let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
             // Seed dedup can shrink the frontier prefix; relabel to match.
             let labels = dedup_labels(&seeds, &blocks[0].dst_nodes, &labels);
             g.reset();
             let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, false);
             let (loss, sup, _mi) = model.hgn_loss(&mut g, &fw, &blocks, &labels, &mut rng);
-            tot += g.value(loss).as_slice()[0];
-            sup_tot += sup;
-            g.backward(loss);
-            opt.step_clipped(&mut model.params, &mut g, Some(cfg.clip));
+            let loss_val = g.value(loss).as_slice()[0];
+
+            let failure: Option<NonFiniteSource> = if !loss_val.is_finite() {
+                Some(NonFiniteSource::Loss)
+            } else {
+                g.backward(loss);
+                opts.faults.corrupt_gradients(step, &mut g);
+                match opt.step_clipped_guarded(&mut model.params, &mut g, Some(cfg.clip)) {
+                    Ok(_norm) => None,
+                    Err(pid) => Some(NonFiniteSource::Gradient {
+                        param: model.params.name(pid).to_string(),
+                    }),
+                }
+            };
+
+            let Some(source) = failure else {
+                // The step landed: account it exactly as the historical
+                // loop did (same values, same f32 accumulation order).
+                tot += loss_val;
+                sup_tot += sup;
+                skips_in_row = 0;
+                rolls_in_row = 0;
+                cur_mini += 1;
+
+                let pos = (cur_outer * cfg.mini_iters + cur_mini) as u64;
+                let due = opts
+                    .checkpoint_every
+                    .is_some_and(|n| n > 0 && pos.is_multiple_of(n as u64));
+                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                if due || halting {
+                    let state = capture_state(
+                        &cfg_json, cur_outer, cur_mini, tot, sup_tot, model, &opt, &ca_opt,
+                        &rng, best_val, &best_params, &te, &report, ds,
+                    );
+                    manager.save(&state, &mut opts.faults)?;
+                }
+                if halting {
+                    // Simulated kill: the snapshot above is the resume
+                    // point; return the partial trace.
+                    return Ok(report);
+                }
+                continue;
+            };
+
+            skips_in_row += 1;
+            rolls_in_row += 1;
+            match decide(opts.policy, skips_in_row, rolls_in_row, &source, cur_outer, cur_mini)? {
+                Recovery::Skip => {
+                    // Drop the poisoned batch and redraw the same mini
+                    // slot; the RNG has advanced past the bad draws, and
+                    // no parameter or optimizer state was touched.
+                    report.skipped += 1;
+                }
+                Recovery::Rollback => {
+                    let state = manager.last_state()?;
+                    let (t, s) = apply_snapshot(
+                        &state,
+                        &cfg,
+                        model,
+                        ds,
+                        &mut te,
+                        &mut opt,
+                        &mut ca_opt,
+                        &mut rng,
+                        &mut report,
+                        &mut best_val,
+                        &mut best_params,
+                    )?;
+                    tot = t;
+                    sup_tot = s;
+                    cur_outer = state.outer as usize;
+                    cur_mini = state.mini as usize;
+                    report.rollbacks += 1;
+                    if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
+                        // Backoff compounds over consecutive retries of
+                        // the same snapshot.
+                        let scale = lr_backoff.powi(rolls_in_row as i32);
+                        opt.set_lr(state.opt_lr * scale);
+                        ca_opt.set_lr(state.ca_lr * scale);
+                    }
+                    continue 'outer_loop;
+                }
+            }
         }
         report.hgn_losses.push(tot / cfg.mini_iters as f32);
         report.sup_losses.push(sup_tot / cfg.mini_iters as f32);
 
         // Warm-start the cluster centers from real node embeddings once the
         // trunk has seen one round of supervision (CA without TE only).
-        if outer == 0 && cfg.ablation.ca && te.is_none() {
+        if cur_outer == 0 && cfg.ablation.ca && te.is_none() {
             init_centers_from_nodes(model, ds, &mut rng);
         }
 
         // ---- CA center updates (line 10) ------------------------------
         if cfg.ablation.ca {
-            let all_nodes: Vec<NodeId> =
-                (0..ds.graph.num_nodes() as u32).map(NodeId).collect();
-            for _ in 0..cfg.ca_iters {
+            let all_nodes: Vec<NodeId> = (0..ds.graph.num_nodes() as u32).map(NodeId).collect();
+            let mut ca_i = 0;
+            while ca_i < cfg.ca_iters {
                 let batch: Vec<NodeId> = (0..cfg.batch_size)
                     .map(|_| all_nodes[rng.gen_range(0..all_nodes.len())])
                     .collect();
                 let blocks = sample_blocks(&ds.graph, &batch, cfg.layers, cfg.fanout, &mut rng);
                 g.reset();
                 let fw = model.forward(&mut g, &ds.graph, &ds.features, &blocks, true);
-                if let Some(loss) = model.ca_loss(&mut g, &fw) {
-                    g.backward(loss);
-                    ca_opt.step_filtered(&mut model.params, &mut g, Some(cfg.clip), &center_ids);
+                let failure: Option<NonFiniteSource> =
+                    if let Some(loss) = model.ca_loss(&mut g, &fw) {
+                        if !g.value(loss).as_slice()[0].is_finite() {
+                            Some(NonFiniteSource::Loss)
+                        } else {
+                            g.backward(loss);
+                            match ca_opt.step_filtered_guarded(
+                                &mut model.params,
+                                &mut g,
+                                Some(cfg.clip),
+                                &center_ids,
+                            ) {
+                                Ok(_) => None,
+                                Err(pid) => Some(NonFiniteSource::Gradient {
+                                    param: model.params.name(pid).to_string(),
+                                }),
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                let Some(source) = failure else {
+                    skips_in_row = 0;
+                    rolls_in_row = 0;
+                    ca_i += 1;
+                    continue;
+                };
+                skips_in_row += 1;
+                rolls_in_row += 1;
+                match decide(opts.policy, skips_in_row, rolls_in_row, &source, cur_outer, ca_i)? {
+                    Recovery::Skip => {
+                        // CA iterations carry no loss accounting; a skip
+                        // consumes the iteration.
+                        report.skipped += 1;
+                        ca_i += 1;
+                    }
+                    Recovery::Rollback => {
+                        let state = manager.last_state()?;
+                        let (t, s) = apply_snapshot(
+                            &state,
+                            &cfg,
+                            model,
+                            ds,
+                            &mut te,
+                            &mut opt,
+                            &mut ca_opt,
+                            &mut rng,
+                            &mut report,
+                            &mut best_val,
+                            &mut best_params,
+                        )?;
+                        tot = t;
+                        sup_tot = s;
+                        cur_outer = state.outer as usize;
+                        cur_mini = state.mini as usize;
+                        report.rollbacks += 1;
+                        if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
+                            let scale = lr_backoff.powi(rolls_in_row as i32);
+                            opt.set_lr(state.opt_lr * scale);
+                            ca_opt.set_lr(state.ca_lr * scale);
+                        }
+                        continue 'outer_loop;
+                    }
                 }
             }
         }
@@ -158,11 +555,11 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
         if let Some(te) = te.as_mut() {
             if cfg.ablation.te_iterative {
                 refine_terms(model, ds, te, &cfg);
-                report.te_rounds.push(snapshot(outer + 1, te, ds));
+                report.te_rounds.push(snapshot(cur_outer + 1, te, ds));
             }
         }
 
-        // ---- Validation trace & model selection -------------------------
+        // ---- Validation trace & model selection -----------------------
         if !ds.split.val.is_empty() {
             let seeds = ds.paper_nodes_of(&ds.split.val);
             let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xE7A1);
@@ -174,11 +571,16 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
                 best_params = Some(model.params.clone());
             }
         }
+
+        cur_outer += 1;
+        cur_mini = 0;
+        tot = 0.0;
+        sup_tot = 0.0;
     }
     if let Some(p) = best_params {
         model.params = p;
     }
-    report
+    Ok(report)
 }
 
 /// Root mean squared error.
@@ -373,6 +775,8 @@ mod tests {
         // Validation RMSE tracked per outer round.
         assert_eq!(report.val_rmse.len(), 2);
         assert!(report.val_rmse.iter().all(|r| r.is_finite()));
+        // No recovery machinery fired on a clean run.
+        assert_eq!((report.skipped, report.rollbacks), (0, 0));
     }
 
     #[test]

@@ -5,11 +5,46 @@
 use crate::config::WorldConfig;
 use crate::generate::{Corpus, Paper};
 use crate::world::LatentWorld;
-use hetgraph::{HetGraphBuilder, LinkTypeId, NodeId, NodeTypeId, Schema};
+use hetgraph::{GraphError, HetGraphBuilder, LinkTypeId, NodeId, NodeTypeId, Schema};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use textmine::{TfIdf, TokenId, Vocab, WordEmbeddings};
+
+/// A failure while assembling a [`Dataset`] into a typed graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Graph/schema construction rejected a node or link.
+    Graph(GraphError),
+    /// A paper referenced an entity (author/venue/term) with no local slot.
+    MissingEntity { kind: &'static str, world_idx: usize, paper: usize },
+}
+
+impl From<GraphError> for DatasetError {
+    fn from(e: GraphError) -> Self {
+        DatasetError::Graph(e)
+    }
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            DatasetError::MissingEntity { kind, world_idx, paper } => {
+                write!(f, "paper {paper} references {kind} {world_idx} with no local slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Graph(e) => Some(e),
+            DatasetError::MissingEntity { .. } => None,
+        }
+    }
+}
 
 /// Handles to the publication schema's node types.
 #[derive(Clone, Copy, Debug)]
@@ -76,16 +111,37 @@ pub struct Dataset {
 
 impl Dataset {
     /// Builds the DBLP-full analogue.
+    ///
+    /// # Panics
+    /// On a structurally inconsistent corpus; [`Dataset::try_full`] reports
+    /// the same conditions as a [`DatasetError`].
     pub fn full(cfg: &WorldConfig, feat_dim: usize) -> Self {
+        Self::try_full(cfg, feat_dim).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Dataset::full`].
+    pub fn try_full(cfg: &WorldConfig, feat_dim: usize) -> Result<Self, DatasetError> {
         let world = LatentWorld::generate(cfg);
         let corpus = Corpus::generate(&world);
-        assemble("DBLP-full", world, corpus.papers, feat_dim)
+        try_assemble("DBLP-full", world, corpus.papers, feat_dim)
     }
 
     /// Builds the DBLP-single analogue: papers published in venues whose
     /// name matches `venue_filter` (the paper uses "data" in the name),
     /// with citations restricted to the retained papers.
+    ///
+    /// # Panics
+    /// See [`Dataset::try_single`].
     pub fn single(cfg: &WorldConfig, feat_dim: usize, venue_filter: &str) -> Self {
+        Self::try_single(cfg, feat_dim, venue_filter).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Dataset::single`].
+    pub fn try_single(
+        cfg: &WorldConfig,
+        feat_dim: usize,
+        venue_filter: &str,
+    ) -> Result<Self, DatasetError> {
         let world = LatentWorld::generate(cfg);
         let corpus = Corpus::generate(&world);
         let keep: Vec<bool> = corpus
@@ -108,18 +164,26 @@ impl Dataset {
                 selected.push(q);
             }
         }
-        assemble("DBLP-single", world, selected, feat_dim)
+        try_assemble("DBLP-single", world, selected, feat_dim)
     }
 
     /// Builds the DBLP-random analogue: identical to `full` except that the
     /// paper-term links in the *graph* are randomly rewired (the raw title
     /// text is unchanged, matching the paper's construction where text-only
     /// models score identically on full and random).
+    ///
+    /// # Panics
+    /// See [`Dataset::try_random`].
     pub fn random(cfg: &WorldConfig, feat_dim: usize) -> Self {
-        let mut ds = Self::full(cfg, feat_dim);
+        Self::try_random(cfg, feat_dim).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Dataset::random`].
+    pub fn try_random(cfg: &WorldConfig, feat_dim: usize) -> Result<Self, DatasetError> {
+        let mut ds = Self::try_full(cfg, feat_dim)?;
         ds.name = "DBLP-random".to_string();
         ds.randomize_term_links(cfg.seed.wrapping_add(0xBAD));
-        ds
+        Ok(ds)
     }
 
     /// Rewires every paper's keyword links to uniformly random terms,
@@ -147,7 +211,15 @@ impl Dataset {
 
     /// Recomputes the `contains`/`contained_in` links from the current
     /// per-paper keyword lists using Eq. 24 TF-IDF weights.
+    ///
+    /// # Panics
+    /// See [`Dataset::try_rebuild_term_links`].
     pub fn rebuild_term_links(&mut self) {
+        self.try_rebuild_term_links().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Dataset::rebuild_term_links`].
+    pub fn try_rebuild_term_links(&mut self) -> Result<(), DatasetError> {
         let world_to_local = self.world_to_local_terms();
         let kw_docs: Vec<Vec<TokenId>> = self
             .papers
@@ -174,8 +246,9 @@ impl Dataset {
                 contained_in.push((tn, pn, w));
             }
         }
-        self.graph.replace_links(self.link_types.contains, &contains);
-        self.graph.replace_links(self.link_types.contained_in, &contained_in);
+        self.graph.try_replace_links(self.link_types.contains, &contains)?;
+        self.graph.try_replace_links(self.link_types.contained_in, &contained_in)?;
+        Ok(())
     }
 
     /// Map from world term index to local term slot.
@@ -219,7 +292,12 @@ pub fn publication_schema() -> (Schema, NodeTypes, LinkTypes) {
     )
 }
 
-fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize) -> Dataset {
+fn try_assemble(
+    name: &str,
+    world: LatentWorld,
+    papers: Vec<Paper>,
+    feat_dim: usize,
+) -> Result<Dataset, DatasetError> {
     let (schema, node_types, link_types) = publication_schema();
 
     // ---- Entity selection -------------------------------------------
@@ -251,10 +329,20 @@ fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize)
     for &t in &used_terms {
         vocab.intern(&world.terms[t].text);
     }
-    let docs: Vec<Vec<TokenId>> = papers
-        .iter()
-        .map(|p| p.title_terms.iter().map(|w| TokenId(term_local[w] as u32)).collect())
-        .collect();
+    let mut docs: Vec<Vec<TokenId>> = Vec::with_capacity(papers.len());
+    for (i, p) in papers.iter().enumerate() {
+        let mut doc = Vec::with_capacity(p.title_terms.len());
+        for w in &p.title_terms {
+            let l = term_local.get(w).ok_or(DatasetError::MissingEntity {
+                kind: "term",
+                world_idx: *w,
+                paper: i,
+            })?;
+            doc.push(TokenId(*l as u32));
+        }
+        docs.push(doc);
+    }
+    let docs = docs;
 
     // ---- Word embeddings & node features ----------------------------
     let word_embeddings = WordEmbeddings::train(&docs, used_terms.len(), feat_dim, 0x3EED);
@@ -268,21 +356,31 @@ fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize)
 
     for (i, p) in papers.iter().enumerate() {
         for &a in &p.authors {
-            b.add_link_with_reverse(
+            let al = author_local.get(&a).ok_or(DatasetError::MissingEntity {
+                kind: "author",
+                world_idx: a,
+                paper: i,
+            })?;
+            b.try_add_link_with_reverse(
                 link_types.writes,
-                author_nodes[author_local[&a]],
+                author_nodes[*al],
                 paper_nodes[i],
                 1.0,
-            );
+            )?;
         }
-        b.add_link_with_reverse(
-            link_types.publishes,
-            venue_nodes[venue_local[&p.venue]],
-            paper_nodes[i],
-            1.0,
-        );
+        let vl = venue_local.get(&p.venue).ok_or(DatasetError::MissingEntity {
+            kind: "venue",
+            world_idx: p.venue,
+            paper: i,
+        })?;
+        b.try_add_link_with_reverse(link_types.publishes, venue_nodes[*vl], paper_nodes[i], 1.0)?;
         for &c in &p.cites {
-            b.add_link(link_types.cites, paper_nodes[i], paper_nodes[c], 1.0);
+            let cited = paper_nodes.get(c).ok_or(DatasetError::MissingEntity {
+                kind: "paper",
+                world_idx: c,
+                paper: i,
+            })?;
+            b.try_add_link(link_types.cites, paper_nodes[i], *cited, 1.0)?;
         }
     }
     let graph = b.build();
@@ -395,8 +493,8 @@ fn assemble(name: &str, world: LatentWorld, papers: Vec<Paper>, feat_dim: usize)
         split,
         word_embeddings,
     };
-    ds.rebuild_term_links();
-    ds
+    ds.try_rebuild_term_links()?;
+    Ok(ds)
 }
 
 #[cfg(test)]
@@ -420,6 +518,23 @@ mod tests {
         );
         assert_eq!(ds.features.rows(), ds.graph.num_nodes());
         assert_eq!(ds.vocab.len(), ds.term_nodes.len());
+    }
+
+    #[test]
+    fn try_full_matches_panicking_constructor() {
+        let ds = Dataset::try_full(&WorldConfig::tiny(), 16).expect("tiny corpus assembles");
+        let reference = tiny();
+        assert_eq!(ds.n_papers(), reference.n_papers());
+        assert_eq!(ds.graph.content_fingerprint(), reference.graph.content_fingerprint());
+    }
+
+    #[test]
+    fn dataset_error_display_names_the_culprit() {
+        let e = DatasetError::MissingEntity { kind: "venue", world_idx: 7, paper: 3 };
+        assert_eq!(e.to_string(), "paper 3 references venue 7 with no local slot");
+        let g: DatasetError =
+            hetgraph::GraphError::TooManyNodes.into();
+        assert!(g.to_string().contains("too many nodes"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod stats;
 pub mod world;
 
 pub use config::{WorldConfig, DOMAIN_NAMES};
-pub use dataset::{publication_schema, Dataset, LinkTypes, NodeTypes, Split};
+pub use dataset::{publication_schema, Dataset, DatasetError, LinkTypes, NodeTypes, Split};
 pub use generate::{citation_rate, sample_poisson, Corpus, Paper};
 pub use stats::DatasetStats;
 pub use world::{AuthorProfile, LatentWorld, Term, TermKind, VenueProfile};

@@ -12,7 +12,10 @@
 //! The dataset is regenerated deterministically from the scale preset, so
 //! only the trained weights need to be persisted.
 
-use catehgn::{train_model, Ablation, CateHgn, ModelConfig};
+use catehgn::{
+    params_fingerprint, report_fingerprint, train_with, Ablation, CateHgn, ModelConfig,
+    TrainOptions,
+};
 use dblp_sim::{Dataset, DatasetStats};
 use eval::{ExperimentConfig, Scale};
 use std::path::PathBuf;
@@ -22,17 +25,26 @@ fn arg(flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// True when a bare flag (no value) is present.
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: catehgn_cli <generate|train|predict|domains> \
          [--scale tiny|small|full] [--variant hgn|ca-hgn|cate-hgn] \
-         [--model FILE] [--out FILE] [--top N]"
+         [--model FILE] [--out FILE] [--top N] \
+         [--checkpoint FILE] [--checkpoint-every N] [--resume] [--halt-after N]"
     );
     std::process::exit(2);
 }
 
 fn build_dataset(cfg: &ExperimentConfig) -> Dataset {
-    Dataset::full(&cfg.world, cfg.feat_dim)
+    Dataset::try_full(&cfg.world, cfg.feat_dim).unwrap_or_else(|e| {
+        eprintln!("dataset construction failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn variant_ablation(name: &str) -> Ablation {
@@ -85,10 +97,28 @@ fn main() {
                 ds.name,
                 ds.split.train.len()
             );
-            let report = train_model(&mut model, &mut ds);
+            let mut opts = TrainOptions {
+                checkpoint_path: arg("--checkpoint").map(PathBuf::from),
+                checkpoint_every: arg("--checkpoint-every").and_then(|s| s.parse().ok()),
+                resume: flag("--resume"),
+                halt_after_steps: arg("--halt-after").and_then(|s| s.parse().ok()),
+                ..TrainOptions::default()
+            };
+            let report = train_with(&mut model, &mut ds, &mut opts).unwrap_or_else(|e| {
+                eprintln!("training failed: {e}");
+                std::process::exit(1);
+            });
             eprintln!("validation RMSE per round: {:?}", report.val_rmse);
-            model.save(&model_path).expect("save model");
-            println!("saved {}", model_path.display());
+            // Bitwise run identity, for kill-and-resume drills: equal
+            // fingerprints mean equal parameter bits and loss traces.
+            println!("params_fingerprint=0x{:016x}", params_fingerprint(&model.params));
+            println!("report_fingerprint=0x{:016x}", report_fingerprint(&report));
+            if opts.halt_after_steps.is_some() {
+                eprintln!("halted early (checkpoint drill); skipping model save");
+            } else {
+                model.save(&model_path).expect("save model");
+                println!("saved {}", model_path.display());
+            }
         }
         "predict" => {
             let model_path =

@@ -1,0 +1,120 @@
+//! Structured errors for graph and schema construction.
+//!
+//! Hand-rolled `thiserror`-style enum (the workspace is dependency-free):
+//! every invariant the builders used to enforce with a bare `assert!` is
+//! expressible as a [`GraphError`] via the `try_*` constructors, so callers
+//! assembling graphs from external data (dataset loaders, checkpoint
+//! restore) can surface the failure instead of aborting the process. The
+//! panicking constructors remain and delegate to the `try_*` forms, with
+//! `Display` texts preserving the historical assertion messages.
+
+use std::fmt;
+
+/// Which end of a directed link an error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Src,
+    Dst,
+}
+
+impl Endpoint {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Src => "src",
+            Endpoint::Dst => "dst",
+        }
+    }
+}
+
+/// A structural invariant violation while building or mutating a
+/// heterogeneous graph or its schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Schema exceeded the `u8` node-type id space.
+    TooManyNodeTypes,
+    /// Schema exceeded the `u8` link-type id space.
+    TooManyLinkTypes,
+    /// A link type definition referenced a node type id not in the schema.
+    UnknownEndpointType { end: Endpoint, id: u8 },
+    /// `add_node` was given a node type id not in the schema.
+    UnknownNodeType { id: u8 },
+    /// Graph exceeded the `u32` node id space.
+    TooManyNodes,
+    /// A link referenced a node id that was never added.
+    UnknownEndpointNode { end: Endpoint, node: u32 },
+    /// A link endpoint's node type disagrees with the link type definition.
+    EndpointTypeMismatch { end: Endpoint, link: String },
+    /// `replace_links` was given an edge whose endpoint type disagrees with
+    /// the link type definition.
+    RelinkTypeMismatch { end: Endpoint, link: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyNodeTypes => write!(f, "too many node types (u8 id space)"),
+            GraphError::TooManyLinkTypes => write!(f, "too many link types (u8 id space)"),
+            GraphError::UnknownEndpointType { end, id } => {
+                write!(f, "unknown {} node type (id {id})", end.as_str())
+            }
+            GraphError::UnknownNodeType { id } => write!(f, "unknown node type (id {id})"),
+            GraphError::TooManyNodes => write!(f, "too many nodes (u32 id space)"),
+            GraphError::UnknownEndpointNode { end, node } => {
+                write!(f, "unknown {} node (id {node})", end.as_str())
+            }
+            GraphError::EndpointTypeMismatch { end, link } => {
+                write!(f, "{} type mismatch for link '{link}'", end.as_str())
+            }
+            GraphError::RelinkTypeMismatch { end, link } => {
+                write!(f, "{} node type mismatch for {link}", end.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_historical_assert_texts() {
+        // Downstream `should_panic(expected = ...)` tests and log scrapers
+        // match on these substrings; keep them stable.
+        let cases: [(GraphError, &str); 5] = [
+            (
+                GraphError::UnknownEndpointType {
+                    end: Endpoint::Src,
+                    id: 9,
+                },
+                "unknown src node type",
+            ),
+            (GraphError::TooManyNodeTypes, "too many node types"),
+            (
+                GraphError::UnknownEndpointNode {
+                    end: Endpoint::Dst,
+                    node: 3,
+                },
+                "unknown dst node",
+            ),
+            (
+                GraphError::EndpointTypeMismatch {
+                    end: Endpoint::Src,
+                    link: "writes".into(),
+                },
+                "src type mismatch for link 'writes'",
+            ),
+            (
+                GraphError::RelinkTypeMismatch {
+                    end: Endpoint::Dst,
+                    link: "contains".into(),
+                },
+                "dst node type mismatch for contains",
+            ),
+        ];
+        for (err, want) in cases {
+            assert!(err.to_string().contains(want), "{err} !~ {want}");
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! the access pattern of mini-batch GNN training: "give me the typed,
 //! weighted neighbors of node v under link type t" is two slice lookups.
 
+use crate::error::{Endpoint, GraphError};
 use crate::schema::{LinkTypeId, NodeTypeId, Schema};
 
 /// Global dense node identifier, valid within one [`HetGraph`].
@@ -194,11 +195,35 @@ impl HetGraph {
     /// Replaces all links of type `t` with a new edge list. Used by the TE
     /// module when paper-term links are rebuilt from refreshed TF-IDF
     /// scores.
+    ///
+    /// # Panics
+    /// On an endpoint type mismatch; [`HetGraph::try_replace_links`]
+    /// reports the same condition as a [`GraphError`].
     pub fn replace_links(&mut self, t: LinkTypeId, edges: &[(NodeId, NodeId, f32)]) {
+        self.try_replace_links(t, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HetGraph::replace_links`]. On `Err` the graph is
+    /// unchanged.
+    pub fn try_replace_links(
+        &mut self,
+        t: LinkTypeId,
+        edges: &[(NodeId, NodeId, f32)],
+    ) -> Result<(), GraphError> {
         let def = self.schema.link_type(t).clone();
         for &(s, d, _) in edges {
-            assert_eq!(self.node_type(s), def.src, "src node type mismatch for {}", def.name);
-            assert_eq!(self.node_type(d), def.dst, "dst node type mismatch for {}", def.name);
+            if self.node_type(s) != def.src {
+                return Err(GraphError::RelinkTypeMismatch {
+                    end: Endpoint::Src,
+                    link: def.name.clone(),
+                });
+            }
+            if self.node_type(d) != def.dst {
+                return Err(GraphError::RelinkTypeMismatch {
+                    end: Endpoint::Dst,
+                    link: def.name.clone(),
+                });
+            }
         }
         let raw: Vec<(u32, u32, f32)> = edges.iter().map(|&(s, d, w)| (s.0, d.0, w)).collect();
         let next = Csr::from_edges(self.num_nodes(), &raw);
@@ -206,10 +231,44 @@ impl HetGraph {
         // refinement round whose term sets have converged) keeps the stamp,
         // so downstream sampling caches stay warm.
         if next == self.adj[t.0 as usize] {
-            return;
+            return Ok(());
         }
         self.adj[t.0 as usize] = next;
         self.stamp = next_graph_stamp();
+        Ok(())
+    }
+
+    /// FNV-1a fingerprint of the graph's *content* — node types and every
+    /// CSR's structure and weight bits — independent of the process-local
+    /// [`HetGraph::sampling_stamp`]. Two graphs with equal content report
+    /// equal fingerprints in any process; checkpoints store it so resume can
+    /// verify the reconstructed graph matches the one that was trained on.
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.node_types.len() as u64);
+        for t in &self.node_types {
+            mix(t.0 as u64);
+        }
+        mix(self.adj.len() as u64);
+        for csr in &self.adj {
+            mix(csr.offsets.len() as u64);
+            for &o in &csr.offsets {
+                mix(o as u64);
+            }
+            for (&t, &w) in csr.targets.iter().zip(&csr.weights) {
+                mix(t as u64);
+                mix(w.to_bits() as u64);
+            }
+        }
+        h
     }
 }
 
@@ -232,11 +291,25 @@ impl HetGraphBuilder {
     }
 
     /// Adds a node of the given type, returning its global id.
+    ///
+    /// # Panics
+    /// On an unknown node type or a full `u32` id space;
+    /// [`HetGraphBuilder::try_add_node`] reports the same conditions as a
+    /// [`GraphError`].
     pub fn add_node(&mut self, t: NodeTypeId) -> NodeId {
-        assert!((t.0 as usize) < self.schema.num_node_types(), "unknown node type");
-        assert!(self.node_types.len() < u32::MAX as usize, "too many nodes");
+        self.try_add_node(t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HetGraphBuilder::add_node`].
+    pub fn try_add_node(&mut self, t: NodeTypeId) -> Result<NodeId, GraphError> {
+        if (t.0 as usize) >= self.schema.num_node_types() {
+            return Err(GraphError::UnknownNodeType { id: t.0 });
+        }
+        if self.node_types.len() >= u32::MAX as usize {
+            return Err(GraphError::TooManyNodes);
+        }
         self.node_types.push(t);
-        NodeId((self.node_types.len() - 1) as u32)
+        Ok(NodeId((self.node_types.len() - 1) as u32))
     }
 
     /// Adds `count` nodes of one type, returning their ids.
@@ -248,33 +321,65 @@ impl HetGraphBuilder {
     ///
     /// # Panics
     /// Panics if the endpoints' node types do not match the link type
-    /// definition, or if an endpoint id is unknown.
+    /// definition, or if an endpoint id is unknown;
+    /// [`HetGraphBuilder::try_add_link`] reports the same conditions as a
+    /// [`GraphError`].
     pub fn add_link(&mut self, t: LinkTypeId, src: NodeId, dst: NodeId, weight: f32) {
+        self.try_add_link(t, src, dst, weight).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HetGraphBuilder::add_link`]. On `Err` the builder
+    /// is unchanged.
+    pub fn try_add_link(
+        &mut self,
+        t: LinkTypeId,
+        src: NodeId,
+        dst: NodeId,
+        weight: f32,
+    ) -> Result<(), GraphError> {
         let def = self.schema.link_type(t);
-        assert!(src.index() < self.node_types.len(), "unknown src node");
-        assert!(dst.index() < self.node_types.len(), "unknown dst node");
-        assert_eq!(
-            self.node_types[src.index()],
-            def.src,
-            "src type mismatch for link '{}'",
-            def.name
-        );
-        assert_eq!(
-            self.node_types[dst.index()],
-            def.dst,
-            "dst type mismatch for link '{}'",
-            def.name
-        );
+        if src.index() >= self.node_types.len() {
+            return Err(GraphError::UnknownEndpointNode { end: Endpoint::Src, node: src.0 });
+        }
+        if dst.index() >= self.node_types.len() {
+            return Err(GraphError::UnknownEndpointNode { end: Endpoint::Dst, node: dst.0 });
+        }
+        if self.node_types[src.index()] != def.src {
+            return Err(GraphError::EndpointTypeMismatch {
+                end: Endpoint::Src,
+                link: def.name.clone(),
+            });
+        }
+        if self.node_types[dst.index()] != def.dst {
+            return Err(GraphError::EndpointTypeMismatch {
+                end: Endpoint::Dst,
+                link: def.name.clone(),
+            });
+        }
         self.edges[t.0 as usize].push((src.0, dst.0, weight));
+        Ok(())
     }
 
     /// Adds a link and, when `t` has a registered reverse type, the mirrored
     /// link with the same weight.
     pub fn add_link_with_reverse(&mut self, t: LinkTypeId, src: NodeId, dst: NodeId, weight: f32) {
-        self.add_link(t, src, dst, weight);
+        self.try_add_link_with_reverse(t, src, dst, weight).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`HetGraphBuilder::add_link_with_reverse`]. The
+    /// forward link may have been added when the reverse reports `Err`.
+    pub fn try_add_link_with_reverse(
+        &mut self,
+        t: LinkTypeId,
+        src: NodeId,
+        dst: NodeId,
+        weight: f32,
+    ) -> Result<(), GraphError> {
+        self.try_add_link(t, src, dst, weight)?;
         if let Some(r) = self.schema.link_type(t).reverse_of {
-            self.add_link(r, dst, src, weight);
+            self.try_add_link(r, dst, src, weight)?;
         }
+        Ok(())
     }
 
     /// Number of nodes added so far.
@@ -371,6 +476,53 @@ mod tests {
         let p = b.add_node(paper);
         let q = b.add_node(paper);
         b.add_link(writes, p, q, 1.0); // src should be an author
+    }
+
+    #[test]
+    fn try_apis_report_structured_errors() {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let writes = s.add_link_type("writes", author, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let q = b.add_node(paper);
+        assert_eq!(
+            b.try_add_node(NodeTypeId(9)),
+            Err(GraphError::UnknownNodeType { id: 9 })
+        );
+        assert_eq!(
+            b.try_add_link(writes, p, q, 1.0),
+            Err(GraphError::EndpointTypeMismatch { end: Endpoint::Src, link: "writes".into() })
+        );
+        assert_eq!(
+            b.try_add_link(writes, NodeId(99), p, 1.0),
+            Err(GraphError::UnknownEndpointNode { end: Endpoint::Src, node: 99 })
+        );
+        // Failed calls left the builder unchanged.
+        assert_eq!(b.num_nodes(), 2);
+        let mut g = b.build();
+        assert_eq!(g.num_links(), 0);
+        let err = g.try_replace_links(writes, &[(p, q, 1.0)]);
+        assert_eq!(
+            err,
+            Err(GraphError::RelinkTypeMismatch { end: Endpoint::Src, link: "writes".into() })
+        );
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_content_not_stamp() {
+        let (g, papers, _) = toy();
+        let clone = g.clone();
+        assert_eq!(g.content_fingerprint(), clone.content_fingerprint());
+        let (mut h, _, _) = toy();
+        // Fresh builds of the same graph carry different stamps but equal
+        // content fingerprints.
+        assert_ne!(g.sampling_stamp(), h.sampling_stamp());
+        assert_eq!(g.content_fingerprint(), h.content_fingerprint());
+        let cites = h.schema().link_type_by_name("cites").unwrap();
+        h.replace_links(cites, &[(papers[0], papers[2], 3.0)]);
+        assert_ne!(g.content_fingerprint(), h.content_fingerprint());
     }
 
     #[test]

@@ -26,11 +26,13 @@
 //! assert_eq!(g.num_links(), 2);
 //! ```
 
+pub mod error;
 pub mod graph;
 pub mod sampling;
 pub mod schema;
 pub mod walks;
 
+pub use error::{Endpoint, GraphError};
 pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId};
 pub use sampling::{sample_blocks, Block, BlockCache, BlockEdge};
 pub use schema::{LinkTypeId, LinkTypeDef, NodeTypeId, Schema};

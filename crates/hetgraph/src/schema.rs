@@ -9,6 +9,7 @@
 //! [`LinkTypeDef::reverse_of`]), except for symmetric relations such as
 //! paper-paper citation where a single type may serve both ends.
 
+use crate::error::{Endpoint, GraphError};
 
 /// Identifier of a node type within a [`Schema`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -42,24 +43,56 @@ impl Schema {
     }
 
     /// Registers a node type; returns its id.
+    ///
+    /// # Panics
+    /// On a full `u8` id space; [`Schema::try_add_node_type`] reports the
+    /// same condition as a [`GraphError`].
     pub fn add_node_type(&mut self, name: impl Into<String>) -> NodeTypeId {
-        assert!(self.node_types.len() < u8::MAX as usize, "too many node types");
+        self.try_add_node_type(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Schema::add_node_type`].
+    pub fn try_add_node_type(&mut self, name: impl Into<String>) -> Result<NodeTypeId, GraphError> {
+        if self.node_types.len() >= u8::MAX as usize {
+            return Err(GraphError::TooManyNodeTypes);
+        }
         self.node_types.push(name.into());
-        NodeTypeId((self.node_types.len() - 1) as u8)
+        Ok(NodeTypeId((self.node_types.len() - 1) as u8))
     }
 
     /// Registers a directed link type from `src` to `dst`; returns its id.
+    ///
+    /// # Panics
+    /// On unknown endpoint type ids or a full `u8` id space;
+    /// [`Schema::try_add_link_type`] reports the same conditions as a
+    /// [`GraphError`].
     pub fn add_link_type(
         &mut self,
         name: impl Into<String>,
         src: NodeTypeId,
         dst: NodeTypeId,
     ) -> LinkTypeId {
-        assert!(self.link_types.len() < u8::MAX as usize, "too many link types");
-        assert!((src.0 as usize) < self.node_types.len(), "unknown src node type");
-        assert!((dst.0 as usize) < self.node_types.len(), "unknown dst node type");
+        self.try_add_link_type(name, src, dst).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Schema::add_link_type`].
+    pub fn try_add_link_type(
+        &mut self,
+        name: impl Into<String>,
+        src: NodeTypeId,
+        dst: NodeTypeId,
+    ) -> Result<LinkTypeId, GraphError> {
+        if self.link_types.len() >= u8::MAX as usize {
+            return Err(GraphError::TooManyLinkTypes);
+        }
+        if (src.0 as usize) >= self.node_types.len() {
+            return Err(GraphError::UnknownEndpointType { end: Endpoint::Src, id: src.0 });
+        }
+        if (dst.0 as usize) >= self.node_types.len() {
+            return Err(GraphError::UnknownEndpointType { end: Endpoint::Dst, id: dst.0 });
+        }
         self.link_types.push(LinkTypeDef { name: name.into(), src, dst, reverse_of: None });
-        LinkTypeId((self.link_types.len() - 1) as u8)
+        Ok(LinkTypeId((self.link_types.len() - 1) as u8))
     }
 
     /// Registers a pair of mutually-reverse link types `(forward, backward)`.

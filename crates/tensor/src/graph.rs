@@ -189,6 +189,68 @@ impl Op {
     }
 }
 
+/// Display name of an op variant, for diagnostics on malformed tapes.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "Leaf",
+        Op::Add(..) => "Add",
+        Op::Sub(..) => "Sub",
+        Op::Mul(..) => "Mul",
+        Op::Div(..) => "Div",
+        Op::AddRow(..) => "AddRow",
+        Op::MulRow(..) => "MulRow",
+        Op::MulCol(..) => "MulCol",
+        Op::DivCol(..) => "DivCol",
+        Op::Scale(..) => "Scale",
+        Op::AddScalar(..) => "AddScalar",
+        Op::Neg(..) => "Neg",
+        Op::MatMul(..) => "MatMul",
+        Op::Transpose(..) => "Transpose",
+        Op::Relu(..) => "Relu",
+        Op::LeakyRelu(..) => "LeakyRelu",
+        Op::Sigmoid(..) => "Sigmoid",
+        Op::Tanh(..) => "Tanh",
+        Op::Softplus(..) => "Softplus",
+        Op::Exp(..) => "Exp",
+        Op::Log(..) => "Log",
+        Op::Square(..) => "Square",
+        Op::SumAll(..) => "SumAll",
+        Op::MeanAll(..) => "MeanAll",
+        Op::SumRows(..) => "SumRows",
+        Op::SumCols(..) => "SumCols",
+        Op::SoftmaxRows(..) => "SoftmaxRows",
+        Op::ConcatCols(..) => "ConcatCols",
+        Op::ConcatRows(..) => "ConcatRows",
+        Op::GatherRows(..) => "GatherRows",
+        Op::SegmentSum(..) => "SegmentSum",
+        Op::SegmentSoftmax(..) => "SegmentSoftmax",
+        Op::RowwiseDot(..) => "RowwiseDot",
+        Op::CircCorr(..) => "CircCorr",
+        Op::PairwiseSqDist(..) => "PairwiseSqDist",
+        Op::Recip1p(..) => "Recip1p",
+        Op::ColSlice(..) => "ColSlice",
+        Op::MulConst(..) => "MulConst",
+        Op::Mse(..) => "Mse",
+    }
+}
+
+/// Release-mode tape integrity check run before each backward rule: a
+/// gradient whose shape disagrees with its node's forward value means the
+/// tape is malformed (e.g. an externally injected or corrupted gradient),
+/// and the backward rules would otherwise fail with an opaque index panic
+/// deep inside a kernel. Reports the offending op id and name instead.
+#[inline]
+fn check_grad_shape(i: usize, op: &Op, g: &Tensor, values: &[Tensor]) {
+    let want = values[i].shape();
+    let got = g.shape();
+    if got != want {
+        panic!(
+            "malformed tape: gradient shape {got:?} != value shape {want:?} at op #{i} ({})",
+            op_name(op)
+        );
+    }
+}
+
 /// Floor used inside [`Graph::log`] to keep gradients finite.
 pub const LOG_EPS: f32 = 1e-12;
 
@@ -232,7 +294,14 @@ fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Te
 
 /// Pooled element-wise zip (`out[i] = f(a[i], b[i])`); shapes must match.
 fn pooled_zip(pool: &mut BufferPool, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    debug_assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    if a.len() != b.len() {
+        panic!(
+            "element-wise op on mismatched shapes: {:?} vs {:?}",
+            a.shape(),
+            b.shape()
+        );
+    }
     let mut buf = pool.take_raw(a.len());
     for ((o, &x), &y) in buf.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
         *o = f(x, y);
@@ -432,6 +501,12 @@ impl Graph {
     /// The accumulated gradient of `v`, if backward has reached it.
     pub fn grad(&self, v: Var) -> Option<&Tensor> {
         self.grads[v.idx()].as_ref()
+    }
+
+    /// Mutable access to the accumulated gradient of `v` (fault-injection
+    /// and gradient-surgery hooks).
+    pub fn grad_mut(&mut self, v: Var) -> Option<&mut Tensor> {
+        self.grads[v.idx()].as_mut()
     }
 
     /// Shape of the forward value of `v`.
@@ -952,7 +1027,9 @@ impl Graph {
         self.grads[idx] = Some(seed);
         for i in (0..=idx).rev() {
             let Some(g) = self.grads[i].take() else { continue };
+            check_grad_shape(i, &self.ops[i], &g, &self.values);
             let mut sink = SerialSink {
+                op: i,
                 values: &self.values,
                 grads: &mut self.grads,
                 pool: &mut self.pool,
@@ -1051,13 +1128,37 @@ trait GradSink {
 /// arithmetic of the historical serial sweep: the first contribution to a
 /// node installs a pooled copy (or scaled map), later ones add in place.
 struct SerialSink<'a> {
+    /// Id of the op currently emitting — names the culprit when a parent's
+    /// accumulated gradient turns out malformed.
+    op: usize,
     values: &'a [Tensor],
     grads: &'a mut [Option<Tensor>],
     pool: &'a mut BufferPool,
 }
 
+impl SerialSink<'_> {
+    /// Descriptive release-mode guard for accumulating into a pre-existing
+    /// parent gradient: a shape disagreement means the tape was corrupted
+    /// (e.g. by external gradient surgery) and would otherwise die with an
+    /// anonymous assert inside `add_assign`.
+    #[inline]
+    fn check_accum(&self, p: Var, have: (usize, usize), want: (usize, usize)) {
+        if have != want {
+            panic!(
+                "malformed tape: accumulated gradient of node {} has shape {have:?}, \
+                 expected {want:?} (emitting op #{})",
+                p.idx(),
+                self.op
+            );
+        }
+    }
+}
+
 impl GradSink for SerialSink<'_> {
     fn emit_scaled(&mut self, p: Var, t: &Tensor, alpha: f32) {
+        if let Some(g) = &self.grads[p.idx()] {
+            self.check_accum(p, g.shape(), t.shape());
+        }
         match &mut self.grads[p.idx()] {
             Some(g) => {
                 if alpha == 1.0 {
@@ -1079,6 +1180,9 @@ impl GradSink for SerialSink<'_> {
 
     fn emit_with(&mut self, p: Var, fill: &mut dyn FnMut(&mut Tensor)) {
         let (r, c) = self.values[p.idx()].shape();
+        if let Some(g) = &self.grads[p.idx()] {
+            self.check_accum(p, g.shape(), (r, c));
+        }
         let mut t = self.pool.tensor_raw(r, c);
         fill(&mut t);
         match &mut self.grads[p.idx()] {
@@ -1360,6 +1464,7 @@ fn backward_worker(
                 *grads[i].0.get() = Some(acc);
             }
             let g = (*grads[i].0.get()).as_ref().expect("gradient present before execute");
+            check_grad_shape(i, &ops[i], g, values);
             let mut sink = ParallelSink {
                 plan,
                 sched,
@@ -1858,6 +1963,20 @@ mod tests {
         assert_eq!(g.value(c).as_slice(), &[4.0, 6.0]);
         let d = g.mul(c, c);
         assert_eq!(g.value(d).as_slice(), &[16.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed tape")]
+    fn malformed_gradient_reports_op_id() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let sq = g.square(a);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        // Corrupt the tape: swap in a gradient whose shape disagrees with
+        // the node's forward value, then sweep again.
+        *g.grad_mut(sq).unwrap() = Tensor::zeros(3, 3);
+        g.backward_serial(loss);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert!((learned[0] - 2.0).abs() < 0.05 && (learned[1] - 1.0).abs() < 0.05);
 //! ```
 
+pub mod finite;
 pub mod gradcheck;
 pub mod graph;
 pub mod init;
@@ -52,6 +53,7 @@ pub mod pool;
 #[allow(clippy::module_inception)]
 pub mod tensor;
 
+pub use finite::{first_non_finite, is_all_finite};
 pub use graph::{stable_sigmoid, ConstId, Graph, Var, LOG_EPS};
 pub use init::Initializer;
 pub use optim::Optimizer;

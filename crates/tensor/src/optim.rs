@@ -39,6 +39,21 @@ impl Optimizer {
         }
     }
 
+    /// Completed update steps (Adam's bias-correction counter; 0 for SGD).
+    pub fn steps(&self) -> u64 {
+        match self {
+            Optimizer::Sgd { .. } => 0,
+            Optimizer::Adam { t, .. } => *t,
+        }
+    }
+
+    /// Restores the step counter (checkpoint resume). No-op for SGD.
+    pub fn set_steps(&mut self, steps: u64) {
+        if let Optimizer::Adam { t, .. } = self {
+            *t = steps;
+        }
+    }
+
     /// Collects the gradients of all parameters bound in `graph` (summing
     /// over repeated bindings), optionally clips the global norm, and
     /// applies one update step. Returns the pre-clip global gradient norm.
@@ -81,6 +96,67 @@ impl Optimizer {
     ) -> f32 {
         let grads = graph.collect_param_grads();
         self.apply(params, grads, max_norm, graph)
+    }
+
+    /// Like [`Optimizer::step_clipped`], but scans every collected gradient
+    /// with the vectorized finite check **before** touching any state. On a
+    /// non-finite gradient the step is abandoned — parameters, moments, and
+    /// the Adam step counter are untouched — and the offending parameter id
+    /// is returned. On the clean path the arithmetic is bitwise-identical to
+    /// the unguarded step.
+    pub fn step_clipped_guarded(
+        &mut self,
+        params: &mut Params,
+        graph: &mut Graph,
+        max_norm: Option<f32>,
+    ) -> Result<f32, ParamId> {
+        let grads = graph.collect_param_grads();
+        let grads = Self::guard(grads, graph)?;
+        Ok(self.apply(params, grads, max_norm, graph))
+    }
+
+    /// Guarded variant of [`Optimizer::step_filtered`]; see
+    /// [`Optimizer::step_clipped_guarded`] for the guarantee.
+    pub fn step_filtered_guarded(
+        &mut self,
+        params: &mut Params,
+        graph: &mut Graph,
+        max_norm: Option<f32>,
+        allow: &std::collections::HashSet<ParamId>,
+    ) -> Result<f32, ParamId> {
+        let grads = graph.collect_param_grads();
+        let mut kept = Vec::with_capacity(grads.len());
+        for (pid, grad) in grads {
+            if allow.contains(&pid) {
+                kept.push((pid, grad));
+            } else {
+                graph.recycle(grad);
+            }
+        }
+        let kept = Self::guard(kept, graph)?;
+        Ok(self.apply(params, kept, max_norm, graph))
+    }
+
+    /// Scans `grads` for non-finite values. On failure every buffer is
+    /// recycled back into the graph pool and the first offending parameter
+    /// id is returned.
+    fn guard(
+        grads: Vec<(ParamId, Tensor)>,
+        graph: &mut Graph,
+    ) -> Result<Vec<(ParamId, Tensor)>, ParamId> {
+        let bad = grads
+            .iter()
+            .find(|(_, g)| !crate::finite::is_all_finite(g.as_slice()))
+            .map(|(pid, _)| *pid);
+        match bad {
+            None => Ok(grads),
+            Some(pid) => {
+                for (_, g) in grads {
+                    graph.recycle(g);
+                }
+                Err(pid)
+            }
+        }
     }
 
     fn apply(
@@ -202,6 +278,51 @@ mod tests {
         opt.step(&mut params, &mut g);
         // w := 1 - 0.5 * 2 = 0
         assert_eq!(params.value(w).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn guarded_step_matches_unguarded_bitwise() {
+        let build = |params: &Params, w| {
+            let mut g = Graph::new();
+            let wv = g.param(params, w);
+            let target = Tensor::from_vec(1, 2, vec![3.0, -2.0]);
+            let loss = g.mse(wv, &target);
+            g.backward(loss);
+            g
+        };
+        let mut pa = Params::new();
+        let wa = pa.add("w", Tensor::from_vec(1, 2, vec![0.5, 1.5]));
+        let mut pb = pa.clone();
+        let mut oa = Optimizer::adam(0.05);
+        let mut ob = oa.clone();
+        for _ in 0..3 {
+            let mut ga = build(&pa, wa);
+            let mut gb = build(&pb, wa);
+            let na = oa.step_clipped(&mut pa, &mut ga, Some(1.0));
+            let nb = ob.step_clipped_guarded(&mut pb, &mut gb, Some(1.0)).unwrap();
+            assert_eq!(na.to_bits(), nb.to_bits());
+        }
+        let bits =
+            |p: &Params| p.value(wa).as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&pa), bits(&pb));
+        assert_eq!(oa.steps(), ob.steps());
+    }
+
+    #[test]
+    fn guarded_step_rejects_nan_without_mutation() {
+        let mut params = Params::new();
+        let w = params.add("w", Tensor::from_vec(1, 2, vec![0.5, 1.5]));
+        let before = params.value(w).as_slice().to_vec();
+        let mut g = Graph::new();
+        let wv = g.param(&params, w);
+        let scaled = g.scale(wv, f32::INFINITY); // grad = inf
+        let loss = g.sum_all(scaled);
+        g.backward(loss);
+        let mut opt = Optimizer::adam(0.05);
+        let err = opt.step_clipped_guarded(&mut params, &mut g, None);
+        assert_eq!(err, Err(w));
+        assert_eq!(params.value(w).as_slice(), &before[..]);
+        assert_eq!(opt.steps(), 0, "rejected step must not advance Adam's counter");
     }
 
     #[test]

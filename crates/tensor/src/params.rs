@@ -99,6 +99,23 @@ impl Params {
         (&mut e.value, &mut e.m, &mut e.v)
     }
 
+    /// Read-only view of the optimizer moment buffers `(m, v)` — what a
+    /// checkpoint must capture alongside the value to resume Adam bitwise.
+    pub fn moments(&self, id: ParamId) -> (&Tensor, &Tensor) {
+        let e = &self.entries[id.0];
+        (&e.m, &e.v)
+    }
+
+    /// Overwrites a parameter's value and optimizer moments in place from
+    /// raw element slices (checkpoint restore). Panics on length mismatch —
+    /// snapshot/model shape agreement is validated by the caller first.
+    pub fn restore_state(&mut self, id: ParamId, value: &[f32], m: &[f32], v: &[f32]) {
+        let e = &mut self.entries[id.0];
+        e.value.as_mut_slice().copy_from_slice(value);
+        e.m.as_mut_slice().copy_from_slice(m);
+        e.v.as_mut_slice().copy_from_slice(v);
+    }
+
     /// True when every parameter value is finite — a cheap sanity check for
     /// training loops.
     pub fn all_finite(&self) -> bool {

@@ -520,7 +520,7 @@ impl Tensor {
 
     /// True when every element is finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        crate::finite::is_all_finite(&self.data)
     }
 }
 

@@ -23,9 +23,13 @@ cd "$(dirname "$0")/.."
 
 RUSTFMT_RATCHET=(
     crates/tensor/src/pool.rs
+    crates/tensor/src/finite.rs
     crates/tensor/tests/prop_pool.rs
     crates/tensor/tests/prop_parallel_backward.rs
+    crates/core/src/resilience.rs
     crates/core/tests/pool_equivalence.rs
+    crates/core/tests/resilience.rs
+    crates/hetgraph/src/error.rs
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
     crates/bench/tests/alloc_ratio.rs
@@ -49,6 +53,32 @@ TENSOR_NUM_THREADS=1 cargo test -q
 
 echo "== cargo test (tier-1, TENSOR_NUM_THREADS=4) =="
 TENSOR_NUM_THREADS=4 cargo test -q
+
+echo "== resilience suite (checkpoint/resume + fault injection) =="
+cargo test -q -p catehgn --test resilience
+
+# Kill-and-resume drill through the real CLI: a run halted at step 20 and
+# resumed in a fresh process must print the same params/report
+# fingerprints (bitwise-equal parameters and loss traces) as an
+# uninterrupted run.
+echo "== kill-and-resume smoke test (catehgn_cli, --scale tiny) =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+CLI=target/release/catehgn_cli
+"$CLI" train --scale tiny --variant cate-hgn \
+    --model "$SMOKE_DIR/ref.json" 2>/dev/null \
+    | grep fingerprint > "$SMOKE_DIR/ref.txt"
+"$CLI" train --scale tiny --variant cate-hgn \
+    --checkpoint "$SMOKE_DIR/train.ckpt" --halt-after 20 2>/dev/null >/dev/null
+"$CLI" train --scale tiny --variant cate-hgn \
+    --checkpoint "$SMOKE_DIR/train.ckpt" --resume \
+    --model "$SMOKE_DIR/res.json" 2>/dev/null \
+    | grep fingerprint > "$SMOKE_DIR/res.txt"
+if ! diff "$SMOKE_DIR/ref.txt" "$SMOKE_DIR/res.txt"; then
+    echo "kill-and-resume smoke test FAILED: resumed run diverged" >&2
+    exit 1
+fi
+echo "kill-and-resume: bitwise-equal"
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test (workspace) =="

@@ -81,6 +81,37 @@ macro_rules! chacha_rng {
             }
         }
 
+        impl $name {
+            /// Full generator state as plain words — key (8), block counter
+            /// (2, little-endian halves), output buffer (16), and the read
+            /// position (1) — everything needed to resume the keystream
+            /// bitwise. Checkpoint/restore support.
+            pub fn state_words(&self) -> [u32; 27] {
+                let mut w = [0u32; 27];
+                w[..8].copy_from_slice(&self.key);
+                w[8] = self.counter as u32;
+                w[9] = (self.counter >> 32) as u32;
+                w[10..26].copy_from_slice(&self.buf);
+                w[26] = self.pos as u32;
+                w
+            }
+
+            /// Rebuilds a generator from [`Self::state_words`]; the restored
+            /// stream continues exactly where the captured one stopped.
+            pub fn from_state_words(w: &[u32; 27]) -> Self {
+                let mut key = [0u32; 8];
+                key.copy_from_slice(&w[..8]);
+                let mut buf = [0u32; 16];
+                buf.copy_from_slice(&w[10..26]);
+                $name {
+                    key,
+                    counter: (w[8] as u64) | ((w[9] as u64) << 32),
+                    buf,
+                    pos: (w[26] as usize).min(16),
+                }
+            }
+        }
+
         impl RngCore for $name {
             fn next_u32(&mut self) -> u32 {
                 if self.pos == 16 {
