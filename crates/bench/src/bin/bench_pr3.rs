@@ -25,6 +25,9 @@
 //! cargo run --release -p bench --bin bench_pr3
 //! ```
 
+// Benchmark binary: wall-clock timing is its whole job (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
 use bench::{bench_dataset, bench_model};
 use catehgn::ModelConfig;
 use rand::Rng;

@@ -17,6 +17,9 @@
 //!
 //! The shared fixtures live here so every bench sees the same world.
 
+// bench is the sanctioned home of wall-clock timing (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
 use baselines::GnnConfig;
 use catehgn::{CateHgn, ModelConfig};
 use dblp_sim::{Dataset, WorldConfig};
@@ -36,14 +39,23 @@ pub mod alloc_count {
 
     // SAFETY: defers all allocation to `System`; only the counters differ.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: forwards `layout` unchanged to `System.alloc`, which
+        // upholds the `GlobalAlloc` contract; the counter bumps are
+        // relaxed atomics with no memory-safety obligations.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             System.alloc(layout)
         }
+        // SAFETY: `ptr`/`layout` arrive exactly as the caller obtained
+        // them from `alloc`/`realloc` above, which returned them from
+        // `System`; forwarding to `System.dealloc` is therefore valid.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
+        // SAFETY: same forwarding argument as `dealloc` — `ptr` was
+        // produced by `System` with `layout`, and `new_size` is passed
+        // through unchanged.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);

@@ -51,7 +51,10 @@ impl Clone for SharedBlockCache {
 
 impl std::fmt::Debug for SharedBlockCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (hits, misses) = self.0.lock().unwrap().stats();
+        // A poisoned lock only means a panic elsewhere interrupted a cache
+        // mutation; the cache is replay state, so recover rather than
+        // compound the panic.
+        let (hits, misses) = self.0.lock().unwrap_or_else(|p| p.into_inner()).stats();
         write!(f, "SharedBlockCache {{ hits: {hits}, misses: {misses} }}")
     }
 }
@@ -94,7 +97,8 @@ impl CateHgn {
     /// `(hits, misses)` of the neighborhood-sampling cache since this model
     /// was built.
     pub fn sampling_cache_stats(&self) -> (u64, u64) {
-        self.sampling_cache.0.lock().unwrap().stats()
+        // Poison recovery: the cache holds only replayable sampling state.
+        self.sampling_cache.0.lock().unwrap_or_else(|p| p.into_inner()).stats()
     }
 
     /// Cached [`sample_blocks`] for the deterministic inference paths.
@@ -105,7 +109,8 @@ impl CateHgn {
         fanout: usize,
         rng: &mut ChaCha8Rng,
     ) -> Vec<Block> {
-        self.sampling_cache.0.lock().unwrap().sample(
+        // Poison recovery: a half-updated LRU entry is re-sampled on miss.
+        self.sampling_cache.0.lock().unwrap_or_else(|p| p.into_inner()).sample(
             graph,
             seeds,
             self.cfg.layers,

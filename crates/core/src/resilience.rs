@@ -461,7 +461,10 @@ impl<'a> Dec<'a> {
                 self.buf.len()
             )));
         }
-        let s = &self.buf[self.at..self.at + n];
+        let s = self
+            .buf
+            .get(self.at..self.at + n)
+            .ok_or_else(|| CheckpointError::Corrupt("payload bounds".into()))?;
         self.at += n;
         Ok(s)
     }
@@ -469,10 +472,18 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| CheckpointError::Corrupt("u32 read".into()))?;
+        Ok(u32::from_le_bytes(b))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| CheckpointError::Corrupt("u64 read".into()))?;
+        Ok(u64::from_le_bytes(b))
     }
     fn f32(&mut self) -> Result<f32, CheckpointError> {
         Ok(f32::from_bits(self.u32()?))
@@ -690,21 +701,27 @@ pub fn encode_checkpoint(state: &TrainState) -> Vec<u8> {
 /// [`encode_checkpoint`]. Torn, truncated, or bit-flipped files are
 /// rejected with [`CheckpointError::Corrupt`].
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<TrainState, CheckpointError> {
-    if bytes.len() < 24 {
-        return Err(CheckpointError::Corrupt("file shorter than header".into()));
-    }
-    if bytes[..4] != MAGIC {
+    let truncated = || CheckpointError::Corrupt("file shorter than header".into());
+    let header_bytes = |lo: usize, hi: usize| bytes.get(lo..hi).ok_or_else(truncated);
+    let header_u64 = |lo: usize| -> Result<u64, CheckpointError> {
+        let b: [u8; 8] = header_bytes(lo, lo + 8)?
+            .try_into()
+            .map_err(|_| truncated())?;
+        Ok(u64::from_le_bytes(b))
+    };
+    if header_bytes(0, 4)? != MAGIC {
         return Err(CheckpointError::Corrupt("bad magic".into()));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let version_bytes: [u8; 4] = header_bytes(4, 8)?.try_into().map_err(|_| truncated())?;
+    let version = u32::from_le_bytes(version_bytes);
     if version != VERSION {
         return Err(CheckpointError::Corrupt(format!(
             "unsupported snapshot version {version} (expected {VERSION})"
         )));
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-    let sum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let payload = &bytes[24..];
+    let len = header_u64(8)? as usize;
+    let sum = header_u64(16)?;
+    let payload = bytes.get(24..).ok_or_else(truncated)?;
     if payload.len() != len {
         return Err(CheckpointError::Corrupt(format!(
             "payload length {} != header length {len}",
@@ -769,7 +786,7 @@ impl CheckpointManager {
                 rotate_to_prev(path)?;
                 // Deliberately non-atomic, deliberately truncated: the
                 // checksum must catch this on load.
-                let torn = &bytes[..bytes.len() / 2];
+                let torn = bytes.get(..bytes.len() / 2).unwrap_or(&bytes);
                 std::fs::write(path, torn).map_err(|e| CheckpointError::Io(e.to_string()))?;
             }
             return Ok(());

@@ -225,7 +225,9 @@ pub fn train_with(
     opts: &mut TrainOptions,
 ) -> Result<TrainReport, TrainError> {
     let cfg = model.cfg.clone();
-    let cfg_json = serde_json::to_string(&cfg).expect("model config serializes");
+    let cfg_json = serde_json::to_string(&cfg)
+        .map_err(|e| CheckpointError::Corrupt(format!("model config serialization: {e}")))
+        .map_err(TrainError::Checkpoint)?;
     let mut manager = CheckpointManager::new(opts.checkpoint_path.clone());
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));

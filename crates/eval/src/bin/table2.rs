@@ -1,6 +1,9 @@
 //! Regenerates Table II: RMSE of all 15 compared systems on the three
 //! dataset variants, with the significance star on CATE-HGN.
 
+// Reporting binary: elapsed-time banner only, never in results (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
 use eval::{out_dir_from_args, run_table2, write_json, ExperimentConfig, Scale};
 
 fn main() {

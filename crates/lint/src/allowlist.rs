@@ -1,0 +1,114 @@
+//! Ratcheted allowlist, modelled on the rustfmt file list in
+//! `scripts/ci.sh`: existing debt is pinned at its current count per
+//! `(pass, rule, file)` and may only shrink. A finding count above the
+//! pinned ceiling fails the gate (new violations); a count below it also
+//! fails (the ratchet is stale — run `cargo run -p lint -- --update` to
+//! tighten it, which never raises a ceiling). Every entry must carry a
+//! justification; `--update` cannot invent one, so *new* debt always goes
+//! through a human edit.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Key for one allowlist ceiling.
+pub type Key = (String, String, String); // (pass, rule, file)
+
+/// One parsed entry: ceiling plus its human justification.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub max: usize,
+    pub justification: String,
+}
+
+/// The whole allowlist, ordered by key for deterministic serialization.
+#[derive(Default, Debug)]
+pub struct Allowlist {
+    pub entries: BTreeMap<Key, Entry>,
+}
+
+impl Allowlist {
+    /// Parse the `lint.allow` format:
+    ///
+    /// ```text
+    /// <pass> <rule> <file> <count> -- <justification>
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored. Malformed lines are hard
+    /// errors — a typo in the allowlist must not silently widen the gate.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut list = Allowlist::default();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, justification) = line
+                .split_once(" -- ")
+                .ok_or_else(|| format!("lint.allow:{}: missing ` -- justification`", n + 1))?;
+            let fields: Vec<&str> = head.split_whitespace().collect();
+            let [pass, rule, file, count] = fields[..] else {
+                return Err(format!(
+                    "lint.allow:{}: expected `pass rule file count -- justification`",
+                    n + 1
+                ));
+            };
+            let max: usize = count
+                .parse()
+                .map_err(|_| format!("lint.allow:{}: bad count {count:?}", n + 1))?;
+            let justification = justification.trim().to_string();
+            if justification.len() < 10 || justification.contains("FIXME") {
+                return Err(format!(
+                    "lint.allow:{}: justification is empty, trivial, or a FIXME placeholder — \
+                     explain why this debt is acceptable",
+                    n + 1
+                ));
+            }
+            let key = (pass.to_string(), rule.to_string(), file.to_string());
+            if list
+                .entries
+                .insert(key, Entry { max, justification })
+                .is_some()
+            {
+                return Err(format!("lint.allow:{}: duplicate entry", n + 1));
+            }
+        }
+        Ok(list)
+    }
+
+    pub fn get(&self, pass: &str, rule: &str, file: &str) -> usize {
+        self.entries
+            .get(&(pass.to_string(), rule.to_string(), file.to_string()))
+            .map(|e| e.max)
+            .unwrap_or(0)
+    }
+
+    /// Serialize back to the `lint.allow` format (keys sorted).
+    pub fn render(&self, header: &str) -> String {
+        let mut out = String::from(header);
+        for ((pass, rule, file), e) in &self.entries {
+            let _ = writeln!(out, "{pass} {rule} {file} {} -- {}", e.max, e.justification);
+        }
+        out
+    }
+
+    /// Tighten ceilings to the observed counts, dropping entries whose
+    /// debt is gone. Never raises a ceiling and never adds an entry:
+    /// growth requires a manual, justified edit. Returns the number of
+    /// entries changed or removed.
+    pub fn tighten(&mut self, observed: &BTreeMap<Key, usize>) -> usize {
+        let mut changed = 0usize;
+        self.entries.retain(|key, e| {
+            let seen = observed.get(key).copied().unwrap_or(0);
+            if seen == 0 {
+                changed += 1;
+                return false;
+            }
+            if seen < e.max {
+                e.max = seen;
+                changed += 1;
+            }
+            true
+        });
+        changed
+    }
+}

@@ -1,0 +1,286 @@
+//! File discovery, pass scoping, ratchet enforcement, and reporting.
+//!
+//! Scope policy (documented in DESIGN.md §Static analysis):
+//!
+//! | files | determinism | panic-path | unsafe-audit | suppression |
+//! |---|---|---|---|---|
+//! | `crates/*/src/**` (libraries) | yes | yes | yes | yes |
+//! | `crates/bench/**`, `src/bin/**`, `src/main.rs` | – | – | yes | yes |
+//! | `tests/**`, `benches/**`, `examples/**` | – | – | yes | yes |
+//! | `vendor/**`, `target/**` | – | – | – | – |
+//!
+//! `vendor/` holds third-party API shims and is policed by clippy only;
+//! `crates/bench` is the sanctioned home of wall-clock timing. Binaries
+//! may panic on bad CLI input. `crates/tensor/src/par.rs` is the
+//! sanctioned threading wrapper and is exempt from the `thread-escape`
+//! rule (everything else threads through it or justifies itself in
+//! `lint.allow`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allowlist::{Allowlist, Key};
+use crate::passes::{self, Finding, UnsafeSite};
+use crate::scanner;
+
+/// What the linter should do with the allowlist.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Enforce: fail on new violations *and* on stale ratchet entries.
+    Check,
+    /// Tighten `lint.allow` to the observed counts and rewrite it.
+    Update,
+}
+
+/// Options for one lint run.
+pub struct Options {
+    pub root: PathBuf,
+    pub mode: Mode,
+    /// Write `results/UNSAFE_AUDIT.md` (disabled in the fixture tests).
+    pub write_report: bool,
+}
+
+/// Outcome of a run: human-readable errors (empty means the gate passes)
+/// plus the counts the `--update` mode and the tests introspect.
+pub struct Outcome {
+    pub errors: Vec<String>,
+    pub findings: Vec<Finding>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub files_scanned: usize,
+}
+
+/// How each discovered file participates in the passes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FileClass {
+    /// Library source: all four passes.
+    Lib,
+    /// Binary / bench / test / example source: audit passes only.
+    Support,
+    /// Not linted at all (vendor, target, non-Rust).
+    Skip,
+}
+
+/// Classify a workspace-relative, `/`-separated path.
+pub fn classify(rel: &str) -> FileClass {
+    if !rel.ends_with(".rs") || rel.starts_with("vendor/") || rel.starts_with("target/") {
+        return FileClass::Skip;
+    }
+    // Lint fixtures are deliberate violations; they are exercised by the
+    // golden tests, never by the workspace gate.
+    if rel.contains("tests/fixtures/") {
+        return FileClass::Skip;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let in_crates = parts.first() == Some(&"crates");
+    let crate_name = if in_crates {
+        parts.get(1).copied().unwrap_or("")
+    } else {
+        ""
+    };
+    let sub = if in_crates {
+        parts.get(2..).unwrap_or(&[])
+    } else {
+        &parts[..]
+    };
+    let dir = sub.first().copied().unwrap_or("");
+    match dir {
+        "src" => {
+            let is_bin = sub.get(1) == Some(&"bin") || sub.get(1) == Some(&"main.rs");
+            if is_bin || crate_name == "bench" {
+                FileClass::Support
+            } else {
+                FileClass::Lib
+            }
+        }
+        "tests" | "benches" | "examples" => FileClass::Support,
+        _ => FileClass::Skip,
+    }
+}
+
+/// Recursively collect workspace `.rs` files, sorted for deterministic
+/// finding order (and therefore deterministic ratchet counts).
+fn collect_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Run the full analysis over the workspace at `opts.root`.
+pub fn run(opts: &Options) -> Result<Outcome, String> {
+    let allow_path = opts.root.join("lint.allow");
+    let mut allow = if allow_path.is_file() {
+        let text = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::default()
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
+    let files = collect_files(&opts.root)?;
+    let mut files_scanned = 0usize;
+    for rel in &files {
+        let class = classify(rel);
+        if class == FileClass::Skip {
+            continue;
+        }
+        files_scanned += 1;
+        let src =
+            fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        let scanned = scanner::scan(&src);
+        if class == FileClass::Lib {
+            let exempt_threads = rel == "crates/tensor/src/par.rs";
+            findings.extend(passes::determinism(rel, &scanned, exempt_threads));
+            findings.extend(passes::panic_path(rel, &scanned));
+        }
+        let (unsafe_findings, sites) = passes::unsafe_audit(rel, &scanned);
+        findings.extend(unsafe_findings);
+        unsafe_sites.extend(sites);
+        findings.extend(passes::suppression(rel, &scanned));
+    }
+
+    // Ratchet bookkeeping: observed counts per (pass, rule, file).
+    let mut observed: BTreeMap<Key, usize> = BTreeMap::new();
+    for f in &findings {
+        *observed
+            .entry((f.pass.to_string(), f.rule.to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+
+    let mut errors = Vec::new();
+    if opts.mode == Mode::Update {
+        // Tighten stale ceilings and rewrite the file. Over-ceiling
+        // findings still fail below: tightening never legitimizes *new*
+        // debt — that requires a manual, justified allowlist edit.
+        allow.tighten(&observed);
+        fs::write(&allow_path, allow.render(ALLOW_HEADER))
+            .map_err(|e| format!("write {}: {e}", allow_path.display()))?;
+    }
+    for (key, &seen) in &observed {
+        let max = allow.get(&key.0, &key.1, &key.2);
+        if seen > max {
+            let mut msg = format!(
+                "{}/{}: {} violation(s) in {} (allowlist ceiling {}):",
+                key.0, key.1, seen, key.2, max
+            );
+            for f in findings
+                .iter()
+                .filter(|f| f.pass == key.0 && f.rule == key.1 && f.file == key.2)
+            {
+                let _ = write!(msg, "\n    {}:{} — {}", f.file, f.line, f.msg);
+            }
+            errors.push(msg);
+        } else if seen < max && opts.mode == Mode::Check {
+            errors.push(format!(
+                "{}/{}: ratchet stale for {} ({} allowed, {} found) — run \
+                 `cargo run -p lint -- --update` to tighten",
+                key.0, key.1, key.2, max, seen
+            ));
+        }
+    }
+    if opts.mode == Mode::Check {
+        for (key, entry) in &allow.entries {
+            if !observed.contains_key(key) {
+                errors.push(format!(
+                    "{}/{}: ratchet stale for {} ({} allowed, 0 found) — run \
+                     `cargo run -p lint -- --update` to drop it",
+                    key.0, key.1, key.2, entry.max
+                ));
+            }
+        }
+    }
+
+    if opts.write_report {
+        let report = render_unsafe_report(&unsafe_sites);
+        let results = opts.root.join("results");
+        fs::create_dir_all(&results).map_err(|e| format!("mkdir {}: {e}", results.display()))?;
+        let path = results.join("UNSAFE_AUDIT.md");
+        fs::write(&path, report).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+
+    Ok(Outcome {
+        errors,
+        findings,
+        unsafe_sites,
+        files_scanned,
+    })
+}
+
+const ALLOW_HEADER: &str = "\
+# lint.allow — ratcheted allowlist for `cargo run -p lint` (see DESIGN.md).
+#
+# Format: <pass> <rule> <file> <count> -- <justification>
+#
+# Each line pins existing, justified debt at its current count. The gate
+# fails when a file exceeds its ceiling (new violations) and when it drops
+# below it (stale ratchet — run `cargo run -p lint -- --update`, which
+# tightens counts but never raises them). Adding or raising an entry is a
+# manual, reviewed edit and the justification is mandatory.
+";
+
+/// Render `results/UNSAFE_AUDIT.md`: the complete inventory of `unsafe`
+/// sites with their SAFETY justifications.
+pub fn render_unsafe_report(sites: &[UnsafeSite]) -> String {
+    let mut out = String::from(
+        "# Unsafe audit\n\n\
+         Generated by `cargo run -p lint` (the unsafe-audit pass). Every\n\
+         `unsafe` site in the workspace (vendor/ excluded) with the\n\
+         `// SAFETY:` justification the pass verified. Sites without a\n\
+         justification fail the lint gate and cannot land.\n",
+    );
+    let mut by_file: BTreeMap<&str, Vec<&UnsafeSite>> = BTreeMap::new();
+    for s in sites {
+        by_file.entry(&s.file).or_default().push(s);
+    }
+    let total = sites.len();
+    let _ = write!(
+        out,
+        "\nTotal: {total} site(s) across {} file(s).\n",
+        by_file.len()
+    );
+    for (file, sites) in &by_file {
+        let _ = write!(out, "\n## {file}\n\n");
+        for s in sites {
+            let what = match s.kind {
+                "block" => "unsafe block",
+                "fn" => "unsafe fn",
+                "impl" => "unsafe impl",
+                "trait" => "unsafe trait",
+                _ => "unsafe",
+            };
+            let just = match &s.justification {
+                Some(j) if !j.is_empty() => j.clone(),
+                Some(_) => "(SAFETY comment present, see source)".to_string(),
+                None => "**MISSING SAFETY COMMENT**".to_string(),
+            };
+            let _ = writeln!(out, "- line {} ({what}): {just}", s.line);
+        }
+    }
+    out
+}

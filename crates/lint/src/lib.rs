@@ -1,0 +1,20 @@
+//! # lint — workspace invariant linter
+//!
+//! Offline, dependency-free static analysis for the invariants the rest
+//! of the workspace proves dynamically: bitwise-identical results at any
+//! `TENSOR_NUM_THREADS`, pooled-tape safety, and bitwise resume equality.
+//! Proptests sample those guarantees; this crate makes their known
+//! failure modes — nondeterministic iteration, unaudited `unsafe`, panic
+//! paths in library code, and unexplained lint suppressions — impossible
+//! to reintroduce silently.
+//!
+//! Four passes (see [`passes`]) run over a hand-rolled token scanner
+//! ([`scanner`]); existing debt is pinned by a ratcheted allowlist
+//! ([`allowlist`], `lint.allow` at the workspace root) that can only
+//! shrink. `cargo run -p lint` is the first `scripts/ci.sh` stage, before
+//! clippy and the build. See DESIGN.md §"Static analysis".
+
+pub mod allowlist;
+pub mod driver;
+pub mod passes;
+pub mod scanner;

@@ -1,0 +1,68 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! cargo run -p lint                  # enforce (CI gate; exit 1 on violations)
+//! cargo run -p lint -- --update     # tighten lint.allow to observed counts
+//! cargo run -p lint -- --root DIR   # lint another workspace root
+//! cargo run -p lint -- --no-report  # skip rewriting results/UNSAFE_AUDIT.md
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lint::driver::{self, Mode, Options};
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        // The crate lives at <root>/crates/lint, so the default workspace
+        // root is two levels up from the manifest.
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        mode: Mode::Check,
+        write_report: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update" => opts.mode = Mode::Update,
+            "--no-report" => opts.write_report = false,
+            "--root" => match args.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => {
+                    eprintln!("lint: --root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("lint: unknown flag {other:?}");
+                eprintln!("usage: lint [--update] [--no-report] [--root DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome = match driver::run(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let audited = outcome.unsafe_sites.len();
+    println!(
+        "lint: scanned {} file(s); {} finding(s) pre-allowlist; {} unsafe site(s) audited",
+        outcome.files_scanned,
+        outcome.findings.len(),
+        audited,
+    );
+    if outcome.errors.is_empty() {
+        println!("lint: OK");
+        ExitCode::SUCCESS
+    } else {
+        for e in &outcome.errors {
+            eprintln!("lint: {e}");
+        }
+        eprintln!("lint: {} error(s)", outcome.errors.len());
+        ExitCode::FAILURE
+    }
+}

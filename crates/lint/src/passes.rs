@@ -1,0 +1,429 @@
+//! The four workspace invariant passes.
+//!
+//! Each pass is a pure function from a [`Scanned`] file to findings; file
+//! scoping (which crates, which directory kinds) lives in the driver. The
+//! passes match short token sequences over the comment-free stream, so
+//! anything inside strings, chars, or comments is invisible to them by
+//! construction (the scanner already classified those bytes).
+
+use crate::scanner::{Kind, Scanned, Token};
+
+/// One lint finding, addressed the way the allowlist ratchet counts it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub pass: &'static str,
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub msg: String,
+}
+
+pub const PASS_DETERMINISM: &str = "determinism";
+pub const PASS_UNSAFE: &str = "unsafe-audit";
+pub const PASS_PANIC: &str = "panic-path";
+pub const PASS_SUPPRESSION: &str = "suppression";
+
+/// Indices of non-trivia tokens, the view every sequence matcher uses.
+fn sig_indices(tokens: &[Token]) -> Vec<usize> {
+    (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: determinism
+// ---------------------------------------------------------------------------
+
+/// Flags nondeterminism sources in library code:
+///
+/// * `hash-collections` — `HashMap` / `HashSet` mentions. Their iteration
+///   order is randomized per process, which is exactly how fold-order bugs
+///   re-enter the bitwise-identical kernels (PR 1/3) and the resume
+///   equality guarantee (PR 4). Use `BTreeMap`/`BTreeSet`, or justify an
+///   order-independent use in the allowlist.
+/// * `wall-clock` — `Instant` / `SystemTime` mentions. Timing belongs in
+///   `crates/bench`; library results must never depend on the clock.
+/// * `thread-escape` — `thread::spawn` / `thread::scope` / `rayon`
+///   outside `tensor::par` (the sanctioned deterministic executor, which
+///   the driver exempts from this rule).
+pub fn determinism(file: &str, scanned: &Scanned, exempt_threads: bool) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        out.push(Finding {
+            pass: PASS_DETERMINISM,
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+        });
+    };
+    for (s, &i) in sig.iter().enumerate() {
+        if scanned.in_test[i] || toks[i].kind != Kind::Ident {
+            continue;
+        }
+        match toks[i].text.as_str() {
+            "HashMap" | "HashSet" => push(
+                "hash-collections",
+                toks[i].line,
+                format!(
+                    "`{}` iteration order is nondeterministic; use a BTree collection \
+                     or justify an order-independent use",
+                    toks[i].text
+                ),
+            ),
+            "Instant" | "SystemTime" => push(
+                "wall-clock",
+                toks[i].line,
+                format!(
+                    "`{}` reads the clock; timing belongs in crates/bench",
+                    toks[i].text
+                ),
+            ),
+            "rayon" if !exempt_threads => push(
+                "thread-escape",
+                toks[i].line,
+                "`rayon` bypasses the deterministic tensor::par executor".to_string(),
+            ),
+            "thread" if !exempt_threads => {
+                let next = sig.get(s + 1).map(|&j| toks[j].text.as_str());
+                let callee = sig.get(s + 2).map(|&j| toks[j].text.as_str());
+                if next == Some("::") && matches!(callee, Some("spawn") | Some("scope")) {
+                    push(
+                        "thread-escape",
+                        toks[i].line,
+                        format!(
+                            "`thread::{}` outside tensor::par escapes the deterministic \
+                             executor",
+                            callee.unwrap_or_default()
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// One `unsafe` site, for the `results/UNSAFE_AUDIT.md` inventory.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block`, `fn`, `impl`, `trait`, or `other`.
+    pub kind: &'static str,
+    /// The `SAFETY:` comment text, or `None` when missing (a finding).
+    pub justification: Option<String>,
+}
+
+/// Every `unsafe` block / fn / impl must be immediately preceded by a
+/// `// SAFETY:` comment (doc-comment `/// SAFETY:` also counts, as does a
+/// trailing comment on the same line). "Immediately" tolerates the
+/// contiguous run of comment lines, attribute lines, and the continuation
+/// lines of the statement the `unsafe` expression appears in.
+pub fn unsafe_audit(file: &str, scanned: &Scanned) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    for (s, &i) in sig.iter().enumerate() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "unsafe") {
+            continue;
+        }
+        let kind = match sig.get(s + 1).map(|&j| toks[j].text.as_str()) {
+            Some("{") => "block",
+            Some("fn") => "fn",
+            Some("impl") => "impl",
+            Some("trait") => "trait",
+            _ => "other",
+        };
+        let justification = safety_comment(scanned, toks[i].line);
+        if justification.is_none() {
+            findings.push(Finding {
+                pass: PASS_UNSAFE,
+                rule: "missing-safety",
+                file: file.to_string(),
+                line: toks[i].line,
+                msg: format!("`unsafe` {kind} has no `// SAFETY:` comment immediately above it"),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: file.to_string(),
+            line: toks[i].line,
+            kind,
+            justification,
+        });
+    }
+    (findings, sites)
+}
+
+/// Locate the `SAFETY:` comment covering an `unsafe` token at `line`
+/// (1-based) and return its text with comment markers stripped.
+fn safety_comment(scanned: &Scanned, line: u32) -> Option<String> {
+    let lines = &scanned.lines;
+    let at = |l: u32| lines.get(l as usize - 1).map(|s| s.trim()).unwrap_or("");
+    // Trailing comment on the unsafe line itself.
+    if let Some(text) = extract_safety(at(line)) {
+        return Some(text);
+    }
+    // Walk upward over comments, attributes, and statement continuations.
+    let mut l = line;
+    let mut steps = 0u32;
+    while l > 1 && steps < 40 {
+        l -= 1;
+        steps += 1;
+        let t = at(l);
+        if let Some(first) = extract_safety(t) {
+            // Collect the rest of a contiguous comment block below it.
+            let mut text = first;
+            let mut m = l + 1;
+            while m < line {
+                let c = at(m);
+                if !c.starts_with("//") {
+                    break;
+                }
+                let body = c.trim_start_matches('/').trim();
+                if !body.is_empty() {
+                    text.push(' ');
+                    text.push_str(body);
+                }
+                m += 1;
+            }
+            return Some(text);
+        }
+        if t.is_empty() {
+            return None; // blank line severs "immediately preceded"
+        }
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+            continue; // comment without SAFETY yet, or attribute — keep going
+        }
+        // A code line: continue only if it is a continuation of the same
+        // statement (does not end one). Strip a trailing comment first.
+        let code = t.split("//").next().unwrap_or("").trim_end();
+        match code.chars().last() {
+            Some(';') | Some('{') | Some('}') => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// If `line` contains a `SAFETY:` comment, return the text after the
+/// marker (may be empty on a `// SAFETY:` header line — the block
+/// collector appends the following lines).
+fn extract_safety(line: &str) -> Option<String> {
+    let comment = line.get(line.find("//")?..)?;
+    let idx = comment.find("SAFETY:")?;
+    Some(comment.get(idx + "SAFETY:".len()..)?.trim().to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: panic-path
+// ---------------------------------------------------------------------------
+
+/// Forbids panic paths in library code outside `#[cfg(test)]`:
+///
+/// * `unwrap` / `expect` — `.unwrap()` / `.expect(…)` method calls; use
+///   the `try_*` / `?` error paths added in PR 4 (`GraphError`,
+///   `DatasetError`), or justify an invariant in the allowlist.
+/// * `panic-macro` — `panic!` / `todo!` / `unimplemented!` /
+///   `unreachable!` invocations.
+/// * `range-index` — bounded range indexing `x[a..b]` / `x[..n]` /
+///   `x[a..]`, which panics when out of range (`x[..]` never panics and
+///   is not flagged); prefer `get(..)` or checked slicing on untrusted
+///   bounds.
+pub fn panic_path(file: &str, scanned: &Scanned) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        out.push(Finding {
+            pass: PASS_PANIC,
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+        });
+    };
+    for (s, &i) in sig.iter().enumerate() {
+        if scanned.in_test[i] {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        let next = |k: usize| sig.get(s + k).map(|&j| toks[j].text.as_str());
+        match text {
+            "unwrap" | "expect"
+                if toks[i].kind == Kind::Ident
+                    && s > 0
+                    && toks[sig[s - 1]].text == "."
+                    && next(1) == Some("(") =>
+            {
+                let rule = if text == "unwrap" { "unwrap" } else { "expect" };
+                push(
+                    rule,
+                    toks[i].line,
+                    format!(
+                        "`.{text}()` panics in library code; route through a try_* error \
+                         path or justify the invariant"
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable"
+                if toks[i].kind == Kind::Ident && next(1) == Some("!") =>
+            {
+                push(
+                    "panic-macro",
+                    toks[i].line,
+                    format!("`{text}!` is a panic path in library code"),
+                );
+            }
+            "[" if is_index_position(toks, &sig, s) => {
+                if let Some(line) = bounded_range_in_brackets(toks, &sig, s) {
+                    push(
+                        "range-index",
+                        line,
+                        "bounded range indexing panics when out of range; prefer `get(..)` \
+                         or justify pre-validated bounds"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `[` opens an *index* expression (rather than an array literal, slice
+/// pattern, or attribute) when the previous significant token can end an
+/// expression: an identifier, literal, `)`, or `]`.
+fn is_index_position(toks: &[Token], sig: &[usize], s: usize) -> bool {
+    if s == 0 {
+        return false;
+    }
+    let prev = &toks[sig[s - 1]];
+    match prev.kind {
+        Kind::Ident => !matches!(
+            prev.text.as_str(),
+            "return"
+                | "break"
+                | "in"
+                | "if"
+                | "else"
+                | "match"
+                | "mut"
+                | "ref"
+                | "box"
+                | "let"
+                | "for"
+                | "while"
+                | "loop"
+                | "move"
+                | "static"
+                | "const"
+                | "as"
+                | "impl"
+                | "dyn"
+                | "where"
+                | "use"
+                | "pub"
+                | "crate"
+                | "enum"
+                | "struct"
+                | "fn"
+                | "type"
+                | "=>"
+        ),
+        Kind::Number | Kind::Str => true,
+        Kind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+/// Scan a bracketed group starting at sig-index `s` (`[`). Returns the
+/// line of a top-level `..` / `..=` that has at least one bound, i.e. the
+/// group is `[a..b]`, `[..n]`, or `[a..]` — but not the infallible `[..]`.
+fn bounded_range_in_brackets(toks: &[Token], sig: &[usize], s: usize) -> Option<u32> {
+    let mut depth = 0usize;
+    let mut range_line: Option<u32> = None;
+    let mut top_level_tokens = 0usize; // non-range tokens at depth 1
+    for &j in sig.get(s..).unwrap_or(&[]) {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ".." | "..=" if depth == 1 => range_line = Some(t.line),
+            _ if depth == 1 => top_level_tokens += 1,
+            _ => {}
+        }
+    }
+    match (range_line, top_level_tokens) {
+        (Some(line), n) if n > 0 => Some(line),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: suppression audit
+// ---------------------------------------------------------------------------
+
+/// Every `#[allow(…)]` / `#![allow(…)]` must carry a justification: a
+/// trailing `// …` comment on the same line, or a `// …` comment on the
+/// line directly above the attribute.
+pub fn suppression(file: &str, scanned: &Scanned) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    for (s, &i) in sig.iter().enumerate() {
+        if toks[i].text != "#" {
+            continue;
+        }
+        // `#[allow` or `#![allow`
+        let mut k = s + 1;
+        if sig.get(k).map(|&j| toks[j].text.as_str()) == Some("!") {
+            k += 1;
+        }
+        if sig.get(k).map(|&j| toks[j].text.as_str()) != Some("[") {
+            continue;
+        }
+        if sig.get(k + 1).map(|&j| toks[j].text.as_str()) != Some("allow") {
+            continue;
+        }
+        let line = toks[i].line;
+        let lines = &scanned.lines;
+        let at = |l: u32| lines.get(l as usize - 1).map(|s| s.trim()).unwrap_or("");
+        let same_line_comment = comment_body(at(line)).is_some_and(|c| !c.is_empty());
+        let above = if line > 1 { at(line - 1) } else { "" };
+        let above_comment =
+            above.starts_with("//") && comment_body(above).is_some_and(|c| !c.is_empty());
+        if !(same_line_comment || above_comment) {
+            out.push(Finding {
+                pass: PASS_SUPPRESSION,
+                rule: "unjustified-allow",
+                file: file.to_string(),
+                line,
+                msg: "`#[allow(…)]` without a justification comment (same line or the \
+                      line above)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The text of a `// …` comment on `line`, if any.
+fn comment_body(line: &str) -> Option<&str> {
+    Some(line.get(line.find("//")?..)?.trim_start_matches('/').trim())
+}

@@ -1,0 +1,476 @@
+//! Hand-rolled Rust token scanner.
+//!
+//! The linter needs exactly enough lexical structure to avoid false
+//! positives: a `HashMap` mentioned inside a string literal, a `//`
+//! sequence inside a char literal, or an `unwrap()` in a doc comment must
+//! never produce a finding. The scanner therefore understands line
+//! comments, nested block comments, string/byte-string literals with
+//! escapes, raw strings with arbitrary `#` fences (`r#"…"#`), raw
+//! identifiers (`r#type`), char literals vs. lifetimes, and keeps comment
+//! tokens in the stream (the unsafe-audit and suppression passes read
+//! them). It is *not* a parser — passes match on short token sequences —
+//! so it stays a few hundred lines and has no dependencies.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Integer or float literal (scanned loosely; never inspected).
+    Number,
+    /// String, byte-string, raw-string, or C-string literal.
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Punctuation. `::`, `..`, and `..=` are single tokens; everything
+    /// else is one character per token.
+    Punct,
+    /// `// …` comment, including doc comments (`///`, `//!`). Text keeps
+    /// the leading slashes.
+    LineComment,
+    /// `/* … */` comment (nesting-aware). Text keeps the delimiters.
+    BlockComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: Kind, text: &str, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.to_string(),
+            line,
+        }
+    }
+
+    /// True for comment tokens (which passes usually skip).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenize `src`. Unterminated literals and comments are tolerated: the
+/// scanner consumes to end-of-file rather than erroring, so a lint run
+/// never aborts on a syntactically broken file (rustc will report that).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.literal_prefix() => {}
+                c if is_ident_start(c) => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(self.b.get(start..self.i).unwrap_or(&[]));
+        self.out.push(Token::new(kind, &text, line));
+    }
+
+    /// The unconsumed tail of the input.
+    fn rest(&self) -> &[u8] {
+        self.b.get(self.i..).unwrap_or(&[])
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(Kind::LineComment, start, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match (self.b[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(Kind::BlockComment, start, line);
+    }
+
+    /// A plain (non-raw) string starting at the current `"`. `start` marks
+    /// where the token began (before any `b`/`c` prefix).
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // The escaped byte may be a newline (line
+                    // continuation) — it still advances the line counter.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(Kind::Str, start, line);
+    }
+
+    /// Raw string starting at the current `r` (after any `b`/`c` prefix,
+    /// with `start` at the true token start): `r"…"`, `r#"…"#`, etc.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        'scan: while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    for _ in 0..hashes {
+                        if self.peek(0) != Some(b'#') {
+                            continue 'scan;
+                        }
+                        self.i += 1;
+                    }
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(Kind::Str, start, line);
+    }
+
+    /// Dispatch `r` / `b` / `c` when they introduce a literal rather than
+    /// an identifier. Returns true if a literal (or raw identifier) was
+    /// consumed.
+    fn literal_prefix(&mut self) -> bool {
+        let start = self.i;
+        match (self.b[self.i], self.peek(1), self.peek(2)) {
+            // r"…" | r#"…"# — but r#ident is a raw identifier.
+            (b'r', Some(b'"'), _) => {
+                self.raw_string(start);
+                true
+            }
+            (b'r', Some(b'#'), Some(n)) if n == b'"' || n == b'#' => {
+                self.raw_string(start);
+                true
+            }
+            (b'r', Some(b'#'), Some(n)) if is_ident_start(n) => {
+                self.i += 2; // r#
+                self.ident();
+                true
+            }
+            // b"…" | br"…" | br#"…"# | b'…' ; c"…" | cr#"…"# (C strings).
+            (b'b' | b'c', Some(b'"'), _) => {
+                self.i += 1;
+                self.string(start);
+                true
+            }
+            (b'b' | b'c', Some(b'r'), Some(n)) if n == b'"' || n == b'#' => {
+                self.i += 1;
+                self.raw_string(start);
+                true
+            }
+            (b'b', Some(b'\''), _) => {
+                self.i += 1;
+                self.byte_char(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Byte-char body starting at the `'` (prefix already consumed;
+    /// `start` at the `b`).
+    fn byte_char(&mut self, start: usize) {
+        let line = self.line;
+        self.i += 1; // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.i += 2;
+        } else {
+            self.i += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.i += 1;
+        }
+        self.push(Kind::Char, start, line);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) with bounded
+    /// lookahead: an escape always means char; otherwise it is a char
+    /// exactly when one scalar is followed by a closing quote.
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.i, self.line);
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: consume to the closing quote.
+            self.i += 2; // '\
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            self.push(Kind::Char, start, line);
+            return;
+        }
+        // One scalar (possibly multi-byte) then a quote => char literal.
+        let rest = self.b.get(self.i + 1..).unwrap_or(&[]);
+        let text = String::from_utf8_lossy(rest);
+        let mut chars = text.chars();
+        if let Some(c) = chars.next() {
+            if chars.next() == Some('\'') && c != '\'' {
+                self.i += 1 + c.len_utf8() + 1;
+                self.push(Kind::Char, start, line);
+                return;
+            }
+        }
+        // Lifetime: quote plus identifier chars.
+        self.i += 1;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(Kind::Lifetime, start, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        self.push(Kind::Ident, start, self.line);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        // Float part — but `0..3` is a range, not a float, so a `.` is
+        // only part of the number when followed by a digit.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_alphanumeric() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+        }
+        self.push(Kind::Number, start, self.line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        // Multi-char tokens the passes match on; all other punctuation is
+        // emitted one char at a time (sequence matching does not care).
+        if self.rest().starts_with(b"..=") {
+            self.i += 3;
+        } else if self.rest().starts_with(b"..") || self.rest().starts_with(b"::") {
+            self.i += 2;
+        } else {
+            self.i += 1;
+        }
+        self.push(Kind::Punct, start, self.line);
+    }
+}
+
+/// A scanned file: token stream plus per-token test-region flags and the
+/// raw source lines (the unsafe-audit pass reads the lines around a
+/// finding to locate its `// SAFETY:` comment).
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — token `i` lies inside a `#[cfg(test)]` / `#[test]`
+    /// item (module, fn, use, …) and is exempt from the determinism and
+    /// panic-path passes.
+    pub in_test: Vec<bool>,
+    pub lines: Vec<String>,
+}
+
+/// Scan a source file: tokenize and mark `#[cfg(test)]` regions.
+pub fn scan(src: &str) -> Scanned {
+    let tokens = tokenize(src);
+    let in_test = mark_test_regions(&tokens);
+    let lines = src.lines().map(|l| l.to_string()).collect();
+    Scanned {
+        tokens,
+        in_test,
+        lines,
+    }
+}
+
+/// Mark tokens covered by a test-only item: `#[cfg(test)]` or `#[test]`
+/// followed by an item whose extent is either `… ;` (e.g. a `use`) or a
+/// balanced `{ … }` block (a `mod tests`, a `fn`, an `impl`).
+///
+/// The cfg predicate is matched structurally enough for lint purposes: the
+/// attribute is test-only when the ident `test` appears and `not` does not
+/// (`#[cfg(not(test))]` is live code and must stay linted; a
+/// `cfg(all(test, not(feature = "x")))` would be misclassified, which is
+/// acceptable — it errs toward linting more code, never less).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let tok = |s: usize| -> &Token { &tokens[sig[s]] };
+    let mut s = 0usize;
+    while s < sig.len() {
+        if !(tok(s).text == "#" && s + 1 < sig.len() && tok(s + 1).text == "[") {
+            s += 1;
+            continue;
+        }
+        let attr_start = s;
+        // Find the matching `]`, collecting idents inside.
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut t = s + 1;
+        while t < sig.len() {
+            match tok(t).text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if tok(t).kind == Kind::Ident {
+                        idents.push(&tok(t).text);
+                    }
+                }
+            }
+            t += 1;
+        }
+        if t >= sig.len() {
+            break;
+        }
+        let is_cfg_test =
+            idents.first() == Some(&"cfg") && idents.contains(&"test") && !idents.contains(&"not");
+        let is_test_attr = idents.len() == 1 && idents[0] == "test";
+        if !(is_cfg_test || is_test_attr) {
+            s = t + 1;
+            continue;
+        }
+        // Skip any further attributes between the test attribute and the
+        // item itself (`#[cfg(test)] #[allow(…)] mod tests { … }`).
+        let mut e = t + 1;
+        while e + 1 < sig.len() && tok(e).text == "#" && tok(e + 1).text == "[" {
+            let mut d = 0usize;
+            let mut u = e + 1;
+            while u < sig.len() {
+                match tok(u).text.as_str() {
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                u += 1;
+            }
+            e = u + 1;
+        }
+        // Item extent: to `;` before any brace, else the balanced block.
+        let mut brace = 0usize;
+        let mut end = e;
+        while end < sig.len() {
+            match tok(end).text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                ";" if brace == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let end = end.min(sig.len() - 1);
+        // Mark every raw token (comments included — they are trivia and
+        // absent from `sig`) between the attribute and the item's end.
+        for flag in in_test.iter_mut().take(sig[end] + 1).skip(sig[attr_start]) {
+            *flag = true;
+        }
+        s = end + 1;
+    }
+    in_test
+}

@@ -1,0 +1,32 @@
+//! Fixture: determinism violations.
+//! Expected: hash-collections x4, wall-clock x3, thread-escape x3.
+//! Lines are pinned — golden.rs asserts exact (rule, line) pairs.
+use std::collections::HashMap; // hash-collections (line 4)
+use std::time::Instant; // wall-clock (line 5)
+
+pub fn bad() {
+    let m: HashMap<u32, u32> = HashMap::new(); // hash-collections x2 (line 8)
+    let _t = Instant::now(); // wall-clock (line 9)
+    let _s = std::time::SystemTime::now(); // wall-clock (line 10)
+    std::thread::spawn(|| {}); // thread-escape (line 11)
+    std::thread::scope(|_s| {}); // thread-escape (line 12)
+    rayon::spawn(|| {}); // thread-escape (line 13)
+    drop(m);
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet; // exempt: cfg(test) region
+
+    #[test]
+    fn exempt_region() {
+        let h: HashSet<u8> = HashSet::new(); // exempt
+        let _ = std::time::Instant::now(); // exempt
+        drop(h);
+    }
+}
+
+#[cfg(not(test))]
+pub fn still_linted() {
+    let _h: std::collections::HashSet<u8> = Default::default(); // hash-collections (line 31)
+}

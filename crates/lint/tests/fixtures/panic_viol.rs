@@ -1,0 +1,41 @@
+//! Fixture: panic paths. Expected: unwrap x1, expect x1, panic-macro x4,
+//! range-index x3; nothing from the `#[cfg(test)]` module or the
+//! infallible forms.
+
+pub fn bad(v: &[u32], o: Option<u32>) -> u32 {
+    let a = o.unwrap(); // unwrap (line 6)
+    let b = o.expect("present"); // expect (line 7)
+    if v.is_empty() {
+        panic!("empty"); // panic-macro (line 9)
+    }
+    let w = &v[1..3]; // range-index (line 11)
+    let x = &v[..2]; // range-index (line 12)
+    let y = &v[1..]; // range-index (line 13)
+    let whole = &v[..]; // NOT flagged: full range never panics
+    let first = v.first().copied().unwrap_or(0); // NOT flagged: not .unwrap()
+    a + b + w.len() as u32 + x.len() as u32 + y.len() as u32 + whole.len() as u32 + first
+}
+
+pub fn stub() -> u32 {
+    todo!() // panic-macro (line 20)
+}
+
+pub fn giving_up() -> u32 {
+    unimplemented!() // panic-macro (line 24)
+}
+
+pub fn cold_path(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), // panic-macro (line 30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v = [0u8, 1, 2, 3];
+        assert_eq!(v[1..3].len(), Some(2).unwrap() as usize); // exempt
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: lexical minefield. Every pass must report NOTHING here — all
+//! the trigger words live inside strings, chars, raw strings, or
+//! comments, which the scanner must classify away.
+
+pub fn tricky() -> String {
+    let s = "HashMap::new() .unwrap() thread::spawn Instant::now()";
+    let raw = r#"SystemTime panic! todo! .expect("x") // SAFETY: not a comment"#;
+    let fenced = r##"nested fence "# still string .unwrap() "##;
+    let nested = "/* [0..9] */";
+    let slash = '/';
+    let quote = '"';
+    let newline = '\n';
+    let backslash = '\\';
+    let byte = b'/';
+    let bytes = b"HashSet .unwrap()";
+    let _lifetime: &'static str = "rayon::spawn";
+    /* block /* nested [1..2] .unwrap() panic! */ still a comment */
+    // line comment: HashMap .expect("no") thread::scope
+    let cont = "line \
+continuation with .unwrap() inside";
+    let r#type = 1u8;
+    let whole = &[1u8, 2, 3][..];
+    format!(
+        "{s}{raw}{fenced}{nested}{slash}{quote}{newline}{backslash}{cont}{}{}{}",
+        r#type,
+        whole.len(),
+        bytes.len() + byte as usize,
+    )
+}

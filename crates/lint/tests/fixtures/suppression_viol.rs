@@ -1,0 +1,13 @@
+#![allow(unused)]
+//! Fixture: suppression audit. The inner attribute above (line 1) has no
+//! justification — finding. Expected: unjustified-allow x2.
+
+#[allow(dead_code)] // justified: trailing comment form
+fn trailing() {}
+
+// justified: comment-above form
+#[allow(dead_code)]
+fn above() {}
+
+#[allow(dead_code)]
+fn naked() {} // the attribute on line 12 has no justification — finding

@@ -1,0 +1,15 @@
+//! Fixture: unsafe without SAFETY. Expected: four missing-safety
+//! findings (lines pinned in golden.rs).
+
+unsafe fn bare() {} // line 4: nothing above
+
+pub fn in_block() {
+    let _ = unsafe { std::ptr::null::<u8>() }; // line 7: no comment
+}
+
+// A comment that never says the magic word.
+unsafe fn wrong_comment() {} // line 11
+
+// SAFETY: severed by the blank line below, so it does not count.
+
+unsafe fn severed() {} // line 15

@@ -1,0 +1,23 @@
+//! Fixture: every `unsafe` here carries a reachable SAFETY comment, in
+//! each of the accepted positions. Expected: zero missing-safety
+//! findings, five inventory sites.
+
+// SAFETY: comment directly above the item.
+unsafe fn direct() {}
+
+/// Doc text first.
+///
+/// SAFETY: justification inside the doc comment also counts.
+unsafe fn in_doc() {}
+
+// SAFETY: attributes may sit between the comment and the item.
+#[inline]
+unsafe fn through_attr() {}
+
+pub fn statement_forms() {
+    // SAFETY: the statement starts on the next line and continues; the
+    // walk crosses the continuation to find this comment.
+    let _x: *const u8 =
+        unsafe { std::ptr::null() };
+    let _y = unsafe { std::ptr::null::<u8>() }; // SAFETY: trailing same-line comment.
+}

@@ -1,0 +1,457 @@
+//! Golden tests for the workspace linter.
+//!
+//! Three layers: scanner classification on the lexical-minefield fixture,
+//! exact `(rule, line)` findings per pass on the violation fixtures, and
+//! driver-level gate behaviour (per-class failure, allowlist pinning,
+//! ratchet staleness, `--update` tightening) on synthetic workspace roots.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use lint::allowlist::Allowlist;
+use lint::driver::{self, classify, FileClass, Mode, Options};
+use lint::passes::{self, Finding};
+use lint::scanner::{self, Kind};
+
+fn fixture(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+/// Lines of findings matching `rule`, in emission order.
+fn lines(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scanner_tricky_classifies_every_trap() {
+    let src = fixture("scanner_tricky.rs");
+    let toks = scanner::tokenize(&src);
+
+    // None of the trigger words survive as identifiers — they are all
+    // inside strings, chars, or comments.
+    let idents: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    for trap in [
+        "HashMap",
+        "HashSet",
+        "unwrap",
+        "expect",
+        "Instant",
+        "SystemTime",
+        "panic",
+        "todo",
+        "thread",
+        "rayon",
+        "SAFETY",
+    ] {
+        assert!(!idents.contains(&trap), "`{trap}` leaked out of a literal");
+    }
+
+    let count = |k: Kind| toks.iter().filter(|t| t.kind == k).count();
+    // Strings: s, raw, fenced, nested ("/* … */" is a STRING), b"…",
+    // "rayon::spawn", the continuation string, and the format! template.
+    assert_eq!(count(Kind::Str), 8, "string literals");
+    // Chars: '/', '"', '\n', '\\', b'/'.
+    assert_eq!(count(Kind::Char), 5, "char literals");
+    assert_eq!(count(Kind::Lifetime), 1, "'static");
+    // Exactly one block comment (line 17); line 9's "/* … */" is a string.
+    assert_eq!(count(Kind::BlockComment), 1, "block comments");
+
+    // Line numbers stay correct across the `\`-newline continuation in the
+    // string on lines 19–20: the raw identifier after it sits on line 21.
+    let raw_ident = toks
+        .iter()
+        .find(|t| t.kind == Kind::Ident && t.text == "type")
+        .expect("raw identifier r#type");
+    assert_eq!(
+        raw_ident.line, 21,
+        "line counting across string continuation"
+    );
+
+    // And the whole fixture yields zero findings from every pass.
+    let scanned = scanner::scan(&src);
+    assert!(passes::determinism("f.rs", &scanned, false).is_empty());
+    assert!(passes::panic_path("f.rs", &scanned).is_empty());
+    let (unsafe_findings, sites) = passes::unsafe_audit("f.rs", &scanned);
+    assert!(unsafe_findings.is_empty() && sites.is_empty());
+    assert!(passes::suppression("f.rs", &scanned).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn determinism_fixture_exact_lines() {
+    let scanned = scanner::scan(&fixture("determinism_viol.rs"));
+    let found = passes::determinism("f.rs", &scanned, false);
+    assert_eq!(lines(&found, "hash-collections"), vec![4, 8, 8, 31]);
+    assert_eq!(lines(&found, "wall-clock"), vec![5, 9, 10]);
+    assert_eq!(lines(&found, "thread-escape"), vec![11, 12, 13]);
+    assert_eq!(found.len(), 10, "no findings beyond the three rules");
+
+    // The sanctioned-executor exemption drops exactly the thread rule.
+    let exempt = passes::determinism("f.rs", &scanned, true);
+    assert_eq!(lines(&exempt, "thread-escape"), Vec::<u32>::new());
+    assert_eq!(exempt.len(), 7);
+}
+
+#[test]
+fn unsafe_fixture_accepts_every_comment_position() {
+    let scanned = scanner::scan(&fixture("unsafe_ok.rs"));
+    let (findings, sites) = passes::unsafe_audit("f.rs", &scanned);
+    assert!(
+        findings.is_empty(),
+        "all five sites are justified: {findings:?}"
+    );
+    assert_eq!(sites.len(), 5);
+    assert!(sites.iter().all(|s| s.justification.is_some()));
+    let kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
+    assert_eq!(kinds, vec!["fn", "fn", "fn", "block", "block"]);
+    // The statement-continuation walk found the comment above the `let`.
+    let cont = &sites[3];
+    assert_eq!(cont.line, 21);
+    assert!(
+        cont.justification
+            .as_deref()
+            .is_some_and(|j| j.contains("continuation")),
+        "multi-line SAFETY text collected: {:?}",
+        cont.justification
+    );
+}
+
+#[test]
+fn unsafe_fixture_flags_every_missing_comment() {
+    let scanned = scanner::scan(&fixture("unsafe_missing.rs"));
+    let (findings, sites) = passes::unsafe_audit("f.rs", &scanned);
+    assert_eq!(lines(&findings, "missing-safety"), vec![4, 7, 11, 15]);
+    assert_eq!(sites.len(), 4);
+    assert!(sites.iter().all(|s| s.justification.is_none()));
+}
+
+#[test]
+fn panic_fixture_exact_lines() {
+    let scanned = scanner::scan(&fixture("panic_viol.rs"));
+    let found = passes::panic_path("f.rs", &scanned);
+    assert_eq!(lines(&found, "unwrap"), vec![6]);
+    assert_eq!(lines(&found, "expect"), vec![7]);
+    assert_eq!(lines(&found, "panic-macro"), vec![9, 20, 24, 30]);
+    // x[a..b], x[..n], x[a..] flagged; x[..] (line 14) infallible, not.
+    assert_eq!(lines(&found, "range-index"), vec![11, 12, 13]);
+    assert_eq!(found.len(), 9, "cfg(test) module fully exempt");
+}
+
+#[test]
+fn suppression_fixture_exact_lines() {
+    let scanned = scanner::scan(&fixture("suppression_viol.rs"));
+    let found = passes::suppression("f.rs", &scanned);
+    assert_eq!(lines(&found, "unjustified-allow"), vec![1, 12]);
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist ratchet
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allowlist_parse_and_ratchet() {
+    let text = "\
+# comment\n\n\
+panic-path unwrap crates/a/src/lib.rs 2 -- invariant: index pre-validated by caller\n\
+determinism wall-clock crates/b/src/lib.rs 1 -- startup banner only, not in results\n";
+    let mut list = Allowlist::parse(text).expect("valid allowlist");
+    assert_eq!(list.get("panic-path", "unwrap", "crates/a/src/lib.rs"), 2);
+    assert_eq!(list.get("panic-path", "unwrap", "crates/zzz/src/lib.rs"), 0);
+
+    // Malformed lines are hard errors, not silent widenings.
+    assert!(
+        Allowlist::parse("panic-path unwrap f.rs 1\n").is_err(),
+        "no justification"
+    );
+    assert!(
+        Allowlist::parse("panic-path unwrap f.rs 1 -- short\n").is_err(),
+        "trivial"
+    );
+    assert!(
+        Allowlist::parse("panic-path unwrap f.rs 1 -- FIXME explain this later\n").is_err(),
+        "placeholder justification"
+    );
+    assert!(Allowlist::parse("panic-path unwrap f.rs x -- bad count field here\n").is_err());
+    let dup = "p r f 1 -- justified because reasons\np r f 2 -- justified because reasons\n";
+    assert!(Allowlist::parse(dup).is_err(), "duplicate keys rejected");
+
+    // tighten() lowers and drops, never raises; render() round-trips.
+    let mut observed: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    observed.insert(
+        (
+            "panic-path".into(),
+            "unwrap".into(),
+            "crates/a/src/lib.rs".into(),
+        ),
+        1, // down from 2 — ceiling tightens
+    ); // wall-clock entry unobserved — dropped
+    let changed = list.tighten(&observed);
+    assert_eq!(changed, 2);
+    assert_eq!(list.get("panic-path", "unwrap", "crates/a/src/lib.rs"), 1);
+    assert_eq!(
+        list.get("determinism", "wall-clock", "crates/b/src/lib.rs"),
+        0
+    );
+    let rendered = list.render("# header\n");
+    let reparsed = Allowlist::parse(&rendered).expect("render round-trips");
+    assert_eq!(reparsed.entries.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Driver: scope matrix + gate behaviour on synthetic roots
+// ---------------------------------------------------------------------------
+
+#[test]
+fn classify_scope_matrix() {
+    assert_eq!(classify("crates/core/src/model.rs"), FileClass::Lib);
+    assert_eq!(classify("crates/tensor/src/par.rs"), FileClass::Lib);
+    assert_eq!(
+        classify("crates/eval/src/bin/table2.rs"),
+        FileClass::Support
+    );
+    assert_eq!(classify("crates/core/src/main.rs"), FileClass::Support);
+    assert_eq!(classify("crates/bench/src/lib.rs"), FileClass::Support);
+    assert_eq!(
+        classify("crates/core/tests/resilience.rs"),
+        FileClass::Support
+    );
+    assert_eq!(
+        classify("crates/lint/tests/fixtures/panic_viol.rs"),
+        FileClass::Skip
+    );
+    assert_eq!(classify("vendor/criterion/src/lib.rs"), FileClass::Skip);
+    assert_eq!(classify("target/debug/build/out.rs"), FileClass::Skip);
+    assert_eq!(classify("crates/core/README.md"), FileClass::Skip);
+}
+
+/// Build a throwaway workspace root containing one library file.
+fn synth_root(tag: &str, lib_rs: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("lint-golden-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src = root.join("crates/foo/src");
+    fs::create_dir_all(&src).expect("mkdir synth root");
+    fs::write(src.join("lib.rs"), lib_rs).expect("write synth lib.rs");
+    root
+}
+
+fn run_check(root: &Path) -> driver::Outcome {
+    driver::run(&Options {
+        root: root.to_path_buf(),
+        mode: Mode::Check,
+        write_report: false,
+    })
+    .expect("driver run")
+}
+
+/// Acceptance criterion: the gate fails (and therefore the binary exits
+/// non-zero) on *each* violation class in isolation.
+#[test]
+fn gate_fails_per_violation_class() {
+    let cases: &[(&str, &str, &str)] = &[
+        (
+            "hash",
+            "use std::collections::HashMap;\n",
+            "hash-collections",
+        ),
+        (
+            "clock",
+            "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+            "wall-clock",
+        ),
+        (
+            "thread",
+            "pub fn s() {\n    std::thread::spawn(|| {});\n}\n",
+            "thread-escape",
+        ),
+        (
+            "unwrap",
+            "pub fn u(o: Option<u32>) -> u32 {\n    o.unwrap()\n}\n",
+            "unwrap",
+        ),
+        (
+            "panic",
+            "pub fn p() {\n    panic!(\"boom\");\n}\n",
+            "panic-macro",
+        ),
+        (
+            "range",
+            "pub fn r(v: &[u32]) -> &[u32] {\n    &v[1..3]\n}\n",
+            "range-index",
+        ),
+        ("unsafe", "pub unsafe fn g() {}\n", "missing-safety"),
+        (
+            "allow",
+            "#[allow(dead_code)]\nfn h() {}\n",
+            "unjustified-allow",
+        ),
+    ];
+    for (tag, src, rule) in cases {
+        let root = synth_root(tag, src);
+        let out = run_check(&root);
+        assert!(
+            out.errors.iter().any(|e| e.contains(rule)),
+            "class {rule}: expected a gate error, got {:?}",
+            out.errors
+        );
+    }
+}
+
+#[test]
+fn gate_pins_tightens_and_detects_stale() {
+    let lib = "\
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn count() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+pub fn when() -> Instant {
+    Instant::now()
+}
+
+pub fn risky(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub unsafe fn raw() {}
+
+#[allow(dead_code)]
+fn silenced() {}
+";
+    let root = synth_root("full", lib);
+
+    // 1. Unpinned: every class fails the gate.
+    let out = run_check(&root);
+    for rule in [
+        "hash-collections",
+        "wall-clock",
+        "unwrap",
+        "missing-safety",
+        "unjustified-allow",
+    ] {
+        assert!(
+            out.errors.iter().any(|e| e.contains(rule)),
+            "unpinned {rule}"
+        );
+    }
+
+    // 2. Pin every count in lint.allow: the gate passes.
+    let allow = "\
+determinism hash-collections crates/foo/src/lib.rs 3 -- fixture debt pinned by golden test
+determinism wall-clock crates/foo/src/lib.rs 3 -- fixture debt pinned by golden test
+panic-path unwrap crates/foo/src/lib.rs 1 -- fixture debt pinned by golden test
+unsafe-audit missing-safety crates/foo/src/lib.rs 1 -- fixture debt pinned by golden test
+suppression unjustified-allow crates/foo/src/lib.rs 1 -- fixture debt pinned by golden test
+";
+    fs::write(root.join("lint.allow"), allow).expect("write lint.allow");
+    let out = run_check(&root);
+    assert!(
+        out.errors.is_empty(),
+        "pinned gate should pass: {:?}",
+        out.errors
+    );
+    assert_eq!(out.files_scanned, 1);
+
+    // 3. Fix the unwrap: the pinned ceiling is now stale and Check fails.
+    let fixed = lib.replace("o.unwrap()", "o.unwrap_or(0)");
+    fs::write(root.join("crates/foo/src/lib.rs"), &fixed).expect("rewrite lib.rs");
+    let out = run_check(&root);
+    assert!(
+        out.errors
+            .iter()
+            .any(|e| e.contains("stale") && e.contains("unwrap")),
+        "stale ratchet detected: {:?}",
+        out.errors
+    );
+
+    // 4. --update tightens: the unwrap entry is dropped, Check passes.
+    driver::run(&Options {
+        root: root.clone(),
+        mode: Mode::Update,
+        write_report: false,
+    })
+    .expect("update run");
+    let rewritten = fs::read_to_string(root.join("lint.allow")).expect("read lint.allow");
+    assert!(
+        !rewritten.contains("panic-path unwrap"),
+        "tightened entry dropped"
+    );
+    assert!(
+        rewritten.contains("hash-collections"),
+        "live entries survive"
+    );
+    let out = run_check(&root);
+    assert!(
+        out.errors.is_empty(),
+        "post-update gate passes: {:?}",
+        out.errors
+    );
+
+    // 5. New debt above a ceiling still fails even in Update mode:
+    //    tightening never legitimizes growth.
+    let grown = fixed.replace("m.len()", "m.len() + HashMap::<u8, u8>::new().len()");
+    fs::write(root.join("crates/foo/src/lib.rs"), &grown).expect("grow lib.rs");
+    let out = driver::run(&Options {
+        root: root.clone(),
+        mode: Mode::Update,
+        write_report: false,
+    })
+    .expect("update run on grown debt");
+    assert!(
+        out.errors.iter().any(|e| e.contains("hash-collections")),
+        "over-ceiling still fails in Update mode: {:?}",
+        out.errors
+    );
+}
+
+/// The real binary exits non-zero on a violating root and zero once the
+/// debt is pinned — the exact contract scripts/ci.sh relies on.
+#[test]
+fn binary_exit_codes_match_gate() {
+    let root = synth_root("exitcode", "pub unsafe fn g() {}\n");
+    let run = |root: &Path| {
+        Command::new(env!("CARGO_BIN_EXE_lint"))
+            .args(["--no-report", "--root"])
+            .arg(root)
+            .output()
+            .expect("spawn lint binary")
+    };
+    let out = run(&root);
+    assert!(!out.status.success(), "violating root must exit non-zero");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("missing-safety"),
+        "diagnostic names the rule"
+    );
+
+    fs::write(
+        root.join("lint.allow"),
+        "unsafe-audit missing-safety crates/foo/src/lib.rs 1 -- pinned by exit-code test\n",
+    )
+    .expect("write lint.allow");
+    let out = run(&root);
+    assert!(out.status.success(), "pinned root must exit zero");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lint: OK"));
+}

@@ -50,7 +50,7 @@ pub mod optim;
 pub mod par;
 pub mod params;
 pub mod pool;
-#[allow(clippy::module_inception)]
+#[allow(clippy::module_inception)] // `tensor::tensor::Tensor` is re-exported flat below
 pub mod tensor;
 
 pub use finite::{first_non_finite, is_all_finite};

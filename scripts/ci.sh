@@ -2,7 +2,7 @@
 # Offline CI gate — everything runs against the vendored deps in vendor/,
 # no network access required.
 #
-#   scripts/ci.sh          # fmt + clippy + release build + tier-1 tests
+#   scripts/ci.sh          # fmt + lint + clippy + release build + tier-1 tests
 #   scripts/ci.sh --full   # also: workspace tests + pooled-allocation gate
 #
 # Stages:
@@ -10,9 +10,13 @@
 #      seed tree predates rustfmt enforcement and reformatting it wholesale
 #      would bury real diffs, so formatting is ratcheted: files added or
 #      rewritten by a PR go on the list and stay clean forever after.
-#   2. cargo clippy -D warnings across the whole workspace (all targets).
-#   3. cargo build --release.
-#   4. cargo test -q — the tier-1 suite (root-package integration tests),
+#   2. cargo run -p lint — the workspace invariant linter (determinism,
+#      unsafe-audit, panic-path, suppression; DESIGN.md §Static analysis).
+#      Debt is pinned in lint.allow and may only shrink.
+#   3. cargo clippy -D warnings across the whole workspace (all targets),
+#      with the clippy.toml disallowed-types/-methods backstop.
+#   4. cargo build --release.
+#   5. cargo test -q — the tier-1 suite (root-package integration tests),
 #      once under TENSOR_NUM_THREADS=1 and once under =4 (results are
 #      guaranteed bitwise-identical at any worker count).
 #      --full widens this to every workspace crate and runs the
@@ -33,10 +37,23 @@ RUSTFMT_RATCHET=(
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
     crates/bench/tests/alloc_ratio.rs
+    crates/lint/src/allowlist.rs
+    crates/lint/src/driver.rs
+    crates/lint/src/lib.rs
+    crates/lint/src/main.rs
+    crates/lint/src/passes.rs
+    crates/lint/src/scanner.rs
+    crates/lint/tests/golden.rs
 )
 
 echo "== rustfmt (ratcheted file list) =="
 rustfmt --edition 2021 --check "${RUSTFMT_RATCHET[@]}"
+
+# The invariant linter gates before the expensive stages: it needs only a
+# debug build of the zero-dependency lint crate, so a new unwrap or a
+# missing SAFETY comment fails in seconds, not after the release build.
+echo "== invariant lint (cargo run -p lint) =="
+cargo run -q -p lint
 
 echo "== clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -10,6 +10,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== invariant lint (cargo run -p lint) =="
+cargo run -q -p lint
+
 echo "== cargo build --release =="
 cargo build --release
 

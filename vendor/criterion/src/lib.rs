@@ -8,6 +8,9 @@
 //! report the mean, min, and max per-iteration time. Honouring
 //! `CRITERION_QUICK=1` trims both windows for CI smoke runs.
 
+// Vendored measurement shim: wall-clock timing is the point (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
