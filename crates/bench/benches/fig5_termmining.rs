@@ -5,7 +5,7 @@
 use bench::bench_dataset;
 use catehgn::TextEnhancer;
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn bench(c: &mut Criterion) {
     let ds = bench_dataset();
@@ -31,12 +31,12 @@ fn bench(c: &mut Criterion) {
             std::hint::black_box(ds2.graph.num_links())
         })
     });
-    let impact: HashMap<textmine::TokenId, f32> =
+    let impact: BTreeMap<textmine::TokenId, f32> =
         te.active_terms().into_iter().map(|t| (t, 1.0)).collect();
     g.bench_function("refine_round", |b| {
         b.iter(|| {
             let mut te2 = te.clone();
-            te2.refine(&impact, &HashMap::new(), 20);
+            te2.refine(&impact, &BTreeMap::new(), 20);
             std::hint::black_box(te2.active_terms().len())
         })
     });

@@ -1,0 +1,253 @@
+//! PR-6 benchmark: persistent worker pool + batch-level data parallelism.
+//!
+//! Part 1 measures the cost of dispatching one trivial 4-job parallel
+//! region. The "old" arm reproduces what `par.rs` did before this PR —
+//! create OS threads for every region and join them before returning
+//! (the old code used `std::thread::scope`; spawn + join of plain
+//! threads has the identical cost profile). The "new" arm submits the
+//! same region to the persistent spin-then-park pool. The pool must
+//! dispatch at least [`DISPATCH_SPEEDUP_GATE`]x faster per region.
+//!
+//! Part 2 runs the real `train_with` loop end-to-end on the bench
+//! fixture and compares mini-batch throughput of the historical serial
+//! path (`data_lanes: 1`) against batch-parallel lanes (2 and 4). The
+//! lane path folds one averaged optimizer step per group, so it must
+//! not be slower than serial even on a single-CPU host — gated by
+//! [`LANES_THROUGHPUT_GATE`]. It also re-runs the 2-lane arm at 1 and 4
+//! tensor threads and asserts the parameter and report fingerprints are
+//! bitwise-identical, the PR's core determinism claim.
+//!
+//! Results land in `results/BENCH_PR6.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_pr6
+//! ```
+
+// Benchmark binary: wall-clock timing is its whole job (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
+use bench::{bench_dataset, bench_model, bench_model_cfg};
+use catehgn::{params_fingerprint, report_fingerprint, train_with, ModelConfig, TrainOptions};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tensor::par;
+
+/// Pool dispatch must beat per-region thread spawning by at least this
+/// factor; anything less means the persistent pool is not earning its
+/// complexity.
+const DISPATCH_SPEEDUP_GATE: f64 = 10.0;
+
+/// Batch-parallel lanes must reach at least this fraction of serial
+/// mini-batch throughput (1.0 = "not slower"; the margin absorbs timer
+/// noise on a loaded host — the amortized optimizer step means lanes
+/// win outright in practice).
+const LANES_THROUGHPUT_GATE: f64 = 0.95;
+
+const DISPATCH_THREADS: usize = 4;
+const DISPATCH_REGIONS: usize = 2000;
+const DISPATCH_WARMUP: usize = 50;
+
+/// One trivial 4-job region, dispatched by spawning fresh OS threads and
+/// joining them — the shape of the pre-PR-6 scoped-thread executor.
+fn spawn_region(counter: &'static AtomicUsize) {
+    let handles: Vec<_> = (1..DISPATCH_THREADS)
+        .map(|_| {
+            std::thread::Builder::new()
+                .spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("spawn bench thread")
+        })
+        .collect();
+    counter.fetch_add(1, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("join bench thread");
+    }
+}
+
+/// `(ns_per_region, jobs_run)` for `regions` trivial regions under `f`.
+fn time_regions(regions: usize, warmup: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..regions {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / regions as f64
+}
+
+struct TrainArm {
+    label: String,
+    lanes: usize,
+    threads: usize,
+    train_secs: f64,
+    minibatches_per_sec: f64,
+    params_fp: u64,
+    report_fp: u64,
+}
+
+/// Full `train_with` run from a pristine dataset at the given lane and
+/// tensor-thread counts.
+fn run_train_arm(
+    pristine: &dblp_sim::Dataset,
+    cfg: &ModelConfig,
+    lanes: usize,
+    threads: usize,
+) -> TrainArm {
+    par::set_num_threads(threads);
+    let mut ds = pristine.clone();
+    let mut model = bench_model(&ds, cfg.clone());
+    let mut opts = TrainOptions {
+        data_lanes: lanes,
+        ..TrainOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = train_with(&mut model, &mut ds, &mut opts).expect("bench training run");
+    let train_secs = t0.elapsed().as_secs_f64();
+    par::set_num_threads(0);
+    let minibatches = (cfg.outer_iters * cfg.mini_iters) as f64;
+    assert_eq!(
+        report.hgn_losses.len(),
+        cfg.outer_iters,
+        "arm did not run all outer rounds"
+    );
+    TrainArm {
+        label: format!(
+            "{lanes} lane{}, {threads} thread{}",
+            if lanes == 1 { "" } else { "s" },
+            if threads == 1 { "" } else { "s" }
+        ),
+        lanes,
+        threads,
+        train_secs,
+        minibatches_per_sec: minibatches / train_secs,
+        params_fp: params_fingerprint(&model.params),
+        report_fp: report_fingerprint(&report),
+    }
+}
+
+fn arm_json(a: &TrainArm) -> String {
+    format!(
+        r#"{{
+      "label": "{}",
+      "data_lanes": {},
+      "threads": {},
+      "train_seconds": {:.3},
+      "minibatches_per_sec": {:.2}
+    }}"#,
+        a.label, a.lanes, a.threads, a.train_secs, a.minibatches_per_sec
+    )
+}
+
+fn main() {
+    // ---- Part 1: dispatch latency, per-region spawn vs persistent pool.
+    static SPAWN_HITS: AtomicUsize = AtomicUsize::new(0);
+    let spawn_ns = time_regions(DISPATCH_REGIONS, DISPATCH_WARMUP, || {
+        spawn_region(&SPAWN_HITS)
+    });
+    assert_eq!(
+        SPAWN_HITS.load(Ordering::Relaxed),
+        (DISPATCH_REGIONS + DISPATCH_WARMUP) * DISPATCH_THREADS,
+        "spawn arm lost jobs"
+    );
+
+    par::set_num_threads(DISPATCH_THREADS);
+    static POOL_HITS: AtomicUsize = AtomicUsize::new(0);
+    let pool_ns = time_regions(DISPATCH_REGIONS, DISPATCH_WARMUP, || {
+        par::run_region(DISPATCH_THREADS, |_| {
+            POOL_HITS.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    par::set_num_threads(0);
+    assert_eq!(
+        POOL_HITS.load(Ordering::Relaxed),
+        (DISPATCH_REGIONS + DISPATCH_WARMUP) * DISPATCH_THREADS,
+        "pool arm lost jobs"
+    );
+
+    let dispatch_speedup = spawn_ns / pool_ns;
+    assert!(
+        dispatch_speedup >= DISPATCH_SPEEDUP_GATE,
+        "pool dispatch only {dispatch_speedup:.1}x faster than per-region spawn \
+         ({spawn_ns:.0} ns vs {pool_ns:.0} ns); gate is {DISPATCH_SPEEDUP_GATE}x"
+    );
+
+    // ---- Part 2: end-to-end training throughput, serial vs lanes.
+    let pristine = bench_dataset();
+    let cfg = ModelConfig {
+        outer_iters: 2,
+        mini_iters: 8,
+        ..bench_model_cfg(&pristine)
+    };
+    let serial = run_train_arm(&pristine, &cfg, 1, 4);
+    let lanes2 = run_train_arm(&pristine, &cfg, 2, 4);
+    let lanes4 = run_train_arm(&pristine, &cfg, 4, 4);
+
+    for arm in [&lanes2, &lanes4] {
+        let ratio = arm.minibatches_per_sec / serial.minibatches_per_sec;
+        assert!(
+            ratio >= LANES_THROUGHPUT_GATE,
+            "'{}' ran at {ratio:.3}x serial throughput; gate is {LANES_THROUGHPUT_GATE}",
+            arm.label
+        );
+    }
+
+    // Determinism spot-check: the 2-lane schedule at 1 thread must land
+    // on bit-identical parameters and report as at 4 threads.
+    let lanes2_1t = run_train_arm(&pristine, &cfg, 2, 1);
+    assert_eq!(
+        (lanes2_1t.params_fp, lanes2_1t.report_fp),
+        (lanes2.params_fp, lanes2.report_fp),
+        "2-lane run diverged between 1 and 4 tensor threads"
+    );
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "bench": "bench_pr6",
+  "pr": 6,
+  "headline": "persistent worker pool + deterministic batch-level data parallelism",
+  "host_cpus": {host_cpus},
+  "dispatch": {{
+    "description": "one trivial {threads}-job region: per-region OS-thread spawn+join (pre-PR-6 executor shape) vs persistent spin-then-park pool",
+    "regions": {regions},
+    "spawn_ns_per_region": {spawn_ns:.0},
+    "pool_ns_per_region": {pool_ns:.0},
+    "speedup": {dispatch_speedup:.1},
+    "gate": {dispatch_gate:.1}
+  }},
+  "training": {{
+    "description": "full train_with on the bench fixture ({outer}x{mini} mini-batches): historical serial loop vs batch-parallel lanes",
+    "serial": {serial_json},
+    "lanes": [
+      {l2},
+      {l4}
+    ],
+    "lanes2_throughput_vs_serial": {r2:.3},
+    "lanes4_throughput_vs_serial": {r4:.3},
+    "throughput_gate": {tgate:.2},
+    "lanes2_bitwise_identical_at_1_and_4_threads": true
+  }}
+}}
+"#,
+        threads = DISPATCH_THREADS,
+        regions = DISPATCH_REGIONS,
+        dispatch_gate = DISPATCH_SPEEDUP_GATE,
+        outer = cfg.outer_iters,
+        mini = cfg.mini_iters,
+        serial_json = arm_json(&serial),
+        l2 = arm_json(&lanes2),
+        l4 = arm_json(&lanes4),
+        r2 = lanes2.minibatches_per_sec / serial.minibatches_per_sec,
+        r4 = lanes4.minibatches_per_sec / serial.minibatches_per_sec,
+        tgate = LANES_THROUGHPUT_GATE,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_PR6.json");
+    std::fs::write(path, &json).expect("write results/BENCH_PR6.json");
+    println!("{json}");
+    println!("wrote {path}");
+}

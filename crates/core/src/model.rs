@@ -38,7 +38,9 @@ const SAMPLING_CACHE_CAPACITY: usize = 128;
 
 impl Default for SharedBlockCache {
     fn default() -> Self {
-        SharedBlockCache(std::sync::Mutex::new(BlockCache::new(SAMPLING_CACHE_CAPACITY)))
+        SharedBlockCache(std::sync::Mutex::new(BlockCache::new(
+            SAMPLING_CACHE_CAPACITY,
+        )))
     }
 }
 
@@ -85,20 +87,37 @@ impl CateHgn {
     ) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut params = Params::new();
-        let enc =
-            EncoderParams::init(&mut params, feat_dim, n_node_types, n_link_types, &cfg, &mut rng);
+        let enc = EncoderParams::init(
+            &mut params,
+            feat_dim,
+            n_node_types,
+            n_link_types,
+            &cfg,
+            &mut rng,
+        );
         let layers = (0..cfg.layers)
             .map(|l| LayerParams::init(&mut params, l, cfg.dim, n_link_types, &cfg, &mut rng))
             .collect();
         let ca = CaParams::init(&mut params, cfg.layers, cfg.dim, cfg.n_clusters, &mut rng);
-        CateHgn { cfg, params, enc, layers, ca, sampling_cache: SharedBlockCache::default() }
+        CateHgn {
+            cfg,
+            params,
+            enc,
+            layers,
+            ca,
+            sampling_cache: SharedBlockCache::default(),
+        }
     }
 
     /// `(hits, misses)` of the neighborhood-sampling cache since this model
     /// was built.
     pub fn sampling_cache_stats(&self) -> (u64, u64) {
         // Poison recovery: the cache holds only replayable sampling state.
-        self.sampling_cache.0.lock().unwrap_or_else(|p| p.into_inner()).stats()
+        self.sampling_cache
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .stats()
     }
 
     /// Cached [`sample_blocks`] for the deterministic inference paths.
@@ -110,13 +129,11 @@ impl CateHgn {
         rng: &mut ChaCha8Rng,
     ) -> Vec<Block> {
         // Poison recovery: a half-updated LRU entry is re-sampled on miss.
-        self.sampling_cache.0.lock().unwrap_or_else(|p| p.into_inner()).sample(
-            graph,
-            seeds,
-            self.cfg.layers,
-            fanout,
-            rng,
-        )
+        self.sampling_cache
+            .0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .sample(graph, seeds, self.cfg.layers, fanout, rng)
     }
 
     /// Total number of scalar weights (constant in the graph size —
@@ -145,10 +162,10 @@ impl CateHgn {
     ) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
         let blob: serde_json::Value = serde_json::from_str(&text)?;
-        let cfg: ModelConfig = serde_json::from_value(blob["config"].clone())
-            .map_err(std::io::Error::other)?;
-        let params: Params = serde_json::from_value(blob["params"].clone())
-            .map_err(std::io::Error::other)?;
+        let cfg: ModelConfig =
+            serde_json::from_value(blob["config"].clone()).map_err(std::io::Error::other)?;
+        let params: Params =
+            serde_json::from_value(blob["params"].clone()).map_err(std::io::Error::other)?;
         let mut model = CateHgn::new(cfg, feat_dim, n_node_types, n_link_types);
         assert_eq!(
             model.params.num_weights(),
@@ -216,7 +233,13 @@ impl CateHgn {
             h_cur = h_next;
             src_for_mi = hm;
         }
-        ForwardOut { h0, h_layers, h_masked, q_layers, transitions }
+        ForwardOut {
+            h0,
+            h_layers,
+            h_masked,
+            q_layers,
+            transitions,
+        }
     }
 
     /// Layer-`l` citation prediction (Eq. 6) for the first `n` rows of the
@@ -419,8 +442,7 @@ impl CateHgn {
             let blocks = self.sample_cached(graph, chunk, self.cfg.fanout, &mut rng);
             // Duplicate seeds dedup in the sampler: resolve each requested
             // seed to its row in the deduped frontier prefix.
-            let pos_of: std::collections::HashMap<NodeId, usize> = blocks
-                [self.cfg.layers - 1]
+            let pos_of: std::collections::BTreeMap<NodeId, usize> = blocks[self.cfg.layers - 1]
                 .dst_nodes
                 .iter()
                 .enumerate()
@@ -471,7 +493,7 @@ mod tests {
         assert_eq!(fw.h_layers.len(), model.cfg.layers);
         assert_eq!(fw.h_masked.len(), model.cfg.layers);
         assert_eq!(fw.q_layers.len(), model.cfg.layers); // CA on by default
-        // Final layer covers exactly the seeds.
+                                                         // Final layer covers exactly the seeds.
         assert_eq!(g.shape(*fw.h_layers.last().unwrap()).0, seeds.len());
         for &h in &fw.h_layers {
             assert!(g.value(h).all_finite());
@@ -500,7 +522,11 @@ mod tests {
         assert!(sup > 0.0);
         assert!(mi.is_finite());
         g.backward(loss);
-        let with_grad = g.bindings().iter().filter(|(_, v)| g.grad(*v).is_some()).count();
+        let with_grad = g
+            .bindings()
+            .iter()
+            .filter(|(_, v)| g.grad(*v).is_some())
+            .count();
         assert!(with_grad > 10, "most bound params should receive gradients");
     }
 
@@ -519,7 +545,10 @@ mod tests {
             .iter()
             .filter(|(pid, v)| model.ca.centers.contains(pid) && g.grad(*v).is_some())
             .count();
-        assert!(center_grads >= model.cfg.layers, "all layer centers should get gradients");
+        assert!(
+            center_grads >= model.cfg.layers,
+            "all layer centers should get gradients"
+        );
     }
 
     #[test]
@@ -613,8 +642,10 @@ mod persist_tests {
     #[test]
     fn save_load_round_trip_preserves_predictions() {
         let ds = Dataset::full(&WorldConfig::tiny(), 8);
-        let (nnt, nlt) =
-            (ds.graph.schema().num_node_types(), ds.graph.schema().num_link_types());
+        let (nnt, nlt) = (
+            ds.graph.schema().num_node_types(),
+            ds.graph.schema().num_link_types(),
+        );
         let model = CateHgn::new(ModelConfig::test_tiny(), ds.features.cols(), nnt, nlt);
         let dir = std::env::temp_dir().join("catehgn_persist_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -34,7 +34,7 @@ use tensor::{Graph, Params};
 /// Snapshot file magic.
 const MAGIC: [u8; 4] = *b"CHGN";
 /// Snapshot format version.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 // -------------------------------------------------------------------
 // Errors.
@@ -288,6 +288,12 @@ pub struct TrainOptions {
     pub policy: RecoveryPolicy,
     /// Fault injection plan (empty in production).
     pub faults: FaultPlan,
+    /// Independent mini-batch lanes folded into each optimizer step.
+    /// `0` or `1` runs the historical serial loop bitwise; `n > 1` draws
+    /// `n` batches per step, evaluates them concurrently on the tensor
+    /// worker pool, and averages their gradients in fixed lane order —
+    /// results depend on the lane count but never on the thread count.
+    pub data_lanes: usize,
 }
 
 // -------------------------------------------------------------------
@@ -338,6 +344,10 @@ pub struct TrainState {
     /// stamps are never comparable across processes, and block-cache
     /// replay is bitwise-transparent, so resume always starts cold.
     pub cache_stamp: u64,
+    /// Normalized lane count (`max(1)`) the run was captured with; resume
+    /// refuses a snapshot whose lane schedule disagrees with the live
+    /// options, because the RNG stream is a function of it.
+    pub data_lanes: u64,
 }
 
 /// Captures a [`Params`] store (values + Adam moments) into snaps.
@@ -591,6 +601,7 @@ fn encode_payload(state: &TrainState) -> Vec<u8> {
     e.u64(r.rollbacks as u64);
     e.u64(state.graph_fingerprint);
     e.u64(state.cache_stamp);
+    e.u64(state.data_lanes);
     e.buf
 }
 
@@ -656,6 +667,7 @@ fn decode_payload(buf: &[u8]) -> Result<TrainState, CheckpointError> {
     let rollbacks = d.u64()? as usize;
     let graph_fingerprint = d.u64()?;
     let cache_stamp = d.u64()?;
+    let data_lanes = d.u64()?;
     Ok(TrainState {
         config_json,
         outer,
@@ -681,6 +693,7 @@ fn decode_payload(buf: &[u8]) -> Result<TrainState, CheckpointError> {
         },
         graph_fingerprint,
         cache_stamp,
+        data_lanes,
     })
 }
 
@@ -934,6 +947,7 @@ mod tests {
             },
             graph_fingerprint: 0xDEAD_BEEF,
             cache_stamp: 42,
+            data_lanes: 1,
         }
     }
 

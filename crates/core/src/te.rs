@@ -4,7 +4,7 @@
 //! (Sec. III-E2).
 
 use dblp_sim::Dataset;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use textmine::{SimBert, TfIdf, TokenId};
 
 /// The TE module state: a masked-LM oracle over the dataset vocabulary and
@@ -24,10 +24,14 @@ pub struct TextEnhancer {
 impl TextEnhancer {
     /// Trains the masked-LM oracle on the dataset's raw title text.
     pub fn new(ds: &Dataset, n_clusters: usize, mlm_dim: usize, seed: u64) -> Self {
-        let freqs: Vec<u64> = (0..ds.vocab.len()).map(|i| ds.vocab.count(TokenId(i as u32))).collect();
+        let freqs: Vec<u64> = (0..ds.vocab.len())
+            .map(|i| ds.vocab.count(TokenId(i as u32)))
+            .collect();
         let simbert = SimBert::train(&ds.docs, &freqs, mlm_dim, seed);
         let tfidf = TfIdf::fit(&ds.docs);
-        let idf: Vec<f32> = (0..ds.vocab.len()).map(|i| tfidf.idf(TokenId(i as u32))).collect();
+        let idf: Vec<f32> = (0..ds.vocab.len())
+            .map(|i| tfidf.idf(TokenId(i as u32)))
+            .collect();
         let n_domains = ds.world.config.n_domains;
         let domain_queries = (0..n_clusters)
             .map(|k| {
@@ -38,7 +42,12 @@ impl TextEnhancer {
                 }
             })
             .collect();
-        TextEnhancer { simbert, domain_queries, idf, term_sets: vec![Vec::new(); n_clusters] }
+        TextEnhancer {
+            simbert,
+            domain_queries,
+            idf,
+            term_sets: vec![Vec::new(); n_clusters],
+        }
     }
 
     /// Read-only access to the oracle.
@@ -51,9 +60,12 @@ impl TextEnhancer {
     pub fn bootstrap(&mut self, kappa: usize) {
         for (k, q) in self.domain_queries.clone().iter().enumerate() {
             self.term_sets[k] = match q {
-                Some(tok) => {
-                    self.simbert.predict_masked(*tok, kappa).into_iter().map(|(u, _)| u).collect()
-                }
+                Some(tok) => self
+                    .simbert
+                    .predict_masked(*tok, kappa)
+                    .into_iter()
+                    .map(|(u, _)| u)
+                    .collect(),
                 None => Vec::new(),
             };
         }
@@ -130,7 +142,8 @@ impl TextEnhancer {
             }
         }
         ds.graph.replace_links(ds.link_types.contains, &contains);
-        ds.graph.replace_links(ds.link_types.contained_in, &contained_in);
+        ds.graph
+            .replace_links(ds.link_types.contained_in, &contained_in);
     }
 
     /// Adaptive term refinement through impact-based voting (Sec. III-E2).
@@ -146,8 +159,8 @@ impl TextEnhancer {
     /// set identities.
     pub fn refine(
         &mut self,
-        impact: &HashMap<TokenId, f32>,
-        cluster: &HashMap<TokenId, usize>,
+        impact: &BTreeMap<TokenId, f32>,
+        cluster: &BTreeMap<TokenId, usize>,
         kappa: usize,
     ) {
         let _ = cluster;
@@ -162,8 +175,10 @@ impl TextEnhancer {
             // positive within the group: the regressor's output is an
             // unanchored affine score, so its absolute sign carries no
             // meaning — only the ordering among voters does.
-            let raw: Vec<f32> =
-                group.iter().map(|u| impact.get(u).copied().unwrap_or(0.0)).collect();
+            let raw: Vec<f32> = group
+                .iter()
+                .map(|u| impact.get(u).copied().unwrap_or(0.0))
+                .collect();
             let min = raw.iter().cloned().fold(f32::INFINITY, f32::min).min(0.0);
             let mut votes: HashMap<TokenId, f32> = HashMap::new();
             for (&u, &r) in group.iter().zip(&raw) {
@@ -203,7 +218,9 @@ impl TextEnhancer {
                 .collect();
             // Deterministic order: by vote weight desc, token id asc.
             ranked.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
             });
             ranked.truncate(target_size);
             self.term_sets[k] = ranked.into_iter().map(|(t, _)| t).collect();
@@ -225,8 +242,7 @@ impl TextEnhancer {
                     .iter()
                     .filter(|t| {
                         let w = ds.term_world_idx[t.index()];
-                        ds.world.terms[w].kind
-                            == dblp_sim::TermKind::Quality { domain: k }
+                        ds.world.terms[w].kind == dblp_sim::TermKind::Quality { domain: k }
                     })
                     .count();
                 hits as f32 / set.len() as f32
@@ -309,8 +325,8 @@ mod tests {
         te.bootstrap(12);
         let before: f32 = te.term_precision(&ds)[..3].iter().sum();
         // Oracle impact: ground-truth quality terms get high impact.
-        let mut impact = HashMap::new();
-        let mut cluster = HashMap::new();
+        let mut impact = BTreeMap::new();
+        let mut cluster = BTreeMap::new();
         for (l, &w) in ds.term_world_idx.iter().enumerate() {
             let tok = TokenId(l as u32);
             if let dblp_sim::TermKind::Quality { domain } = ds.world.terms[w].kind {
@@ -331,9 +347,11 @@ mod tests {
             after >= before - 0.1,
             "oracle-guided refinement must not hurt: {after} < {before}"
         );
-        let chance =
-            ds.world.config.quality_terms_per_domain as f32 / ds.vocab.len() as f32;
-        assert!(after / 3.0 > 5.0 * chance, "precision {after} too close to chance");
+        let chance = ds.world.config.quality_terms_per_domain as f32 / ds.vocab.len() as f32;
+        assert!(
+            after / 3.0 > 5.0 * chance,
+            "precision {after} too close to chance"
+        );
     }
 
     #[test]
@@ -341,8 +359,8 @@ mod tests {
         let (_ds, mut te) = setup();
         te.bootstrap(8);
         let sizes: Vec<usize> = te.term_sets.iter().map(Vec::len).collect();
-        let impact = HashMap::new();
-        let cluster = HashMap::new();
+        let impact = BTreeMap::new();
+        let cluster = BTreeMap::new();
         te.refine(&impact, &cluster, 8);
         for (k, set) in te.term_sets.iter().enumerate() {
             if sizes[k] > 0 {

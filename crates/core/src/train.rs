@@ -18,12 +18,12 @@ use crate::resilience::{
     RecoveryPolicy, TrainError, TrainOptions, TrainState,
 };
 use crate::te::TextEnhancer;
-use hetgraph::{sample_blocks, NodeId};
+use hetgraph::{sample_blocks, Block, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use tensor::{Graph, Optimizer, Tensor};
 
 /// Snapshot of the TE term sets after one refinement round (Fig. 5 data).
@@ -103,6 +103,40 @@ fn decide(
     }
 }
 
+/// Per-lane state for the batch-parallel HGN path
+/// ([`TrainOptions::data_lanes`] > 1): a private tape — with its own
+/// `BufferPool` scratch, the PR-3 pattern — plus the coordinator-drawn
+/// batch payload the lane evaluates.
+struct Lane {
+    /// Long-lived private tape; reset per group, so steady-state lane
+    /// steps run allocation-free exactly like the serial loop.
+    g: Graph,
+    /// Lane-local RNG for the loss's stochastic draws, reseeded from the
+    /// main stream each step so consumption never depends on the thread
+    /// count.
+    rng: ChaCha8Rng,
+    /// Global step position this lane evaluates (the fault-injection key).
+    step: u64,
+    labels: Tensor,
+    blocks: Vec<Block>,
+    loss_val: f32,
+    sup: f32,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            g: Graph::new(),
+            rng: ChaCha8Rng::seed_from_u64(0),
+            step: 0,
+            labels: Tensor::col_vec(vec![0.0]),
+            blocks: Vec::new(),
+            loss_val: 0.0,
+            sup: 0.0,
+        }
+    }
+}
+
 /// Captures the full training state at an HGN mini-iteration boundary.
 #[allow(clippy::too_many_arguments)]
 fn capture_state(
@@ -120,6 +154,7 @@ fn capture_state(
     te: &Option<TextEnhancer>,
     report: &TrainReport,
     ds: &dblp_sim::Dataset,
+    lanes: usize,
 ) -> TrainState {
     TrainState {
         config_json: cfg_json.to_string(),
@@ -135,12 +170,16 @@ fn capture_state(
         rng_words: rng.state_words(),
         params: snapshot_params(&model.params),
         best_params: best_params.as_ref().map(snapshot_params),
-        te_term_sets: te
-            .as_ref()
-            .map(|te| te.term_sets.iter().map(|s| s.iter().map(|t| t.0).collect()).collect()),
+        te_term_sets: te.as_ref().map(|te| {
+            te.term_sets
+                .iter()
+                .map(|s| s.iter().map(|t| t.0).collect())
+                .collect()
+        }),
         report: report.clone(),
         graph_fingerprint: ds.graph.content_fingerprint(),
         cache_stamp: ds.graph.sampling_stamp(),
+        data_lanes: lanes as u64,
     }
 }
 
@@ -229,12 +268,14 @@ pub fn train_with(
         .map_err(|e| CheckpointError::Corrupt(format!("model config serialization: {e}")))
         .map_err(TrainError::Checkpoint)?;
     let mut manager = CheckpointManager::new(opts.checkpoint_path.clone());
+    // Normalized lane count: 0 and 1 both mean the serial historical loop.
+    let lanes = opts.data_lanes.max(1);
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0x7EA1));
     let mut report = TrainReport::default();
     let mut opt = Optimizer::adam(cfg.lr);
     let mut ca_opt = Optimizer::adam(cfg.lr);
-    let center_ids: HashSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
+    let center_ids: BTreeSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
 
     let train_idx = ds.split.train.clone();
     assert!(!train_idx.is_empty(), "empty training split");
@@ -251,6 +292,15 @@ pub fn train_with(
             return Err(CheckpointError::Mismatch(
                 "checkpoint was produced by a different model config".into(),
             )
+            .into());
+        }
+        // The RNG stream and step grouping are functions of the lane
+        // schedule: resuming under a different one would silently diverge.
+        if state.data_lanes != lanes as u64 {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was captured with data_lanes={}, run configured with {lanes}",
+                state.data_lanes
+            ))
             .into());
         }
         // The enhancer itself is a pure deterministic function of the
@@ -353,6 +403,7 @@ pub fn train_with(
             &te,
             &report,
             ds,
+            lanes,
         ));
     }
 
@@ -360,6 +411,13 @@ pub fn train_with(
     // every node buffer through the graph's pool, so steady-state training
     // steps run allocation-free (see DESIGN.md, "Memory model").
     let mut g = Graph::new();
+    // Lane tapes for the batch-parallel path (empty when serial). They
+    // live as long as the run so their buffer pools stay warm.
+    let mut lane_states: Vec<Lane> = if lanes > 1 {
+        (0..lanes).map(|_| Lane::new()).collect()
+    } else {
+        Vec::new()
+    };
     // Consecutive-failure counters; both reset on any successful step.
     let mut skips_in_row = 0usize;
     let mut rolls_in_row = 0usize;
@@ -367,6 +425,198 @@ pub fn train_with(
     'outer_loop: while cur_outer < cfg.outer_iters {
         // ---- HGN mini-iterations (lines 3-9) --------------------------
         while cur_mini < cfg.mini_iters {
+            if lanes > 1 {
+                // ---- Batch-parallel group (ROADMAP item 2) ------------
+                // `group` independent batches share one optimizer step:
+                // the coordinator draws every lane's inputs sequentially
+                // in lane order (main-RNG consumption is a pure function
+                // of the lane schedule, never of the thread count), the
+                // lanes evaluate concurrently on the tensor worker pool,
+                // and their gradients fold back in fixed lane order.
+                let group = lanes.min(cfg.mini_iters - cur_mini);
+                // `group <= lanes == lane_states.len()` by construction.
+                let (lane_group, _) = lane_states.split_at_mut(group);
+                for (k, lane) in lane_group.iter_mut().enumerate() {
+                    let step = (cur_outer * cfg.mini_iters + cur_mini + k) as u64;
+                    let batch: Vec<usize> = (0..cfg.batch_size)
+                        .map(|_| train_idx[rng.gen_range(0..train_idx.len())])
+                        .collect();
+                    let seeds = ds.paper_nodes_of(&batch);
+                    let mut labels = Tensor::col_vec(ds.labels_of(&batch));
+                    opts.faults.poison_batch(step, labels.as_mut_slice());
+                    let blocks = sample_blocks(&ds.graph, &seeds, cfg.layers, cfg.fanout, &mut rng);
+                    lane.labels = dedup_labels(&seeds, &blocks[0].dst_nodes, &labels);
+                    lane.blocks = blocks;
+                    lane.step = step;
+                    lane.rng = ChaCha8Rng::seed_from_u64(rng.gen());
+                }
+                // Each lane touches only its own tape, and every kernel
+                // inside a lane runs serially (pool jobs carry the nested
+                // guard), so a lane's numbers match a one-at-a-time
+                // evaluation bitwise at any `TENSOR_NUM_THREADS`.
+                let model_ref: &CateHgn = model;
+                let ds_ref: &dblp_sim::Dataset = ds;
+                tensor::par::par_for_each_mut(lane_group, |_, lane| {
+                    lane.g.reset();
+                    let fw = model_ref.forward(
+                        &mut lane.g,
+                        &ds_ref.graph,
+                        &ds_ref.features,
+                        &lane.blocks,
+                        false,
+                    );
+                    let (loss, sup, _mi) = model_ref.hgn_loss(
+                        &mut lane.g,
+                        &fw,
+                        &lane.blocks,
+                        &lane.labels,
+                        &mut lane.rng,
+                    );
+                    lane.sup = sup;
+                    lane.loss_val = lane.g.value(loss).as_slice()[0];
+                    if lane.loss_val.is_finite() {
+                        lane.g.backward(loss);
+                    }
+                });
+
+                let failure: Option<NonFiniteSource> =
+                    if lane_group.iter().any(|l| !l.loss_val.is_finite()) {
+                        Some(NonFiniteSource::Loss)
+                    } else {
+                        // Fold per-lane gradient sums in fixed lane order;
+                        // the BTreeMap then yields an id-sorted list
+                        // exactly like `collect_param_grads`, so the clip
+                        // norm and Adam arithmetic see a canonical order.
+                        let mut folded: BTreeMap<tensor::ParamId, Tensor> = BTreeMap::new();
+                        for lane in lane_group.iter_mut() {
+                            opts.faults.corrupt_gradients(lane.step, &mut lane.g);
+                            for (pid, grad) in lane.g.collect_param_grads() {
+                                match folded.get_mut(&pid) {
+                                    Some(sum) => {
+                                        sum.add_assign(&grad);
+                                        lane.g.recycle(grad);
+                                    }
+                                    None => {
+                                        folded.insert(pid, grad);
+                                    }
+                                }
+                            }
+                        }
+                        let inv = 1.0 / group as f32;
+                        let grads: Vec<(tensor::ParamId, Tensor)> = folded
+                            .into_iter()
+                            .map(|(pid, mut sum)| {
+                                sum.scale_assign(inv);
+                                (pid, sum)
+                            })
+                            .collect();
+                        match opt.step_grads_clipped_guarded(
+                            &mut model.params,
+                            grads,
+                            Some(cfg.clip),
+                            &mut g,
+                        ) {
+                            Ok(_norm) => None,
+                            Err(pid) => Some(NonFiniteSource::Gradient {
+                                param: model.params.name(pid).to_string(),
+                            }),
+                        }
+                    };
+
+                let Some(source) = failure else {
+                    // Account lane losses in lane order — the same f32
+                    // accumulation a serial walk of the group would do.
+                    for lane in lane_group.iter() {
+                        tot += lane.loss_val;
+                        sup_tot += lane.sup;
+                    }
+                    skips_in_row = 0;
+                    rolls_in_row = 0;
+                    cur_mini += group;
+
+                    let pos = (cur_outer * cfg.mini_iters + cur_mini) as u64;
+                    let prev = pos - group as u64;
+                    // "Crossed a multiple of n" generalizes the serial
+                    // is_multiple_of check to group-sized strides, so
+                    // checkpoints land on group boundaries and resume
+                    // always restarts on the same lane schedule.
+                    let due = opts
+                        .checkpoint_every
+                        .is_some_and(|n| n > 0 && pos / n as u64 > prev / n as u64);
+                    let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                    if due || halting {
+                        let state = capture_state(
+                            &cfg_json,
+                            cur_outer,
+                            cur_mini,
+                            tot,
+                            sup_tot,
+                            model,
+                            &opt,
+                            &ca_opt,
+                            &rng,
+                            best_val,
+                            &best_params,
+                            &te,
+                            &report,
+                            ds,
+                            lanes,
+                        );
+                        manager.save(&state, &mut opts.faults)?;
+                    }
+                    if halting {
+                        return Ok(report);
+                    }
+                    continue;
+                };
+
+                // A bad lane abandons the whole group before any state
+                // moved (parameters, moments, and the Adam counter are
+                // untouched): Skip redraws the group, Rollback behaves
+                // exactly as in the serial loop.
+                skips_in_row += 1;
+                rolls_in_row += 1;
+                match decide(
+                    opts.policy,
+                    skips_in_row,
+                    rolls_in_row,
+                    &source,
+                    cur_outer,
+                    cur_mini,
+                )? {
+                    Recovery::Skip => {
+                        report.skipped += 1;
+                    }
+                    Recovery::Rollback => {
+                        let state = manager.last_state()?;
+                        let (t, s) = apply_snapshot(
+                            &state,
+                            &cfg,
+                            model,
+                            ds,
+                            &mut te,
+                            &mut opt,
+                            &mut ca_opt,
+                            &mut rng,
+                            &mut report,
+                            &mut best_val,
+                            &mut best_params,
+                        )?;
+                        tot = t;
+                        sup_tot = s;
+                        cur_outer = state.outer as usize;
+                        cur_mini = state.mini as usize;
+                        report.rollbacks += 1;
+                        if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
+                            let scale = lr_backoff.powi(rolls_in_row as i32);
+                            opt.set_lr(state.opt_lr * scale);
+                            ca_opt.set_lr(state.ca_lr * scale);
+                        }
+                        continue 'outer_loop;
+                    }
+                }
+                continue;
+            }
             // Global step position; stable across resume and rollback
             // replays, which is what makes fault injection deterministic.
             let step = (cur_outer * cfg.mini_iters + cur_mini) as u64;
@@ -413,8 +663,21 @@ pub fn train_with(
                 let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
                 if due || halting {
                     let state = capture_state(
-                        &cfg_json, cur_outer, cur_mini, tot, sup_tot, model, &opt, &ca_opt,
-                        &rng, best_val, &best_params, &te, &report, ds,
+                        &cfg_json,
+                        cur_outer,
+                        cur_mini,
+                        tot,
+                        sup_tot,
+                        model,
+                        &opt,
+                        &ca_opt,
+                        &rng,
+                        best_val,
+                        &best_params,
+                        &te,
+                        &report,
+                        ds,
+                        lanes,
                     );
                     manager.save(&state, &mut opts.faults)?;
                 }
@@ -428,7 +691,14 @@ pub fn train_with(
 
             skips_in_row += 1;
             rolls_in_row += 1;
-            match decide(opts.policy, skips_in_row, rolls_in_row, &source, cur_outer, cur_mini)? {
+            match decide(
+                opts.policy,
+                skips_in_row,
+                rolls_in_row,
+                &source,
+                cur_outer,
+                cur_mini,
+            )? {
                 Recovery::Skip => {
                     // Drop the poisoned batch and redraw the same mini
                     // slot; the RNG has advanced past the bad draws, and
@@ -515,7 +785,14 @@ pub fn train_with(
                 };
                 skips_in_row += 1;
                 rolls_in_row += 1;
-                match decide(opts.policy, skips_in_row, rolls_in_row, &source, cur_outer, ca_i)? {
+                match decide(
+                    opts.policy,
+                    skips_in_row,
+                    rolls_in_row,
+                    &source,
+                    cur_outer,
+                    ca_i,
+                )? {
                     Recovery::Skip => {
                         // CA iterations carry no loss accounting; a skip
                         // consumes the iteration.
@@ -591,7 +868,11 @@ pub fn rmse(pred: &[f32], truth: &[f32]) -> f32 {
     if pred.is_empty() {
         return 0.0;
     }
-    let s: f32 = pred.iter().zip(truth).map(|(&p, &t)| (p - t) * (p - t)).sum();
+    let s: f32 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t) * (p - t))
+        .sum();
     (s / pred.len() as f32).sqrt()
 }
 
@@ -600,7 +881,7 @@ fn dedup_labels(seeds: &[NodeId], deduped: &[NodeId], labels: &Tensor) -> Tensor
     if seeds.len() == deduped.len() {
         return labels.clone();
     }
-    let first_label: HashMap<NodeId, f32> = seeds
+    let first_label: BTreeMap<NodeId, f32> = seeds
         .iter()
         .zip(labels.as_slice())
         .map(|(&n, &l)| (n, l))
@@ -612,17 +893,22 @@ fn dedup_labels(seeds: &[NodeId], deduped: &[NodeId], labels: &Tensor) -> Tensor
 fn init_centers_from_terms(model: &mut CateHgn, ds: &dblp_sim::Dataset, te: &TextEnhancer) {
     // Collect the union of term nodes, embed them once per layer, then
     // average per cluster.
-    let mut all_tokens: Vec<textmine::TokenId> =
-        te.term_sets.iter().flatten().copied().collect();
+    let mut all_tokens: Vec<textmine::TokenId> = te.term_sets.iter().flatten().copied().collect();
     all_tokens.sort();
     all_tokens.dedup();
     if all_tokens.is_empty() {
         return;
     }
-    let nodes: Vec<NodeId> = all_tokens.iter().map(|t| ds.term_nodes[t.index()]).collect();
+    let nodes: Vec<NodeId> = all_tokens
+        .iter()
+        .map(|t| ds.term_nodes[t.index()])
+        .collect();
     let embs = model.embed(&ds.graph, &ds.features, &nodes, model.cfg.seed);
-    let pos_of: HashMap<textmine::TokenId, usize> =
-        all_tokens.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let pos_of: BTreeMap<textmine::TokenId, usize> = all_tokens
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i))
+        .collect();
     for (l, emb) in embs.iter().enumerate() {
         let centers = model.params.value_mut(model.ca.centers[l]);
         for (k, set) in te.term_sets.iter().enumerate() {
@@ -696,8 +982,8 @@ fn refine_terms(
     }
     let nodes: Vec<NodeId> = active.iter().map(|t| ds.term_nodes[t.index()]).collect();
     let readout = model.impact_and_cluster(&ds.graph, &ds.features, &nodes, cfg.seed);
-    let mut impact = HashMap::new();
-    let mut cluster = HashMap::new();
+    let mut impact = BTreeMap::new();
+    let mut cluster = BTreeMap::new();
     for (t, (y, c)) in active.iter().zip(readout) {
         impact.insert(*t, y);
         cluster.insert(*t, c);
@@ -712,10 +998,17 @@ fn snapshot(round: usize, te: &TextEnhancer, ds: &dblp_sim::Dataset) -> TeRound 
         .term_sets
         .iter()
         .map(|set| {
-            set.iter().take(8).map(|t| ds.vocab.token(*t).to_string()).collect()
+            set.iter()
+                .take(8)
+                .map(|t| ds.vocab.token(*t).to_string())
+                .collect()
         })
         .collect();
-    TeRound { round, precision, sample_terms }
+    TeRound {
+        round,
+        precision,
+        sample_terms,
+    }
 }
 
 /// Fisher-Yates helper re-exported for harness reproducibility.
@@ -806,14 +1099,18 @@ mod tests {
         // The 160-paper tiny world has a ~10-paper validation split —
         // checkpoint selection is a coin flip there. Use a 400-paper world
         // so "learns anything at all" is actually testable.
-        let world = WorldConfig { n_papers: 400, n_authors: 200, ..WorldConfig::tiny() };
+        let world = WorldConfig {
+            n_papers: 400,
+            n_authors: 200,
+            ..WorldConfig::tiny()
+        };
         let (_report, model, ds) = train_variant_on(cfg, &world);
         let seeds = ds.paper_nodes_of(&ds.split.test);
         let preds = model.predict(&ds.graph, &ds.features, &seeds, 1);
         let truth = ds.labels_of(&ds.split.test);
         let model_rmse = rmse(&preds, &truth);
-        let train_mean = ds.labels_of(&ds.split.train).iter().sum::<f32>()
-            / ds.split.train.len() as f32;
+        let train_mean =
+            ds.labels_of(&ds.split.train).iter().sum::<f32>() / ds.split.train.len() as f32;
         let mean_preds = vec![train_mean; truth.len()];
         let mean_rmse = rmse(&mean_preds, &truth);
         assert!(

@@ -1,0 +1,200 @@
+//! PR-6 acceptance tests for batch-parallel training
+//! (`TrainOptions::data_lanes`): the lane path must be bitwise-identical
+//! across tensor thread counts, survive a kill-and-resume round trip
+//! bitwise, and refuse to resume under a different lane schedule.
+
+use catehgn::{
+    params_fingerprint, report_fingerprint, train_with, CateHgn, CheckpointError, ModelConfig,
+    TrainError, TrainOptions, TrainReport,
+};
+use dblp_sim::{Dataset, WorldConfig};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use tensor::par;
+
+/// Serialises access to the process-global tensor thread-count override.
+static THREADS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn build(cfg: &ModelConfig, pristine: &Dataset) -> (CateHgn, Dataset) {
+    let ds = pristine.clone();
+    let model = CateHgn::new(
+        cfg.clone(),
+        ds.features.cols(),
+        ds.graph.schema().num_node_types(),
+        ds.graph.schema().num_link_types(),
+    );
+    (model, ds)
+}
+
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("catehgn-lanes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.ckpt"))
+}
+
+fn cleanup(path: &Path) {
+    for suffix in ["", ".prev", ".tmp"] {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(suffix);
+        std::fs::remove_file(PathBuf::from(os)).ok();
+    }
+}
+
+/// `(params_fingerprint, report_fingerprint, report)` of a finished run.
+type RunTrace = (u64, u64, TrainReport);
+
+fn run_lanes(cfg: &ModelConfig, pristine: &Dataset, lanes: usize) -> RunTrace {
+    let (mut model, mut ds) = build(cfg, pristine);
+    let mut opts = TrainOptions {
+        data_lanes: lanes,
+        ..TrainOptions::default()
+    };
+    let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+    (
+        params_fingerprint(&model.params),
+        report_fingerprint(&report),
+        report,
+    )
+}
+
+fn run_lanes_halted_then_resumed(
+    cfg: &ModelConfig,
+    pristine: &Dataset,
+    lanes: usize,
+    halt_after: u64,
+    path: PathBuf,
+) -> RunTrace {
+    // Process 1: train until `halt_after` completed steps, then "die".
+    {
+        let (mut model, mut ds) = build(cfg, pristine);
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            halt_after_steps: Some(halt_after),
+            data_lanes: lanes,
+            ..TrainOptions::default()
+        };
+        train_with(&mut model, &mut ds, &mut opts).unwrap();
+    }
+    // Process 2: fresh model + dataset, resume from disk, run to the end.
+    let (mut model, mut ds) = build(cfg, pristine);
+    let mut opts = TrainOptions {
+        checkpoint_path: Some(path.clone()),
+        resume: true,
+        data_lanes: lanes,
+        ..TrainOptions::default()
+    };
+    let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+    cleanup(&path);
+    (
+        params_fingerprint(&model.params),
+        report_fingerprint(&report),
+        report,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The lane path is bitwise-identical at every thread count: lanes
+    /// evaluate concurrently, but the coordinator draws inputs and folds
+    /// gradients in fixed lane order. `lanes = 3` does not divide the 4
+    /// mini-iterations per round, so the tail group (size 1) is covered.
+    #[test]
+    fn lane_training_is_bitwise_identical_across_thread_counts(lanes in 2usize..4) {
+        let cfg = ModelConfig::test_tiny();
+        let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+        let _guard = THREADS.lock().unwrap();
+        par::set_num_threads(1);
+        let reference = run_lanes(&cfg, &pristine, lanes);
+        prop_assert!(!reference.2.hgn_losses.is_empty());
+        for threads in [2usize, 4] {
+            par::set_num_threads(threads);
+            let got = run_lanes(&cfg, &pristine, lanes);
+            prop_assert_eq!(
+                &reference, &got,
+                "lanes={} at {} threads diverged from 1 thread", lanes, threads
+            );
+        }
+        par::set_num_threads(0);
+    }
+
+    /// Kill a lane run at a random step boundary, resume in a fresh
+    /// "process", and the result is bitwise-equal to the uninterrupted
+    /// lane run — at 1 and 4 tensor threads.
+    #[test]
+    fn lane_resume_reproduces_uninterrupted_run_bitwise(halt_after in 1u64..8) {
+        let cfg = ModelConfig::test_tiny();
+        let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+        let _guard = THREADS.lock().unwrap();
+        for threads in [1usize, 4] {
+            par::set_num_threads(threads);
+            let reference = run_lanes(&cfg, &pristine, 2);
+            let path = ckpt_path(&format!("lanes-bitwise-{halt_after}-{threads}"));
+            let resumed =
+                run_lanes_halted_then_resumed(&cfg, &pristine, 2, halt_after, path);
+            prop_assert_eq!(
+                &reference, &resumed,
+                "halt at step {} with {} threads diverged", halt_after, threads
+            );
+        }
+        par::set_num_threads(0);
+    }
+}
+
+/// `data_lanes: 0` and `1` are the same serial loop: both must reproduce
+/// the historical path bitwise.
+#[test]
+fn lane_counts_zero_and_one_are_the_serial_path() {
+    let cfg = ModelConfig::test_tiny();
+    let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+    let _guard = THREADS.lock().unwrap();
+    par::set_num_threads(1);
+    let serial = run_lanes(&cfg, &pristine, 0);
+    let one = run_lanes(&cfg, &pristine, 1);
+    assert_eq!(
+        serial, one,
+        "data_lanes 0 and 1 must be the identical serial loop"
+    );
+    par::set_num_threads(0);
+}
+
+/// Resuming under a different lane schedule must be refused: the RNG
+/// stream and step grouping are functions of the lane count, so silently
+/// continuing would diverge from both runs.
+#[test]
+fn resume_rejects_a_checkpoint_with_different_lanes() {
+    let cfg = ModelConfig::test_tiny();
+    let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+    let _guard = THREADS.lock().unwrap();
+    par::set_num_threads(1);
+    let path = ckpt_path("lane-mismatch");
+    {
+        let (mut model, mut ds) = build(&cfg, &pristine);
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            halt_after_steps: Some(2),
+            data_lanes: 2,
+            ..TrainOptions::default()
+        };
+        train_with(&mut model, &mut ds, &mut opts).unwrap();
+    }
+    let (mut model, mut ds) = build(&cfg, &pristine);
+    let mut opts = TrainOptions {
+        checkpoint_path: Some(path.clone()),
+        resume: true,
+        data_lanes: 1,
+        ..TrainOptions::default()
+    };
+    let err = train_with(&mut model, &mut ds, &mut opts).unwrap_err();
+    cleanup(&path);
+    match err {
+        TrainError::Checkpoint(CheckpointError::Mismatch(msg)) => {
+            assert!(
+                msg.contains("data_lanes"),
+                "unexpected mismatch message: {msg}"
+            );
+        }
+        other => panic!("expected a lane-mismatch error, got: {other}"),
+    }
+    par::set_num_threads(0);
+}

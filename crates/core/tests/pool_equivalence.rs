@@ -10,7 +10,7 @@ use hetgraph::{sample_blocks, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use tensor::{Graph, Optimizer, Tensor};
 
 const OUTER_ROUNDS: usize = 3;
@@ -47,7 +47,7 @@ fn run(ds: &Dataset, reuse: bool) -> (Vec<u32>, Vec<Vec<u32>>) {
     let mut rng = ChaCha8Rng::seed_from_u64(0xBEEF);
     let mut opt = Optimizer::adam(cfg.lr);
     let mut ca_opt = Optimizer::adam(cfg.lr);
-    let center_ids: HashSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
+    let center_ids: BTreeSet<tensor::ParamId> = model.ca.centers.iter().copied().collect();
     let train_idx = &ds.split.train;
 
     let mut shared = Graph::new();

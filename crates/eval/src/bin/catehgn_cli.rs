@@ -22,7 +22,10 @@ use std::path::PathBuf;
 
 fn arg(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// True when a bare flag (no value) is present.
@@ -35,7 +38,8 @@ fn usage() -> ! {
         "usage: catehgn_cli <generate|train|predict|domains> \
          [--scale tiny|small|full] [--variant hgn|ca-hgn|cate-hgn] \
          [--model FILE] [--out FILE] [--top N] \
-         [--checkpoint FILE] [--checkpoint-every N] [--resume] [--halt-after N]"
+         [--checkpoint FILE] [--checkpoint-every N] [--resume] [--halt-after N] \
+         [--lanes N]"
     );
     std::process::exit(2);
 }
@@ -102,6 +106,7 @@ fn main() {
                 checkpoint_every: arg("--checkpoint-every").and_then(|s| s.parse().ok()),
                 resume: flag("--resume"),
                 halt_after_steps: arg("--halt-after").and_then(|s| s.parse().ok()),
+                data_lanes: arg("--lanes").and_then(|s| s.parse().ok()).unwrap_or(1),
                 ..TrainOptions::default()
             };
             let report = train_with(&mut model, &mut ds, &mut opts).unwrap_or_else(|e| {
@@ -111,7 +116,10 @@ fn main() {
             eprintln!("validation RMSE per round: {:?}", report.val_rmse);
             // Bitwise run identity, for kill-and-resume drills: equal
             // fingerprints mean equal parameter bits and loss traces.
-            println!("params_fingerprint=0x{:016x}", params_fingerprint(&model.params));
+            println!(
+                "params_fingerprint=0x{:016x}",
+                params_fingerprint(&model.params)
+            );
             println!("report_fingerprint=0x{:016x}", report_fingerprint(&report));
             if opts.halt_after_steps.is_some() {
                 eprintln!("halted early (checkpoint drill); skipping model save");
@@ -136,8 +144,13 @@ fn main() {
             let preds = model.predict(&ds.graph, &ds.features, &seeds, 0xC11);
             let truth = ds.labels_of(&ds.split.test);
             println!("test RMSE: {:.4}", catehgn::rmse(&preds, &truth));
-            let mut ranked: Vec<(usize, f32)> =
-                ds.split.test.iter().copied().zip(preds.iter().copied()).collect();
+            let mut ranked: Vec<(usize, f32)> = ds
+                .split
+                .test
+                .iter()
+                .copied()
+                .zip(preds.iter().copied())
+                .collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             println!("top {top} predicted papers (pred vs actual cites/yr):");
             for (i, p) in ranked.into_iter().take(top) {
@@ -162,8 +175,11 @@ fn main() {
                 }
                 println!("cluster {k}:");
                 let terms: Vec<&str> = cs.terms[k].iter().map(|r| r.name.as_str()).collect();
-                let authors: Vec<&str> =
-                    cs.authors[k].iter().take(3).map(|r| r.name.as_str()).collect();
+                let authors: Vec<&str> = cs.authors[k]
+                    .iter()
+                    .take(3)
+                    .map(|r| r.name.as_str())
+                    .collect();
                 println!("  top terms:   {}", terms.join(", "));
                 println!("  top authors: {}", authors.join(", "));
             }

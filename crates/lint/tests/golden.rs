@@ -224,7 +224,8 @@ determinism wall-clock crates/b/src/lib.rs 1 -- startup banner only, not in resu
 #[test]
 fn classify_scope_matrix() {
     assert_eq!(classify("crates/core/src/model.rs"), FileClass::Lib);
-    assert_eq!(classify("crates/tensor/src/par.rs"), FileClass::Lib);
+    assert_eq!(classify("crates/tensor/src/par/mod.rs"), FileClass::Lib);
+    assert_eq!(classify("crates/tensor/src/par/pool.rs"), FileClass::Lib);
     assert_eq!(
         classify("crates/eval/src/bin/table2.rs"),
         FileClass::Support

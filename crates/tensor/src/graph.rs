@@ -293,7 +293,12 @@ fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Te
 }
 
 /// Pooled element-wise zip (`out[i] = f(a[i], b[i])`); shapes must match.
-fn pooled_zip(pool: &mut BufferPool, a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+fn pooled_zip(
+    pool: &mut BufferPool,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
     debug_assert_eq!(a.shape(), b.shape(), "shape mismatch");
     if a.len() != b.len() {
         panic!(
@@ -395,7 +400,12 @@ impl Graph {
     /// tensor via [`Graph::recycle`] once consumed, keeping optimizer steps
     /// off the heap.
     pub fn collect_param_grads(&mut self) -> Vec<(ParamId, Tensor)> {
-        let Graph { grads, bindings, pool, .. } = self;
+        let Graph {
+            grads,
+            bindings,
+            pool,
+            ..
+        } = self;
         let mut out: Vec<(ParamId, Tensor)> = Vec::new();
         for &(pid, var) in bindings.iter() {
             if let Some(grad) = grads[var.idx()].as_ref() {
@@ -446,12 +456,7 @@ impl Graph {
     /// Records a pooled `rows x cols` input leaf whose contents `fill`
     /// writes. The buffer arrives with arbitrary pooled contents; `fill`
     /// must overwrite every element.
-    pub fn input_with(
-        &mut self,
-        rows: usize,
-        cols: usize,
-        fill: impl FnOnce(&mut [f32]),
-    ) -> Var {
+    pub fn input_with(&mut self, rows: usize, cols: usize, fill: impl FnOnce(&mut [f32])) -> Var {
         let mut t = self.pool.tensor_raw(rows, cols);
         fill(t.as_mut_slice());
         self.push(t, Op::Leaf)
@@ -567,7 +572,11 @@ impl Graph {
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (n, m) = self.shape(a);
         let (rr, rm) = self.shape(row);
-        assert_eq!((rr, rm), (1, m), "add_row: expected 1x{m} row, got {rr}x{rm}");
+        assert_eq!(
+            (rr, rm),
+            (1, m),
+            "add_row: expected 1x{m} row, got {rr}x{rm}"
+        );
         let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
         let r = &self.values[row.idx()];
         for i in 0..n {
@@ -699,7 +708,9 @@ impl Graph {
 
     /// Natural log with input clamped to [`LOG_EPS`] for finiteness.
     pub fn log(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x.max(LOG_EPS).ln());
+        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| {
+            x.max(LOG_EPS).ln()
+        });
         self.push(v, Op::Log(a))
     }
 
@@ -728,7 +739,11 @@ impl Graph {
     pub fn sum_rows(&mut self, a: Var) -> Var {
         let (n, _m) = self.shape(a);
         let mut out = self.pool.tensor_raw(n, 1);
-        for (o, r) in out.as_mut_slice().iter_mut().zip(self.values[a.idx()].rows_iter()) {
+        for (o, r) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.values[a.idx()].rows_iter())
+        {
             *o = r.iter().sum();
         }
         self.push(out, Op::SumRows(a))
@@ -853,7 +868,12 @@ impl Graph {
         let mut out = self.pool.tensor_raw(n, 1);
         let av = &self.values[a.idx()];
         let bv = &self.values[b.idx()];
-        for ((o, x), y) in out.as_mut_slice().iter_mut().zip(av.rows_iter()).zip(bv.rows_iter()) {
+        for ((o, x), y) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(av.rows_iter())
+            .zip(bv.rows_iter())
+        {
             *o = dot(x, y);
         }
         self.push(out, Op::RowwiseDot(a, b))
@@ -1026,7 +1046,9 @@ impl Graph {
         seed.as_mut_slice()[0] = 1.0;
         self.grads[idx] = Some(seed);
         for i in (0..=idx).rev() {
-            let Some(g) = self.grads[i].take() else { continue };
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             check_grad_shape(i, &self.ops[i], &g, &self.values);
             let mut sink = SerialSink {
                 op: i,
@@ -1058,7 +1080,16 @@ impl Graph {
         let mut seed = self.pool.tensor_raw(1, 1);
         seed.as_mut_slice()[0] = 1.0;
         self.grads[idx] = Some(seed);
-        let Graph { values, grads, ops, consts, pool, worker_scratch, plan, .. } = self;
+        let Graph {
+            values,
+            grads,
+            ops,
+            consts,
+            pool,
+            worker_scratch,
+            plan,
+            ..
+        } = self;
         let values: &[Tensor] = values;
         let ops: &[Op] = ops;
         let consts: &[Tensor] = consts;
@@ -1076,22 +1107,23 @@ impl Graph {
         // `UnsafeCell<Option<Tensor>>`, which has the same in-memory
         // representation as `Option<Tensor>`, so the cast reinterprets the
         // gradient storage as shared cells. `grads` (the unique `&mut`) is
-        // not touched again until the scope below ends, and the scheduler
+        // not touched again until the region below ends, and the scheduler
         // hands each node to exactly one worker, so every cell has at most
         // one writer at a time and is read only by that writer.
         let grad_cells: &[GradCell] =
             unsafe { std::slice::from_raw_parts(grads.as_ptr() as *const GradCell, n) };
         let plan_ref: &BackwardPlan = plan;
         let sched_ref = &sched;
-        std::thread::scope(|s| {
-            let mut pools = worker_scratch[..workers].iter_mut();
-            let own = pools.next().expect("at least one worker");
-            for p in pools {
-                s.spawn(move || {
-                    backward_worker(sched_ref, plan_ref, values, ops, consts, grad_cells, p)
-                });
-            }
-            backward_worker(sched_ref, plan_ref, values, ops, consts, grad_cells, own);
+        let scratch_base = crate::par::SyncPtr(worker_scratch.as_mut_ptr());
+        crate::par::run_region(workers, move |w| {
+            // SAFETY: job `w < workers` selects a distinct scratch pool;
+            // `worker_scratch` was resized to `workers` above and outlives
+            // the region (`run_region` returns only after every job
+            // completed).
+            let scratch = unsafe { &mut *scratch_base.get().add(w) };
+            backward_worker(
+                sched_ref, plan_ref, values, ops, consts, grad_cells, scratch,
+            );
         });
         // Return the parked (non-first) accumulation slots to the main pool
         // in slot-id order — a fixed order independent of how the workers
@@ -1120,6 +1152,12 @@ trait GradSink {
     /// of the provided buffer (shape = the parent's value shape; contents
     /// unspecified on entry).
     fn emit_with(&mut self, p: Var, fill: &mut dyn FnMut(&mut Tensor));
+    /// Emits two computed contributions in one call — the fused MatMul
+    /// backward fills both parents' buffers at once so its kernels share
+    /// a single parallel region. Must be equivalent to `emit_with(pa, …)`
+    /// followed by `emit_with(pb, …)`: same slot order, same accumulation
+    /// arithmetic.
+    fn emit_pair_with(&mut self, pa: Var, pb: Var, fill: &mut dyn FnMut(&mut Tensor, &mut Tensor));
     /// Pool for op-internal temporaries (taken and returned within one op).
     fn scratch(&mut self) -> &mut BufferPool;
 }
@@ -1191,6 +1229,38 @@ impl GradSink for SerialSink<'_> {
                 self.pool.give(t.into_vec());
             }
             slot => *slot = Some(t),
+        }
+    }
+
+    fn emit_pair_with(&mut self, pa: Var, pb: Var, fill: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        let (ra, ca) = self.values[pa.idx()].shape();
+        let (rb, cb) = self.values[pb.idx()].shape();
+        if let Some(g) = &self.grads[pa.idx()] {
+            self.check_accum(pa, g.shape(), (ra, ca));
+        }
+        if let Some(g) = &self.grads[pb.idx()] {
+            self.check_accum(pb, g.shape(), (rb, cb));
+        }
+        let mut ta = self.pool.tensor_raw(ra, ca);
+        let mut tb = self.pool.tensor_raw(rb, cb);
+        fill(&mut ta, &mut tb);
+        // Install / accumulate in pa-then-pb order — exactly the serial
+        // semantics of two consecutive `emit_with` calls (including the
+        // repeated-parent case `pa == pb`, where `tb` accumulates into
+        // the gradient `ta` just installed).
+        match &mut self.grads[pa.idx()] {
+            Some(g) => {
+                g.add_assign(&ta);
+                self.pool.give(ta.into_vec());
+            }
+            slot => *slot = Some(ta),
+        }
+        match &mut self.grads[pb.idx()] {
+            Some(g) => {
+                g.add_assign(&tb);
+                self.pool.give(tb.into_vec());
+            }
+            slot => *slot = Some(tb),
         }
     }
 
@@ -1290,7 +1360,8 @@ fn plan_backward(
         plan.slot_start[p + 1] = plan.slot_start[p] + plan.cursor[p];
     }
     plan.pending.clear();
-    plan.pending.extend(plan.cursor.iter().map(|&c| AtomicU32::new(c)));
+    plan.pending
+        .extend(plan.cursor.iter().map(|&c| AtomicU32::new(c)));
     // Second descending pass assigns each emit its slot; because consumers
     // are visited high-to-low and the cursor advances per parent, slot ids
     // land in canonical (serial) accumulation order.
@@ -1357,8 +1428,8 @@ impl Scheduler {
 }
 
 /// Unblocks the sweep if a worker panics: remaining work is abandoned so
-/// the other workers exit their pop loops and `std::thread::scope` can
-/// propagate the panic instead of deadlocking.
+/// the other workers exit their pop loops and the pool region completes,
+/// letting `par::run_region` re-raise the panic instead of deadlocking.
 struct AbortOnPanic<'a>(&'a Scheduler);
 
 impl Drop for AbortOnPanic<'_> {
@@ -1391,7 +1462,9 @@ impl ParallelSink<'_> {
     unsafe fn slot_out(&mut self) -> &mut Tensor {
         let slot = self.plan.emit_slots[self.at] as usize;
         self.at += 1;
-        (*self.plan.slots[slot].0.get()).as_mut().expect("slot checked out at plan time")
+        (*self.plan.slots[slot].0.get())
+            .as_mut()
+            .expect("slot checked out at plan time")
     }
 
     fn deposited(&mut self, p: Var) {
@@ -1426,6 +1499,20 @@ impl GradSink for ParallelSink<'_> {
         self.deposited(p);
     }
 
+    fn emit_pair_with(&mut self, pa: Var, pb: Var, fill: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        // SAFETY: see `slot_out`; consecutive emits target distinct slot
+        // ids (each slot appears exactly once in `emit_slots`), so the
+        // two raw borrows never alias.
+        let ta: *mut Tensor = unsafe { self.slot_out() };
+        // SAFETY: as above.
+        let tb: *mut Tensor = unsafe { self.slot_out() };
+        // SAFETY: both pointers address distinct checked-out slots owned
+        // by this worker for the duration of the call.
+        unsafe { fill(&mut *ta, &mut *tb) };
+        self.deposited(pa);
+        self.deposited(pb);
+    }
+
     fn scratch(&mut self) -> &mut BufferPool {
         self.scratch
     }
@@ -1456,14 +1543,17 @@ fn backward_worker(
         // deterministic epilogue sweep.
         unsafe {
             if hi > lo {
-                let mut acc =
-                    (*plan.slots[lo].0.get()).take().expect("first slot deposited");
+                let mut acc = (*plan.slots[lo].0.get())
+                    .take()
+                    .expect("first slot deposited");
                 for cell in &plan.slots[lo + 1..hi] {
                     acc.add_assign((*cell.0.get()).as_ref().expect("slot deposited"));
                 }
                 *grads[i].0.get() = Some(acc);
             }
-            let g = (*grads[i].0.get()).as_ref().expect("gradient present before execute");
+            let g = (*grads[i].0.get())
+                .as_ref()
+                .expect("gradient present before execute");
             check_grad_shape(i, &ops[i], g, values);
             let mut sink = ParallelSink {
                 plan,
@@ -1472,7 +1562,11 @@ fn backward_worker(
                 at: plan.emit_start[i] as usize,
             };
             backward_op(i, &ops[i], g, values, consts, &mut sink);
-            debug_assert_eq!(sink.at, plan.emit_start[i + 1] as usize, "emit count mismatch");
+            debug_assert_eq!(
+                sink.at,
+                plan.emit_start[i + 1] as usize,
+                "emit count mismatch"
+            );
         }
         sched.finish_one();
     }
@@ -1503,15 +1597,21 @@ fn backward_op(
         &Op::Mul(a, b) => {
             let (av, bv) = (&values[a.idx()], &values[b.idx()]);
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(bv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(bv.as_slice())
                 {
                     *o = gv * y;
                 }
             });
             sink.emit_with(b, &mut |out| {
-                for ((o, &gv), &x) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(av.as_slice())
+                for ((o, &gv), &x) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(av.as_slice())
                 {
                     *o = gv * x;
                 }
@@ -1520,8 +1620,11 @@ fn backward_op(
         &Op::Div(a, b) => {
             let (av, bv) = (&values[a.idx()], &values[b.idx()]);
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(bv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(bv.as_slice())
                 {
                     *o = gv / y;
                 }
@@ -1608,8 +1711,10 @@ fn backward_op(
         &Op::Neg(a) => sink.emit_scaled(a, g, -1.0),
         &Op::MatMul(a, b) => {
             let (av, bv) = (&values[a.idx()], &values[b.idx()]);
-            sink.emit_with(a, &mut |out| g.matmul_tb_into(bv, out));
-            sink.emit_with(b, &mut |out| av.matmul_ta_into(g, out));
+            // Fused: both products land in one call so the packed kernels
+            // share a single parallel region (debt 5a). Bitwise-equal to
+            // the former matmul_tb_into / matmul_ta_into pair.
+            sink.emit_pair_with(a, b, &mut |da, db| g.matmul_grads_into(av, bv, da, db));
         }
         &Op::Transpose(a) => {
             sink.emit_with(a, &mut |out| g.transpose_into(out));
@@ -1639,8 +1744,11 @@ fn backward_op(
         &Op::Sigmoid(a) => {
             let yv = &values[i];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(yv.as_slice())
                 {
                     *o = gv * (y * (1.0 - y));
                 }
@@ -1649,8 +1757,11 @@ fn backward_op(
         &Op::Tanh(a) => {
             let yv = &values[i];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(yv.as_slice())
                 {
                     *o = gv * (1.0 - y * y);
                 }
@@ -1659,8 +1770,11 @@ fn backward_op(
         &Op::Softplus(a) => {
             let xv = &values[a.idx()];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &x) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                for ((o, &gv), &x) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(xv.as_slice())
                 {
                     *o = gv * stable_sigmoid(x);
                 }
@@ -1669,8 +1783,11 @@ fn backward_op(
         &Op::Exp(a) => {
             let yv = &values[i];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(yv.as_slice())
                 {
                     *o = gv * y;
                 }
@@ -1679,8 +1796,11 @@ fn backward_op(
         &Op::Log(a) => {
             let xv = &values[a.idx()];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &x) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                for ((o, &gv), &x) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(xv.as_slice())
                 {
                     *o = gv / x.max(LOG_EPS);
                 }
@@ -1689,8 +1809,11 @@ fn backward_op(
         &Op::Square(a) => {
             let xv = &values[a.idx()];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &x) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(xv.as_slice())
+                for ((o, &gv), &x) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(xv.as_slice())
                 {
                     *o = gv * (2.0 * x);
                 }
@@ -1882,8 +2005,11 @@ fn backward_op(
             // y = 1/(1+x), dy/dx = -y^2
             let yv = &values[i];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &y) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(yv.as_slice())
+                for ((o, &gv), &y) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(yv.as_slice())
                 {
                     *o = gv * (-y * y);
                 }
@@ -1901,8 +2027,11 @@ fn backward_op(
         &Op::MulConst(a, c) => {
             let cv = &consts[c.idx()];
             sink.emit_with(a, &mut |out| {
-                for ((o, &gv), &cvx) in
-                    out.as_mut_slice().iter_mut().zip(g.as_slice()).zip(cv.as_slice())
+                for ((o, &gv), &cvx) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(g.as_slice())
+                    .zip(cv.as_slice())
                 {
                     *o = gv * cvx;
                 }
@@ -1913,8 +2042,11 @@ fn backward_op(
             let tv = &consts[target.idx()];
             let scale = 2.0 * g.as_slice()[0] / pv.len().max(1) as f32;
             sink.emit_with(pred, &mut |out| {
-                for ((o, &p), &t) in
-                    out.as_mut_slice().iter_mut().zip(pv.as_slice()).zip(tv.as_slice())
+                for ((o, &p), &t) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pv.as_slice())
+                    .zip(tv.as_slice())
                 {
                     *o = (p - t) * scale;
                 }
@@ -2128,8 +2260,19 @@ mod tests {
             let t = Tensor::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
             let loss = g.mse(h, &t);
             g.backward(loss);
-            let vbits = g.value(loss).as_slice().iter().map(|v| v.to_bits()).collect();
-            let gbits = g.grad(w).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+            let vbits = g
+                .value(loss)
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let gbits = g
+                .grad(w)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
             (vbits, gbits)
         };
         let mut fresh = Graph::new();
@@ -2143,7 +2286,10 @@ mod tests {
         assert_eq!(second, expected, "pooled replay must be bitwise identical");
         let after = reused.pool_stats();
         assert!(after.hits > before.hits, "replay must reuse pooled buffers");
-        assert_eq!(after.misses, before.misses, "warm replay should not hit the heap");
+        assert_eq!(
+            after.misses, before.misses,
+            "warm replay should not hit the heap"
+        );
     }
 
     #[test]
@@ -2174,9 +2320,11 @@ mod tests {
     /// family) and returns the loss plus probe vars to compare gradients on.
     fn branchy_tape(g: &mut Graph) -> (Var, Vec<Var>) {
         let x = g.input(Tensor::from_rows(&[&[0.4, -0.7, 1.2], &[0.1, 0.9, -0.3]]));
-        let w = g.input(Tensor::from_rows(&[&[0.5, -0.2, 0.8], &[1.1, 0.3, -0.6], &[
-            -0.4, 0.7, 0.2,
-        ]]));
+        let w = g.input(Tensor::from_rows(&[
+            &[0.5, -0.2, 0.8],
+            &[1.1, 0.3, -0.6],
+            &[-0.4, 0.7, 0.2],
+        ]));
         let b = g.input(Tensor::from_rows(&[&[0.05, -0.1, 0.2]]));
         let h = g.linear(x, w, b);
         // Head 1: activations and softmax.
@@ -2209,7 +2357,14 @@ mod tests {
         let grads_of = |g: &Graph, probes: &[Var]| -> Vec<Vec<u32>> {
             probes
                 .iter()
-                .map(|&v| g.grad(v).unwrap().as_slice().iter().map(|x| x.to_bits()).collect())
+                .map(|&v| {
+                    g.grad(v)
+                        .unwrap()
+                        .as_slice()
+                        .iter()
+                        .map(|x| x.to_bits())
+                        .collect()
+                })
                 .collect()
         };
         let mut gs = Graph::new();
@@ -2234,20 +2389,34 @@ mod tests {
             let x = g.input(Tensor::from_rows(&[&[0.37]]));
             let mut v = x;
             for k in 0..(2 * PAR_TAPE_MIN) {
-                v = if k % 3 == 0 { g.sigmoid(v) } else { g.scale(v, 0.99) };
+                v = if k % 3 == 0 {
+                    g.sigmoid(v)
+                } else {
+                    g.scale(v, 0.99)
+                };
             }
             (v, x)
         };
         let mut gs = Graph::new();
         let (loss_s, x_s) = build(&mut gs);
         gs.backward_serial(loss_s);
-        let expected: Vec<u32> =
-            gs.grad(x_s).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let expected: Vec<u32> = gs
+            .grad(x_s)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         let mut gp = Graph::new();
         let (loss_p, x_p) = build(&mut gp);
         gp.backward_parallel(loss_p);
-        let got: Vec<u32> =
-            gp.grad(x_p).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = gp
+            .grad(x_p)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -2259,13 +2428,23 @@ mod tests {
         let mut gs = Graph::new();
         let (loss_s, probes_s) = branchy_tape(&mut gs);
         gs.backward_serial(loss_s);
-        let expected: Vec<u32> =
-            gs.grad(probes_s[0]).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let expected: Vec<u32> = gs
+            .grad(probes_s[0])
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         let mut ga = Graph::new();
         let (loss_a, probes_a) = branchy_tape(&mut ga);
         ga.backward(loss_a);
-        let got: Vec<u32> =
-            ga.grad(probes_a[0]).unwrap().as_slice().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = ga
+            .grad(probes_a[0])
+            .unwrap()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
         assert_eq!(got, expected);
     }
 }

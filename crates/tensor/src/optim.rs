@@ -11,13 +11,25 @@ pub enum Optimizer {
     /// Stochastic gradient descent with classical momentum.
     Sgd { lr: f32, momentum: f32 },
     /// Adam (Kingma & Ba). `t` counts completed steps for bias correction.
-    Adam { lr: f32, beta1: f32, beta2: f32, eps: f32, t: u64 },
+    Adam {
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u64,
+    },
 }
 
 impl Optimizer {
     /// Adam with the conventional defaults.
     pub fn adam(lr: f32) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Plain SGD.
@@ -72,7 +84,7 @@ impl Optimizer {
         params: &mut Params,
         graph: &mut Graph,
         max_norm: Option<f32>,
-        allow: &std::collections::HashSet<ParamId>,
+        allow: &std::collections::BTreeSet<ParamId>,
     ) -> f32 {
         let grads = graph.collect_param_grads();
         let mut kept = Vec::with_capacity(grads.len());
@@ -115,6 +127,23 @@ impl Optimizer {
         Ok(self.apply(params, grads, max_norm, graph))
     }
 
+    /// Guarded step over an explicitly supplied gradient list — the
+    /// batch-parallel training path folds per-lane gradients itself (in
+    /// fixed lane order) and hands the sums here. `grads` must be sorted
+    /// by parameter id, matching what `collect_param_grads` produces, so
+    /// the clip norm and updates are bitwise-identical to a serial step
+    /// over the same sums. `graph` only recycles the buffers.
+    pub fn step_grads_clipped_guarded(
+        &mut self,
+        params: &mut Params,
+        grads: Vec<(ParamId, Tensor)>,
+        max_norm: Option<f32>,
+        graph: &mut Graph,
+    ) -> Result<f32, ParamId> {
+        let grads = Self::guard(grads, graph)?;
+        Ok(self.apply(params, grads, max_norm, graph))
+    }
+
     /// Guarded variant of [`Optimizer::step_filtered`]; see
     /// [`Optimizer::step_clipped_guarded`] for the guarantee.
     pub fn step_filtered_guarded(
@@ -122,7 +151,7 @@ impl Optimizer {
         params: &mut Params,
         graph: &mut Graph,
         max_norm: Option<f32>,
-        allow: &std::collections::HashSet<ParamId>,
+        allow: &std::collections::BTreeSet<ParamId>,
     ) -> Result<f32, ParamId> {
         let grads = graph.collect_param_grads();
         let mut kept = Vec::with_capacity(grads.len());
@@ -191,7 +220,13 @@ impl Optimizer {
                     graph.recycle(grad);
                 }
             }
-            Optimizer::Adam { lr, beta1, beta2, eps, t } => {
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+            } => {
                 *t += 1;
                 let bc1 = 1.0 - beta1.powi(*t as i32);
                 let bc2 = 1.0 - beta2.powi(*t as i32);
@@ -208,8 +243,11 @@ impl Optimizer {
                         *vi += c2 * (gi * gi);
                     }
                     let step = *lr;
-                    for ((w, mi), vi) in
-                        value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+                    for ((w, mi), vi) in value
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(m.as_slice())
+                        .zip(v.as_slice())
                     {
                         let mhat = mi / bc1;
                         let vhat = vi / bc2;
@@ -252,7 +290,13 @@ mod tests {
 
     #[test]
     fn sgd_momentum_converges() {
-        let w = converge(Optimizer::Sgd { lr: 0.05, momentum: 0.9 }, 300);
+        let w = converge(
+            Optimizer::Sgd {
+                lr: 0.05,
+                momentum: 0.9,
+            },
+            300,
+        );
         assert!((w - 3.0).abs() < 1e-2, "w = {w}");
     }
 
@@ -299,11 +343,18 @@ mod tests {
             let mut ga = build(&pa, wa);
             let mut gb = build(&pb, wa);
             let na = oa.step_clipped(&mut pa, &mut ga, Some(1.0));
-            let nb = ob.step_clipped_guarded(&mut pb, &mut gb, Some(1.0)).unwrap();
+            let nb = ob
+                .step_clipped_guarded(&mut pb, &mut gb, Some(1.0))
+                .unwrap();
             assert_eq!(na.to_bits(), nb.to_bits());
         }
-        let bits =
-            |p: &Params| p.value(wa).as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let bits = |p: &Params| {
+            p.value(wa)
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(bits(&pa), bits(&pb));
         assert_eq!(oa.steps(), ob.steps());
     }
@@ -322,7 +373,11 @@ mod tests {
         let err = opt.step_clipped_guarded(&mut params, &mut g, None);
         assert_eq!(err, Err(w));
         assert_eq!(params.value(w).as_slice(), &before[..]);
-        assert_eq!(opt.steps(), 0, "rejected step must not advance Adam's counter");
+        assert_eq!(
+            opt.steps(),
+            0,
+            "rejected step must not advance Adam's counter"
+        );
     }
 
     #[test]
@@ -339,7 +394,7 @@ mod tests {
         let mut opt = Optimizer::sgd(1e-3);
         let norm = opt.step_clipped(&mut params, &mut g, Some(1.0));
         assert!(norm > 1.0); // raw norm was huge
-        // Applied update magnitude is at most lr * 1.0.
+                             // Applied update magnitude is at most lr * 1.0.
         assert!(params.value(w).as_slice()[0].abs() <= 1e-3 + 1e-7);
     }
 }

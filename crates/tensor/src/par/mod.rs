@@ -1,7 +1,7 @@
-//! Parallel execution primitives on `std::thread::scope` — no external
-//! runtime, no persistent pool.
+//! Parallel execution primitives on a process-wide persistent worker pool
+//! (see [`pool`]) — no external runtime, no per-call thread spawning.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * [`par_row_chunks_mut`] splits a row-major output buffer into
 //!   contiguous row ranges and runs a kernel on each range concurrently.
@@ -12,13 +12,25 @@
 //! * [`par_map`] runs an indexed task set on the worker pool and returns
 //!   results in task order (coarse parallelism, e.g. per-link-type
 //!   neighbour aggregation).
+//! * [`par_for_each_mut`] visits each element of a mutable slice exactly
+//!   once, chunked like [`par_map`] (coarse data parallelism, e.g. the
+//!   batch-parallel training lanes in `catehgn::train`).
+//!
+//! Chunk *assignment* (which rows belong to which job index) is a pure
+//! function of the configured worker count; which pool thread executes a
+//! job is scheduling noise that cannot affect results, because every job
+//! writes only its own disjoint chunk.
 //!
 //! The worker count comes from [`set_num_threads`], else the
 //! `TENSOR_NUM_THREADS` environment variable, else
 //! `std::thread::available_parallelism()`. Work smaller than
 //! [`PAR_THRESHOLD`] runs serially on the calling thread: for the tensor
-//! shapes this workspace trains with, spawn overhead dominates below that
-//! size.
+//! shapes this workspace trains with, even the pool's cheap dispatch is
+//! not worth paying below that size.
+
+mod pool;
+
+pub use pool::run_region;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -36,7 +48,10 @@ pub const PAR_THRESHOLD: usize = 1 << 16;
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Overrides the worker count for this process; `0` restores the
-/// environment-derived default.
+/// environment-derived default. Lowering the count does not retire
+/// already-spawned pool workers — the extras just stay parked — but it
+/// does change chunk assignment, which is what determinism is defined
+/// over.
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
@@ -54,17 +69,19 @@ pub fn num_threads() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             })
     })
 }
 
 thread_local! {
-    /// Set while the current thread is itself a worker of an outer parallel
-    /// region (parallel backward, [`par_for_each_mut`]): inner kernels then
-    /// stay serial instead of oversubscribing the machine with nested
-    /// scopes. Results are unaffected — every parallel kernel here is
-    /// bitwise-identical at any worker count.
+    /// Set while the current thread runs a job of a parallel region
+    /// (every pool job, the parallel backward workers): inner kernels
+    /// then stay serial instead of oversubscribing the machine with
+    /// nested regions. Results are unaffected — every parallel kernel
+    /// here is bitwise-identical at any worker count.
     static NESTED: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -96,11 +113,39 @@ impl Drop for NestedSerialGuard {
 }
 
 /// Workers to use for `rows` rows of `work_per_row` mul-adds each.
-fn plan(rows: usize, work_per_row: usize) -> usize {
+pub(crate) fn plan(rows: usize, work_per_row: usize) -> usize {
     if rows == 0 || rows.saturating_mul(work_per_row) < PAR_THRESHOLD || in_parallel_worker() {
         return 1;
     }
     num_threads().clamp(1, rows.div_ceil(ROW_BLOCK))
+}
+
+/// A raw pointer shared across the jobs of one region. Every use site
+/// derives disjoint ranges from the job index, so jobs never alias.
+pub(crate) struct SyncPtr<T>(pub(crate) *mut T);
+
+// Manual impls: the derived ones would demand `T: Copy`, but the wrapper
+// copies only the pointer.
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+// SAFETY: jobs access disjoint index ranges only (asserted at each use
+// site); the pointer itself carries no thread affinity.
+unsafe impl<T> Sync for SyncPtr<T> {}
+// SAFETY: as above — disjoint-range discipline at every use site.
+unsafe impl<T> Send for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// The wrapped pointer. Going through a method (not field access)
+    /// makes edition-2021 closures capture the `Sync` wrapper rather than
+    /// the bare `*mut T` field.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
 }
 
 /// Runs `f(lo, hi, chunk)` over disjoint, [`ROW_BLOCK`]-aligned row ranges
@@ -123,25 +168,19 @@ where
         return;
     }
     let per_rows = rows.div_ceil(ROW_BLOCK).div_ceil(workers) * ROW_BLOCK;
+    let n_chunks = rows.div_ceil(per_rows);
+    let base = SyncPtr(out.as_mut_ptr());
     let f = &f;
-    std::thread::scope(|s| {
-        let mut rest = out;
-        let mut lo = 0usize;
-        let mut own: Option<(usize, usize, &mut [f32])> = None;
-        while lo < rows {
-            let hi = (lo + per_rows).min(rows);
-            let (head, tail) = rest.split_at_mut((hi - lo) * cols);
-            rest = tail;
-            if own.is_none() {
-                own = Some((lo, hi, head));
-            } else {
-                s.spawn(move || f(lo, hi, head));
-            }
-            lo = hi;
-        }
-        if let Some((lo, hi, head)) = own {
-            f(lo, hi, head);
-        }
+    run_region(n_chunks, move |c| {
+        let lo = c * per_rows;
+        let hi = (lo + per_rows).min(rows);
+        // SAFETY: chunk `c` covers rows `lo..hi`; chunks tile `0..rows`
+        // without overlap, so each job gets an exclusive sub-slice of
+        // `out`, which outlives the region (`run_region` returns only
+        // after every job completed).
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(lo * cols), (hi - lo) * cols) };
+        f(lo, hi, chunk);
     });
 }
 
@@ -152,42 +191,47 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers =
-        if in_parallel_worker() { 1 } else { num_threads().clamp(1, n.max(1)) };
+    let workers = if in_parallel_worker() {
+        1
+    } else {
+        num_threads().clamp(1, n.max(1))
+    };
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
     let per = n.div_ceil(workers);
+    let n_chunks = n.div_ceil(per);
+    let mut parts: Vec<Vec<T>> = (0..n_chunks).map(|_| Vec::new()).collect();
+    let base = SyncPtr(parts.as_mut_ptr());
     let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|w| {
-                let lo = (w * per).min(n);
-                let hi = ((w + 1) * per).min(n);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
-            })
-            .collect();
-        let mut out: Vec<T> = (0..per.min(n)).map(f).collect();
-        for h in handles {
-            out.extend(h.join().expect("tensor::par worker panicked"));
-        }
-        out
-    })
+    run_region(n_chunks, move |c| {
+        let lo = c * per;
+        let hi = (lo + per).min(n);
+        let part: Vec<T> = (lo..hi).map(f).collect();
+        // SAFETY: each job writes only slot `c` of `parts`, which was
+        // pre-sized to `n_chunks` and outlives the region.
+        unsafe { *base.get().add(c) = part };
+    });
+    parts.into_iter().flatten().collect()
 }
 
 /// Runs `f(i, &mut items[i])` over every element, statically chunked across
-/// the worker pool exactly like [`par_map`] (the main thread takes the
-/// first chunk). Each element is visited by exactly one worker, so `f` may
-/// mutate freely; per-element results must not depend on visit order.
-/// Inside an outer parallel region this degrades to a serial loop.
+/// the worker pool exactly like [`par_map`] (the calling thread takes the
+/// first chunk and helps with the rest). Each element is visited by exactly
+/// one job, so `f` may mutate freely; per-element results must not depend
+/// on visit order. Inside an outer parallel region this degrades to a
+/// serial loop.
 pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
     let n = items.len();
-    let workers =
-        if in_parallel_worker() { 1 } else { num_threads().clamp(1, n.max(1)) };
+    let workers = if in_parallel_worker() {
+        1
+    } else {
+        num_threads().clamp(1, n.max(1))
+    };
     if workers <= 1 {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
@@ -195,32 +239,17 @@ where
         return;
     }
     let per = n.div_ceil(workers);
+    let n_chunks = n.div_ceil(per);
+    let base = SyncPtr(items.as_mut_ptr());
     let f = &f;
-    std::thread::scope(|s| {
-        let mut rest = items;
-        let mut base = 0usize;
-        let mut own: Option<(usize, &mut [T])> = None;
-        while !rest.is_empty() {
-            let take = per.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            if own.is_none() {
-                own = Some((base, head));
-            } else {
-                s.spawn(move || {
-                    let _nested = NestedSerialGuard::new();
-                    for (k, item) in head.iter_mut().enumerate() {
-                        f(base + k, item);
-                    }
-                });
-            }
-            base += take;
-        }
-        if let Some((b, head)) = own {
-            let _nested = NestedSerialGuard::new();
-            for (k, item) in head.iter_mut().enumerate() {
-                f(b + k, item);
-            }
+    run_region(n_chunks, move |c| {
+        let lo = c * per;
+        let hi = (lo + per).min(n);
+        for i in lo..hi {
+            // SAFETY: chunks tile `0..n` without overlap, so element `i`
+            // is touched by exactly this job; `items` outlives the region.
+            let item = unsafe { &mut *base.get().add(i) };
+            f(i, item);
         }
     });
 }
@@ -249,7 +278,10 @@ mod tests {
             seen.lock().unwrap().push((lo, hi));
         });
         set_num_threads(0);
-        assert!(out.iter().all(|&v| v == 1.0), "rows not covered exactly once");
+        assert!(
+            out.iter().all(|&v| v == 1.0),
+            "rows not covered exactly once"
+        );
         let mut ranges = seen.into_inner().unwrap();
         ranges.sort_unstable();
         assert_eq!(ranges.first().unwrap().0, 0);
@@ -263,7 +295,11 @@ mod tests {
         let mut out = vec![0.0f32; 8];
         let main = std::thread::current().id();
         par_row_chunks_mut(&mut out, 2, 1, |_, _, chunk| {
-            assert_eq!(std::thread::current().id(), main, "tiny work must not spawn");
+            assert_eq!(
+                std::thread::current().id(),
+                main,
+                "tiny work must not dispatch"
+            );
             chunk.fill(2.0);
         });
         assert!(out.iter().all(|&v| v == 2.0));
@@ -308,12 +344,36 @@ mod tests {
             assert!(in_parallel_worker());
             let main = std::thread::current().id();
             let out = par_map(8, |i| {
-                assert_eq!(std::thread::current().id(), main, "nested par_map must stay serial");
+                assert_eq!(
+                    std::thread::current().id(),
+                    main,
+                    "nested par_map must stay serial"
+                );
                 i
             });
             assert_eq!(out, (0..8).collect::<Vec<_>>());
         }
         assert!(!in_parallel_worker(), "guard must restore the flag");
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn pool_jobs_run_under_the_nested_guard() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        let nested_seen = std::sync::atomic::AtomicUsize::new(0);
+        let out = par_map(8, |i| {
+            if in_parallel_worker() {
+                nested_seen.fetch_add(1, Ordering::Relaxed);
+            }
+            i
+        });
+        assert_eq!(out.len(), 8);
+        assert_eq!(
+            nested_seen.load(Ordering::Relaxed),
+            8,
+            "every pool job must see the nested-serial flag"
+        );
         set_num_threads(0);
     }
 
@@ -324,5 +384,39 @@ mod tests {
         assert_eq!(num_threads(), 5);
         set_num_threads(0);
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn reentry_after_thread_count_changes_is_stable() {
+        let _g = LOCK.lock().unwrap();
+        let want: Vec<usize> = (0..29).map(|i| i * 7 + 3).collect();
+        // Grow, shrink, and regrow the configured width; already-spawned
+        // pool workers persist across changes and results never move.
+        for t in [2, 8, 1, 4, 2, 8] {
+            set_num_threads(t);
+            assert_eq!(par_map(29, |i| i * 7 + 3), want, "par_map at {t} threads");
+            let mut items = vec![0usize; 29];
+            par_for_each_mut(&mut items, |i, item| *item = i * 7 + 3);
+            assert_eq!(items, want, "par_for_each_mut at {t} threads");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_through_par_map() {
+        let _g = LOCK.lock().unwrap();
+        set_num_threads(4);
+        let caught = std::panic::catch_unwind(|| {
+            par_map(64, |i| {
+                if i == 63 {
+                    panic!("task 63 exploded");
+                }
+                i
+            })
+        });
+        set_num_threads(0);
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "task 63 exploded");
     }
 }

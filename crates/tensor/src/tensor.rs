@@ -31,12 +31,20 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// A `rows x cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// A `rows x cols` tensor of ones.
@@ -49,20 +57,33 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
         Tensor { rows, cols, data }
     }
 
     /// Builds a column vector (`n x 1`).
     pub fn col_vec(data: Vec<f32>) -> Self {
         let n = data.len();
-        Tensor { rows: n, cols: 1, data }
+        Tensor {
+            rows: n,
+            cols: 1,
+            data,
+        }
     }
 
     /// Builds a row vector (`1 x n`).
     pub fn row_vec(data: Vec<f32>) -> Self {
         let n = data.len();
-        Tensor { rows: 1, cols: n, data }
+        Tensor {
+            rows: 1,
+            cols: n,
+            data,
+        }
     }
 
     /// Builds a tensor from nested slices (handy in tests).
@@ -74,7 +95,11 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -175,8 +200,17 @@ impl Tensor {
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Tensor { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise sum.
@@ -229,7 +263,11 @@ impl Tensor {
 
     /// Applies `f` to every element, allocating a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -255,7 +293,11 @@ impl Tensor {
 
     /// Mean of all elements (0 for the empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() { 0.0 } else { self.sum() / self.data.len() as f32 }
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
     }
 
     /// Maximum element (`-inf` for the empty tensor).
@@ -281,7 +323,11 @@ impl Tensor {
     /// Per-row sums as an `n x 1` column vector.
     pub fn row_sums(&self) -> Tensor {
         let data = self.rows_iter().map(|r| r.iter().sum()).collect();
-        Tensor { rows: self.rows, cols: 1, data }
+        Tensor {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Per-column sums as a `1 x m` row vector.
@@ -292,7 +338,11 @@ impl Tensor {
                 *o += x;
             }
         }
-        Tensor { rows: 1, cols: self.cols, data: out }
+        Tensor {
+            rows: 1,
+            cols: self.cols,
+            data: out,
+        }
     }
 
     /// Index of the maximum entry in each row.
@@ -329,7 +379,11 @@ impl Tensor {
         par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
             matmul_block(a, b, k, m, lo, hi, chunk);
         });
-        Tensor { rows: n, cols: m, data: out }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Matrix product `self * other^T` without materialising the transpose.
@@ -348,7 +402,11 @@ impl Tensor {
         par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
             matmul_tb_block(a, b, k, m, lo, hi, chunk);
         });
-        Tensor { rows: n, cols: m, data: out }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Matrix product `self^T * other` without materialising the transpose.
@@ -367,7 +425,11 @@ impl Tensor {
         par::par_row_chunks_mut(&mut out, m, k * m, |lo, hi, chunk| {
             matmul_ta_block(a, b, k, n, m, lo, hi, chunk);
         });
-        Tensor { rows: n, cols: m, data: out }
+        Tensor {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Writes `self * other` into `out` (which must already be `n x m`),
@@ -421,6 +483,78 @@ impl Tensor {
         });
     }
 
+    /// Both gradients of `C = A * B` in one fused dispatch, given
+    /// `self = dC` (`n x m`): writes `dA = dC * B^T` into `da` (`n x k`)
+    /// and `dB = A^T * dC` into `db` (`k x m`), overwriting both.
+    ///
+    /// Bitwise-identical to [`Tensor::matmul_tb_into`] followed by
+    /// [`Tensor::matmul_ta_into`], but the two products share one parallel
+    /// region (one pool dispatch instead of two) and run on the packed
+    /// kernels, which reuse each gathered operand panel across all row
+    /// blocks — the fusion of the MatMul backward path (carried debt 5a).
+    pub fn matmul_grads_into(&self, a: &Tensor, b: &Tensor, da: &mut Tensor, db: &mut Tensor) {
+        assert_eq!(
+            a.cols, b.rows,
+            "matmul_grads shape mismatch: {}x{} * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        let (n, k, m) = (a.rows, a.cols, b.cols);
+        assert_eq!(
+            self.shape(),
+            (n, m),
+            "matmul_grads_into: dC must be {n}x{m}"
+        );
+        assert_eq!(da.shape(), (n, k), "matmul_grads_into: da must be {n}x{k}");
+        assert_eq!(db.shape(), (k, m), "matmul_grads_into: db must be {k}x{m}");
+        da.data.fill(0.0);
+        db.data.fill(0.0);
+        let (g, av, bv) = (&self.data, &a.data, &b.data);
+        // Chunk each output with the same ROW_BLOCK-aligned math as
+        // `par_row_chunks_mut` — the job list (and hence every kernel's
+        // row range) is a pure function of the worker count, never of
+        // which pool thread runs which job.
+        let workers = if 2 * n * m * k < par::PAR_THRESHOLD || par::in_parallel_worker() {
+            1
+        } else {
+            par::num_threads()
+        };
+        if workers <= 1 {
+            if n > 0 {
+                matmul_tb_block(g, bv, m, k, 0, n, &mut da.data);
+            }
+            if k > 0 {
+                matmul_ta_block(av, g, n, k, m, 0, k, &mut db.data);
+            }
+            return;
+        }
+        let (per_a, ca) = fused_row_chunks(n, workers);
+        let (per_b, cb) = fused_row_chunks(k, workers);
+        let da_ptr = par::SyncPtr(da.data.as_mut_ptr());
+        let db_ptr = par::SyncPtr(db.data.as_mut_ptr());
+        par::run_region(ca + cb, move |c| {
+            if c < ca {
+                let lo = c * per_a;
+                let hi = (lo + per_a).min(n);
+                // SAFETY: jobs `0..ca` tile dA's rows disjointly; `da`
+                // outlives the region (`run_region` returns only after
+                // every job completed).
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut(da_ptr.get().add(lo * k), (hi - lo) * k)
+                };
+                matmul_tb_block(g, bv, m, k, lo, hi, chunk);
+            } else {
+                let lo = (c - ca) * per_b;
+                let hi = (lo + per_b).min(k);
+                // SAFETY: jobs `ca..ca + cb` tile dB's rows disjointly;
+                // `db` outlives the region.
+                let chunk = unsafe {
+                    std::slice::from_raw_parts_mut(db_ptr.get().add(lo * m), (hi - lo) * m)
+                };
+                matmul_ta_block(av, g, n, k, m, lo, hi, chunk);
+            }
+        });
+    }
+
     /// The transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = vec![0.0f32; self.data.len()];
@@ -429,7 +563,11 @@ impl Tensor {
                 out[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        Tensor { rows: self.cols, cols: self.rows, data: out }
+        Tensor {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
     }
 
     /// Writes the transpose into `out` (which must be `cols x rows`),
@@ -453,10 +591,18 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
-            assert!(i < self.rows, "gather index {i} out of bounds ({} rows)", self.rows);
+            assert!(
+                i < self.rows,
+                "gather index {i} out of bounds ({} rows)",
+                self.rows
+            );
             data.extend_from_slice(self.row(i));
         }
-        Tensor { rows: indices.len(), cols: self.cols, data }
+        Tensor {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Horizontal concatenation `[self | other]`.
@@ -468,7 +614,11 @@ impl Tensor {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Tensor { rows: self.rows, cols, data }
+        Tensor {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Vertical concatenation `[self; other]`.
@@ -476,7 +626,11 @@ impl Tensor {
         assert_eq!(self.cols, other.cols, "concat_rows col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Tensor { rows: self.rows + other.rows, cols: self.cols, data }
+        Tensor {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Per-row softmax, numerically stabilised by max subtraction.
@@ -508,8 +662,14 @@ impl Tensor {
     pub fn pairwise_sq_dists(&self, centers: &Tensor) -> Tensor {
         assert_eq!(self.cols, centers.cols, "dimension mismatch");
         let mut out = self.matmul_tb(centers); // n x k of x.c
-        let xn: Vec<f32> = self.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
-        let cn: Vec<f32> = centers.rows_iter().map(|r| r.iter().map(|&x| x * x).sum()).collect();
+        let xn: Vec<f32> = self
+            .rows_iter()
+            .map(|r| r.iter().map(|&x| x * x).sum())
+            .collect();
+        let cn: Vec<f32> = centers
+            .rows_iter()
+            .map(|r| r.iter().map(|&x| x * x).sum())
+            .collect();
         for (row, &xni) in out.data.chunks_exact_mut(centers.rows).zip(&xn) {
             for (v, &cnj) in row.iter_mut().zip(&cn) {
                 *v = (xni - 2.0 * *v + cnj).max(0.0);
@@ -535,6 +695,18 @@ impl Tensor {
 // (and independent of the thread count, since `par` aligns chunk bounds
 // to MR rows).
 // -------------------------------------------------------------------
+
+/// [`ROW_BLOCK`](par::ROW_BLOCK)-aligned chunking for one output of the
+/// fused gradient dispatch: `(rows_per_chunk, chunk_count)`, the same
+/// split [`par::par_row_chunks_mut`] would produce for `workers`.
+fn fused_row_chunks(rows: usize, workers: usize) -> (usize, usize) {
+    if rows == 0 {
+        return (1, 0);
+    }
+    let w = workers.clamp(1, rows.div_ceil(par::ROW_BLOCK));
+    let per = rows.div_ceil(par::ROW_BLOCK).div_ceil(w) * par::ROW_BLOCK;
+    (per, rows.div_ceil(per))
+}
 
 /// Output rows per micro-kernel; equals [`par::ROW_BLOCK`] so parallel
 /// chunk boundaries never split a row block.
@@ -629,6 +801,13 @@ fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, 
 }
 
 /// C[lo..hi, :] += A[lo..hi, :] * B^T for row-major A (n x k), B (m x k).
+///
+/// The `KC x NR` B^T tile is gathered once per (k-panel, column tile)
+/// into a contiguous stack buffer and reused across every row block of
+/// the chunk — previously the strided gather re-ran per row block, which
+/// made this the most expensive backward kernel (carried debt 5a). Per
+/// output element the accumulation still runs in ascending-k order, so
+/// results are bitwise-unchanged.
 fn matmul_tb_block(
     a: &[f32],
     b: &[f32],
@@ -638,27 +817,36 @@ fn matmul_tb_block(
     hi: usize,
     out: &mut [f32],
 ) {
-    let mut i = lo;
-    while i < hi {
-        let mr = MR.min(hi - i);
-        let mut kb = 0;
-        while kb < k {
-            let ke = (kb + KC).min(k);
-            let mut j = 0;
-            while j < m {
-                let nr = NR.min(m - j);
+    if lo >= hi {
+        return;
+    }
+    let mut pack = [0.0f32; KC * NR];
+    let mut kb = 0;
+    while kb < k {
+        let ke = (kb + KC).min(k);
+        let pa = ke - kb;
+        let mut j = 0;
+        while j < m {
+            let nr = NR.min(m - j);
+            // pack[t * NR + q] = b[(j + q) * k + kb + t]: the transposed
+            // tile, laid out so the micro-kernel streams it row by row.
+            for q in 0..nr {
+                let bbase = (j + q) * k + kb;
+                for t in 0..pa {
+                    pack[t * NR + q] = b[bbase + t];
+                }
+            }
+            let mut i = lo;
+            while i < hi {
+                let mr = MR.min(hi - i);
                 if mr == MR && nr == NR {
                     let mut acc = [[0.0f32; NR]; MR];
                     for (r, accr) in acc.iter_mut().enumerate() {
                         accr.copy_from_slice(&out[(i - lo + r) * m + j..][..NR]);
                     }
-                    for p in kb..ke {
-                        let mut brow = [0.0f32; NR];
-                        for (q, bq) in brow.iter_mut().enumerate() {
-                            *bq = b[(j + q) * k + p];
-                        }
+                    for (t, brow) in pack.chunks_exact(NR).take(pa).enumerate() {
                         for (r, accr) in acc.iter_mut().enumerate() {
-                            let av = a[(i + r) * k + p];
+                            let av = a[(i + r) * k + kb + t];
                             for q in 0..NR {
                                 accr[q] += av * brow[q];
                             }
@@ -668,24 +856,30 @@ fn matmul_tb_block(
                         out[(i - lo + r) * m + j..][..NR].copy_from_slice(accr);
                     }
                 } else {
-                    for p in kb..ke {
+                    for t in 0..pa {
                         for r in 0..mr {
-                            let av = a[(i + r) * k + p];
+                            let av = a[(i + r) * k + kb + t];
                             for q in 0..nr {
-                                out[(i - lo + r) * m + j + q] += av * b[(j + q) * k + p];
+                                out[(i - lo + r) * m + j + q] += av * pack[t * NR + q];
                             }
                         }
                     }
                 }
-                j += nr;
+                i += mr;
             }
-            kb = ke;
+            j += nr;
         }
-        i += mr;
+        kb = ke;
     }
 }
 
 /// C[lo..hi, :] += (A^T)[lo..hi, :] * B for row-major A (k x n), B (k x m).
+///
+/// The `KC x MR` A column panel (stride-`n` loads) is packed once per
+/// (row block, k-panel) into a contiguous stack buffer and reused across
+/// every column tile, mirroring the B^T packing in [`matmul_tb_block`].
+/// Accumulation order per output element is unchanged (ascending k), so
+/// results are bitwise-identical.
 #[allow(clippy::too_many_arguments)] // internal kernel: shapes + row range
 fn matmul_ta_block(
     a: &[f32],
@@ -697,18 +891,28 @@ fn matmul_ta_block(
     hi: usize,
     out: &mut [f32],
 ) {
+    let mut apack = [0.0f32; KC * MR];
     let mut i = lo;
     while i < hi {
         let mr = MR.min(hi - i);
         let mut kb = 0;
         while kb < k {
             let ke = (kb + KC).min(k);
+            let pa = ke - kb;
+            // apack[t * MR + r] = a[(kb + t) * n + i + r]: the column
+            // panel, contiguous per k step.
+            for (t, dst) in apack.chunks_exact_mut(MR).take(pa).enumerate() {
+                let abase = (kb + t) * n + i;
+                for (r, d) in dst.iter_mut().take(mr).enumerate() {
+                    *d = a[abase + r];
+                }
+            }
             let mut j = 0;
             while j < m {
                 let nr = NRW.min(m - j);
                 if mr == MR && nr == NRW {
-                    // Same register-tiled shape as `matmul_block`; only
-                    // the A access differs (column panel, stride n).
+                    // Same register-tiled shape as `matmul_block`; the A
+                    // elements come from the packed panel.
                     let mut acc_lo = [[0.0f32; NR]; MR];
                     let mut acc_hi = [[0.0f32; NR]; MR];
                     for r in 0..MR {
@@ -717,7 +921,6 @@ fn matmul_ta_block(
                         acc_hi[r].copy_from_slice(&row[NR..]);
                     }
                     let mut boff = kb * m + j;
-                    let mut aoff = kb * n + i;
                     macro_rules! fma_row {
                         ($ar:expr, $rl:expr, $rh:expr, $bl:expr, $bh:expr) => {{
                             let ar = $ar;
@@ -727,17 +930,15 @@ fn matmul_ta_block(
                             }
                         }};
                     }
-                    for _ in kb..ke {
+                    for arow in apack.chunks_exact(MR).take(pa) {
                         let (bl, bh) = b[boff..boff + NRW].split_at(NR);
                         let bl: &[f32; NR] = bl.try_into().unwrap();
                         let bh: &[f32; NR] = bh.try_into().unwrap();
-                        let arow: &[f32; MR] = (&a[aoff..aoff + MR]).try_into().unwrap();
                         fma_row!(arow[0], acc_lo[0], acc_hi[0], bl, bh);
                         fma_row!(arow[1], acc_lo[1], acc_hi[1], bl, bh);
                         fma_row!(arow[2], acc_lo[2], acc_hi[2], bl, bh);
                         fma_row!(arow[3], acc_lo[3], acc_hi[3], bl, bh);
                         boff += m;
-                        aoff += n;
                     }
                     for r in 0..MR {
                         let row = &mut out[(i - lo + r) * m + j..][..NRW];
@@ -745,10 +946,10 @@ fn matmul_ta_block(
                         row[NR..].copy_from_slice(&acc_hi[r]);
                     }
                 } else {
-                    for p in kb..ke {
-                        let brow = &b[p * m + j..p * m + j + nr];
+                    for t in 0..pa {
+                        let brow = &b[(kb + t) * m + j..(kb + t) * m + j + nr];
                         for r in 0..mr {
-                            let av = a[p * n + i + r];
+                            let av = apack[t * MR + r];
                             let orow = &mut out[(i - lo + r) * m + j..][..nr];
                             for (o, &bv) in orow.iter_mut().zip(brow) {
                                 *o += av * bv;
@@ -806,7 +1007,13 @@ pub mod reference {
             let a_row = &ad[i * k..(i + 1) * k];
             for j in 0..m {
                 let b_row = &bd[j * k..(j + 1) * k];
-                out[i * m + j] = a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum();
+                // Explicit fold from +0.0: `Iterator::sum` starts at -0.0,
+                // which diverges bitwise from the blocked kernels on empty
+                // and all-negative-zero reductions.
+                out[i * m + j] = a_row
+                    .iter()
+                    .zip(b_row)
+                    .fold(0.0, |acc, (&x, &y)| acc + x * y);
             }
         }
         Tensor::from_vec(n, m, out)
@@ -846,7 +1053,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let quads = a.len() / 4;
     let mut acc = [0.0f32; 4];
-    for (ca, cb) in a[..quads * 4].chunks_exact(4).zip(b[..quads * 4].chunks_exact(4)) {
+    for (ca, cb) in a[..quads * 4]
+        .chunks_exact(4)
+        .zip(b[..quads * 4].chunks_exact(4))
+    {
         for q in 0..4 {
             acc[q] += ca[q] * cb[q];
         }
@@ -1096,7 +1306,10 @@ mod tests {
         let b = [4.0, 5.0, 6.0];
         let mut out = [0.0; 3];
         circular_correlation(&a, &b, &mut out);
-        assert_eq!(out, [4.0 + 10.0 + 18.0, 5.0 + 12.0 + 12.0, 6.0 + 8.0 + 15.0]);
+        assert_eq!(
+            out,
+            [4.0 + 10.0 + 18.0, 5.0 + 12.0 + 12.0, 6.0 + 8.0 + 15.0]
+        );
     }
 }
 

@@ -37,7 +37,11 @@ fn fill(rows: usize, cols: usize, state: &mut f32) -> Tensor {
 }
 
 fn assert_bitwise(tag: &str, got: &Tensor, want: &Tensor, threads: usize) {
-    assert_eq!(got.shape(), want.shape(), "{tag}: shape at {threads} threads");
+    assert_eq!(
+        got.shape(),
+        want.shape(),
+        "{tag}: shape at {threads} threads"
+    );
     for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
         assert!(
             x.to_bits() == y.to_bits(),
@@ -103,6 +107,73 @@ proptest! {
             par::set_num_threads(t);
             let got = at.matmul_ta(&b);
             assert_bitwise("matmul_ta", &got, &want, t);
+        }
+        par::set_num_threads(0);
+    }
+
+    /// The fused backward pair `dA = dC * B^T`, `dB = A^T * dC`
+    /// ([`Tensor::matmul_grads_into`], one pool region for both products)
+    /// bitwise-matches the two separate reference products at every
+    /// thread count.
+    #[test]
+    fn fused_matmul_grads_match_references_at_all_thread_counts(
+        (n, k, m) in (dim(), dim(), dim()),
+        seed in 0.0f32..64.0,
+    ) {
+        let mut state = seed + 0.75;
+        let a = fill(n, k, &mut state);
+        let b = fill(k, m, &mut state);
+        let dc = fill(n, m, &mut state);
+        let want_da = reference::matmul_tb(&dc, &b);
+        let want_db = reference::matmul_ta(&a, &dc);
+        let _guard = THREADS.lock().unwrap();
+        for t in THREAD_COUNTS {
+            par::set_num_threads(t);
+            let mut da = Tensor::zeros(n, k);
+            let mut db = Tensor::zeros(k, m);
+            dc.matmul_grads_into(&a, &b, &mut da, &mut db);
+            assert_bitwise("fused dA", &da, &want_da, t);
+            assert_bitwise("fused dB", &db, &want_db, t);
+        }
+        par::set_num_threads(0);
+    }
+
+    /// The pooled `par_*` primitives themselves are bitwise-stable across
+    /// thread counts: chunk assignment is a pure function of the
+    /// configured width, and job scheduling cannot reorder results.
+    #[test]
+    fn pooled_primitives_are_bitwise_stable_across_thread_counts(
+        n in 0usize..200,
+        seed in 0.0f32..64.0,
+    ) {
+        // 1 + 2^-10, written as an expression: exactly representable,
+        // and clippy rejects the full decimal literal as excess precision.
+        let scale = 1.0f32 + 1.0 / 1024.0;
+        let task = |i: usize| (seed + i as f32) * scale - seed * 0.5;
+        let want_map: Vec<f32> = (0..n).map(task).collect();
+        let mut state = seed;
+        let src = fill(n, 3, &mut state);
+        let mut want_rows = vec![0.0f32; n * 3];
+        for (i, v) in want_rows.iter_mut().enumerate() {
+            *v = src.as_slice()[i] * 2.5 + 1.0;
+        }
+        let _guard = THREADS.lock().unwrap();
+        for t in [1usize, 2, 4] {
+            par::set_num_threads(t);
+            let got = par::par_map(n, task);
+            assert_eq!(got, want_map, "par_map at {t} threads");
+            let mut items: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            par::par_for_each_mut(&mut items, |i, item| *item = task(i));
+            assert_eq!(items, want_map, "par_for_each_mut at {t} threads");
+            let mut out = vec![0.0f32; n * 3];
+            // Force dispatch: work_per_row large enough to clear the
+            // serial threshold whenever there are rows at all.
+            par::par_row_chunks_mut(&mut out, 3, par::PAR_THRESHOLD, |lo, _hi, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = src.as_slice()[lo * 3 + j] * 2.5 + 1.0;
+                }
+            });
+            assert_eq!(out, want_rows, "par_row_chunks_mut at {t} threads");
         }
         par::set_num_threads(0);
     }

@@ -8,7 +8,7 @@
 
 use catehgn::TextEnhancer;
 use dblp_sim::{Dataset, TermKind, WorldConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let world = WorldConfig::tiny();
@@ -32,7 +32,7 @@ fn main() {
 
     // Refine with an oracle impact signal (in the full system this comes
     // from the trained HGN regressor).
-    let mut impact = HashMap::new();
+    let mut impact = BTreeMap::new();
     for (l, &w) in ds.term_world_idx.iter().enumerate() {
         let tok = textmine::TokenId(l as u32);
         let y = match ds.world.terms[w].kind {
@@ -42,7 +42,7 @@ fn main() {
         impact.insert(tok, y);
     }
     for round in 1..=3 {
-        te.refine(&impact, &HashMap::new(), 15);
+        te.refine(&impact, &BTreeMap::new(), 15);
         let prec = te.term_precision(&ds);
         let mean: f32 = prec[..world.n_domains].iter().sum::<f32>() / world.n_domains as f32;
         println!("after round {round}: mean precision {mean:.3}");

@@ -15,27 +15,43 @@
 #      Debt is pinned in lint.allow and may only shrink.
 #   3. cargo clippy -D warnings across the whole workspace (all targets),
 #      with the clippy.toml disallowed-types/-methods backstop.
-#   4. cargo build --release.
+#   4. cargo build --release --workspace (every binary the later stages
+#      run, not just the root package).
 #   5. cargo test -q — the tier-1 suite (root-package integration tests),
 #      once under TENSOR_NUM_THREADS=1 and once under =4 (results are
 #      guaranteed bitwise-identical at any worker count).
 #      --full widens this to every workspace crate and runs the
 #      alloc-count gate asserting the pooled training path performs >= 10x
 #      fewer heap allocations than the fresh-graph path.
+#   6. bench_pr6 — self-gating: pool dispatch >= 10x faster than
+#      per-region thread spawning, batch-parallel lanes not slower than
+#      the serial loop, 2-lane fingerprints thread-count-invariant.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUSTFMT_RATCHET=(
     crates/tensor/src/pool.rs
     crates/tensor/src/finite.rs
+    crates/tensor/src/graph.rs
+    crates/tensor/src/optim.rs
+    crates/tensor/src/par/mod.rs
+    crates/tensor/src/par/pool.rs
+    crates/tensor/src/tensor.rs
     crates/tensor/tests/prop_pool.rs
+    crates/tensor/tests/prop_parallel.rs
     crates/tensor/tests/prop_parallel_backward.rs
+    crates/core/src/model.rs
     crates/core/src/resilience.rs
+    crates/core/src/te.rs
+    crates/core/src/train.rs
+    crates/core/tests/batch_parallel.rs
     crates/core/tests/pool_equivalence.rs
     crates/core/tests/resilience.rs
+    crates/eval/src/bin/catehgn_cli.rs
     crates/hetgraph/src/error.rs
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
+    crates/bench/src/bin/bench_pr6.rs
     crates/bench/tests/alloc_ratio.rs
     crates/lint/src/allowlist.rs
     crates/lint/src/driver.rs
@@ -58,8 +74,12 @@ cargo run -q -p lint
 echo "== clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release (workspace) =="
+# --workspace matters: this is a non-virtual workspace, so a bare
+# `cargo build` only builds the root package — leaving the release
+# binaries the later stages run (catehgn_cli, bench_pr6) stale or
+# missing.
+cargo build --release --workspace
 
 # Tier-1 runs under both a serial and a multi-threaded worker count: the
 # parallel kernels and the branch-parallel backward sweep guarantee
@@ -96,6 +116,14 @@ if ! diff "$SMOKE_DIR/ref.txt" "$SMOKE_DIR/res.txt"; then
     exit 1
 fi
 echo "kill-and-resume: bitwise-equal"
+
+# PR-6 gates, self-asserted by the bench binary: persistent-pool dispatch
+# must beat per-region thread spawning >= 10x, batch-parallel lanes must
+# not run slower than the serial loop, and a 2-lane run must land on
+# bit-identical fingerprints at 1 and 4 tensor threads. Writes
+# results/BENCH_PR6.json.
+echo "== bench_pr6 (pool dispatch + lane throughput gates) =="
+./target/release/bench_pr6 >/dev/null
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test (workspace) =="

@@ -13,8 +13,10 @@ cd "$(dirname "$0")/.."
 echo "== invariant lint (cargo run -p lint) =="
 cargo run -q -p lint
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release (workspace) =="
+# Non-virtual workspace: a bare `cargo build` only builds the root
+# package, skipping the eval/bench release binaries.
+cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test -q
