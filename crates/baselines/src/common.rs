@@ -213,7 +213,7 @@ pub fn mean_norm_col(g: &mut Graph, dst: &[usize]) -> Var {
 pub fn gather_seed_rows(g: &mut Graph, block0: &Block, seeds: &[NodeId], h: Var) -> Var {
     // Duplicate papers in a batch dedup in the sampler's frontier, so look
     // each paper's row up by node id rather than by position.
-    let pos_of: std::collections::HashMap<NodeId, usize> =
+    let pos_of: std::collections::BTreeMap<NodeId, usize> =
         block0.dst_nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut rows = g.scratch_idx();
     rows.extend(seeds.iter().map(|n| pos_of[n]));

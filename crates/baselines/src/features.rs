@@ -13,22 +13,22 @@
 use crate::cart::{Cart, CartConfig};
 use crate::common::CitationModel;
 use dblp_sim::Dataset;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use tensor::Tensor;
 
 /// Train-period statistics shared by CCP and CPDF.
 #[derive(Clone, Debug, Default)]
 pub struct HistoryStats {
-    author_papers: HashMap<usize, u32>,
-    author_cits: HashMap<usize, Vec<f32>>,
-    author_venues: HashMap<usize, HashSet<usize>>,
-    venue_papers: HashMap<usize, u32>,
-    venue_cits: HashMap<usize, Vec<f32>>,
+    author_papers: BTreeMap<usize, u32>,
+    author_cits: BTreeMap<usize, Vec<f32>>,
+    author_venues: BTreeMap<usize, BTreeSet<usize>>,
+    venue_papers: BTreeMap<usize, u32>,
+    venue_cits: BTreeMap<usize, Vec<f32>>,
     /// Document frequency of title tokens over the training period (the
     /// "topic" features use titles, not the unreliable keyword links, so
     /// CCP/CPDF score identically on DBLP-full and DBLP-random — as in the
     /// paper's Table II).
-    term_df: HashMap<textmine::TokenId, u32>,
+    term_df: BTreeMap<textmine::TokenId, u32>,
     label_median: f32,
     global_mean: f32,
     year_range: (u16, u16),
@@ -112,7 +112,7 @@ pub fn cpdf_features(ds: &Dataset, stats: &HistoryStats, i: usize) -> Vec<f32> {
     let mut f = ccp_features(ds, stats, i);
     let cits: Vec<f32> = p.authors.iter().map(|&a| stats.author_mean_cit(a)).collect();
     // 10 author interdisciplinarity: distinct past venues of the team.
-    let venues: HashSet<usize> = p
+    let venues: BTreeSet<usize> = p
         .authors
         .iter()
         .flat_map(|a| stats.author_venues.get(a).into_iter().flatten().copied())
@@ -123,7 +123,7 @@ pub fn cpdf_features(ds: &Dataset, stats: &HistoryStats, i: usize) -> Vec<f32> {
     // 12 reference count.
     f.push(p.cites.len() as f32);
     // 13 fraction of references to above-median-cited (training) papers.
-    let train_set: HashSet<usize> = ds.split.train.iter().copied().collect();
+    let train_set: BTreeSet<usize> = ds.split.train.iter().copied().collect();
     let known_refs: Vec<f32> = p
         .cites
         .iter()

@@ -1,0 +1,294 @@
+//! PR-7 benchmark: tape-free inference engine + embedding-cache serving.
+//!
+//! Three self-asserted gates:
+//!
+//! 1. **No-tape serving speedup** — the pre-PR-7 serving pattern answered
+//!    each incoming impact query with one tape-based `predict` call
+//!    (autograd graph, gradient-ready buffers, no batching). The engine
+//!    answers the same query stream as one batched tape-free pass on a
+//!    persistent [`InferCtx`]. Per-query, the engine must be at least
+//!    [`NO_TAPE_SPEEDUP_GATE`]x faster. The like-for-like single-batch
+//!    ratio (no-tape vs tape on the identical batch, where both pay the
+//!    same kernel flops) is also reported, un-gated, for honesty.
+//! 2. **Cache amortisation** — a warm recommend query (embedding-cache
+//!    hit: fingerprint check + dot-product scan + rank) must be at least
+//!    [`CACHE_HIT_SPEEDUP_GATE`]x faster than the recompute path (cold
+//!    engine: embed every candidate, then scan).
+//! 3. **Determinism** — top-K recommendations must be bitwise-identical
+//!    at 1 and 4 tensor threads, and bitwise-identical to scores derived
+//!    from the tape-based `embed_taped` embeddings.
+//!
+//! Results land in `results/BENCH_SERVE.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_serve
+//! ```
+
+// Benchmark binary: wall-clock timing is its whole job (clippy.toml backstop).
+#![allow(clippy::disallowed_types)]
+
+use bench::{bench_dataset, bench_model, bench_model_cfg};
+use catehgn::resilience::fnv1a_f32;
+use catehgn::serve::{Recommendation, ServeEngine};
+use catehgn::CateHgn;
+use hetgraph::NodeId;
+use std::time::Instant;
+use tensor::par;
+
+/// Batched tape-free serving must beat per-query tape-based predict by at
+/// least this factor.
+const NO_TAPE_SPEEDUP_GATE: f64 = 3.0;
+
+/// A warm cache hit must beat recomputing the candidate embeddings by at
+/// least this factor.
+const CACHE_HIT_SPEEDUP_GATE: f64 = 10.0;
+
+/// Impact-query batch; sized so the per-query tape arm's sampled blocks
+/// (5 MC samples per query) still fit the model's 128-entry replay cache.
+const QUERIES: usize = 16;
+
+/// Recommend queries timed for the latency distribution.
+const LATENCY_SAMPLES: usize = 400;
+
+const TOP_K: usize = 10;
+const SEED: u64 = 41;
+const REPS: u32 = 3;
+const ROUNDS: u32 = 5;
+
+fn percentile(sorted_ns: &[u128], p: f64) -> f64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Times `REPS` invocations of `f` per round and returns the fastest
+/// round's per-invocation microseconds. Scheduler noise on a loaded
+/// host only ever inflates a round, so the minimum is the robust
+/// estimator of the true cost — the gates must not flake under CI load.
+fn time_min_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e6 / REPS as f64);
+    }
+    best
+}
+
+/// FNV-1a over a ranking's `(node, score-bits)` stream.
+fn ranking_fingerprint(recs: &[Vec<Recommendation>]) -> u64 {
+    let flat: Vec<f32> = recs
+        .iter()
+        .flat_map(|r| r.iter().flat_map(|x| [x.node.0 as f32, x.score]))
+        .collect();
+    fnv1a_f32(&flat)
+}
+
+fn main() {
+    let ds = bench_dataset();
+    let cfg = bench_model_cfg(&ds);
+    let mut model: CateHgn = bench_model(&ds, cfg);
+    // The untrained output head is zero-initialised (mean-predictor warm
+    // start); perturb it deterministically so predictions are non-trivial
+    // and the bitwise comparisons are meaningful.
+    for l in 0..model.cfg.layers {
+        let wy = model.layers[l].w_y;
+        for (i, x) in model
+            .params
+            .value_mut(wy)
+            .as_mut_slice()
+            .iter_mut()
+            .enumerate()
+        {
+            *x = ((i % 13) as f32 - 6.0) * 0.03;
+        }
+    }
+    let candidates: Vec<NodeId> = ds.paper_nodes.clone();
+    let queries: Vec<NodeId> = ds.paper_nodes.iter().take(QUERIES).copied().collect();
+
+    // Timing arms run at one tensor thread: the gates compare serving
+    // strategies, not thread counts, and both arms use the same setting.
+    par::set_num_threads(1);
+
+    // ---- Gate 1: per-query tape-based predict vs batched tape-free.
+    let mut eng = ServeEngine::new(&model, SEED);
+    // Warm the sampling replay cache for both arms and the engine pool.
+    for q in &queries {
+        let _ = model.predict_taped(&ds.graph, &ds.features, &[*q], SEED);
+    }
+    let batched_ref = eng.predict(&ds.graph, &ds.features, &queries);
+
+    let taped_per_query_us = time_min_us(|| {
+        for q in &queries {
+            let _ = model.predict_taped(&ds.graph, &ds.features, &[*q], SEED);
+        }
+    }) / QUERIES as f64;
+
+    let engine_per_query_us = time_min_us(|| {
+        let _ = eng.predict(&ds.graph, &ds.features, &queries);
+    }) / QUERIES as f64;
+
+    let no_tape_speedup = taped_per_query_us / engine_per_query_us;
+    assert!(
+        no_tape_speedup >= NO_TAPE_SPEEDUP_GATE,
+        "batched tape-free serving only {no_tape_speedup:.2}x faster than per-query tape \
+         predict ({taped_per_query_us:.0}us vs {engine_per_query_us:.0}us); \
+         gate is {NO_TAPE_SPEEDUP_GATE}x"
+    );
+
+    // Same-batch honesty metric: tape vs no-tape on the identical batch.
+    let taped_batched_per_query_us = time_min_us(|| {
+        let b = model.predict_taped(&ds.graph, &ds.features, &queries, SEED);
+        assert_eq!(
+            b, batched_ref,
+            "tape and no-tape batches must agree bitwise"
+        );
+    }) / QUERIES as f64;
+    let same_batch_ratio = taped_batched_per_query_us / engine_per_query_us;
+
+    // ---- Gate 2: warm cache hit vs recompute-per-query.
+    let warm = |eng: &mut ServeEngine| {
+        let mut lat: Vec<u128> = Vec::with_capacity(LATENCY_SAMPLES);
+        for i in 0..LATENCY_SAMPLES {
+            let q = candidates[i % QUERIES.min(candidates.len())];
+            let t = Instant::now();
+            let r = eng.recommend(&ds.graph, &ds.features, &candidates, q, TOP_K);
+            lat.push(t.elapsed().as_nanos());
+            assert_eq!(r.len(), TOP_K.min(candidates.len() - 1));
+        }
+        lat
+    };
+    let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], TOP_K);
+    let mut latencies = warm(&mut eng);
+    let hit_total_us: f64 = latencies.iter().map(|&n| n as f64 / 1e3).sum();
+    let hit_per_query_us = hit_total_us / LATENCY_SAMPLES as f64;
+    latencies.sort_unstable();
+    let p50_us = percentile(&latencies, 0.50);
+    let p99_us = percentile(&latencies, 0.99);
+    let queries_per_sec = 1e6 / hit_per_query_us;
+
+    let recompute_reps = 10u32;
+    let t3 = Instant::now();
+    for i in 0..recompute_reps {
+        // A cold engine per query forces the full candidate re-embed.
+        let mut cold = ServeEngine::new(&model, SEED);
+        let _ = cold.recommend(
+            &ds.graph,
+            &ds.features,
+            &candidates,
+            candidates[i as usize % QUERIES],
+            TOP_K,
+        );
+        assert_eq!(cold.stats().cache_rebuilds, 1);
+    }
+    let recompute_per_query_us = t3.elapsed().as_secs_f64() * 1e6 / recompute_reps as f64;
+    let cache_hit_speedup = recompute_per_query_us / hit_per_query_us;
+    assert!(
+        cache_hit_speedup >= CACHE_HIT_SPEEDUP_GATE,
+        "cache hit only {cache_hit_speedup:.1}x faster than recompute \
+         ({hit_per_query_us:.0}us vs {recompute_per_query_us:.0}us); \
+         gate is {CACHE_HIT_SPEEDUP_GATE}x"
+    );
+
+    // ---- Gate 3: bitwise determinism of the top-K across thread counts
+    // and against scores derived from the tape-based embeddings.
+    let mut fps = Vec::new();
+    for threads in [1usize, 4] {
+        par::set_num_threads(threads);
+        let mut e = ServeEngine::new(&model, SEED);
+        let recs = e.recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K);
+        fps.push((threads, ranking_fingerprint(&recs)));
+    }
+    assert_eq!(
+        fps[0].1, fps[1].1,
+        "top-K rankings diverged between 1 and 4 tensor threads"
+    );
+
+    par::set_num_threads(1);
+    let taped_emb = model
+        .embed_taped(&ds.graph, &ds.features, &candidates, SEED)
+        .pop()
+        .expect("at least one layer");
+    let mut taped_recs = Vec::new();
+    for q in &queries {
+        let pos = candidates
+            .iter()
+            .position(|c| c == q)
+            .expect("query in candidates");
+        let qrow = tensor::Tensor::from_vec(1, taped_emb.shape().1, taped_emb.row(pos).to_vec());
+        let scores = qrow.matmul_tb(&taped_emb);
+        let mut recs: Vec<Recommendation> = scores
+            .row(0)
+            .iter()
+            .zip(&candidates)
+            .filter(|(_, &n)| n != *q)
+            .map(|(&score, &node)| Recommendation { node, score })
+            .collect();
+        recs.sort_by(catehgn::serve::rank_desc);
+        recs.truncate(TOP_K);
+        taped_recs.push(recs);
+    }
+    let mut e = ServeEngine::new(&model, SEED);
+    let engine_recs = e.recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K);
+    assert_eq!(
+        ranking_fingerprint(&engine_recs),
+        ranking_fingerprint(&taped_recs),
+        "engine top-K diverged from scores derived from tape-based embeddings"
+    );
+    par::set_num_threads(0);
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        r#"{{
+  "bench": "bench_serve",
+  "pr": 7,
+  "headline": "tape-free inference engine + embedding-cache top-K serving",
+  "host_cpus": {host_cpus},
+  "workload": {{
+    "candidates": {n_cand},
+    "impact_queries": {QUERIES},
+    "latency_samples": {LATENCY_SAMPLES},
+    "top_k": {TOP_K}
+  }},
+  "no_tape": {{
+    "description": "per-query tape-based predict (pre-PR-7 serving pattern) vs one batched tape-free pass on a warm InferCtx; same_batch_ratio is the un-gated like-for-like ratio on the identical batch",
+    "tape_per_query_us": {taped_per_query_us:.1},
+    "batched_no_tape_per_query_us": {engine_per_query_us:.1},
+    "no_tape_speedup": {no_tape_speedup:.2},
+    "same_batch_ratio": {same_batch_ratio:.2},
+    "gate": {NO_TAPE_SPEEDUP_GATE:.1}
+  }},
+  "cache": {{
+    "description": "warm embedding-cache recommend vs cold engine (full candidate re-embed per query)",
+    "hit_per_query_us": {hit_per_query_us:.1},
+    "recompute_per_query_us": {recompute_per_query_us:.1},
+    "cache_hit_speedup": {cache_hit_speedup:.1},
+    "gate": {CACHE_HIT_SPEEDUP_GATE:.1}
+  }},
+  "latency": {{
+    "queries_per_sec": {queries_per_sec:.0},
+    "p50_us": {p50_us:.1},
+    "p99_us": {p99_us:.1}
+  }},
+  "determinism": {{
+    "ranking_fingerprint": {fp},
+    "bitwise_identical_at_1_and_4_threads": true,
+    "bitwise_identical_to_tape_based_scores": true
+  }}
+}}
+"#,
+        n_cand = candidates.len(),
+        fp = fps[0].1,
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_SERVE.json"
+    );
+    std::fs::write(path, &json).expect("write results/BENCH_SERVE.json");
+    println!("{json}");
+    println!("wrote {path}");
+}

@@ -2,7 +2,7 @@
 //! clustering over *all* node types in the one shared embedding space,
 //! masked-embedding prediction, and the consistency/disparity regularisers.
 
-use tensor::{ConstId, Graph, ParamId, Params, Tensor, Var};
+use tensor::{ConstId, ForwardCtx, Graph, ParamId, Params, Tensor, Var};
 
 /// Trainable CA parameters: per layer, `K` cluster centers (a `K x d`
 /// tensor) and `K` embedding masks (each `1 x d`, passed through sigmoid).
@@ -51,11 +51,15 @@ impl CaParams {
 /// Eq. 16: Student-t soft assignment of every row of `h` to each center.
 /// Returns an `n x K` row-stochastic matrix, differentiable in both `h` and
 /// `centers`.
-pub fn soft_assign(g: &mut Graph, h: Var, centers: Var) -> Var {
+pub fn soft_assign<F: ForwardCtx>(g: &mut F, h: Var, centers: Var) -> Var {
     let d2 = g.pairwise_sq_dist(h, centers);
     let t = g.recip1p(d2);
+    g.free(d2);
     let s = g.sum_rows(t);
-    g.div_col(t, s)
+    let q = g.div_col(t, s);
+    g.free(t);
+    g.free(s);
+    q
 }
 
 /// Eq. 17: the sharpened auxiliary target distribution `P` computed from a
@@ -133,8 +137,8 @@ pub fn disparity_loss(g: &mut Graph, centers: Var) -> Var {
 
 /// Eq. 19: cluster-aware masked embedding
 /// `h_hat_v = sum_k q_vk * (h_v (*) sigmoid(pi_k))`.
-pub fn masked_embedding(
-    g: &mut Graph,
+pub fn masked_embedding<F: ForwardCtx>(
+    g: &mut F,
     params: &Params,
     h: Var,
     q: Var,
@@ -144,11 +148,20 @@ pub fn masked_embedding(
     for (k, &mid) in masks.iter().enumerate() {
         let pi = g.param(params, mid);
         let mask = g.sigmoid(pi);
+        g.free(pi);
         let masked = g.mul_row(h, mask);
+        g.free(mask);
         let qk = g.col_slice(q, k);
         let term = g.mul_col(masked, qk);
+        g.free(masked);
+        g.free(qk);
         acc = Some(match acc {
-            Some(prev) => g.add(prev, term),
+            Some(prev) => {
+                let next = g.add(prev, term);
+                g.free(prev);
+                g.free(term);
+                next
+            }
             None => term,
         });
     }
@@ -184,11 +197,7 @@ mod tests {
         let p = target_distribution(&q);
         for i in 0..3 {
             let qmax = q.row(i).iter().cloned().fold(0.0f32, f32::max);
-            let am = q
-                .row(i)
-                .iter()
-                .position(|&x| x == qmax)
-                .unwrap();
+            let am = q.row(i).iter().position(|&x| x == qmax).unwrap();
             assert!(
                 p.get(i, am) >= q.get(i, am) - 1e-6,
                 "row {i}: p {} < q {}",
@@ -263,7 +272,10 @@ mod tests {
         let mut params = Params::new();
         let ca = CaParams::init(&mut params, 1, 4, 3, &mut rng);
         let mut g = Graph::new();
-        let h = g.input(Tensor::from_rows(&[&[0.1, 0.2, 0.3, 0.4], &[0.4, 0.3, 0.2, 0.1]]));
+        let h = g.input(Tensor::from_rows(&[
+            &[0.1, 0.2, 0.3, 0.4],
+            &[0.4, 0.3, 0.2, 0.1],
+        ]));
         let centers = g.param(&params, ca.centers[0]);
         let q = soft_assign(&mut g, h, centers);
         let p = target_distribution(g.value(q));
@@ -272,8 +284,14 @@ mod tests {
         let l2 = g.l2(hm);
         let loss = g.add(st, l2);
         g.backward(loss);
-        let with_grads =
-            g.bindings().iter().filter(|(_, v)| g.grad(*v).is_some()).count();
-        assert!(with_grads >= 4, "centers + masks should all get gradients, got {with_grads}");
+        let with_grads = g
+            .bindings()
+            .iter()
+            .filter(|(_, v)| g.grad(*v).is_some())
+            .count();
+        assert!(
+            with_grads >= 4,
+            "centers + masks should all get gradients, got {with_grads}"
+        );
     }
 }

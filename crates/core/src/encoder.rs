@@ -6,7 +6,7 @@
 
 use crate::config::ModelConfig;
 use hetgraph::{HetGraph, NodeId};
-use tensor::{Graph, ParamId, Params, Tensor, Var};
+use tensor::{ForwardCtx, ParamId, Params, Tensor, Var};
 
 /// Trainable encoder parameters plus the fixed random link features.
 #[derive(Clone, Debug)]
@@ -32,27 +32,50 @@ impl EncoderParams {
     ) -> Self {
         use tensor::Initializer::{Uniform, XavierUniform, Zeros};
         let node_w = (0..n_node_types)
-            .map(|t| params.add_init(format!("enc.node{t}.w"), feat_dim, cfg.dim, XavierUniform, rng))
+            .map(|t| {
+                params.add_init(
+                    format!("enc.node{t}.w"),
+                    feat_dim,
+                    cfg.dim,
+                    XavierUniform,
+                    rng,
+                )
+            })
             .collect();
         let node_b = (0..n_node_types)
             .map(|t| params.add_init(format!("enc.node{t}.b"), 1, cfg.dim, Zeros, rng))
             .collect();
         let link_w = (0..n_link_types)
-            .map(|t| params.add_init(format!("enc.link{t}.w"), cfg.dim, cfg.dim, XavierUniform, rng))
+            .map(|t| {
+                params.add_init(
+                    format!("enc.link{t}.w"),
+                    cfg.dim,
+                    cfg.dim,
+                    XavierUniform,
+                    rng,
+                )
+            })
             .collect();
         let link_b = (0..n_link_types)
             .map(|t| params.add_init(format!("enc.link{t}.b"), 1, cfg.dim, Zeros, rng))
             .collect();
-        let link_feat =
-            (0..n_link_types).map(|_| Uniform(1.0).sample(1, cfg.dim, rng)).collect();
-        EncoderParams { node_w, node_b, link_w, link_b, link_feat }
+        let link_feat = (0..n_link_types)
+            .map(|_| Uniform(1.0).sample(1, cfg.dim, rng))
+            .collect();
+        EncoderParams {
+            node_w,
+            node_b,
+            link_w,
+            link_b,
+            link_feat,
+        }
     }
 }
 
 /// Encodes the raw features of `frontier` nodes into the shared space,
 /// applying each node type's own encoder and restoring frontier order.
-pub fn encode_nodes(
-    g: &mut Graph,
+pub fn encode_nodes<F: ForwardCtx>(
+    g: &mut F,
     params: &Params,
     enc: &EncoderParams,
     graph: &HetGraph,
@@ -74,36 +97,54 @@ pub fn encode_nodes(
         if group.is_empty() {
             continue;
         }
-        let rows: Vec<usize> = group.iter().map(|&pos| frontier[pos].index()).collect();
-        let x = g.input(features.gather_rows(&rows));
+        let mut rows = g.scratch_idx();
+        rows.extend(group.iter().map(|&pos| frontier[pos].index()));
+        let x = g.input_rows(features, &rows);
+        g.recycle_idx(rows);
         let w = g.param(params, enc.node_w[t]);
         let b = g.param(params, enc.node_b[t]);
         let lin = g.linear(x, w, b);
+        g.free(x);
+        g.free(w);
+        g.free(b);
         let h = g.relu(lin);
+        g.free(lin);
         for (i, &pos) in group.iter().enumerate() {
             landing[pos] = offset + i;
         }
         offset += group.len();
         stacked = Some(match stacked {
-            Some(prev) => g.concat_rows(prev, h),
+            Some(prev) => {
+                let next = g.concat_rows(prev, h);
+                g.free(prev);
+                g.free(h);
+                next
+            }
             None => h,
         });
     }
     let stacked = stacked.expect("frontier must be non-empty");
     // Restore frontier order.
-    g.gather_rows(stacked, landing)
+    let out = g.gather_rows(stacked, landing);
+    g.free(stacked);
+    out
 }
 
 /// Encodes the fixed random link features into layer-0 link embeddings
 /// (one `1 x d` var per link type).
-pub fn encode_links(g: &mut Graph, params: &Params, enc: &EncoderParams) -> Vec<Var> {
+pub fn encode_links<F: ForwardCtx>(g: &mut F, params: &Params, enc: &EncoderParams) -> Vec<Var> {
     (0..enc.link_w.len())
         .map(|t| {
             let x = g.input_from(&enc.link_feat[t]);
             let w = g.param(params, enc.link_w[t]);
             let b = g.param(params, enc.link_b[t]);
             let lin = g.linear(x, w, b);
-            g.relu(lin)
+            g.free(x);
+            g.free(w);
+            g.free(b);
+            let h = g.relu(lin);
+            g.free(lin);
+            h
         })
         .collect()
 }
@@ -114,8 +155,16 @@ mod tests {
     use hetgraph::{HetGraphBuilder, Schema};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use tensor::Graph;
 
-    fn setup() -> (HetGraph, Vec<NodeId>, Params, EncoderParams, Tensor, ModelConfig) {
+    fn setup() -> (
+        HetGraph,
+        Vec<NodeId>,
+        Params,
+        EncoderParams,
+        Tensor,
+        ModelConfig,
+    ) {
         let mut s = Schema::new();
         let paper = s.add_node_type("paper");
         let author = s.add_node_type("author");
@@ -125,7 +174,10 @@ mod tests {
         let a0 = b.add_node(author);
         let p1 = b.add_node(paper);
         let graph = b.build();
-        let cfg = ModelConfig { dim: 4, ..ModelConfig::test_tiny() };
+        let cfg = ModelConfig {
+            dim: 4,
+            ..ModelConfig::test_tiny()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let mut params = Params::new();
         let enc = EncoderParams::init(&mut params, 3, 2, 2, &cfg, &mut rng);
@@ -162,7 +214,11 @@ mod tests {
         let feats = Tensor::from_rows(&[&[0.5, 0.5, 0.5], &[0.5, 0.5, 0.5], &[0.0, 0.0, 0.0]]);
         let mut g = Graph::new();
         let h = encode_nodes(&mut g, &params, &enc, &graph, &feats, &[nodes[0], nodes[1]]);
-        assert_ne!(g.value(h).row(0), g.value(h).row(1), "type-aware encoders must differ");
+        assert_ne!(
+            g.value(h).row(0),
+            g.value(h).row(1),
+            "type-aware encoders must differ"
+        );
     }
 
     #[test]
@@ -184,7 +240,11 @@ mod tests {
         let h = encode_nodes(&mut g, &params, &enc, &graph, &features, &nodes);
         let loss = g.l2(h);
         g.backward(loss);
-        let grads = g.bindings().iter().filter(|(_, v)| g.grad(*v).is_some()).count();
+        let grads = g
+            .bindings()
+            .iter()
+            .filter(|(_, v)| g.grad(*v).is_some())
+            .count();
         assert!(grads >= 4, "node encoder params should receive gradients");
     }
 }

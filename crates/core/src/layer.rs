@@ -12,7 +12,7 @@
 
 use crate::config::{Composition, ModelConfig};
 use hetgraph::Block;
-use tensor::{Graph, ParamId, Params, Tensor, Var};
+use tensor::{ForwardCtx, ParamId, Params, Tensor, Var};
 
 /// Trainable parameters of one HGN layer.
 #[derive(Clone, Debug)]
@@ -73,12 +73,21 @@ impl LayerParams {
         let w_y = params.add_init(format!("l{l}.w_y"), dim, 1, Zeros, rng);
         let b_y = params.add_init(format!("l{l}.b_y"), 1, 1, Zeros, rng);
         let w_d = params.add_init(format!("l{l}.w_d"), dim, dim, XavierUniform, rng);
-        LayerParams { w_a, w_self, w_b, a_node, a_link, w_y, b_y, w_d }
+        LayerParams {
+            w_a,
+            w_self,
+            w_b,
+            a_node,
+            a_link,
+            w_y,
+            b_y,
+            w_d,
+        }
     }
 }
 
 /// Applies the composition operator `phi` row-wise.
-pub fn compose(g: &mut Graph, h_u: Var, h_e_tiled: Var, op: Composition) -> Var {
+pub fn compose<F: ForwardCtx>(g: &mut F, h_u: Var, h_e_tiled: Var, op: Composition) -> Var {
     match op {
         Composition::Sub => g.sub(h_u, h_e_tiled),
         Composition::Mult => g.mul(h_u, h_e_tiled),
@@ -87,9 +96,11 @@ pub fn compose(g: &mut Graph, h_u: Var, h_e_tiled: Var, op: Composition) -> Var 
 }
 
 /// Broadcasts a `1 x d` link embedding to `m` rows.
-fn tile_rows(g: &mut Graph, v: Var, m: usize) -> Var {
-    let ones = g.input(Tensor::ones(m, 1));
-    g.matmul(ones, v)
+fn tile_rows<F: ForwardCtx>(g: &mut F, v: Var, m: usize) -> Var {
+    let ones = g.input_with(m, 1, |b| b.fill(1.0));
+    let tiled = g.matmul(ones, v);
+    g.free(ones);
+    tiled
 }
 
 /// Output of one layer's forward pass.
@@ -104,8 +115,8 @@ pub struct LayerOut {
 ///
 /// `h_src` holds previous-layer embeddings for `block.src_nodes`; `h_edge`
 /// holds the previous-layer link embedding per link type.
-pub fn layer_forward(
-    g: &mut Graph,
+pub fn layer_forward<F: ForwardCtx>(
+    g: &mut F,
     params: &Params,
     lp: &LayerParams,
     cfg: &ModelConfig,
@@ -157,20 +168,29 @@ pub fn layer_forward(
         let edges = &block.edges_by_type[ti.lt];
         ti.src_idx.extend(edges.iter().map(|e| e.src_pos as usize));
         ti.dst_idx.extend(edges.iter().map(|e| e.dst_pos as usize));
-        ti.prev_idx.extend(edges.iter().map(|e| block.dst_in_src[e.dst_pos as usize] as usize));
+        ti.prev_idx.extend(
+            edges
+                .iter()
+                .map(|e| block.dst_in_src[e.dst_pos as usize] as usize),
+        );
         ti.active_dst.extend_from_slice(&ti.dst_idx);
         ti.active_dst.sort_unstable();
         ti.active_dst.dedup();
         let active_dst = &ti.active_dst;
-        ti.local_seg
-            .extend(ti.dst_idx.iter().map(|d| active_dst.binary_search(d).expect("dst present")));
-        ti.active_prev.extend(ti.active_dst.iter().map(|&d| block.dst_in_src[d] as usize));
+        ti.local_seg.extend(
+            ti.dst_idx
+                .iter()
+                .map(|d| active_dst.binary_search(d).expect("dst present")),
+        );
+        ti.active_prev
+            .extend(ti.active_dst.iter().map(|&d| block.dst_in_src[d] as usize));
         if !attn {
             let mut deg = vec![0.0f32; n_dst];
             for &d in &ti.dst_idx {
                 deg[d] += 1.0;
             }
-            ti.uniform_w.extend(ti.dst_idx.iter().map(|&d| 1.0 / deg[d]));
+            ti.uniform_w
+                .extend(ti.dst_idx.iter().map(|&d| 1.0 / deg[d]));
         }
     });
 
@@ -192,35 +212,55 @@ pub fn layer_forward(
         // Eq. 3: message = W_a (phi(h_u, h_e) concat h_v).
         let phi = compose(g, h_u, e_tiled, cfg.composition);
         let msg_in = g.concat_cols(phi, h_v_prev);
+        g.free(phi);
         let msg = g.matmul(msg_in, w_a);
+        g.free(msg_in);
 
         // Eq. 14 node-wise attention within this type, or uniform weights.
         let alpha = if attn {
             let hv_he = g.concat_cols(h_v_prev, e_tiled);
             let feat = g.concat_cols(hv_he, h_u);
+            g.free(hv_he);
             let mut acc: Option<Var> = None;
             for &aid in &lp.a_node[ti.lt] {
                 let a = g.param(params, aid);
-                let s = g.matmul(feat, a);
-                let s = g.leaky_relu(s, 0.2);
+                let s0 = g.matmul(feat, a);
+                g.free(a);
+                let s = g.leaky_relu(s0, 0.2);
+                g.free(s0);
                 let seg = g.scratch_idx_from(&ti.dst_idx);
                 let sm = g.segment_softmax(s, seg);
+                g.free(s);
                 acc = Some(match acc {
-                    Some(prev) => g.add(prev, sm),
+                    Some(prev) => {
+                        let next = g.add(prev, sm);
+                        g.free(prev);
+                        g.free(sm);
+                        next
+                    }
                     None => sm,
                 });
             }
             let summed = acc.expect("at least one head");
-            g.scale(summed, 1.0 / lp.a_node[ti.lt].len().max(1) as f32)
+            g.free(feat);
+            let scaled = g.scale(summed, 1.0 / lp.a_node[ti.lt].len().max(1) as f32);
+            g.free(summed);
+            scaled
         } else {
             g.input(Tensor::col_vec(ti.uniform_w))
         };
         g.recycle_idx(ti.dst_idx);
+        g.free(h_u);
+        g.free(h_v_prev);
+        g.free(e_tiled);
         let weighted = g.mul_col(msg, alpha);
+        g.free(msg);
+        g.free(alpha);
 
         // Aggregate into *active-dst-local* slots to keep the cross-type
         // softmax free of phantom zero rows.
         let agg_active = g.segment_sum(weighted, ti.local_seg, ti.active_dst.len());
+        g.free(weighted);
 
         per_type.push(TypeAgg {
             active_dst: ti.active_dst,
@@ -238,9 +278,13 @@ pub fn layer_forward(
     let h_prev_dst = g.gather_rows(h_src, prev_idx);
     let w_self = g.param(params, lp.w_self);
     let self_term = g.matmul(h_prev_dst, w_self);
+    g.free(h_prev_dst);
+    g.free(w_self);
 
     let h_next = if per_type.is_empty() {
-        g.relu(self_term)
+        let out = g.relu(self_term);
+        g.free(self_term);
+        out
     } else {
         // Eq. 15 link-wise attention across types. Stack all (v, t) slots
         // vertically; the segment id is the dst position, so the softmax
@@ -252,13 +296,26 @@ pub fn layer_forward(
             let h_v = g.gather_rows(h_src, ta.active_prev);
             let e_tiled = tile_rows(g, ta.h_e, ta.active_dst.len());
             let hv_he = g.concat_cols(h_v, e_tiled);
+            g.free(h_v);
+            g.free(e_tiled);
             let feat = g.concat_cols(hv_he, ta.agg_active);
+            g.free(hv_he);
             stacked_agg = Some(match stacked_agg {
-                Some(prev) => g.concat_rows(prev, ta.agg_active),
+                Some(prev) => {
+                    let next = g.concat_rows(prev, ta.agg_active);
+                    g.free(prev);
+                    g.free(ta.agg_active);
+                    next
+                }
                 None => ta.agg_active,
             });
             stacked_feat = Some(match stacked_feat {
-                Some(prev) => g.concat_rows(prev, feat),
+                Some(prev) => {
+                    let next = g.concat_rows(prev, feat);
+                    g.free(prev);
+                    g.free(feat);
+                    next
+                }
                 None => feat,
             });
             segments.extend(ta.active_dst.iter().copied());
@@ -271,17 +328,27 @@ pub fn layer_forward(
             let mut acc: Option<Var> = None;
             for &aid in &lp.a_link {
                 let a = g.param(params, aid);
-                let s = g.matmul(stacked_feat, a);
-                let s = g.leaky_relu(s, 0.2);
+                let s0 = g.matmul(stacked_feat, a);
+                g.free(a);
+                let s = g.leaky_relu(s0, 0.2);
+                g.free(s0);
                 let seg = g.scratch_idx_from(&segments);
                 let sm = g.segment_softmax(s, seg);
+                g.free(s);
                 acc = Some(match acc {
-                    Some(prev) => g.add(prev, sm),
+                    Some(prev) => {
+                        let next = g.add(prev, sm);
+                        g.free(prev);
+                        g.free(sm);
+                        next
+                    }
                     None => sm,
                 });
             }
             let summed = acc.expect("at least one head");
-            g.scale(summed, 1.0 / lp.a_link.len().max(1) as f32)
+            let scaled = g.scale(summed, 1.0 / lp.a_link.len().max(1) as f32);
+            g.free(summed);
+            scaled
         } else {
             // Uniform across the types present at each node.
             let mut cnt = vec![0.0f32; n_dst];
@@ -291,17 +358,30 @@ pub fn layer_forward(
             let w: Vec<f32> = segments.iter().map(|&s| 1.0 / cnt[s]).collect();
             g.input(Tensor::col_vec(w))
         };
+        g.free(stacked_feat);
         let weighted = g.mul_col(stacked_agg, beta);
+        g.free(stacked_agg);
+        g.free(beta);
         let agg = g.segment_sum(weighted, segments, n_dst);
+        g.free(weighted);
         let combined = g.add(agg, self_term);
-        g.relu(combined)
+        g.free(agg);
+        g.free(self_term);
+        let out = g.relu(combined);
+        g.free(combined);
+        out
     };
 
     // Eq. 4: link embedding update.
     let w_b = g.param(params, lp.w_b);
     let h_edge_next = h_edge.iter().map(|&he| g.matmul(he, w_b)).collect();
+    g.free(w_b);
+    g.free(w_a);
 
-    LayerOut { h_next, h_edge_next }
+    LayerOut {
+        h_next,
+        h_edge_next,
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +390,7 @@ mod tests {
     use hetgraph::{sample_blocks, HetGraphBuilder, Schema};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+    use tensor::Graph;
 
     fn toy_setup() -> (hetgraph::HetGraph, Vec<hetgraph::NodeId>) {
         let mut s = Schema::new();
@@ -343,7 +424,9 @@ mod tests {
         let mut g = Graph::new();
         let h_src = {
             let n = block.src_nodes.len();
-            let data = (0..n * cfg.dim).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect();
+            let data = (0..n * cfg.dim)
+                .map(|i| ((i % 7) as f32 - 3.0) * 0.2)
+                .collect();
             g.input(Tensor::from_vec(n, cfg.dim, data))
         };
         let h_edge: Vec<Var> = (0..graph.schema().num_link_types())
@@ -360,7 +443,11 @@ mod tests {
     #[test]
     fn layer_output_shape_and_finiteness() {
         for comp in [Composition::Sub, Composition::Mult, Composition::CircCorr] {
-            let cfg = ModelConfig { composition: comp, dim: 8, ..ModelConfig::test_tiny() };
+            let cfg = ModelConfig {
+                composition: comp,
+                dim: 8,
+                ..ModelConfig::test_tiny()
+            };
             let (g, h, n_dst) = run_layer(&cfg);
             assert_eq!(g.shape(h), (n_dst, 8));
             assert!(g.value(h).all_finite());
@@ -369,7 +456,10 @@ mod tests {
 
     #[test]
     fn attention_and_uniform_paths_both_run_and_differ() {
-        let cfg_attn = ModelConfig { dim: 8, ..ModelConfig::test_tiny() };
+        let cfg_attn = ModelConfig {
+            dim: 8,
+            ..ModelConfig::test_tiny()
+        };
         let mut cfg_unif = cfg_attn.clone();
         cfg_unif.ablation.attention = false;
         let (ga, ha, _) = run_layer(&cfg_attn);
@@ -381,7 +471,10 @@ mod tests {
 
     #[test]
     fn layer_is_differentiable_end_to_end() {
-        let cfg = ModelConfig { dim: 8, ..ModelConfig::test_tiny() };
+        let cfg = ModelConfig {
+            dim: 8,
+            ..ModelConfig::test_tiny()
+        };
         let (graph, papers) = toy_setup();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let blocks = sample_blocks(&graph, &papers, 1, 4, &mut rng);
@@ -397,8 +490,9 @@ mod tests {
         let mut g = Graph::new();
         let n = blocks[0].src_nodes.len();
         let h_src = g.input(Tensor::full(n, cfg.dim, 0.3));
-        let h_edge: Vec<Var> =
-            (0..graph.schema().num_link_types()).map(|_| g.input(Tensor::full(1, cfg.dim, 0.2))).collect();
+        let h_edge: Vec<Var> = (0..graph.schema().num_link_types())
+            .map(|_| g.input(Tensor::full(1, cfg.dim, 0.2)))
+            .collect();
         let out = layer_forward(&mut g, &params, &lp, &cfg, &blocks[0], h_src, &h_edge);
         let loss = g.l2(out.h_next);
         g.backward(loss);

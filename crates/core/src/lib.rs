@@ -46,6 +46,7 @@ pub mod mi;
 pub mod model;
 pub mod predict;
 pub mod resilience;
+pub mod serve;
 pub mod te;
 pub mod temporal;
 pub mod train;
@@ -58,6 +59,7 @@ pub use resilience::{
     params_fingerprint, report_fingerprint, CheckpointError, CheckpointManager, Fault, FaultPlan,
     NonFiniteSource, RecoveryPolicy, TrainError, TrainOptions, TrainState,
 };
+pub use serve::{Recommendation, ServeEngine, ServeStats};
 pub use te::TextEnhancer;
 pub use temporal::{ageing_curve, trajectory_rmse, TemporalHead, DEFAULT_HORIZON};
 pub use train::{rmse, train as train_model, train_with, TeRound, TrainReport};

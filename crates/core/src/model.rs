@@ -11,7 +11,7 @@ use hetgraph::{Block, BlockCache, HetGraph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tensor::{Graph, Params, Tensor, Var};
+use tensor::{ForwardCtx, Graph, InferCtx, Params, Tensor, Var};
 
 /// The CATE-HGN model (and, through ablation flags, its HGN / CA-HGN
 /// variants).
@@ -179,9 +179,9 @@ impl CateHgn {
     /// Runs the model over pre-sampled blocks. `bind_centers` controls
     /// whether cluster centers participate as trainable parameters (CA
     /// phase) or as constants (HGN phase / inference).
-    pub fn forward(
+    pub fn forward<F: ForwardCtx>(
         &self,
-        g: &mut Graph,
+        g: &mut F,
         graph: &HetGraph,
         features: &Tensor,
         blocks: &[Block],
@@ -223,6 +223,7 @@ impl CateHgn {
                     g.input_from(self.params.value(self.ca.centers[l - 1]))
                 };
                 let q = ca::soft_assign(g, h_next, centers);
+                g.free(centers);
                 q_layers.push(q);
                 ca::masked_embedding(g, &self.params, h_next, q, &self.ca.masks[l - 1])
             } else {
@@ -244,12 +245,23 @@ impl CateHgn {
 
     /// Layer-`l` citation prediction (Eq. 6) for the first `n` rows of the
     /// masked embedding (the batch seeds are always the frontier prefix).
-    pub fn predict_rows(&self, g: &mut Graph, fw: &ForwardOut, l: usize, n: usize) -> Var {
-        let rows: Vec<usize> = (0..n).collect();
+    pub fn predict_rows<F: ForwardCtx>(
+        &self,
+        g: &mut F,
+        fw: &ForwardOut,
+        l: usize,
+        n: usize,
+    ) -> Var {
+        let mut rows = g.scratch_idx();
+        rows.extend(0..n);
         let h = g.gather_rows(fw.h_masked[l - 1], rows);
         let w = g.param(&self.params, self.layers[l - 1].w_y);
         let b = g.param(&self.params, self.layers[l - 1].b_y);
-        g.linear(h, w, b)
+        let out = g.linear(h, w, b);
+        g.free(h);
+        g.free(w);
+        g.free(b);
+        out
     }
 
     /// The HGN-phase loss `L_sup + lambda * L_unsup` (Eq. 2) for one batch.
@@ -359,7 +371,8 @@ impl CateHgn {
     /// single forward pass stochastic, so predictions are Monte-Carlo
     /// averaged over [`PREDICT_SAMPLES`] independently sampled
     /// neighborhoods (standard GraphSAGE-style inference smoothing).
-    /// Deterministic in `seed`.
+    /// Deterministic in `seed`. Runs tape-free on a fresh [`InferCtx`];
+    /// bitwise-identical to [`CateHgn::predict_taped`].
     pub fn predict(
         &self,
         graph: &HetGraph,
@@ -367,22 +380,59 @@ impl CateHgn {
         seeds: &[NodeId],
         seed: u64,
     ) -> Vec<f32> {
+        self.predict_in(&mut InferCtx::new(), graph, features, seeds, seed)
+    }
+
+    /// [`CateHgn::predict`] on a caller-provided (typically warm,
+    /// persistent) inference context — the serving hot path: pooled buffers
+    /// are reused across calls instead of reallocated.
+    pub fn predict_in(
+        &self,
+        ctx: &mut InferCtx,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<f32> {
+        self.predict_with(ctx, graph, features, seeds, seed)
+    }
+
+    /// [`CateHgn::predict`] on the autodiff tape. This is the historical
+    /// (pre-`InferCtx`) predict path, kept as the bitwise reference the
+    /// proptests and `bench_serve` gate the tape-free path against.
+    pub fn predict_taped(
+        &self,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<f32> {
+        self.predict_with(&mut Graph::new(), graph, features, seeds, seed)
+    }
+
+    fn predict_with<F: ForwardCtx>(
+        &self,
+        g: &mut F,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<f32> {
         const PREDICT_SAMPLES: u64 = 5;
         let mut out = vec![0.0f32; seeds.len()];
-        let mut g = Graph::new();
         for s in 0..PREDICT_SAMPLES {
             let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s.wrapping_mul(0x9E37)));
             let mut offset = 0;
             for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
                 let blocks = self.sample_cached(graph, chunk, self.cfg.fanout * 2, &mut rng);
                 g.reset();
-                let fw = self.forward(&mut g, graph, features, &blocks, false);
+                let fw = self.forward(g, graph, features, &blocks, false);
                 // Eq. 6 trains a regressor at every layer; averaging the
                 // per-layer predictions is the natural deep-supervision
                 // ensemble read-out.
                 let mut preds = vec![0.0f32; chunk.len()];
                 for l in 1..=self.cfg.layers {
-                    let pred = self.predict_rows(&mut g, &fw, l, chunk.len());
+                    let pred = self.predict_rows(g, &fw, l, chunk.len());
                     for (o, &p) in preds.iter_mut().zip(g.value(pred).as_slice()) {
                         *o += p / self.cfg.layers as f32;
                     }
@@ -398,7 +448,8 @@ impl CateHgn {
 
     /// Inference readout for case studies: per seed, the predicted impact
     /// `y_hat^(L)` and the hard cluster assignment `argmax_k q^(L)`.
-    /// Without CA, the cluster is always 0.
+    /// Without CA, the cluster is always 0. Runs tape-free; bitwise-
+    /// identical to [`CateHgn::impact_and_cluster_taped`].
     pub fn impact_and_cluster(
         &self,
         graph: &HetGraph,
@@ -406,14 +457,36 @@ impl CateHgn {
         seeds: &[NodeId],
         seed: u64,
     ) -> Vec<(f32, usize)> {
+        self.impact_with(&mut InferCtx::new(), graph, features, seeds, seed)
+    }
+
+    /// [`CateHgn::impact_and_cluster`] on the autodiff tape — the bitwise
+    /// reference for the tape-free path.
+    pub fn impact_and_cluster_taped(
+        &self,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<(f32, usize)> {
+        self.impact_with(&mut Graph::new(), graph, features, seeds, seed)
+    }
+
+    fn impact_with<F: ForwardCtx>(
+        &self,
+        g: &mut F,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<(f32, usize)> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut out = Vec::with_capacity(seeds.len());
-        let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
             let blocks = self.sample_cached(graph, chunk, self.cfg.fanout * 2, &mut rng);
             g.reset();
-            let fw = self.forward(&mut g, graph, features, &blocks, false);
-            let pred = self.predict_rows(&mut g, &fw, self.cfg.layers, chunk.len());
+            let fw = self.forward(g, graph, features, &blocks, false);
+            let pred = self.predict_rows(g, &fw, self.cfg.layers, chunk.len());
             let preds = g.value(pred).as_slice().to_vec();
             let clusters: Vec<usize> = if let Some(&q) = fw.q_layers.last() {
                 let qv = g.value(q);
@@ -426,8 +499,10 @@ impl CateHgn {
         out
     }
 
-    /// Layer-wise embeddings of `seeds` (used for TE center initialisation).
-    /// Returns one `seeds.len() x d` tensor per layer `1..=L`.
+    /// Layer-wise embeddings of `seeds` (used for TE center initialisation
+    /// and the serving embedding cache). Returns one `seeds.len() x d`
+    /// tensor per layer `1..=L`. Runs tape-free; bitwise-identical to
+    /// [`CateHgn::embed_taped`].
     pub fn embed(
         &self,
         graph: &HetGraph,
@@ -435,9 +510,43 @@ impl CateHgn {
         seeds: &[NodeId],
         seed: u64,
     ) -> Vec<Tensor> {
+        self.embed_in(&mut InferCtx::new(), graph, features, seeds, seed)
+    }
+
+    /// [`CateHgn::embed`] on a caller-provided persistent inference context.
+    pub fn embed_in(
+        &self,
+        ctx: &mut InferCtx,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<Tensor> {
+        self.embed_with(ctx, graph, features, seeds, seed)
+    }
+
+    /// [`CateHgn::embed`] on the autodiff tape — the bitwise reference for
+    /// the tape-free path.
+    pub fn embed_taped(
+        &self,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<Tensor> {
+        self.embed_with(&mut Graph::new(), graph, features, seeds, seed)
+    }
+
+    fn embed_with<F: ForwardCtx>(
+        &self,
+        g: &mut F,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+        seed: u64,
+    ) -> Vec<Tensor> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); self.cfg.layers];
-        let mut g = Graph::new();
         for chunk in seeds.chunks(self.cfg.batch_size.max(1)) {
             let blocks = self.sample_cached(graph, chunk, self.cfg.fanout, &mut rng);
             // Duplicate seeds dedup in the sampler: resolve each requested
@@ -449,7 +558,7 @@ impl CateHgn {
                 .map(|(i, &n)| (n, i))
                 .collect();
             g.reset();
-            let fw = self.forward(&mut g, graph, features, &blocks, false);
+            let fw = self.forward(g, graph, features, &blocks, false);
             for (l, &h) in fw.h_layers.iter().enumerate() {
                 let hv = g.value(h);
                 for n in chunk {

@@ -36,12 +36,16 @@ fn rank_nodes(
     let k = model.cfg.n_clusters;
     let mut per_cluster: Vec<Vec<RankedNode>> = vec![Vec::new(); k];
     for (i, (&node, (impact, cluster))) in nodes.iter().zip(readout).enumerate() {
-        per_cluster[cluster.min(k - 1)].push(RankedNode { name: names(i), node, impact });
+        per_cluster[cluster.min(k - 1)].push(RankedNode {
+            name: names(i),
+            node,
+            impact,
+        });
     }
     for group in &mut per_cluster {
-        group.sort_by(|a, b| {
-            b.impact.partial_cmp(&a.impact).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Deterministic total order: equal or NaN impacts can never
+        // reorder output across runs (node id breaks ties).
+        group.sort_by(|a, b| b.impact.total_cmp(&a.impact).then(a.node.0.cmp(&b.node.0)));
         group.truncate(top_n);
     }
     per_cluster
@@ -52,21 +56,40 @@ pub fn case_study(model: &CateHgn, ds: &Dataset, top_n: usize) -> CaseStudy {
     let author_names: Vec<String> = {
         // Author nodes map positionally onto the used-author list; recover
         // names through the world profiles referenced by the papers.
-        let mut used: Vec<usize> =
-            ds.papers.iter().flat_map(|p| p.authors.iter().copied()).collect();
+        let mut used: Vec<usize> = ds
+            .papers
+            .iter()
+            .flat_map(|p| p.authors.iter().copied())
+            .collect();
         used.sort_unstable();
         used.dedup();
-        used.iter().map(|&a| ds.world.authors[a].name.clone()).collect()
+        used.iter()
+            .map(|&a| ds.world.authors[a].name.clone())
+            .collect()
     };
     let venue_names: Vec<String> = {
         let mut used: Vec<usize> = ds.papers.iter().map(|p| p.venue).collect();
         used.sort_unstable();
         used.dedup();
-        used.iter().map(|&v| ds.world.venues[v].name.clone()).collect()
+        used.iter()
+            .map(|&v| ds.world.venues[v].name.clone())
+            .collect()
     };
     CaseStudy {
-        authors: rank_nodes(model, ds, &ds.author_nodes, |i| author_names[i].clone(), top_n),
-        venues: rank_nodes(model, ds, &ds.venue_nodes, |i| venue_names[i].clone(), top_n),
+        authors: rank_nodes(
+            model,
+            ds,
+            &ds.author_nodes,
+            |i| author_names[i].clone(),
+            top_n,
+        ),
+        venues: rank_nodes(
+            model,
+            ds,
+            &ds.venue_nodes,
+            |i| venue_names[i].clone(),
+            top_n,
+        ),
         terms: rank_nodes(
             model,
             ds,
@@ -96,7 +119,12 @@ pub fn cluster_domain_agreement(model: &CateHgn, ds: &Dataset) -> f32 {
     }
     let majority: Vec<usize> = counts
         .iter()
-        .map(|row| row.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(i, _)| i))
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map_or(0, |(i, _)| i)
+        })
         .collect();
     let mut hit = 0usize;
     for (&v, (_, c)) in used_venues.iter().zip(&readout) {

@@ -416,6 +416,20 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// [`fnv1a`] over the exact bit patterns of an `f32` slice (little-endian
+/// byte order), without reinterpreting memory. Bit-exact: `-0.0` and `0.0`
+/// hash differently.
+pub fn fnv1a_f32(xs: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 struct Enc {
     buf: Vec<u8>,
 }

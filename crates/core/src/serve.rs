@@ -1,0 +1,365 @@
+//! Serving subsystem: precomputed embedding cache and batched top-K
+//! citation recommendation over a trained (frozen) CATE-HGN.
+//!
+//! The engine answers two query shapes the ROADMAP's serving north-star
+//! needs:
+//!
+//! * **Transductive** — rank candidate papers for a node already in the
+//!   graph, by brute-force dot-product scan over cached last-layer
+//!   embeddings (the citation-GNN recommender pattern: embed once, score
+//!   many).
+//! * **Inductive cold-start** — a paper not in the graph is embedded
+//!   through the frozen per-type feature encoder (`relu(x W_phi + b)`)
+//!   and scored against the cached candidates without retraining or
+//!   re-indexing.
+//!
+//! All forward passes run tape-free on one persistent [`InferCtx`], so
+//! steady-state queries touch pooled buffers only. The cache is keyed by
+//! the graph's sampling stamp with a content-fingerprint fallback
+//! (a content-equal reload of the same graph keeps the cache warm), plus
+//! a feature fingerprint and the candidate list; any mismatch rebuilds
+//! before the query is answered — a stale cache is never served.
+
+use crate::model::CateHgn;
+use crate::resilience::fnv1a_f32;
+use hetgraph::{HetGraph, NodeId, NodeTypeId};
+use tensor::{InferCtx, Tensor};
+
+/// One ranked candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    pub node: NodeId,
+    pub score: f32,
+}
+
+/// Deterministic total order for ranked candidates: descending score under
+/// [`f32::total_cmp`], ascending node id as the tiebreak. Equal or NaN
+/// scores can never reorder output across runs or thread counts.
+pub fn rank_desc(a: &Recommendation, b: &Recommendation) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.node.0.cmp(&b.node.0))
+}
+
+/// Counters describing engine behaviour since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Embedding-cache rebuilds (cold start, graph/feature/candidate
+    /// change).
+    pub cache_rebuilds: u64,
+    /// Queries answered from a valid cache without recomputation.
+    pub cache_hits: u64,
+    /// Total recommendation queries answered.
+    pub queries: u64,
+}
+
+/// Cached last-layer embeddings for a fixed candidate set, tagged with
+/// everything that must match for them to still be valid.
+struct EmbeddingCache {
+    /// Process-unique stamp of the graph the cache was built from; the
+    /// cheap validity check.
+    stamp: u64,
+    /// Content fingerprint fallback: a different stamp with equal content
+    /// (e.g. a reloaded graph) revalidates instead of rebuilding.
+    content_fp: u64,
+    /// FNV-1a over the raw feature bytes.
+    feat_fp: u64,
+    /// Candidate papers, in caller order (defines embedding rows).
+    candidates: Vec<NodeId>,
+    /// `candidates.len() x d` last-layer embeddings.
+    emb: Tensor,
+}
+
+/// A serving engine borrowing a frozen model. The shared borrow guarantees
+/// the parameters cannot change for the engine's lifetime, so cached
+/// embeddings can only be invalidated by graph or feature churn.
+pub struct ServeEngine<'m> {
+    model: &'m CateHgn,
+    ctx: InferCtx,
+    cache: Option<EmbeddingCache>,
+    /// Sampling seed used for every cache rebuild; fixed per engine so a
+    /// rebuild of unchanged data is bitwise-reproducible.
+    seed: u64,
+    stats: ServeStats,
+}
+
+impl<'m> ServeEngine<'m> {
+    pub fn new(model: &'m CateHgn, seed: u64) -> Self {
+        ServeEngine {
+            model,
+            ctx: InferCtx::new(),
+            cache: None,
+            seed,
+            stats: ServeStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Batched impact prediction through the tape-free context — the
+    /// serving replacement for calling [`CateHgn::predict_taped`] once per
+    /// incoming query. Bitwise-identical to the tape path on the same
+    /// batch.
+    pub fn predict(&mut self, graph: &HetGraph, features: &Tensor, seeds: &[NodeId]) -> Vec<f32> {
+        self.model
+            .predict_in(&mut self.ctx, graph, features, seeds, self.seed)
+    }
+
+    /// Ensures the embedding cache matches `(graph, features, candidates)`,
+    /// rebuilding if any of the three changed. Returns whether the cache
+    /// was valid (hit).
+    pub fn ensure_cache(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+    ) -> bool {
+        let feat_fp = fnv1a_f32(features.as_slice());
+        if let Some(c) = &self.cache {
+            if c.candidates == candidates && c.feat_fp == feat_fp {
+                if c.stamp == graph.sampling_stamp() {
+                    return true;
+                }
+                // Stamp changed: fall back to content equality (a reload
+                // of identical data keeps the cache, a real mutation does
+                // not).
+                if c.content_fp == graph.content_fingerprint() {
+                    return true;
+                }
+            }
+        }
+        let embs = self
+            .model
+            .embed_in(&mut self.ctx, graph, features, candidates, self.seed);
+        let emb = embs
+            .into_iter()
+            .next_back()
+            .expect("model has at least one layer");
+        self.cache = Some(EmbeddingCache {
+            stamp: graph.sampling_stamp(),
+            content_fp: graph.content_fingerprint(),
+            feat_fp,
+            candidates: candidates.to_vec(),
+            emb,
+        });
+        self.stats.cache_rebuilds += 1;
+        false
+    }
+
+    /// Top-`k` candidates for each query node already present in the
+    /// candidate set (transductive). Scores are dot products between
+    /// cached last-layer embeddings, computed as one batched
+    /// `Q x d * (n x d)^T` product through the worker pool; each query's
+    /// own row is excluded from its ranking.
+    pub fn recommend_batch(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Vec<Vec<Recommendation>> {
+        let hit = self.ensure_cache(graph, features, candidates);
+        if hit {
+            self.stats.cache_hits += queries.len() as u64;
+        }
+        self.stats.queries += queries.len() as u64;
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("ensure_cache populates the cache");
+        let d = cache.emb.shape().1;
+        let mut qm = Tensor::zeros(queries.len(), d);
+        for (r, q) in queries.iter().enumerate() {
+            let pos = cache
+                .candidates
+                .iter()
+                .position(|c| c == q)
+                .expect("transductive query must be in the candidate set");
+            qm.set_row(r, cache.emb.row(pos));
+        }
+        let scores = qm.matmul_tb(&cache.emb);
+        queries
+            .iter()
+            .enumerate()
+            .map(|(r, q)| top_k(scores.row(r), &cache.candidates, Some(*q), k))
+            .collect()
+    }
+
+    /// Top-`k` candidates for one in-graph query node.
+    pub fn recommend(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        query: NodeId,
+        k: usize,
+    ) -> Vec<Recommendation> {
+        self.recommend_batch(graph, features, candidates, &[query], k)
+            .into_iter()
+            .next_back()
+            .expect("one ranking per query")
+    }
+
+    /// Inductive cold-start: a paper not yet in the graph, described only
+    /// by its raw feature row and node type, is embedded through the
+    /// frozen per-type encoder (`relu(x W_phi + b)`, the layer-0 path) and
+    /// ranked against the cached candidate embeddings. No retraining, no
+    /// cache rebuild.
+    pub fn cold_start(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        node_type: NodeTypeId,
+        feat_row: &[f32],
+        k: usize,
+    ) -> Vec<Recommendation> {
+        let hit = self.ensure_cache(graph, features, candidates);
+        if hit {
+            self.stats.cache_hits += 1;
+        }
+        self.stats.queries += 1;
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("ensure_cache populates the cache");
+        let w = self
+            .model
+            .params
+            .value(self.model.enc.node_w[node_type.0 as usize]);
+        let b = self
+            .model
+            .params
+            .value(self.model.enc.node_b[node_type.0 as usize]);
+        assert_eq!(
+            feat_row.len(),
+            w.shape().0,
+            "cold-start feature width must match encoder"
+        );
+        let x = Tensor::from_vec(1, feat_row.len(), feat_row.to_vec());
+        let mut h0 = x.matmul(w);
+        for (v, &bv) in h0.as_mut_slice().iter_mut().zip(b.as_slice()) {
+            *v = (*v + bv).max(0.0);
+        }
+        let scores = h0.matmul_tb(&cache.emb);
+        top_k(scores.row(0), &cache.candidates, None, k)
+    }
+}
+
+/// Selects the top-`k` of one score row under [`rank_desc`], optionally
+/// excluding the query's own node.
+fn top_k(
+    scores: &[f32],
+    candidates: &[NodeId],
+    exclude: Option<NodeId>,
+    k: usize,
+) -> Vec<Recommendation> {
+    let mut recs: Vec<Recommendation> = scores
+        .iter()
+        .zip(candidates)
+        .filter(|(_, &n)| Some(n) != exclude)
+        .map(|(&score, &node)| Recommendation { node, score })
+        .collect();
+    recs.sort_by(rank_desc);
+    recs.truncate(k);
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use dblp_sim::{Dataset, WorldConfig};
+
+    fn setup() -> (CateHgn, Dataset) {
+        let ds = Dataset::full(&WorldConfig::tiny(), 8);
+        let model = CateHgn::new(
+            ModelConfig::test_tiny(),
+            ds.features.cols(),
+            ds.graph.schema().num_node_types(),
+            ds.graph.schema().num_link_types(),
+        );
+        (model, ds)
+    }
+
+    #[test]
+    fn recommend_is_deterministic_and_excludes_self() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(20).copied().collect();
+        let mut eng = ServeEngine::new(&model, 11);
+        let r1 = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+        let r2 = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), 5);
+        assert!(
+            r1.iter().all(|r| r.node != candidates[0]),
+            "self must be excluded"
+        );
+        // Ranking is non-increasing under the total order.
+        for w in r1.windows(2) {
+            assert_ne!(rank_desc(&w[0], &w[1]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_rebuilds_are_counted() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(12).copied().collect();
+        let mut eng = ServeEngine::new(&model, 3);
+        let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[1], 3);
+        assert_eq!(
+            eng.stats(),
+            ServeStats {
+                cache_rebuilds: 1,
+                cache_hits: 0,
+                queries: 1
+            }
+        );
+        let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[2], 3);
+        assert_eq!(
+            eng.stats(),
+            ServeStats {
+                cache_rebuilds: 1,
+                cache_hits: 1,
+                queries: 2
+            }
+        );
+        // Different candidate set: rebuild.
+        let fewer: Vec<NodeId> = candidates.iter().take(8).copied().collect();
+        let _ = eng.recommend(&ds.graph, &ds.features, &fewer, fewer[0], 3);
+        assert_eq!(eng.stats().cache_rebuilds, 2);
+    }
+
+    #[test]
+    fn cold_start_ranks_against_cached_candidates() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(15).copied().collect();
+        let paper_type = ds.graph.node_type(candidates[0]);
+        let mut eng = ServeEngine::new(&model, 5);
+        let feat_row = ds.features.row(candidates[0].index()).to_vec();
+        let recs = eng.cold_start(
+            &ds.graph,
+            &ds.features,
+            &candidates,
+            paper_type,
+            &feat_row,
+            4,
+        );
+        assert_eq!(recs.len(), 4);
+        assert!(recs.iter().all(|r| candidates.contains(&r.node)));
+        assert!(recs.iter().all(|r| r.score.is_finite()));
+        // Inductive queries never rebuild a valid cache.
+        let s = eng.stats();
+        assert_eq!(s.cache_rebuilds, 1);
+        let _ = eng.cold_start(
+            &ds.graph,
+            &ds.features,
+            &candidates,
+            paper_type,
+            &feat_row,
+            4,
+        );
+        assert_eq!(eng.stats().cache_rebuilds, 1);
+    }
+}

@@ -15,7 +15,7 @@ use hetgraph::NodeId;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use tensor::{Graph, Initializer, Optimizer, ParamId, Params, Tensor};
+use tensor::{ForwardCtx, Graph, InferCtx, Initializer, Optimizer, ParamId, Params, Tensor};
 
 /// Number of years in a predicted trajectory.
 pub const DEFAULT_HORIZON: usize = 5;
@@ -26,7 +26,9 @@ pub const DEFAULT_HORIZON: usize = 5;
 /// horizon mean equals the static label. This is the dynamic ground truth
 /// the static simulator implies.
 pub fn ageing_curve(rate: f32, horizon: usize) -> Vec<f32> {
-    let raw: Vec<f32> = (1..=horizon).map(|t| t as f32 / (1.0 + (t as f32).powi(2) * 0.35)).collect();
+    let raw: Vec<f32> = (1..=horizon)
+        .map(|t| t as f32 / (1.0 + (t as f32).powi(2) * 0.35))
+        .collect();
     let mean = raw.iter().sum::<f32>() / horizon.max(1) as f32;
     raw.iter().map(|&a| rate * a / mean.max(1e-9)).collect()
 }
@@ -51,19 +53,34 @@ impl TemporalHead {
         let b1 = params.add_init("t.b1", 1, h, Initializer::Zeros, &mut rng);
         let w2 = params.add_init("t.w2", h, horizon, Initializer::XavierUniform, &mut rng);
         let b2 = params.add_init("t.b2", 1, horizon, Initializer::Zeros, &mut rng);
-        TemporalHead { horizon, params, w1, b1, w2, b2 }
+        TemporalHead {
+            horizon,
+            params,
+            w1,
+            b1,
+            w2,
+            b2,
+        }
     }
 
-    fn forward(&self, g: &mut Graph, x: tensor::Var) -> tensor::Var {
+    fn forward<F: ForwardCtx>(&self, g: &mut F, x: tensor::Var) -> tensor::Var {
         let w1 = g.param(&self.params, self.w1);
         let b1 = g.param(&self.params, self.b1);
-        let h = g.linear(x, w1, b1);
-        let h = g.relu(h);
+        let lin1 = g.linear(x, w1, b1);
+        g.free(w1);
+        g.free(b1);
+        let h = g.relu(lin1);
+        g.free(lin1);
         let w2 = g.param(&self.params, self.w2);
         let b2 = g.param(&self.params, self.b2);
         let out = g.linear(h, w2, b2);
+        g.free(h);
+        g.free(w2);
+        g.free(b2);
         // Rates are non-negative; softplus keeps gradients alive near zero.
-        g.softplus(out)
+        let sp = g.softplus(out);
+        g.free(out);
+        sp
     }
 
     /// Fits the head on the frozen base model's last-layer embeddings of
@@ -74,8 +91,10 @@ impl TemporalHead {
         let nodes: Vec<NodeId> = ds.paper_nodes_of(train);
         let embs = base.embed(&ds.graph, &ds.features, &nodes, seed);
         let x_all = embs.last().expect("at least one layer").clone();
-        let y_all: Vec<Vec<f32>> =
-            train.iter().map(|&i| ageing_curve(ds.labels[i], self.horizon)).collect();
+        let y_all: Vec<Vec<f32>> = train
+            .iter()
+            .map(|&i| ageing_curve(ds.labels[i], self.horizon))
+            .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7E);
         let mut opt = Optimizer::adam(lr);
         let mut last = f32::NAN;
@@ -99,15 +118,23 @@ impl TemporalHead {
         last
     }
 
-    /// Predicts per-year citation-rate trajectories for `papers`.
-    pub fn predict(&self, base: &CateHgn, ds: &Dataset, papers: &[usize], seed: u64) -> Vec<Vec<f32>> {
+    /// Predicts per-year citation-rate trajectories for `papers`. Runs
+    /// tape-free end to end (embeddings and head).
+    pub fn predict(
+        &self,
+        base: &CateHgn,
+        ds: &Dataset,
+        papers: &[usize],
+        seed: u64,
+    ) -> Vec<Vec<f32>> {
         let nodes: Vec<NodeId> = ds.paper_nodes_of(papers);
-        let embs = base.embed(&ds.graph, &ds.features, &nodes, seed);
+        let mut ctx = InferCtx::new();
+        let embs = base.embed_in(&mut ctx, &ds.graph, &ds.features, &nodes, seed);
         let x = embs.last().expect("at least one layer");
-        let mut g = Graph::new();
-        let xv = g.input(x.clone());
-        let pred = self.forward(&mut g, xv);
-        let pv = g.value(pred);
+        ctx.reset();
+        let xv = ctx.input_from(x);
+        let pred = self.forward(&mut ctx, xv);
+        let pv = ctx.value(pred);
         (0..papers.len()).map(|r| pv.row(r).to_vec()).collect()
     }
 }
@@ -141,7 +168,12 @@ mod tests {
         let mean = c.iter().sum::<f32>() / 6.0;
         assert!((mean - 6.0).abs() < 1e-4, "mean {mean}");
         // Peak is not in the first year and not in the last.
-        let peak = c.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert!(peak > 0 && peak < 5, "peak at {peak}: {c:?}");
         assert!(c.iter().all(|&x| x >= 0.0));
     }
@@ -168,7 +200,10 @@ mod tests {
         head.fit(&base, &ds, 200, 5e-3, 3);
         let preds = head.predict(&base, &ds, &ds.split.test, 2);
         let after = trajectory_rmse(&preds, &ds, &ds.split.test, 4);
-        assert!(after < before, "temporal head should learn: {before} -> {after}");
+        assert!(
+            after < before,
+            "temporal head should learn: {before} -> {after}"
+        );
         // Predictions are non-negative rates with the right horizon.
         for p in &preds {
             assert_eq!(p.len(), 4);

@@ -1,0 +1,172 @@
+//! Equivalence and staleness gates for the tape-free inference engine:
+//! the no-tape paths must be bitwise-identical to the tape-based forward
+//! at every thread count, and the serving embedding cache must never
+//! answer from stale state.
+
+use catehgn::config::ModelConfig;
+use catehgn::model::CateHgn;
+use catehgn::serve::ServeEngine;
+use dblp_sim::{Dataset, WorldConfig};
+use hetgraph::NodeId;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (CateHgn, Dataset) {
+    static FIX: OnceLock<(CateHgn, Dataset)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = Dataset::full(&WorldConfig::tiny(), 8);
+        let model = CateHgn::new(
+            ModelConfig::test_tiny(),
+            ds.features.cols(),
+            ds.graph.schema().num_node_types(),
+            ds.graph.schema().num_link_types(),
+        );
+        (model, ds)
+    })
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn tape_free_paths_match_tape_bitwise_across_thread_counts() {
+    let (model, ds) = fixture();
+    let seeds: Vec<NodeId> = ds.paper_nodes.iter().take(20).copied().collect();
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 4] {
+        tensor::par::set_num_threads(threads);
+        let free = model.predict(&ds.graph, &ds.features, &seeds, 17);
+        let taped = model.predict_taped(&ds.graph, &ds.features, &seeds, 17);
+        assert_eq!(
+            bits(&free),
+            bits(&taped),
+            "predict diverged at {threads} threads"
+        );
+        match &reference {
+            Some(r) => assert_eq!(r, &bits(&free), "predict differs across thread counts"),
+            None => reference = Some(bits(&free)),
+        }
+
+        let ef = model.embed(&ds.graph, &ds.features, &seeds, 17);
+        let et = model.embed_taped(&ds.graph, &ds.features, &seeds, 17);
+        assert_eq!(ef.len(), et.len());
+        for (a, b) in ef.iter().zip(&et) {
+            assert_eq!(
+                bits(a.as_slice()),
+                bits(b.as_slice()),
+                "embed diverged at {threads} threads"
+            );
+        }
+
+        let inf = model.impact_and_cluster(&ds.graph, &ds.features, &seeds, 17);
+        let tap = model.impact_and_cluster_taped(&ds.graph, &ds.features, &seeds, 17);
+        let ib: Vec<(u32, usize)> = inf.iter().map(|&(y, c)| (y.to_bits(), c)).collect();
+        let tb: Vec<(u32, usize)> = tap.iter().map(|&(y, c)| (y.to_bits(), c)).collect();
+        assert_eq!(ib, tb, "impact_and_cluster diverged at {threads} threads");
+    }
+    tensor::par::set_num_threads(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn predict_tape_free_is_bitwise_identical_to_tape(seed in 0u64..u64::MAX, n in 1usize..24) {
+        let (model, ds) = fixture();
+        let seeds: Vec<NodeId> = ds.paper_nodes.iter().take(n).copied().collect();
+        let free = model.predict(&ds.graph, &ds.features, &seeds, seed);
+        let taped = model.predict_taped(&ds.graph, &ds.features, &seeds, seed);
+        prop_assert_eq!(bits(&free), bits(&taped));
+    }
+
+    #[test]
+    fn embed_tape_free_is_bitwise_identical_to_tape(seed in 0u64..u64::MAX, n in 1usize..24) {
+        let (model, ds) = fixture();
+        let seeds: Vec<NodeId> = ds.term_nodes.iter().take(n).copied().collect();
+        let free = model.embed(&ds.graph, &ds.features, &seeds, seed);
+        let taped = model.embed_taped(&ds.graph, &ds.features, &seeds, seed);
+        prop_assert_eq!(free.len(), taped.len());
+        for (a, b) in free.iter().zip(&taped) {
+            prop_assert_eq!(bits(a.as_slice()), bits(b.as_slice()));
+        }
+    }
+}
+
+/// A fresh dataset whose graph the test owns (and may mutate).
+fn owned_dataset() -> Dataset {
+    Dataset::full(&WorldConfig::tiny(), 8)
+}
+
+#[test]
+fn graph_mutation_invalidates_cache_and_stale_is_never_served() {
+    let (model, _) = fixture();
+    let mut ds = owned_dataset();
+    let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(12).copied().collect();
+    let mut eng = ServeEngine::new(model, 23);
+
+    let before = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    assert_eq!(eng.stats().cache_rebuilds, 1);
+    let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[1], 5);
+    assert_eq!(
+        eng.stats().cache_rebuilds,
+        1,
+        "unchanged graph must hit the cache"
+    );
+
+    // Mutate the graph: drop every paper-term containment link. The stamp
+    // and the content fingerprint both change.
+    let stamp_before = ds.graph.sampling_stamp();
+    ds.graph.replace_links(ds.link_types.contains, &[]);
+    ds.graph.replace_links(ds.link_types.contained_in, &[]);
+    assert_ne!(ds.graph.sampling_stamp(), stamp_before);
+
+    let after = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    assert_eq!(
+        eng.stats().cache_rebuilds,
+        2,
+        "mutation must rebuild the cache"
+    );
+
+    // The answer must equal what a cold engine computes on the mutated
+    // graph — i.e. the stale cache contributed nothing.
+    let mut cold = ServeEngine::new(model, 23);
+    let fresh = cold.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    assert_eq!(
+        after, fresh,
+        "post-mutation answer must come from fresh embeddings"
+    );
+    // (And the mutation actually changed the ranking inputs.)
+    let scores_changed = before
+        .iter()
+        .zip(&after)
+        .any(|(a, b)| a.node != b.node || a.score.to_bits() != b.score.to_bits());
+    assert!(
+        scores_changed,
+        "dropping all term links should perturb recommendations"
+    );
+}
+
+#[test]
+fn content_equal_graph_reload_keeps_cache_warm() {
+    let (model, _) = fixture();
+    let ds1 = owned_dataset();
+    let ds2 = owned_dataset(); // same config => identical content, new stamp
+    assert_ne!(ds1.graph.sampling_stamp(), ds2.graph.sampling_stamp());
+    assert_eq!(
+        ds1.graph.content_fingerprint(),
+        ds2.graph.content_fingerprint()
+    );
+
+    let candidates: Vec<NodeId> = ds1.paper_nodes.iter().take(10).copied().collect();
+    let mut eng = ServeEngine::new(model, 29);
+    let r1 = eng.recommend(&ds1.graph, &ds1.features, &candidates, candidates[0], 4);
+    assert_eq!(eng.stats().cache_rebuilds, 1);
+    let r2 = eng.recommend(&ds2.graph, &ds2.features, &candidates, candidates[0], 4);
+    assert_eq!(
+        eng.stats().cache_rebuilds,
+        1,
+        "content-equal reload must revalidate, not rebuild"
+    );
+    assert_eq!(r1, r2);
+}

@@ -3,10 +3,12 @@
 //! inspect the learned research domains — without writing any Rust.
 //!
 //! ```sh
-//! catehgn_cli generate --scale small --out ds-stats.json
-//! catehgn_cli train    --scale small --variant cate-hgn --model model.json
-//! catehgn_cli predict  --scale small --model model.json --top 10
-//! catehgn_cli domains  --scale small --model model.json
+//! catehgn_cli generate  --scale small --out ds-stats.json
+//! catehgn_cli train     --scale small --variant cate-hgn --model model.json
+//! catehgn_cli predict   --scale small --model model.json --top 10
+//! catehgn_cli domains   --scale small --model model.json
+//! catehgn_cli serve     --scale small --model model.json --batch 64
+//! catehgn_cli recommend --scale small --model model.json --paper 3 --top 5
 //! ```
 //!
 //! The dataset is regenerated deterministically from the scale preset, so
@@ -14,7 +16,7 @@
 
 use catehgn::{
     params_fingerprint, report_fingerprint, train_with, Ablation, CateHgn, ModelConfig,
-    TrainOptions,
+    ServeEngine, TrainOptions,
 };
 use dblp_sim::{Dataset, DatasetStats};
 use eval::{ExperimentConfig, Scale};
@@ -35,11 +37,11 @@ fn flag(name: &str) -> bool {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: catehgn_cli <generate|train|predict|domains> \
+        "usage: catehgn_cli <generate|train|predict|domains|serve|recommend> \
          [--scale tiny|small|full] [--variant hgn|ca-hgn|cate-hgn] \
          [--model FILE] [--out FILE] [--top N] \
          [--checkpoint FILE] [--checkpoint-every N] [--resume] [--halt-after N] \
-         [--lanes N]"
+         [--lanes N] [--batch N] [--paper I] [--cold]"
     );
     std::process::exit(2);
 }
@@ -151,10 +153,110 @@ fn main() {
                 .copied()
                 .zip(preds.iter().copied())
                 .collect();
-            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             println!("top {top} predicted papers (pred vs actual cites/yr):");
             for (i, p) in ranked.into_iter().take(top) {
                 println!("  paper #{i:<6} {:>7.2} vs {:>7.2}", p, ds.labels[i]);
+            }
+        }
+        "serve" => {
+            // Batched tape-free serving demo: answers the full test-split
+            // impact workload through one persistent engine, then a top-K
+            // recommendation sweep over the same engine's warm embedding
+            // cache. Output is deterministic; throughput numbers live in
+            // `bench_serve` (results/BENCH_SERVE.json).
+            let model_path =
+                PathBuf::from(arg("--model").unwrap_or_else(|| "catehgn-model.json".into()));
+            let batch: usize = arg("--batch")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64)
+                .max(1);
+            let top: usize = arg("--top").and_then(|s| s.parse().ok()).unwrap_or(5);
+            let ds = build_dataset(&cfg);
+            let model = CateHgn::load(
+                &model_path,
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            )
+            .expect("load model");
+            let seeds = ds.paper_nodes_of(&ds.split.test);
+            let mut eng = ServeEngine::new(&model, 0xC11);
+            let mut preds = Vec::with_capacity(seeds.len());
+            for chunk in seeds.chunks(batch) {
+                preds.extend(eng.predict(&ds.graph, &ds.features, chunk));
+            }
+            let truth = ds.labels_of(&ds.split.test);
+            println!(
+                "served {} impact queries tape-free (batch size {batch})",
+                seeds.len()
+            );
+            println!("test RMSE: {:.4}", catehgn::rmse(&preds, &truth));
+            let recs = eng.recommend_batch(&ds.graph, &ds.features, &ds.paper_nodes, &seeds, top);
+            let s = eng.stats();
+            println!(
+                "served {} top-{top} recommendation queries over {} candidates \
+                 ({} cache rebuild{}, {} cache hits)",
+                recs.len(),
+                ds.paper_nodes.len(),
+                s.cache_rebuilds,
+                if s.cache_rebuilds == 1 { "" } else { "s" },
+                s.cache_hits,
+            );
+        }
+        "recommend" => {
+            let model_path =
+                PathBuf::from(arg("--model").unwrap_or_else(|| "catehgn-model.json".into()));
+            let top: usize = arg("--top").and_then(|s| s.parse().ok()).unwrap_or(5);
+            let ds = build_dataset(&cfg);
+            let model = CateHgn::load(
+                &model_path,
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            )
+            .expect("load model");
+            let paper: usize = arg("--paper")
+                .and_then(|s| s.parse().ok())
+                .or_else(|| ds.split.test.first().copied())
+                .expect("dataset has test papers");
+            if paper >= ds.paper_nodes.len() {
+                eprintln!(
+                    "paper index {paper} out of range (dataset has {})",
+                    ds.paper_nodes.len()
+                );
+                std::process::exit(1);
+            }
+            let node = ds.paper_nodes[paper];
+            let mut eng = ServeEngine::new(&model, 0xC11);
+            let recs = if flag("--cold") {
+                // Inductive cold-start: treat the paper's raw feature row as
+                // an unseen submission embedded through the frozen encoder.
+                let feat = ds.features.row(node.index()).to_vec();
+                eng.cold_start(
+                    &ds.graph,
+                    &ds.features,
+                    &ds.paper_nodes,
+                    ds.graph.node_type(node),
+                    &feat,
+                    top,
+                )
+            } else {
+                eng.recommend(&ds.graph, &ds.features, &ds.paper_nodes, node, top)
+            };
+            let mode = if flag("--cold") {
+                "cold-start"
+            } else {
+                "transductive"
+            };
+            println!("top {top} citation recommendations for paper #{paper} ({mode}):");
+            for r in recs {
+                let idx = ds
+                    .paper_nodes
+                    .iter()
+                    .position(|n| *n == r.node)
+                    .expect("recommendation comes from the candidate set");
+                println!("  paper #{idx:<6} score {:>9.4}", r.score);
             }
         }
         "domains" => {

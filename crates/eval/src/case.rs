@@ -46,9 +46,9 @@ pub fn score_case_study(cs: &CaseStudy, ds: &Dataset, domains: &[usize]) -> Case
         let pos = prestiges.partition_point(|&x| x <= p);
         pos as f32 / prestiges.len().max(1) as f32
     };
-    let name_to_author: std::collections::HashMap<&str, &dblp_sim::AuthorProfile> =
+    let name_to_author: std::collections::BTreeMap<&str, &dblp_sim::AuthorProfile> =
         world.authors.iter().map(|a| (a.name.as_str(), a)).collect();
-    let name_to_venue: std::collections::HashMap<&str, &dblp_sim::VenueProfile> =
+    let name_to_venue: std::collections::BTreeMap<&str, &dblp_sim::VenueProfile> =
         world.venues.iter().map(|v| (v.name.as_str(), v)).collect();
 
     let (mut a_hit, mut a_tot, mut v_hit, mut v_tot) = (0usize, 0usize, 0usize, 0usize);

@@ -48,7 +48,7 @@ use crate::params::{ParamId, Params};
 use crate::pool::BufferPool;
 use crate::tensor::{
     circular_convolution_windowed, circular_correlation_windowed, dot, fill_conv_window,
-    fill_corr_window, softmax_in_place, Tensor,
+    fill_corr_window, Tensor,
 };
 
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
@@ -58,8 +58,16 @@ pub struct Var(u32);
 
 impl Var {
     #[inline]
-    fn idx(self) -> usize {
+    pub(crate) fn idx(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a handle from a raw node index (crate-internal: the tape-free
+    /// [`crate::infer::InferCtx`] shares the handle type).
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> Var {
+        debug_assert!(i < u32::MAX as usize);
+        Var(i as u32)
     }
 }
 
@@ -283,36 +291,7 @@ pub struct Graph {
     plan: BackwardPlan,
 }
 
-/// Pooled element-wise map (`out[i] = f(src[i])`), same shape as `src`.
-fn pooled_map(pool: &mut BufferPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let mut buf = pool.take_raw(src.len());
-    for (o, &x) in buf.iter_mut().zip(src.as_slice()) {
-        *o = f(x);
-    }
-    Tensor::from_vec(src.rows(), src.cols(), buf)
-}
-
-/// Pooled element-wise zip (`out[i] = f(a[i], b[i])`); shapes must match.
-fn pooled_zip(
-    pool: &mut BufferPool,
-    a: &Tensor,
-    b: &Tensor,
-    f: impl Fn(f32, f32) -> f32,
-) -> Tensor {
-    debug_assert_eq!(a.shape(), b.shape(), "shape mismatch");
-    if a.len() != b.len() {
-        panic!(
-            "element-wise op on mismatched shapes: {:?} vs {:?}",
-            a.shape(),
-            b.shape()
-        );
-    }
-    let mut buf = pool.take_raw(a.len());
-    for ((o, &x), &y) in buf.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
-        *o = f(x, y);
-    }
-    Tensor::from_vec(a.rows(), a.cols(), buf)
-}
+use crate::fwd::{self, pooled_map, pooled_zip};
 
 impl Graph {
     pub fn new() -> Self {
@@ -445,11 +424,7 @@ impl Graph {
     /// allocation. Used by batch assembly that selects feature rows for a
     /// sampled node set.
     pub fn input_rows(&mut self, src: &Tensor, rows: &[usize]) -> Var {
-        let m = src.cols();
-        let mut out = self.pool.tensor_raw(rows.len(), m);
-        for (r, &i) in rows.iter().enumerate() {
-            out.row_mut(r).copy_from_slice(src.row(i));
-        }
+        let out = fwd::input_rows(&mut self.pool, src, rows);
         self.push(out, Op::Leaf)
     }
 
@@ -529,32 +504,17 @@ impl Graph {
     // -----------------------------------------------------------------
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = pooled_zip(
-            &mut self.pool,
-            &self.values[a.idx()],
-            &self.values[b.idx()],
-            |x, y| x + y,
-        );
+        let v = fwd::add(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(v, Op::Add(a, b))
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = pooled_zip(
-            &mut self.pool,
-            &self.values[a.idx()],
-            &self.values[b.idx()],
-            |x, y| x - y,
-        );
+        let v = fwd::sub(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(v, Op::Sub(a, b))
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = pooled_zip(
-            &mut self.pool,
-            &self.values[a.idx()],
-            &self.values[b.idx()],
-            |x, y| x * y,
-        );
+        let v = fwd::mul(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(v, Op::Mul(a, b))
     }
 
@@ -570,69 +530,46 @@ impl Graph {
 
     /// Adds a `1 x m` row vector to every row of an `n x m` tensor.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let (n, m) = self.shape(a);
-        let (rr, rm) = self.shape(row);
-        assert_eq!(
-            (rr, rm),
-            (1, m),
-            "add_row: expected 1x{m} row, got {rr}x{rm}"
+        let out = fwd::add_row(
+            &mut self.pool,
+            &self.values[a.idx()],
+            &self.values[row.idx()],
         );
-        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
-        let r = &self.values[row.idx()];
-        for i in 0..n {
-            for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
-                *o += x;
-            }
-        }
         self.push(out, Op::AddRow(a, row))
     }
 
     /// Multiplies every row of an `n x m` tensor by a `1 x m` row vector.
     pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
-        let (n, m) = self.shape(a);
-        assert_eq!(self.shape(row), (1, m), "mul_row shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
-        let r = &self.values[row.idx()];
-        for i in 0..n {
-            for (o, &x) in out.row_mut(i).iter_mut().zip(r.as_slice()) {
-                *o *= x;
-            }
-        }
+        let out = fwd::mul_row(
+            &mut self.pool,
+            &self.values[a.idx()],
+            &self.values[row.idx()],
+        );
         self.push(out, Op::MulRow(a, row))
     }
 
     /// Scales row `i` of an `n x m` tensor by `col[i]` (`col` is `n x 1`).
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
-        let (n, _m) = self.shape(a);
-        assert_eq!(self.shape(col), (n, 1), "mul_col shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
-        let c = &self.values[col.idx()];
-        for i in 0..n {
-            let s = c.as_slice()[i];
-            for o in out.row_mut(i) {
-                *o *= s;
-            }
-        }
+        let out = fwd::mul_col(
+            &mut self.pool,
+            &self.values[a.idx()],
+            &self.values[col.idx()],
+        );
         self.push(out, Op::MulCol(a, col))
     }
 
     /// Divides row `i` of an `n x m` tensor by `col[i]` (`col` is `n x 1`).
     pub fn div_col(&mut self, a: Var, col: Var) -> Var {
-        let (n, _m) = self.shape(a);
-        assert_eq!(self.shape(col), (n, 1), "div_col shape mismatch");
-        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
-        let c = &self.values[col.idx()];
-        for i in 0..n {
-            let s = c.as_slice()[i];
-            for o in out.row_mut(i) {
-                *o /= s;
-            }
-        }
+        let out = fwd::div_col(
+            &mut self.pool,
+            &self.values[a.idx()],
+            &self.values[col.idx()],
+        );
         self.push(out, Op::DivCol(a, col))
     }
 
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x * alpha);
+        let v = fwd::scale(&mut self.pool, &self.values[a.idx()], alpha);
         self.push(v, Op::Scale(a, alpha))
     }
 
@@ -647,10 +584,7 @@ impl Graph {
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let (n, _) = self.shape(a);
-        let (_, m) = self.shape(b);
-        let mut out = self.pool.tensor_raw(n, m);
-        self.values[a.idx()].matmul_into(&self.values[b.idx()], &mut out);
+        let out = fwd::matmul(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(out, Op::MatMul(a, b))
     }
 
@@ -662,23 +596,17 @@ impl Graph {
     }
 
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| x.max(0.0));
+        let v = fwd::relu(&mut self.pool, &self.values[a.idx()]);
         self.push(v, Op::Relu(a))
     }
 
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| {
-            if x > 0.0 {
-                x
-            } else {
-                slope * x
-            }
-        });
+        let v = fwd::leaky_relu(&mut self.pool, &self.values[a.idx()], slope);
         self.push(v, Op::LeakyRelu(a, slope))
     }
 
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], stable_sigmoid);
+        let v = fwd::sigmoid(&mut self.pool, &self.values[a.idx()]);
         self.push(v, Op::Sigmoid(a))
     }
 
@@ -689,15 +617,7 @@ impl Graph {
 
     /// `softplus(x) = ln(1 + e^x)`, computed stably.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| {
-            if x > 20.0 {
-                x
-            } else if x < -20.0 {
-                x.exp()
-            } else {
-                (1.0 + x.exp()).ln()
-            }
-        });
+        let v = fwd::softplus(&mut self.pool, &self.values[a.idx()]);
         self.push(v, Op::Softplus(a))
     }
 
@@ -737,15 +657,7 @@ impl Graph {
 
     /// Per-row sums, `n x m -> n x 1`.
     pub fn sum_rows(&mut self, a: Var) -> Var {
-        let (n, _m) = self.shape(a);
-        let mut out = self.pool.tensor_raw(n, 1);
-        for (o, r) in out
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.values[a.idx()].rows_iter())
-        {
-            *o = r.iter().sum();
-        }
+        let out = fwd::sum_rows(&mut self.pool, &self.values[a.idx()]);
         self.push(out, Op::SumRows(a))
     }
 
@@ -762,67 +674,32 @@ impl Graph {
     }
 
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let (_n, m) = self.shape(a);
-        let mut out = self.pool.tensor_copy(&self.values[a.idx()]);
-        for r in out.as_mut_slice().chunks_exact_mut(m.max(1)) {
-            softmax_in_place(r);
-        }
+        let out = fwd::softmax_rows(&mut self.pool, &self.values[a.idx()]);
         self.push(out, Op::SoftmaxRows(a))
     }
 
     /// `[a | b]` horizontal concatenation.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let (n, ma) = self.shape(a);
-        let (nb, mb) = self.shape(b);
-        assert_eq!(n, nb, "concat_cols row mismatch");
-        let mut out = self.pool.tensor_raw(n, ma + mb);
-        let av = &self.values[a.idx()];
-        let bv = &self.values[b.idx()];
-        for r in 0..n {
-            out.row_mut(r)[..ma].copy_from_slice(av.row(r));
-            out.row_mut(r)[ma..].copy_from_slice(bv.row(r));
-        }
+        let out = fwd::concat_cols(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(out, Op::ConcatCols(a, b))
     }
 
     /// `[a; b]` vertical concatenation.
     pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
-        let (na, m) = self.shape(a);
-        let (nb, mb) = self.shape(b);
-        assert_eq!(m, mb, "concat_rows col mismatch");
-        let mut out = self.pool.tensor_raw(na + nb, m);
-        let av = &self.values[a.idx()];
-        let bv = &self.values[b.idx()];
-        out.as_mut_slice()[..na * m].copy_from_slice(av.as_slice());
-        out.as_mut_slice()[na * m..].copy_from_slice(bv.as_slice());
+        let out = fwd::concat_rows(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(out, Op::ConcatRows(a, b))
     }
 
     /// Gathers rows of `a` by `indices` (duplicates allowed).
     pub fn gather_rows(&mut self, a: Var, indices: Vec<usize>) -> Var {
-        let (n, m) = self.shape(a);
-        let mut out = self.pool.tensor_raw(indices.len(), m);
-        let av = &self.values[a.idx()];
-        for (r, &i) in indices.iter().enumerate() {
-            assert!(i < n, "gather index {i} out of bounds ({n} rows)");
-            out.row_mut(r).copy_from_slice(av.row(i));
-        }
+        let out = fwd::gather_rows(&mut self.pool, &self.values[a.idx()], &indices);
         self.push(out, Op::GatherRows(a, indices))
     }
 
     /// Scatter-sums the rows of `a` into `n_segments` buckets:
     /// `out[s] = sum over i with segments[i] == s of a[i, :]`.
     pub fn segment_sum(&mut self, a: Var, segments: Vec<usize>, n_segments: usize) -> Var {
-        let (n, m) = self.shape(a);
-        assert_eq!(segments.len(), n, "segment_sum: one segment id per row");
-        let mut out = self.pool.tensor_zeroed(n_segments, m);
-        let av = &self.values[a.idx()];
-        for (i, &s) in segments.iter().enumerate() {
-            assert!(s < n_segments, "segment id {s} out of range");
-            for (o, &x) in out.row_mut(s).iter_mut().zip(av.row(i)) {
-                *o += x;
-            }
-        }
+        let out = fwd::segment_sum(&mut self.pool, &self.values[a.idx()], &segments, n_segments);
         self.push(out, Op::SegmentSum(a, segments))
     }
 
@@ -830,34 +707,7 @@ impl Graph {
     /// independently within each segment-id group. Used for attention over
     /// variable-size neighbor sets.
     pub fn segment_softmax(&mut self, scores: Var, segments: Vec<usize>) -> Var {
-        let (n, c) = self.shape(scores);
-        assert_eq!(c, 1, "segment_softmax expects an n x 1 column");
-        assert_eq!(segments.len(), n);
-        let n_seg = segments.iter().copied().max().map_or(0, |s| s + 1);
-        let mut out = self.pool.tensor_raw(n, 1);
-        let mut seg_max = self.pool.take_raw(n_seg);
-        let mut seg_sum = self.pool.take_zeroed(n_seg);
-        seg_max.fill(f32::NEG_INFINITY);
-        {
-            // Same arithmetic as a per-group `softmax_in_place`: per-group
-            // max, exp(x - max) accumulated in index order, then normalise.
-            let sv = self.values[scores.idx()].as_slice();
-            for (j, &s) in segments.iter().enumerate() {
-                seg_max[s] = seg_max[s].max(sv[j]);
-            }
-            for (j, &s) in segments.iter().enumerate() {
-                let e = (sv[j] - seg_max[s]).exp();
-                out.as_mut_slice()[j] = e;
-                seg_sum[s] += e;
-            }
-            for (j, &s) in segments.iter().enumerate() {
-                if seg_sum[s] > 0.0 {
-                    out.as_mut_slice()[j] /= seg_sum[s];
-                }
-            }
-        }
-        self.pool.give(seg_max);
-        self.pool.give(seg_sum);
+        let out = fwd::segment_softmax(&mut self.pool, &self.values[scores.idx()], &segments);
         self.push(out, Op::SegmentSoftmax(scores, segments))
     }
 
@@ -881,69 +731,27 @@ impl Graph {
 
     /// Row-wise circular correlation (HolE composition), `n x d` each.
     pub fn circ_corr(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.shape(a);
-        assert_eq!(self.shape(a), self.shape(b), "circ_corr shape mismatch");
-        let mut out = self.pool.tensor_raw(n, d);
-        let mut win = self.pool.tensor_raw(1, 2 * d.max(1) - 1);
-        {
-            let av = &self.values[a.idx()];
-            let bv = &self.values[b.idx()];
-            for i in 0..n {
-                fill_corr_window(bv.row(i), win.as_mut_slice());
-                circular_correlation_windowed(av.row(i), win.as_slice(), out.row_mut(i));
-            }
-        }
-        self.pool.give(win.into_vec());
+        let out = fwd::circ_corr(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(out, Op::CircCorr(a, b))
     }
 
     /// Pairwise squared distances between rows of `a` (`n x d`) and rows of
     /// `b` (`k x d`), differentiable in both arguments.
     pub fn pairwise_sq_dist(&mut self, a: Var, b: Var) -> Var {
-        let (n, d) = self.shape(a);
-        let (k, d2) = self.shape(b);
-        assert_eq!(d, d2, "dimension mismatch");
-        // |x - c|^2 = |x|^2 - 2 x.c + |c|^2, exactly as
-        // `Tensor::pairwise_sq_dists` but through pooled storage.
-        let mut out = self.pool.tensor_raw(n, k);
-        self.values[a.idx()].matmul_tb_into(&self.values[b.idx()], &mut out);
-        let mut xn = self.pool.take_raw(n);
-        let mut cn = self.pool.take_raw(k);
-        {
-            let av = &self.values[a.idx()];
-            let bv = &self.values[b.idx()];
-            for (o, r) in xn.iter_mut().zip(av.rows_iter()) {
-                *o = r.iter().map(|&x| x * x).sum();
-            }
-            for (o, r) in cn.iter_mut().zip(bv.rows_iter()) {
-                *o = r.iter().map(|&x| x * x).sum();
-            }
-            for (row, &xni) in out.as_mut_slice().chunks_exact_mut(k).zip(&xn) {
-                for (v, &cnj) in row.iter_mut().zip(&cn) {
-                    *v = (xni - 2.0 * *v + cnj).max(0.0);
-                }
-            }
-        }
-        self.pool.give(xn);
-        self.pool.give(cn);
+        let out =
+            fwd::pairwise_sq_dist(&mut self.pool, &self.values[a.idx()], &self.values[b.idx()]);
         self.push(out, Op::PairwiseSqDist(a, b))
     }
 
     /// `y = 1 / (1 + x)` element-wise.
     pub fn recip1p(&mut self, a: Var) -> Var {
-        let v = pooled_map(&mut self.pool, &self.values[a.idx()], |x| 1.0 / (1.0 + x));
+        let v = fwd::recip1p(&mut self.pool, &self.values[a.idx()]);
         self.push(v, Op::Recip1p(a))
     }
 
     /// Extracts column `j` as an `n x 1` tensor.
     pub fn col_slice(&mut self, a: Var, j: usize) -> Var {
-        let (n, m) = self.shape(a);
-        assert!(j < m, "col_slice index out of bounds");
-        let mut out = self.pool.tensor_raw(n, 1);
-        let av = &self.values[a.idx()];
-        for (i, o) in out.as_mut_slice().iter_mut().enumerate() {
-            *o = av.get(i, j);
-        }
+        let out = fwd::col_slice(&mut self.pool, &self.values[a.idx()], j);
         self.push(out, Op::ColSlice(a, j))
     }
 

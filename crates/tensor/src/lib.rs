@@ -43,8 +43,10 @@
 //! ```
 
 pub mod finite;
+pub(crate) mod fwd;
 pub mod gradcheck;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod optim;
 pub mod par;
@@ -55,6 +57,7 @@ pub mod tensor;
 
 pub use finite::{first_non_finite, is_all_finite};
 pub use graph::{stable_sigmoid, ConstId, Graph, Var, LOG_EPS};
+pub use infer::{ForwardCtx, InferCtx};
 pub use init::Initializer;
 pub use optim::Optimizer;
 pub use params::{ParamId, Params};

@@ -6,21 +6,21 @@
 //! the number of papers containing `u`.
 
 use crate::vocab::TokenId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Document-frequency statistics fitted over a corpus of token-id documents.
 #[derive(Clone, Debug, Default)]
 pub struct TfIdf {
     /// Number of documents containing each term.
-    doc_freq: HashMap<TokenId, u32>,
+    doc_freq: BTreeMap<TokenId, u32>,
     n_docs: usize,
 }
 
 impl TfIdf {
     /// Fits document frequencies over `docs` (each a bag of token ids).
     pub fn fit(docs: &[Vec<TokenId>]) -> Self {
-        let mut doc_freq: HashMap<TokenId, u32> = HashMap::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut doc_freq: BTreeMap<TokenId, u32> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
         for doc in docs {
             seen.clear();
             for &t in doc {
@@ -59,17 +59,17 @@ impl TfIdf {
         if doc.is_empty() {
             return Vec::new();
         }
-        let mut counts: HashMap<TokenId, u32> = HashMap::new();
+        let mut counts: BTreeMap<TokenId, u32> = BTreeMap::new();
         for &t in doc {
             *counts.entry(t).or_insert(0) += 1;
         }
         let total = doc.len() as f32;
-        let mut out: Vec<(TokenId, f32)> = counts
+        // BTreeMap iteration is token-id-sorted, so the output order is
+        // deterministic without an explicit sort.
+        counts
             .into_iter()
             .map(|(t, c)| (t, (c as f32 / total) * self.idf(t)))
-            .collect();
-        out.sort_by_key(|(t, _)| *t);
-        out
+            .collect()
     }
 
     /// TF-IDF weight for one `(doc, term)` pair.

@@ -1,6 +1,6 @@
 //! String-interned vocabulary with corpus frequencies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of an interned token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -18,7 +18,7 @@ impl TokenId {
 pub struct Vocab {
     tokens: Vec<String>,
     counts: Vec<u64>,
-    index: HashMap<String, TokenId>,
+    index: BTreeMap<String, TokenId>,
 }
 
 impl Vocab {

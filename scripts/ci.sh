@@ -26,6 +26,10 @@
 #   6. bench_pr6 — self-gating: pool dispatch >= 10x faster than
 #      per-region thread spawning, batch-parallel lanes not slower than
 #      the serial loop, 2-lane fingerprints thread-count-invariant.
+#   7. bench_serve — self-gating: batched tape-free serving >= 3x faster
+#      than per-query tape-based predict, embedding-cache hit >= 10x
+#      faster than recompute, top-K bitwise-identical across thread
+#      counts and to the tape-based scores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,11 +44,20 @@ RUSTFMT_RATCHET=(
     crates/tensor/tests/prop_pool.rs
     crates/tensor/tests/prop_parallel.rs
     crates/tensor/tests/prop_parallel_backward.rs
+    crates/tensor/src/fwd.rs
+    crates/tensor/src/infer.rs
+    crates/core/src/ca.rs
+    crates/core/src/encoder.rs
+    crates/core/src/layer.rs
     crates/core/src/model.rs
+    crates/core/src/predict.rs
     crates/core/src/resilience.rs
+    crates/core/src/serve.rs
     crates/core/src/te.rs
+    crates/core/src/temporal.rs
     crates/core/src/train.rs
     crates/core/tests/batch_parallel.rs
+    crates/core/tests/infer_serve.rs
     crates/core/tests/pool_equivalence.rs
     crates/core/tests/resilience.rs
     crates/eval/src/bin/catehgn_cli.rs
@@ -52,6 +65,7 @@ RUSTFMT_RATCHET=(
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
     crates/bench/src/bin/bench_pr6.rs
+    crates/bench/src/bin/bench_serve.rs
     crates/bench/tests/alloc_ratio.rs
     crates/lint/src/allowlist.rs
     crates/lint/src/driver.rs
@@ -124,6 +138,14 @@ echo "kill-and-resume: bitwise-equal"
 # results/BENCH_PR6.json.
 echo "== bench_pr6 (pool dispatch + lane throughput gates) =="
 ./target/release/bench_pr6 >/dev/null
+
+# PR-7 gates, self-asserted by the bench binary: batched tape-free
+# serving >= 3x faster than the per-query tape-based predict pattern,
+# embedding-cache hits >= 10x faster than recompute, and top-K rankings
+# bitwise-identical at 1 vs 4 threads and to scores derived from the
+# tape-based embeddings. Writes results/BENCH_SERVE.json.
+echo "== bench_serve (tape-free serving + embedding-cache gates) =="
+./target/release/bench_serve >/dev/null
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test (workspace) =="

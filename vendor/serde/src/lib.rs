@@ -13,7 +13,7 @@
 //! The companion `serde_json` shim renders a [`Value`] to JSON text and
 //! parses it back.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A JSON-shaped value tree. Object entries keep insertion order so struct
@@ -225,6 +225,25 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
 }
 
 impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(Error::new(format!("expected object, got {}", other.type_name()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Iteration is already key-sorted, so output is deterministic.
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Object(entries) => entries
