@@ -144,28 +144,41 @@ pub fn masked_embedding<F: ForwardCtx>(
     q: Var,
     masks: &[ParamId],
 ) -> Var {
-    let mut acc: Option<Var> = None;
-    for (k, &mid) in masks.iter().enumerate() {
-        let pi = g.param(params, mid);
-        let mask = g.sigmoid(pi);
-        g.free(pi);
-        let masked = g.mul_row(h, mask);
-        g.free(mask);
-        let qk = g.col_slice(q, k);
-        let term = g.mul_col(masked, qk);
-        g.free(masked);
-        g.free(qk);
-        acc = Some(match acc {
-            Some(prev) => {
-                let next = g.add(prev, term);
-                g.free(prev);
-                g.free(term);
-                next
-            }
-            None => term,
-        });
-    }
-    acc.expect("at least one cluster")
+    // `ModelConfig` guarantees `n_clusters >= 1`, so the sum seeds from
+    // cluster 0 and folds the rest — no Option accumulator, no panic path.
+    let first = cluster_term(g, params, h, q, 0, masks[0]);
+    masks
+        .iter()
+        .enumerate()
+        .skip(1)
+        .fold(first, |prev, (k, &mid)| {
+            let term = cluster_term(g, params, h, q, k, mid);
+            let next = g.add(prev, term);
+            g.free(prev);
+            g.free(term);
+            next
+        })
+}
+
+/// One cluster's contribution to Eq. 19: `q_vk * (h_v (*) sigmoid(pi_k))`.
+fn cluster_term<F: ForwardCtx>(
+    g: &mut F,
+    params: &Params,
+    h: Var,
+    q: Var,
+    k: usize,
+    mid: ParamId,
+) -> Var {
+    let pi = g.param(params, mid);
+    let mask = g.sigmoid(pi);
+    g.free(pi);
+    let masked = g.mul_row(h, mask);
+    g.free(mask);
+    let qk = g.col_slice(q, k);
+    let term = g.mul_col(masked, qk);
+    g.free(masked);
+    g.free(qk);
+    term
 }
 
 #[cfg(test)]

@@ -88,46 +88,79 @@ pub fn encode_nodes<F: ForwardCtx>(
     for (pos, &v) in frontier.iter().enumerate() {
         groups[graph.node_type(v).0 as usize].push(pos);
     }
-    // Encode each group, remembering where each row lands in the stacked
-    // output.
-    let mut stacked: Option<Var> = None;
+    // Encode each non-empty group in type order, remembering where each
+    // row lands in the stacked output. Callers never pass an empty
+    // frontier (empty seed sets are rejected upstream), so at least one
+    // group is populated and the concat can seed from it directly — no
+    // Option accumulator, no panic path.
+    let nonempty: Vec<usize> = (0..n_types).filter(|&t| !groups[t].is_empty()).collect();
     let mut landing = vec![0usize; frontier.len()];
     let mut offset = 0usize;
-    for (t, group) in groups.iter().enumerate() {
-        if group.is_empty() {
-            continue;
-        }
-        let mut rows = g.scratch_idx();
-        rows.extend(group.iter().map(|&pos| frontier[pos].index()));
-        let x = g.input_rows(features, &rows);
-        g.recycle_idx(rows);
-        let w = g.param(params, enc.node_w[t]);
-        let b = g.param(params, enc.node_b[t]);
-        let lin = g.linear(x, w, b);
-        g.free(x);
-        g.free(w);
-        g.free(b);
-        let h = g.relu(lin);
-        g.free(lin);
-        for (i, &pos) in group.iter().enumerate() {
-            landing[pos] = offset + i;
-        }
-        offset += group.len();
-        stacked = Some(match stacked {
-            Some(prev) => {
-                let next = g.concat_rows(prev, h);
-                g.free(prev);
-                g.free(h);
-                next
-            }
-            None => h,
-        });
-    }
-    let stacked = stacked.expect("frontier must be non-empty");
+    let first = encode_group(
+        g,
+        params,
+        enc,
+        features,
+        frontier,
+        nonempty[0],
+        &groups[nonempty[0]],
+        &mut landing,
+        &mut offset,
+    );
+    let stacked = nonempty.iter().skip(1).fold(first, |prev, &t| {
+        let h = encode_group(
+            g,
+            params,
+            enc,
+            features,
+            frontier,
+            t,
+            &groups[t],
+            &mut landing,
+            &mut offset,
+        );
+        let next = g.concat_rows(prev, h);
+        g.free(prev);
+        g.free(h);
+        next
+    });
     // Restore frontier order.
     let out = g.gather_rows(stacked, landing);
     g.free(stacked);
     out
+}
+
+/// Encodes one node-type group through its own encoder, recording where
+/// each frontier position lands in the stacked output.
+#[allow(clippy::too_many_arguments)]
+fn encode_group<F: ForwardCtx>(
+    g: &mut F,
+    params: &Params,
+    enc: &EncoderParams,
+    features: &Tensor,
+    frontier: &[NodeId],
+    t: usize,
+    group: &[usize],
+    landing: &mut [usize],
+    offset: &mut usize,
+) -> Var {
+    let mut rows = g.scratch_idx();
+    rows.extend(group.iter().map(|&pos| frontier[pos].index()));
+    let x = g.input_rows(features, &rows);
+    g.recycle_idx(rows);
+    let w = g.param(params, enc.node_w[t]);
+    let b = g.param(params, enc.node_b[t]);
+    let lin = g.linear(x, w, b);
+    g.free(x);
+    g.free(w);
+    g.free(b);
+    let h = g.relu(lin);
+    g.free(lin);
+    for (i, &pos) in group.iter().enumerate() {
+        landing[pos] = *offset + i;
+    }
+    *offset += group.len();
+    h
 }
 
 /// Encodes the fixed random link features into layer-0 link embeddings

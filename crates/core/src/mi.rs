@@ -16,12 +16,71 @@ use tensor::{Graph, ParamId, Params, Tensor, Var};
 /// disjoint output segment they fill.
 type EdgeSegment<'a> = (&'a [hetgraph::BlockEdge], &'a mut [(usize, usize, f32)]);
 
+/// The RNG draws one layer transition's [`mi_loss`] would make: the
+/// subsample swap targets (empty when the block fits under `max_edges`)
+/// and the negative source rows. Pre-drawing them decouples the loss's
+/// stochastic choices from the tape construction, which is what lets a
+/// prefetching producer thread draw them ahead of time while staying
+/// bitwise-identical to the historical serial loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MiDraw {
+    /// `swap_js[i]` is the `gen_range(i..total)` target of subsample swap
+    /// `i`; empty when no subsampling happened.
+    pub swap_js: Vec<usize>,
+    /// Negative source row per kept edge (`gen_range(0..n_src)`).
+    pub neg_idx: Vec<usize>,
+}
+
+/// All [`MiDraw`]s of one training step, in transition order (`l = 1..=L`,
+/// i.e. deepest block first). Empty when the MI term is ablated off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MiPlan {
+    /// One entry per transition; `None` when the transition's block has no
+    /// edges at all (the loss is skipped and no RNG is consumed).
+    pub draws: Vec<Option<MiDraw>>,
+}
+
+/// Consumes from `rng` exactly the draws [`mi_loss`] would for `block`.
+pub fn plan_transition<R: Rng>(block: &Block, max_edges: usize, rng: &mut R) -> Option<MiDraw> {
+    let total: usize = block.edges_by_type.iter().map(Vec::len).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut kept = total;
+    let mut swap_js = Vec::new();
+    if total > max_edges {
+        swap_js.extend((0..max_edges).map(|i| rng.gen_range(i..total)));
+        kept = max_edges;
+    }
+    let n_src = block.src_nodes.len();
+    let neg_idx = (0..kept).map(|_| rng.gen_range(0..n_src)).collect();
+    Some(MiDraw { swap_js, neg_idx })
+}
+
+/// Draws the full [`MiPlan`] of one step: per transition `l = 1..=L` the
+/// draws of `blocks[L - l]`, in the exact order the serial loss consumes
+/// them. Returns an empty plan (no RNG consumed) when `enabled` is false.
+pub fn plan_mi<R: Rng>(blocks: &[Block], enabled: bool, max_edges: usize, rng: &mut R) -> MiPlan {
+    if !enabled {
+        return MiPlan::default();
+    }
+    let l_total = blocks.len();
+    MiPlan {
+        draws: (1..=l_total)
+            .map(|l| plan_transition(&blocks[l_total - l], max_edges, rng))
+            .collect(),
+    }
+}
+
 /// Builds the (negated, to-minimise) MI loss for one layer transition.
 ///
 /// `h_src` holds layer-`l` embeddings of `block.src_nodes`; `h_next` holds
 /// layer-`l+1` embeddings of `block.dst_nodes`. At most `max_edges` links
 /// are used, sampled uniformly across all link types; negatives draw a
 /// random source node from the same frontier (`u' ~ P`, Eq. 10).
+///
+/// Equivalent to [`plan_transition`] + [`mi_loss_planned`]; kept as the
+/// single-call entry point for direct (non-pipelined) callers.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Eq. 12 inputs
 pub fn mi_loss<R: Rng>(
     g: &mut Graph,
@@ -33,6 +92,22 @@ pub fn mi_loss<R: Rng>(
     max_edges: usize,
     rng: &mut R,
 ) -> Option<Var> {
+    let draw = plan_transition(block, max_edges, rng)?;
+    Some(mi_loss_planned(g, params, w_d, block, h_src, h_next, &draw))
+}
+
+/// [`mi_loss`] with its stochastic choices supplied by a pre-drawn
+/// [`MiDraw`] (see [`plan_transition`]). Builds a tape bitwise-identical
+/// to the RNG-driven path for the same draws.
+pub fn mi_loss_planned(
+    g: &mut Graph,
+    params: &Params,
+    w_d: ParamId,
+    block: &Block,
+    h_src: Var,
+    h_next: Var,
+    draw: &MiDraw,
+) -> Var {
     // Flatten candidate edges as (src_pos, dst_pos, weight), in type order
     // — the candidate order the RNG-driven subsample below sees is defined
     // by the block alone. Each type writes a disjoint pre-sized segment, so
@@ -63,25 +138,20 @@ pub fn mi_loss<R: Rng>(
             }
         }
     }
-    if all.is_empty() {
-        return None;
-    }
-    if all.len() > max_edges {
-        // Uniform subsample without replacement.
-        for i in 0..max_edges {
-            let j = rng.gen_range(i..all.len());
+    debug_assert!(!all.is_empty(), "a MiDraw implies at least one edge");
+    if !draw.swap_js.is_empty() {
+        // Replay the uniform subsample without replacement.
+        for (i, &j) in draw.swap_js.iter().enumerate() {
             all.swap(i, j);
         }
-        all.truncate(max_edges);
+        all.truncate(draw.swap_js.len());
     }
-    let n_src = block.src_nodes.len();
-    let m = all.len();
     let mut src_idx = g.scratch_idx();
     src_idx.extend(all.iter().map(|&(s, _, _)| s));
     let mut dst_idx = g.scratch_idx();
     dst_idx.extend(all.iter().map(|&(_, d, _)| d));
     let mut neg_idx = g.scratch_idx();
-    neg_idx.extend((0..m).map(|_| rng.gen_range(0..n_src)));
+    neg_idx.extend(draw.neg_idx.iter().copied());
     // True link weights, clamped into sigmoid's range.
     let omega: Vec<f32> = all.iter().map(|&(_, _, w)| w.clamp(0.0, 1.0)).collect();
 
@@ -117,7 +187,7 @@ pub fn mi_loss<R: Rng>(
     let align = g.square(diff);
 
     let total = g.add(weighted, align);
-    Some(g.mean_all(total))
+    g.mean_all(total)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use crate::ca::{self, CaParams};
 use crate::config::ModelConfig;
 use crate::encoder::{encode_links, encode_nodes, EncoderParams};
 use crate::layer::{layer_forward, LayerParams};
-use crate::mi::mi_loss;
+use crate::mi::{mi_loss_planned, plan_mi, MiPlan};
 use hetgraph::{Block, BlockCache, HetGraph, NodeId};
 use rand::Rng;
 use rand::SeedableRng;
@@ -264,8 +264,17 @@ impl CateHgn {
         out
     }
 
+    /// Draws the [`MiPlan`] of one step for `blocks` — exactly the RNG
+    /// consumption [`CateHgn::hgn_loss`] performs, decoupled from the tape
+    /// so a prefetching producer can draw it ahead of the forward pass.
+    pub fn plan_hgn<R: Rng>(&self, blocks: &[Block], rng: &mut R) -> MiPlan {
+        plan_mi(blocks, self.cfg.ablation.mi, self.cfg.mi_max_edges, rng)
+    }
+
     /// The HGN-phase loss `L_sup + lambda * L_unsup` (Eq. 2) for one batch.
-    /// Returns `(total, sup_value, mi_value)`.
+    /// Returns `(total, sup_value, mi_value)`. Equivalent to
+    /// [`CateHgn::plan_hgn`] + [`CateHgn::hgn_loss_planned`] — same RNG
+    /// consumption, bitwise-identical tape.
     pub fn hgn_loss<R: Rng>(
         &self,
         g: &mut Graph,
@@ -274,20 +283,34 @@ impl CateHgn {
         labels: &Tensor,
         rng: &mut R,
     ) -> (Var, f32, f32) {
+        let plan = self.plan_hgn(blocks, rng);
+        self.hgn_loss_planned(g, fw, blocks, labels, &plan)
+    }
+
+    /// [`CateHgn::hgn_loss`] with the stochastic choices supplied by a
+    /// pre-drawn [`MiPlan`] — the prefetched-pipeline entry point.
+    pub fn hgn_loss_planned(
+        &self,
+        g: &mut Graph,
+        fw: &ForwardOut,
+        blocks: &[Block],
+        labels: &Tensor,
+        plan: &MiPlan,
+    ) -> (Var, f32, f32) {
         let b = labels.rows();
         // Supervised loss over all layers (Eq. 6). The label column is
         // interned once and shared by every layer's MSE.
         let labels_id = g.constant_from(labels);
-        let mut sup: Option<Var> = None;
-        for l in 1..=self.cfg.layers {
+        // `ModelConfig` guarantees `layers >= 1`, so the sum seeds from
+        // layer 1 and folds the rest — no Option accumulator, no panic
+        // path.
+        let pred1 = self.predict_rows(g, fw, 1, b);
+        let first = g.mse_id(pred1, labels_id);
+        let sup = (2..=self.cfg.layers).fold(first, |prev, l| {
             let pred = self.predict_rows(g, fw, l, b);
             let m = g.mse_id(pred, labels_id);
-            sup = Some(match sup {
-                Some(prev) => g.add(prev, m),
-                None => m,
-            });
-        }
-        let sup = sup.expect("at least one layer");
+            g.add(prev, m)
+        });
         let sup_value = g.value(sup).as_slice()[0];
 
         // Unsupervised MI loss over all layer transitions (Eq. 12), on the
@@ -295,23 +318,28 @@ impl CateHgn {
         let mut mi_value = 0.0;
         let mut total = sup;
         if self.cfg.ablation.mi {
+            debug_assert_eq!(
+                plan.draws.len(),
+                fw.transitions.len(),
+                "plan/transition mismatch"
+            );
             let mut mi_acc: Option<Var> = None;
-            for (l, &(block_idx, src)) in fw.transitions.iter().enumerate() {
-                if let Some(m) = mi_loss(
+            for ((l, &(block_idx, src)), draw) in fw.transitions.iter().enumerate().zip(&plan.draws)
+            {
+                let Some(draw) = draw else { continue };
+                let m = mi_loss_planned(
                     g,
                     &self.params,
                     self.layers[l].w_d,
                     &blocks[block_idx],
                     src,
                     fw.h_masked[l],
-                    self.cfg.mi_max_edges,
-                    rng,
-                ) {
-                    mi_acc = Some(match mi_acc {
-                        Some(prev) => g.add(prev, m),
-                        None => m,
-                    });
-                }
+                    draw,
+                );
+                mi_acc = Some(match mi_acc {
+                    Some(prev) => g.add(prev, m),
+                    None => m,
+                });
             }
             if let Some(m) = mi_acc {
                 mi_value = g.value(m).as_slice()[0];

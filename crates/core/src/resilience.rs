@@ -33,8 +33,10 @@ use tensor::{Graph, Params};
 
 /// Snapshot file magic.
 const MAGIC: [u8; 4] = *b"CHGN";
-/// Snapshot format version.
-const VERSION: u32 = 2;
+/// Snapshot format version. v3 stores the best-validation parameters as
+/// values-only [`ValueSnap`]s (no Adam moments), roughly halving the
+/// weight bytes a snapshot carries when model selection is active.
+const VERSION: u32 = 3;
 
 // -------------------------------------------------------------------
 // Errors.
@@ -294,6 +296,17 @@ pub struct TrainOptions {
     /// worker pool, and averages their gradients in fixed lane order —
     /// results depend on the lane count but never on the thread count.
     pub data_lanes: usize,
+    /// Minibatch prefetch depth. `0` or `1` runs the historical serial
+    /// loop; `n > 1` moves batch drawing, neighborhood sampling, and MI
+    /// planning onto a producer thread that keeps up to `n` assembled
+    /// steps queued ahead of the optimizer. The producer pre-draws every
+    /// stochastic choice in serial order and ships the post-step RNG
+    /// state with each payload, so losses, parameters, and checkpoints
+    /// are bitwise-identical to the serial loop at any depth — `prefetch`
+    /// is deliberately *not* recorded in [`TrainState`], and a checkpoint
+    /// can be resumed under a different depth. Ignored when
+    /// `data_lanes > 1` (the lane coordinator already overlaps sampling).
+    pub prefetch: usize,
 }
 
 // -------------------------------------------------------------------
@@ -309,6 +322,19 @@ pub struct ParamSnap {
     pub value: Vec<f32>,
     pub m: Vec<f32>,
     pub v: Vec<f32>,
+}
+
+/// One parameter's values, without optimizer moments. Used for the
+/// best-validation model: its Adam moments are never consumed — the end
+/// of training installs the best *values* over the live optimizer state,
+/// and a resumed run rebuilds them the same way — so persisting them
+/// would triple the best-model bytes for nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueSnap {
+    pub name: String,
+    pub rows: usize,
+    pub cols: usize,
+    pub value: Vec<f32>,
 }
 
 /// Everything `train_with` needs to continue a run bitwise.
@@ -333,7 +359,8 @@ pub struct TrainState {
     /// The training RNG, mid-stream.
     pub rng_words: [u32; 27],
     pub params: Vec<ParamSnap>,
-    pub best_params: Option<Vec<ParamSnap>>,
+    /// Best-validation model, values only (see [`ValueSnap`]).
+    pub best_params: Option<Vec<ValueSnap>>,
     /// TE term sets (token ids per cluster), when TE is on.
     pub te_term_sets: Option<Vec<Vec<u32>>>,
     pub report: TrainReport,
@@ -398,6 +425,59 @@ pub fn restore_params(params: &mut Params, snaps: &[ParamSnap]) -> Result<(), Ch
             )));
         }
         params.restore_state(*id, &snap.value, &snap.m, &snap.v);
+    }
+    Ok(())
+}
+
+/// Captures a [`Params`] store's values (no moments) into snaps.
+pub fn snapshot_values(params: &Params) -> Vec<ValueSnap> {
+    params
+        .iter()
+        .map(|(_, name, value)| {
+            let (rows, cols) = value.shape();
+            ValueSnap {
+                name: name.to_string(),
+                rows,
+                cols,
+                value: value.as_slice().to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Restores values-only snaps into a live [`Params`] store, leaving its
+/// optimizer moments untouched. Validates count, names, and shapes
+/// positionally, exactly like [`restore_params`].
+pub fn restore_values(params: &mut Params, snaps: &[ValueSnap]) -> Result<(), CheckpointError> {
+    if params.len() != snaps.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "snapshot has {} parameters, model has {}",
+            snaps.len(),
+            params.len()
+        )));
+    }
+    let ids: Vec<tensor::ParamId> = params.iter().map(|(id, _, _)| id).collect();
+    for (id, snap) in ids.iter().zip(snaps) {
+        if params.name(*id) != snap.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter name mismatch: snapshot '{}', model '{}'",
+                snap.name,
+                params.name(*id)
+            )));
+        }
+        if params.value(*id).shape() != (snap.rows, snap.cols) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter '{}' shape mismatch: snapshot {}x{}, model {:?}",
+                snap.name,
+                snap.rows,
+                snap.cols,
+                params.value(*id).shape()
+            )));
+        }
+        params
+            .value_mut(*id)
+            .as_mut_slice()
+            .copy_from_slice(&snap.value);
     }
     Ok(())
 }
@@ -548,6 +628,30 @@ fn encode_snaps(e: &mut Enc, snaps: &[ParamSnap]) {
     }
 }
 
+fn encode_value_snaps(e: &mut Enc, snaps: &[ValueSnap]) {
+    e.u64(snaps.len() as u64);
+    for s in snaps {
+        e.str(&s.name);
+        e.u64(s.rows as u64);
+        e.u64(s.cols as u64);
+        e.f32s(&s.value);
+    }
+}
+
+fn decode_value_snaps(d: &mut Dec) -> Result<Vec<ValueSnap>, CheckpointError> {
+    let n = d.len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(ValueSnap {
+            name: d.str()?,
+            rows: d.u64()? as usize,
+            cols: d.u64()? as usize,
+            value: d.f32s()?,
+        });
+    }
+    Ok(out)
+}
+
 fn decode_snaps(d: &mut Dec) -> Result<Vec<ParamSnap>, CheckpointError> {
     let n = d.len()?;
     let mut out = Vec::with_capacity(n);
@@ -581,7 +685,7 @@ fn encode_payload(state: &TrainState) -> Vec<u8> {
     match &state.best_params {
         Some(snaps) => {
             e.u8(1);
-            encode_snaps(&mut e, snaps);
+            encode_value_snaps(&mut e, snaps);
         }
         None => e.u8(0),
     }
@@ -638,7 +742,7 @@ fn decode_payload(buf: &[u8]) -> Result<TrainState, CheckpointError> {
     let params = decode_snaps(&mut d)?;
     let best_params = match d.u8()? {
         0 => None,
-        1 => Some(decode_snaps(&mut d)?),
+        1 => Some(decode_value_snaps(&mut d)?),
         x => return Err(CheckpointError::Corrupt(format!("bad option tag {x}"))),
     };
     let te_term_sets = match d.u8()? {
@@ -938,13 +1042,11 @@ mod tests {
                 m: vec![0.1; 4],
                 v: vec![0.2; 4],
             }],
-            best_params: Some(vec![ParamSnap {
+            best_params: Some(vec![ValueSnap {
                 name: "w".into(),
                 rows: 2,
                 cols: 2,
                 value: vec![0.0; 4],
-                m: vec![0.0; 4],
-                v: vec![0.0; 4],
             }]),
             te_term_sets: Some(vec![vec![1, 5, 9], vec![], vec![2]]),
             report: TrainReport {

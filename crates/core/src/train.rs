@@ -12,10 +12,11 @@
 //! behavior on clean runs.
 
 use crate::config::ModelConfig;
+use crate::mi::{plan_mi, MiPlan};
 use crate::model::CateHgn;
 use crate::resilience::{
-    restore_params, snapshot_params, CheckpointError, CheckpointManager, NonFiniteSource,
-    RecoveryPolicy, TrainError, TrainOptions, TrainState,
+    restore_params, restore_values, snapshot_params, snapshot_values, CheckpointError,
+    CheckpointManager, NonFiniteSource, RecoveryPolicy, TrainError, TrainOptions, TrainState,
 };
 use crate::te::TextEnhancer;
 use hetgraph::{sample_blocks, Block, NodeId};
@@ -68,6 +69,41 @@ pub fn train(model: &mut CateHgn, ds: &mut dblp_sim::Dataset) -> TrainReport {
 enum Recovery {
     Skip,
     Rollback,
+}
+
+/// One fully assembled HGN training step, drawn ahead of time by the
+/// prefetch producer ([`TrainOptions::prefetch`] > 1). Everything the
+/// consumer needs to reproduce the serial step bitwise: the raw batch
+/// (pre-poison, pre-dedup), the sampled blocks, the pre-drawn MI plan,
+/// and the main-RNG state *after* all of this step's draws — the
+/// consumer adopts it at checkpoint boundaries and segment exits.
+struct StepPayload {
+    step: u64,
+    seeds: Vec<NodeId>,
+    labels: Vec<f32>,
+    blocks: Vec<Block>,
+    plan: MiPlan,
+    rng_words: [u32; 27],
+}
+
+/// One prefetched CA-phase step: the CA loss draws no per-step RNG beyond
+/// the batch and its blocks, so no plan rides along.
+struct CaPayload {
+    blocks: Vec<Block>,
+    rng_words: [u32; 27],
+}
+
+/// How a pipelined segment ended; recovery (which may need `&mut Dataset`)
+/// runs outside the producer scope.
+enum Segment {
+    /// All queued steps consumed; the phase position reached its bound.
+    Done,
+    /// `halt_after_steps` hit — the final snapshot is already saved.
+    Halt,
+    /// A non-finite step at the current position; the main RNG has been
+    /// positioned after the failed step's draws, exactly like the serial
+    /// loop at the same point.
+    Failed(NonFiniteSource),
 }
 
 fn decide(
@@ -169,7 +205,7 @@ fn capture_state(
         ca_steps: ca_opt.steps(),
         rng_words: rng.state_words(),
         params: snapshot_params(&model.params),
-        best_params: best_params.as_ref().map(snapshot_params),
+        best_params: best_params.as_ref().map(snapshot_values),
         te_term_sets: te.as_ref().map(|te| {
             te.term_sets
                 .iter()
@@ -201,10 +237,13 @@ fn apply_snapshot(
     best_params: &mut Option<tensor::Params>,
 ) -> Result<(f32, f32), TrainError> {
     restore_params(&mut model.params, &state.params)?;
+    // The snapshot carries the best model's *values* only; the moments in
+    // this reconstructed store are the live optimizer's and are never
+    // read — model selection installs values, not optimizer state.
     *best_params = match &state.best_params {
         Some(snaps) => {
             let mut p = model.params.clone();
-            restore_params(&mut p, snaps)?;
+            restore_values(&mut p, snaps)?;
             Some(p)
         }
         None => None,
@@ -617,6 +656,187 @@ pub fn train_with(
                 }
                 continue;
             }
+            if opts.prefetch > 1 {
+                // ---- Prefetched pipeline segment (ROADMAP item 3) -----
+                // A producer thread draws batches, samples blocks, and
+                // pre-draws the MI plan up to `prefetch` steps ahead; the
+                // consumer (this thread) runs forward/backward/step. The
+                // producer clones the main RNG, consumes from it in the
+                // exact serial order (batch, blocks, plan), and ships the
+                // post-step state with each payload; the consumer adopts
+                // the last consumed state on exit, so the whole segment
+                // is bitwise-identical to the serial loop below at any
+                // prefetch depth and thread count.
+                let ds_ref: &dblp_sim::Dataset = ds;
+                let train_ref: &[usize] = &train_idx;
+                let mut prng = rng.clone();
+                let (start_mini, outer_now) = (cur_mini, cur_outer);
+                let (mini_iters, layers_n, fanout) = (cfg.mini_iters, cfg.layers, cfg.fanout);
+                let (batch_size, mi_on, mi_max_edges) =
+                    (cfg.batch_size, cfg.ablation.mi, cfg.mi_max_edges);
+                let producer = move |tx: &tensor::par::PipeSender<'_, StepPayload>| {
+                    for mini in start_mini..mini_iters {
+                        let step = (outer_now * mini_iters + mini) as u64;
+                        let batch: Vec<usize> = (0..batch_size)
+                            .map(|_| train_ref[prng.gen_range(0..train_ref.len())])
+                            .collect();
+                        let seeds = ds_ref.paper_nodes_of(&batch);
+                        let labels = ds_ref.labels_of(&batch);
+                        let blocks =
+                            sample_blocks(&ds_ref.graph, &seeds, layers_n, fanout, &mut prng);
+                        let plan = plan_mi(&blocks, mi_on, mi_max_edges, &mut prng);
+                        let payload = StepPayload {
+                            step,
+                            seeds,
+                            labels,
+                            blocks,
+                            plan,
+                            rng_words: prng.state_words(),
+                        };
+                        if !tx.send(payload) {
+                            return; // consumer stopped the segment early
+                        }
+                    }
+                };
+                // RNG state after the last *consumed* step; the states of
+                // prefetched-but-unconsumed steps are discarded with them.
+                let mut end_words: Option<[u32; 27]> = None;
+                let seg: Result<Segment, TrainError> =
+                    tensor::par::run_with_producer(opts.prefetch, producer, |rx| {
+                        while cur_mini < cfg.mini_iters {
+                            let Some(p) = rx.recv() else {
+                                return Ok(Segment::Done);
+                            };
+                            let mut labels = Tensor::col_vec(p.labels);
+                            opts.faults.poison_batch(p.step, labels.as_mut_slice());
+                            let labels = dedup_labels(&p.seeds, &p.blocks[0].dst_nodes, &labels);
+                            g.reset();
+                            let fw = model.forward(
+                                &mut g,
+                                &ds_ref.graph,
+                                &ds_ref.features,
+                                &p.blocks,
+                                false,
+                            );
+                            let (loss, sup, _mi) =
+                                model.hgn_loss_planned(&mut g, &fw, &p.blocks, &labels, &p.plan);
+                            let loss_val = g.value(loss).as_slice()[0];
+                            let failure: Option<NonFiniteSource> = if !loss_val.is_finite() {
+                                Some(NonFiniteSource::Loss)
+                            } else {
+                                g.backward(loss);
+                                opts.faults.corrupt_gradients(p.step, &mut g);
+                                match opt.step_clipped_guarded(
+                                    &mut model.params,
+                                    &mut g,
+                                    Some(cfg.clip),
+                                ) {
+                                    Ok(_norm) => None,
+                                    Err(pid) => Some(NonFiniteSource::Gradient {
+                                        param: model.params.name(pid).to_string(),
+                                    }),
+                                }
+                            };
+                            end_words = Some(p.rng_words);
+                            let Some(source) = failure else {
+                                tot += loss_val;
+                                sup_tot += sup;
+                                skips_in_row = 0;
+                                rolls_in_row = 0;
+                                cur_mini += 1;
+                                let pos = (cur_outer * cfg.mini_iters + cur_mini) as u64;
+                                let due = opts
+                                    .checkpoint_every
+                                    .is_some_and(|n| n > 0 && pos.is_multiple_of(n as u64));
+                                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                                if due || halting {
+                                    let rng_now = ChaCha8Rng::from_state_words(&p.rng_words);
+                                    let state = capture_state(
+                                        &cfg_json,
+                                        cur_outer,
+                                        cur_mini,
+                                        tot,
+                                        sup_tot,
+                                        model,
+                                        &opt,
+                                        &ca_opt,
+                                        &rng_now,
+                                        best_val,
+                                        &best_params,
+                                        &te,
+                                        &report,
+                                        ds_ref,
+                                        lanes,
+                                    );
+                                    manager.save(&state, &mut opts.faults)?;
+                                }
+                                if halting {
+                                    rx.stop();
+                                    return Ok(Segment::Halt);
+                                }
+                                continue;
+                            };
+                            rx.stop();
+                            return Ok(Segment::Failed(source));
+                        }
+                        Ok(Segment::Done)
+                    });
+                if let Some(w) = end_words {
+                    rng = ChaCha8Rng::from_state_words(&w);
+                }
+                match seg? {
+                    Segment::Done => continue,
+                    Segment::Halt => return Ok(report),
+                    Segment::Failed(source) => {
+                        skips_in_row += 1;
+                        rolls_in_row += 1;
+                        match decide(
+                            opts.policy,
+                            skips_in_row,
+                            rolls_in_row,
+                            &source,
+                            cur_outer,
+                            cur_mini,
+                        )? {
+                            Recovery::Skip => {
+                                // The RNG already advanced past the bad
+                                // draws; re-enter the pipeline on the
+                                // same mini slot, exactly like the
+                                // serial redraw.
+                                report.skipped += 1;
+                                continue;
+                            }
+                            Recovery::Rollback => {
+                                let state = manager.last_state()?;
+                                let (t, s) = apply_snapshot(
+                                    &state,
+                                    &cfg,
+                                    model,
+                                    ds,
+                                    &mut te,
+                                    &mut opt,
+                                    &mut ca_opt,
+                                    &mut rng,
+                                    &mut report,
+                                    &mut best_val,
+                                    &mut best_params,
+                                )?;
+                                tot = t;
+                                sup_tot = s;
+                                cur_outer = state.outer as usize;
+                                cur_mini = state.mini as usize;
+                                report.rollbacks += 1;
+                                if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
+                                    let scale = lr_backoff.powi(rolls_in_row as i32);
+                                    opt.set_lr(state.opt_lr * scale);
+                                    ca_opt.set_lr(state.ca_lr * scale);
+                                }
+                                continue 'outer_loop;
+                            }
+                        }
+                    }
+                }
+            }
             // Global step position; stable across resume and rollback
             // replays, which is what makes fault injection deterministic.
             let step = (cur_outer * cfg.mini_iters + cur_mini) as u64;
@@ -750,6 +970,135 @@ pub fn train_with(
             let all_nodes: Vec<NodeId> = (0..ds.graph.num_nodes() as u32).map(NodeId).collect();
             let mut ca_i = 0;
             while ca_i < cfg.ca_iters {
+                if opts.prefetch > 1 && lanes == 1 {
+                    // ---- Prefetched CA segment: same producer/consumer
+                    // contract as the HGN segment above; the CA loss
+                    // draws no per-step RNG beyond batch + blocks.
+                    let ds_ref: &dblp_sim::Dataset = ds;
+                    let nodes_ref: &[NodeId] = &all_nodes;
+                    let mut prng = rng.clone();
+                    let (start_i, ca_iters) = (ca_i, cfg.ca_iters);
+                    let (layers_n, fanout, batch_size) = (cfg.layers, cfg.fanout, cfg.batch_size);
+                    let producer = move |tx: &tensor::par::PipeSender<'_, CaPayload>| {
+                        for _ in start_i..ca_iters {
+                            let batch: Vec<NodeId> = (0..batch_size)
+                                .map(|_| nodes_ref[prng.gen_range(0..nodes_ref.len())])
+                                .collect();
+                            let blocks =
+                                sample_blocks(&ds_ref.graph, &batch, layers_n, fanout, &mut prng);
+                            let payload = CaPayload {
+                                blocks,
+                                rng_words: prng.state_words(),
+                            };
+                            if !tx.send(payload) {
+                                return;
+                            }
+                        }
+                    };
+                    let mut end_words: Option<[u32; 27]> = None;
+                    let seg: Segment =
+                        tensor::par::run_with_producer(opts.prefetch, producer, |rx| {
+                            while ca_i < cfg.ca_iters {
+                                let Some(p) = rx.recv() else {
+                                    return Segment::Done;
+                                };
+                                g.reset();
+                                let fw = model.forward(
+                                    &mut g,
+                                    &ds_ref.graph,
+                                    &ds_ref.features,
+                                    &p.blocks,
+                                    true,
+                                );
+                                let failure: Option<NonFiniteSource> =
+                                    if let Some(loss) = model.ca_loss(&mut g, &fw) {
+                                        if !g.value(loss).as_slice()[0].is_finite() {
+                                            Some(NonFiniteSource::Loss)
+                                        } else {
+                                            g.backward(loss);
+                                            match ca_opt.step_filtered_guarded(
+                                                &mut model.params,
+                                                &mut g,
+                                                Some(cfg.clip),
+                                                &center_ids,
+                                            ) {
+                                                Ok(_) => None,
+                                                Err(pid) => Some(NonFiniteSource::Gradient {
+                                                    param: model.params.name(pid).to_string(),
+                                                }),
+                                            }
+                                        }
+                                    } else {
+                                        None
+                                    };
+                                end_words = Some(p.rng_words);
+                                let Some(source) = failure else {
+                                    skips_in_row = 0;
+                                    rolls_in_row = 0;
+                                    ca_i += 1;
+                                    continue;
+                                };
+                                rx.stop();
+                                return Segment::Failed(source);
+                            }
+                            Segment::Done
+                        });
+                    if let Some(w) = end_words {
+                        rng = ChaCha8Rng::from_state_words(&w);
+                    }
+                    match seg {
+                        Segment::Done => continue,
+                        Segment::Halt => return Ok(report),
+                        Segment::Failed(source) => {
+                            skips_in_row += 1;
+                            rolls_in_row += 1;
+                            match decide(
+                                opts.policy,
+                                skips_in_row,
+                                rolls_in_row,
+                                &source,
+                                cur_outer,
+                                ca_i,
+                            )? {
+                                Recovery::Skip => {
+                                    // As in the serial loop, a CA skip
+                                    // consumes the iteration.
+                                    report.skipped += 1;
+                                    ca_i += 1;
+                                    continue;
+                                }
+                                Recovery::Rollback => {
+                                    let state = manager.last_state()?;
+                                    let (t, s) = apply_snapshot(
+                                        &state,
+                                        &cfg,
+                                        model,
+                                        ds,
+                                        &mut te,
+                                        &mut opt,
+                                        &mut ca_opt,
+                                        &mut rng,
+                                        &mut report,
+                                        &mut best_val,
+                                        &mut best_params,
+                                    )?;
+                                    tot = t;
+                                    sup_tot = s;
+                                    cur_outer = state.outer as usize;
+                                    cur_mini = state.mini as usize;
+                                    report.rollbacks += 1;
+                                    if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy
+                                    {
+                                        let scale = lr_backoff.powi(rolls_in_row as i32);
+                                        opt.set_lr(state.opt_lr * scale);
+                                        ca_opt.set_lr(state.ca_lr * scale);
+                                    }
+                                    continue 'outer_loop;
+                                }
+                            }
+                        }
+                    }
+                }
                 let batch: Vec<NodeId> = (0..cfg.batch_size)
                     .map(|_| all_nodes[rng.gen_range(0..all_nodes.len())])
                     .collect();
@@ -856,8 +1205,19 @@ pub fn train_with(
         tot = 0.0;
         sup_tot = 0.0;
     }
-    if let Some(p) = best_params {
-        model.params = p;
+    if let Some(best) = best_params {
+        // Install the selected model's values over the live optimizer
+        // moments. The moments belong to the optimizer's trajectory, not
+        // the selected model, and nothing downstream reads them — which
+        // is what lets checkpoints persist the best model values-only.
+        let ids: Vec<tensor::ParamId> = model.params.iter().map(|(id, _, _)| id).collect();
+        for id in ids {
+            model
+                .params
+                .value_mut(id)
+                .as_mut_slice()
+                .copy_from_slice(best.value(id).as_slice());
+        }
     }
     Ok(report)
 }
@@ -1088,6 +1448,35 @@ mod tests {
         let labels = Tensor::col_vec(vec![1.0, 2.0, 9.0]);
         let out = dedup_labels(&seeds, &deduped, &labels);
         assert_eq!(out.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn prefetch_pipeline_is_bitwise_identical_to_serial() {
+        let mut cfg = ModelConfig::test_tiny();
+        cfg.outer_iters = 2;
+        cfg.mini_iters = 6;
+        let world = WorldConfig::tiny();
+        let run = |prefetch: usize| {
+            let mut ds = Dataset::full(&world, 8);
+            let mut model = CateHgn::new(
+                cfg.clone(),
+                ds.features.cols(),
+                ds.graph.schema().num_node_types(),
+                ds.graph.schema().num_link_types(),
+            );
+            let mut opts = TrainOptions {
+                prefetch,
+                ..TrainOptions::default()
+            };
+            let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+            (report, snapshot_params(&model.params))
+        };
+        let (r_serial, p_serial) = run(0);
+        for depth in [1, 2, 4] {
+            let (r, p) = run(depth);
+            assert_eq!(r_serial, r, "report diverged at prefetch {depth}");
+            assert_eq!(p_serial, p, "params diverged at prefetch {depth}");
+        }
     }
 
     #[test]

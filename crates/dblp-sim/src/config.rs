@@ -104,6 +104,26 @@ impl WorldConfig {
         WorldConfig { n_papers: 900, n_authors: 500, n_venues: 27, ..Self::full() }
     }
 
+    /// A world scaled to `n_papers` for the million-node path: entity
+    /// counts grow with the square root of the paper count (matching the
+    /// sublinear author/venue growth of real bibliographic corpora), so
+    /// the generator's working set — author tables, venue columns, term
+    /// inventory — stays sublinear in the papers streamed out.
+    pub fn at_scale(n_papers: usize) -> Self {
+        let base = Self::full();
+        let r = (n_papers as f64 / base.n_papers as f64).sqrt().max(1.0);
+        let n_domains = base.n_domains;
+        let n_venues = ((base.n_venues as f64 * r) as usize).max(n_domains);
+        WorldConfig {
+            n_papers,
+            n_authors: ((base.n_authors as f64 * r) as usize).max(1),
+            // Keep venues a multiple of the domain count so round-robin
+            // assignment gives every domain a venue.
+            n_venues: n_venues - n_venues % n_domains,
+            ..base
+        }
+    }
+
     /// Name of domain `k`.
     pub fn domain_name(&self, k: usize) -> &'static str {
         DOMAIN_NAMES[k % DOMAIN_NAMES.len()]

@@ -4,8 +4,9 @@
 
 use crate::config::WorldConfig;
 use crate::generate::{Corpus, Paper};
+use crate::stream::PaperStream;
 use crate::world::LatentWorld;
-use hetgraph::{GraphError, HetGraphBuilder, LinkTypeId, NodeId, NodeTypeId, Schema};
+use hetgraph::{GraphError, LinkTypeId, NodeId, NodeTypeId, Schema, StreamGraphBuilder};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -67,6 +68,29 @@ pub struct LinkTypes {
     pub cites: LinkTypeId,
 }
 
+/// Memory/fidelity knobs for dataset assembly at scale. The default
+/// (both knobs `None`) is exact mode: bitwise parity with the in-memory
+/// [`Dataset::try_full`] path.
+#[derive(Clone, Debug, Default)]
+pub struct ScaleOptions {
+    /// Citation-pool window of the streaming generator: `None` keeps the
+    /// exact historical pools (bitwise parity with [`Dataset::try_full`]);
+    /// `Some(w)` bounds each domain's pool to its `w` most recent papers.
+    pub cite_window: Option<usize>,
+    /// Cap on the documents used to train word embeddings: `None` trains
+    /// on every title (exact parity); `Some(k)` trains on the first `k`,
+    /// bounding embedding-training time at million-paper sizes.
+    pub embed_doc_cap: Option<usize>,
+}
+
+impl ScaleOptions {
+    /// Preset for million-paper worlds: windowed citation pools and a
+    /// capped embedding corpus.
+    pub fn at_scale() -> Self {
+        ScaleOptions { cite_window: Some(4096), embed_doc_cap: Some(20_000) }
+    }
+}
+
 /// Year-based train/validation/test split over paper indices, following the
 /// paper: train < 2014, validation == 2014, test in 2015..=2020.
 #[derive(Clone, Debug, Default)]
@@ -123,7 +147,26 @@ impl Dataset {
     pub fn try_full(cfg: &WorldConfig, feat_dim: usize) -> Result<Self, DatasetError> {
         let world = LatentWorld::generate(cfg);
         let corpus = Corpus::generate(&world);
-        try_assemble("DBLP-full", world, corpus.papers, feat_dim)
+        try_assemble("DBLP-full", world, corpus.papers, feat_dim, &ScaleOptions::default())
+    }
+
+    /// Builds a dataset through the streaming generator and the two-phase
+    /// CSR builder. With default [`ScaleOptions`] the result is identical
+    /// to [`Dataset::try_full`] — same graph fingerprint, features, and
+    /// labels — while [`ScaleOptions::at_scale`] bounds the generator
+    /// working set and embedding-training cost for million-paper configs
+    /// (usually paired with [`WorldConfig::at_scale`]).
+    pub fn try_streamed(
+        cfg: &WorldConfig,
+        feat_dim: usize,
+        opts: &ScaleOptions,
+    ) -> Result<Self, DatasetError> {
+        let world = LatentWorld::generate(cfg);
+        let papers: Vec<Paper> = match opts.cite_window {
+            None => PaperStream::exact(&world).collect(),
+            Some(w) => PaperStream::windowed(&world, w).collect(),
+        };
+        try_assemble("DBLP-streamed", world, papers, feat_dim, opts)
     }
 
     /// Builds the DBLP-single analogue: papers published in venues whose
@@ -164,7 +207,7 @@ impl Dataset {
                 selected.push(q);
             }
         }
-        try_assemble("DBLP-single", world, selected, feat_dim)
+        try_assemble("DBLP-single", world, selected, feat_dim, &ScaleOptions::default())
     }
 
     /// Builds the DBLP-random analogue: identical to `full` except that the
@@ -292,37 +335,65 @@ pub fn publication_schema() -> (Schema, NodeTypes, LinkTypes) {
     )
 }
 
+/// Looks up an entity's local slot in a sentinel table.
+fn local_slot(
+    table: &[u32],
+    world_idx: usize,
+    kind: &'static str,
+    paper: usize,
+) -> Result<usize, DatasetError> {
+    match table.get(world_idx) {
+        Some(&l) if l != u32::MAX => Ok(l as usize),
+        _ => Err(DatasetError::MissingEntity { kind, world_idx, paper }),
+    }
+}
+
 fn try_assemble(
     name: &str,
     world: LatentWorld,
     papers: Vec<Paper>,
     feat_dim: usize,
+    opts: &ScaleOptions,
 ) -> Result<Dataset, DatasetError> {
     let (schema, node_types, link_types) = publication_schema();
 
     // ---- Entity selection -------------------------------------------
-    let mut used_authors: Vec<usize> = papers.iter().flat_map(|p| p.authors.clone()).collect();
-    used_authors.sort_unstable();
-    used_authors.dedup();
-    let mut used_venues: Vec<usize> = papers.iter().map(|p| p.venue).collect();
-    used_venues.sort_unstable();
-    used_venues.dedup();
-    // Terms: all world terms referenced in titles or keywords, plus every
-    // domain-name term (TE needs those even when rarely mentioned).
-    let mut used_terms: Vec<usize> = papers
-        .iter()
-        .flat_map(|p| p.title_terms.iter().chain(&p.keywords).copied())
-        .chain(0..world.config.n_domains)
-        .collect();
-    used_terms.sort_unstable();
-    used_terms.dedup();
-
-    let author_local: std::collections::HashMap<usize, usize> =
-        used_authors.iter().enumerate().map(|(l, &w)| (w, l)).collect();
-    let venue_local: std::collections::HashMap<usize, usize> =
-        used_venues.iter().enumerate().map(|(l, &w)| (w, l)).collect();
-    let term_local: std::collections::HashMap<usize, usize> =
-        used_terms.iter().enumerate().map(|(l, &w)| (w, l)).collect();
+    // Used-entity bitsets, scanned ascending: the same local ordering as a
+    // sort/dedup over all references, in O(world entities) memory — the
+    // world's entity tables are sublinear in the paper count under
+    // `WorldConfig::at_scale`, so this stays bounded at scale.
+    let mut author_used = vec![false; world.authors.len()];
+    let mut venue_used = vec![false; world.venues.len()];
+    let mut term_used = vec![false; world.terms.len()];
+    // TE needs every domain-name term even when rarely mentioned.
+    for t in term_used.iter_mut().take(world.config.n_domains) {
+        *t = true;
+    }
+    for p in &papers {
+        for &a in &p.authors {
+            author_used[a] = true;
+        }
+        venue_used[p.venue] = true;
+        for &t in p.title_terms.iter().chain(&p.keywords) {
+            term_used[t] = true;
+        }
+    }
+    // `used`: local slot -> world index; `local`: world index -> slot
+    // (u32::MAX sentinel for unused — no hash map on this path).
+    let collect = |used: &[bool]| {
+        let mut ids = Vec::new();
+        let mut local = vec![u32::MAX; used.len()];
+        for (w, &u) in used.iter().enumerate() {
+            if u {
+                local[w] = ids.len() as u32;
+                ids.push(w);
+            }
+        }
+        (ids, local)
+    };
+    let (used_authors, author_local) = collect(&author_used);
+    let (used_venues, venue_local) = collect(&venue_used);
+    let (used_terms, term_local) = collect(&term_used);
 
     // ---- Vocabulary & docs ------------------------------------------
     let mut vocab = Vocab::new();
@@ -332,55 +403,64 @@ fn try_assemble(
     let mut docs: Vec<Vec<TokenId>> = Vec::with_capacity(papers.len());
     for (i, p) in papers.iter().enumerate() {
         let mut doc = Vec::with_capacity(p.title_terms.len());
-        for w in &p.title_terms {
-            let l = term_local.get(w).ok_or(DatasetError::MissingEntity {
-                kind: "term",
-                world_idx: *w,
-                paper: i,
-            })?;
-            doc.push(TokenId(*l as u32));
+        for &w in &p.title_terms {
+            doc.push(TokenId(local_slot(&term_local, w, "term", i)? as u32));
         }
         docs.push(doc);
     }
     let docs = docs;
 
     // ---- Word embeddings & node features ----------------------------
-    let word_embeddings = WordEmbeddings::train(&docs, used_terms.len(), feat_dim, 0x3EED);
+    let embed_docs = match opts.embed_doc_cap.and_then(|cap| docs.get(..cap)) {
+        Some(head) => head,
+        None => &docs[..],
+    };
+    let word_embeddings = WordEmbeddings::train(embed_docs, used_terms.len(), feat_dim, 0x3EED);
 
     // ---- Graph -------------------------------------------------------
-    let mut b = HetGraphBuilder::new(schema);
-    let paper_nodes = b.add_nodes(node_types.paper, papers.len());
-    let author_nodes = b.add_nodes(node_types.author, used_authors.len());
-    let venue_nodes = b.add_nodes(node_types.venue, used_venues.len());
-    let term_nodes = b.add_nodes(node_types.term, used_terms.len());
+    // Two-phase streaming build: a counting pass (which also validates
+    // every reference) sizes the CSRs, then a fill pass replays the same
+    // edge sequence into final slots — no intermediate edge lists.
+    let mut b = StreamGraphBuilder::new(schema);
+    let node_range = |first: NodeId, count: usize| -> Vec<NodeId> {
+        (0..count as u32).map(|i| NodeId(first.0 + i)).collect()
+    };
+    let paper_nodes = node_range(b.add_node_range(node_types.paper, papers.len())?, papers.len());
+    let author_nodes =
+        node_range(b.add_node_range(node_types.author, used_authors.len())?, used_authors.len());
+    let venue_nodes =
+        node_range(b.add_node_range(node_types.venue, used_venues.len())?, used_venues.len());
+    let term_nodes =
+        node_range(b.add_node_range(node_types.term, used_terms.len())?, used_terms.len());
 
     for (i, p) in papers.iter().enumerate() {
         for &a in &p.authors {
-            let al = author_local.get(&a).ok_or(DatasetError::MissingEntity {
-                kind: "author",
-                world_idx: a,
-                paper: i,
-            })?;
-            b.try_add_link_with_reverse(
-                link_types.writes,
-                author_nodes[*al],
-                paper_nodes[i],
-                1.0,
-            )?;
+            let al = local_slot(&author_local, a, "author", i)?;
+            b.count_link(link_types.writes, author_nodes[al]);
+            b.count_link(link_types.written_by, paper_nodes[i]);
         }
-        let vl = venue_local.get(&p.venue).ok_or(DatasetError::MissingEntity {
-            kind: "venue",
-            world_idx: p.venue,
-            paper: i,
-        })?;
-        b.try_add_link_with_reverse(link_types.publishes, venue_nodes[*vl], paper_nodes[i], 1.0)?;
+        let vl = local_slot(&venue_local, p.venue, "venue", i)?;
+        b.count_link(link_types.publishes, venue_nodes[vl]);
+        b.count_link(link_types.published_in, paper_nodes[i]);
         for &c in &p.cites {
-            let cited = paper_nodes.get(c).ok_or(DatasetError::MissingEntity {
-                kind: "paper",
-                world_idx: c,
-                paper: i,
-            })?;
-            b.try_add_link(link_types.cites, paper_nodes[i], *cited, 1.0)?;
+            if c >= papers.len() {
+                return Err(DatasetError::MissingEntity { kind: "paper", world_idx: c, paper: i });
+            }
+            b.count_link(link_types.cites, paper_nodes[i]);
+        }
+    }
+    b.finish_counts();
+    for (i, p) in papers.iter().enumerate() {
+        for &a in &p.authors {
+            let al = author_local[a] as usize;
+            b.fill_link(link_types.writes, author_nodes[al], paper_nodes[i], 1.0);
+            b.fill_link(link_types.written_by, paper_nodes[i], author_nodes[al], 1.0);
+        }
+        let vl = venue_local[p.venue] as usize;
+        b.fill_link(link_types.publishes, venue_nodes[vl], paper_nodes[i], 1.0);
+        b.fill_link(link_types.published_in, paper_nodes[i], venue_nodes[vl], 1.0);
+        for &c in &p.cites {
+            b.fill_link(link_types.cites, paper_nodes[i], paper_nodes[c], 1.0);
         }
     }
     let graph = b.build();
@@ -422,11 +502,11 @@ fn try_assemble(
     let mut venue_hist: Vec<(f32, u32)> = vec![(0.0, 0); used_venues.len()];
     for p in papers.iter().filter(|p| p.year < 2014) {
         for &a in &p.authors {
-            let e = &mut author_hist[author_local[&a]];
+            let e = &mut author_hist[author_local[a] as usize];
             e.0 += p.label;
             e.1 += 1;
         }
-        let e = &mut venue_hist[venue_local[&p.venue]];
+        let e = &mut venue_hist[venue_local[p.venue] as usize];
         e.0 += p.label;
         e.1 += 1;
     }
@@ -434,7 +514,7 @@ fn try_assemble(
     let mut author_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); used_authors.len()];
     for (i, p) in papers.iter().enumerate() {
         for &a in &p.authors {
-            author_tokens[author_local[&a]].extend(&docs[i]);
+            author_tokens[author_local[a] as usize].extend(&docs[i]);
         }
     }
     for (l, toks) in author_tokens.iter().enumerate() {
@@ -446,7 +526,7 @@ fn try_assemble(
     // Venues: aggregate over their papers' titles.
     let mut venue_tokens: Vec<Vec<TokenId>> = vec![Vec::new(); used_venues.len()];
     for (i, p) in papers.iter().enumerate() {
-        venue_tokens[venue_local[&p.venue]].extend(&docs[i]);
+        venue_tokens[venue_local[p.venue] as usize].extend(&docs[i]);
     }
     for (l, toks) in venue_tokens.iter().enumerate() {
         let mut row = word_embeddings.aggregate(toks);
@@ -611,6 +691,42 @@ mod tests {
             .filter(|&r| ds.features.row(r).iter().any(|&x| x != 0.0))
             .count();
         assert!(nonzero_rows as f32 > 0.9 * ds.features.rows() as f32);
+    }
+
+    #[test]
+    fn streamed_default_matches_full_bitwise() {
+        let cfg = WorldConfig::tiny();
+        let full = Dataset::full(&cfg, 16);
+        let streamed = Dataset::try_streamed(&cfg, 16, &ScaleOptions::default())
+            .expect("tiny streamed build");
+        assert_eq!(streamed.graph.content_fingerprint(), full.graph.content_fingerprint());
+        assert_eq!(streamed.docs, full.docs);
+        assert_eq!(streamed.labels, full.labels);
+        assert_eq!(streamed.term_world_idx, full.term_world_idx);
+        for r in 0..full.features.rows() {
+            let (a, b) = (full.features.row(r), streamed.features.row(r));
+            assert!(
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "features row {r} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_at_scale_is_deterministic_and_consistent() {
+        let cfg = WorldConfig::tiny();
+        let opts = ScaleOptions { cite_window: Some(32), embed_doc_cap: Some(50) };
+        let a = Dataset::try_streamed(&cfg, 16, &opts).expect("windowed build");
+        let b = Dataset::try_streamed(&cfg, 16, &opts).expect("windowed build");
+        assert_eq!(a.graph.content_fingerprint(), b.graph.content_fingerprint());
+        assert_eq!(a.n_papers(), cfg.n_papers);
+        assert_eq!(a.features.rows(), a.graph.num_nodes());
+        assert!(a.features.all_finite());
+        for (i, p) in a.papers.iter().enumerate() {
+            for &c in &p.cites {
+                assert!(c < i, "windowed citations must still point backwards");
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,11 @@
 //! — plus irreducible noise that no model can explain.
 
 use crate::config::WorldConfig;
-use crate::world::LatentWorld;
+use crate::stream::PaperStream;
+use crate::world::{layout, WorldView};
 #[cfg(test)]
-use crate::world::TermKind;
+use crate::world::{LatentWorld, TermKind};
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use tensor::init::gaussian;
 
 /// One generated paper.
@@ -49,40 +48,11 @@ pub struct Corpus {
 
 impl Corpus {
     /// Generates the corpus from a latent world, deterministic in the
-    /// config seed.
-    pub fn generate(world: &LatentWorld) -> Self {
-        let cfg = &world.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE));
-        let years = sample_years(cfg, &mut rng);
-        let author_pick = AuthorPicker::new(world);
-        let mut papers: Vec<Paper> = Vec::with_capacity(cfg.n_papers);
-        // Per-domain weighted pools of earlier papers for citation targets.
-        let mut pools: Vec<Pool> = (0..cfg.n_domains).map(|_| Pool::default()).collect();
-        for (i, &year) in years.iter().enumerate() {
-            let domain = rng.gen_range(0..cfg.n_domains);
-            let venue = pick_venue(world, domain, &mut rng);
-            let authors = author_pick.pick(world, domain, &mut rng);
-            let true_terms = pick_true_terms(world, domain, &mut rng);
-            let keywords = pick_keywords(world, domain, &true_terms, &mut rng);
-            let title_terms = make_title(world, domain, &true_terms, &mut rng);
-            let rate = citation_rate(world, domain, &authors, venue, &true_terms);
-            let label = observe_label(cfg, rate, &mut rng);
-            let cites = pick_citations(cfg, &pools, domain, &mut rng);
-            pools[domain].push(i, 1.0 + rate);
-            papers.push(Paper {
-                domain,
-                year,
-                authors,
-                venue,
-                true_terms,
-                keywords,
-                title_terms,
-                cites,
-                rate,
-                label,
-            });
-        }
-        Corpus { papers }
+    /// config seed. Implemented as a full drain of the bounded-memory
+    /// [`PaperStream`] in exact mode, so the in-memory and streaming
+    /// generators cannot diverge (they are the same code).
+    pub fn generate<W: WorldView>(world: &W) -> Self {
+        Corpus { papers: PaperStream::exact(world).collect() }
     }
 
     pub fn len(&self) -> usize {
@@ -94,68 +64,30 @@ impl Corpus {
     }
 }
 
-/// Ascending years with linearly growing publication volume (newer years
-/// produce more papers, like real DBLP).
-fn sample_years<R: Rng>(cfg: &WorldConfig, rng: &mut R) -> Vec<u16> {
-    let (y0, y1) = cfg.year_range;
-    let span = (y1 - y0) as f32 + 1.0;
-    let mut years: Vec<u16> = (0..cfg.n_papers)
-        .map(|_| {
-            // pdf(t) proportional to (1 + t): inverse-CDF sample.
-            let u: f32 = rng.gen();
-            let t = ((1.0 + u * (span * span + 2.0 * span)).sqrt() - 1.0).clamp(0.0, span - 1.0);
-            y0 + t as u16
-        })
-        .collect();
-    years.sort_unstable();
-    years
-}
-
-fn pick_venue(world: &LatentWorld, domain: usize, rng: &mut impl Rng) -> usize {
-    let candidates: Vec<usize> = world
-        .venues
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.domain == domain)
-        .map(|(i, _)| i)
-        .collect();
-    assert!(!candidates.is_empty(), "every domain must own at least one venue");
-    // Authority-weighted choice: stronger venues publish more.
-    let total: f32 = candidates.iter().map(|&i| world.venues[i].authority).sum();
-    let mut u = rng.gen_range(0.0..total);
-    for &i in &candidates {
-        u -= world.venues[i].authority;
-        if u <= 0.0 {
-            return i;
-        }
-    }
-    *candidates.last().unwrap()
-}
-
 /// Pre-computed per-domain author sampling tables (productivity- and
 /// affinity-weighted).
-struct AuthorPicker {
+pub(crate) struct AuthorPicker {
     /// For each domain: (author index, cumulative weight).
     tables: Vec<(Vec<usize>, Vec<f32>)>,
 }
 
 impl AuthorPicker {
-    fn new(world: &LatentWorld) -> Self {
-        let k = world.config.n_domains;
+    pub(crate) fn new<W: WorldView>(world: &W) -> Self {
+        let k = world.config().n_domains;
         let mut tables = Vec::with_capacity(k);
         for d in 0..k {
             let mut ids = Vec::new();
             let mut cum = Vec::new();
             let mut acc = 0.0f32;
-            for (i, a) in world.authors.iter().enumerate() {
-                let aff = if a.primary == d {
+            for i in 0..world.n_authors() {
+                let aff = if world.author_primary(i) == d {
                     1.0
-                } else if a.secondary == d {
+                } else if world.author_secondary(i) == d {
                     0.4
                 } else {
                     0.02
                 };
-                acc += a.productivity * aff;
+                acc += world.author_productivity(i) * aff;
                 ids.push(i);
                 cum.push(acc);
             }
@@ -164,7 +96,7 @@ impl AuthorPicker {
         AuthorPicker { tables }
     }
 
-    fn pick(&self, world: &LatentWorld, domain: usize, rng: &mut impl Rng) -> Vec<usize> {
+    pub(crate) fn pick(&self, domain: usize, rng: &mut impl Rng) -> Vec<usize> {
         let n = 1 + sample_poisson(rng, 1.5).min(4);
         let (ids, cum) = &self.tables[domain];
         let total = *cum.last().unwrap();
@@ -179,19 +111,54 @@ impl AuthorPicker {
                 out.push(a);
             }
         }
-        let _ = world;
         out
+    }
+
+    /// Approximate live heap footprint (generator memory accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|(ids, cum)| {
+                ids.capacity() * std::mem::size_of::<usize>()
+                    + cum.capacity() * std::mem::size_of::<f32>()
+            })
+            .sum()
     }
 }
 
-fn pick_true_terms(world: &LatentWorld, domain: usize, rng: &mut impl Rng) -> Vec<usize> {
-    let pool = world.quality_terms_of(domain);
-    let n = (3 + sample_poisson(rng, 1.5)).min(pool.len());
+pub(crate) fn pick_venue<W: WorldView>(world: &W, domain: usize, rng: &mut impl Rng) -> usize {
+    let candidates: Vec<usize> = (0..world.n_venues())
+        .filter(|&i| world.venue_domain(i) == domain)
+        .collect();
+    assert!(!candidates.is_empty(), "every domain must own at least one venue");
+    // Authority-weighted choice: stronger venues publish more.
+    let total: f32 = candidates.iter().map(|&i| world.venue_authority(i)).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for &i in &candidates {
+        u -= world.venue_authority(i);
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    *candidates.last().unwrap()
+}
+
+pub(crate) fn pick_true_terms<W: WorldView>(
+    world: &W,
+    domain: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let cfg = world.config();
+    // `gen_terms` lays quality terms out contiguously per domain, so slot
+    // arithmetic replaces the old linear `quality_terms_of` scan — same
+    // draws, same indices, no per-paper allocation of the pool.
+    let pool_len = cfg.quality_terms_per_domain;
+    let n = (3 + sample_poisson(rng, 1.5)).min(pool_len);
     let mut out = Vec::with_capacity(n);
     let mut guard = 0;
     while out.len() < n && guard < 100 {
         guard += 1;
-        let t = pool[rng.gen_range(0..pool.len())];
+        let t = layout::quality_term(cfg, domain, rng.gen_range(0..pool_len));
         if !out.contains(&t) {
             out.push(t);
         }
@@ -199,17 +166,17 @@ fn pick_true_terms(world: &LatentWorld, domain: usize, rng: &mut impl Rng) -> Ve
     out
 }
 
-fn pick_keywords(
-    world: &LatentWorld,
+pub(crate) fn pick_keywords<W: WorldView>(
+    world: &W,
     domain: usize,
     true_terms: &[usize],
     rng: &mut impl Rng,
 ) -> Vec<usize> {
-    let cfg = &world.config;
+    let cfg = world.config();
     let n = (1 + sample_poisson(rng, cfg.keywords_per_paper as f64 - 1.0)).max(2);
-    let quality_pool = world.quality_terms_of(domain);
-    let generic_start = cfg.n_domains + cfg.n_domains * cfg.quality_terms_per_domain;
-    let noise_start = generic_start + cfg.n_generic_terms;
+    let pool_len = cfg.quality_terms_per_domain;
+    let generic_start = layout::generic_start(cfg);
+    let noise_start = layout::noise_start(cfg);
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let t = if rng.gen::<f32>() < cfg.keyword_quality {
@@ -217,7 +184,7 @@ fn pick_keywords(
             if !true_terms.is_empty() && rng.gen::<f32>() < 0.7 {
                 true_terms[rng.gen_range(0..true_terms.len())]
             } else {
-                quality_pool[rng.gen_range(0..quality_pool.len())]
+                layout::quality_term(cfg, domain, rng.gen_range(0..pool_len))
             }
         } else if rng.gen::<f32>() < 0.7 {
             generic_start + rng.gen_range(0..cfg.n_generic_terms)
@@ -231,42 +198,42 @@ fn pick_keywords(
     out
 }
 
-fn make_title(
-    world: &LatentWorld,
+pub(crate) fn make_title<W: WorldView>(
+    world: &W,
     domain: usize,
     true_terms: &[usize],
     rng: &mut impl Rng,
 ) -> Vec<usize> {
-    let cfg = &world.config;
+    let cfg = world.config();
     let mut title = true_terms.to_vec();
-    let generic_start = cfg.n_domains + cfg.n_domains * cfg.quality_terms_per_domain;
+    let generic_start = layout::generic_start(cfg);
     for _ in 0..rng.gen_range(1..3usize) {
         title.push(generic_start + rng.gen_range(0..cfg.n_generic_terms));
     }
     if rng.gen::<f32>() < cfg.domain_name_rate {
-        title.push(world.domain_name_term(domain));
+        title.push(layout::domain_name_term(domain));
     }
     title
 }
 
 /// The citation-rate model: domain-conditioned author/venue/term factors.
-pub fn citation_rate(
-    world: &LatentWorld,
+pub fn citation_rate<W: WorldView>(
+    world: &W,
     domain: usize,
     authors: &[usize],
     venue: usize,
     true_terms: &[usize],
 ) -> f32 {
-    let cfg = &world.config;
+    let cfg = world.config();
     let best_prestige = authors
         .iter()
-        .map(|&a| world.authors[a].prestige_in(domain))
+        .map(|&a| world.author_prestige_in(a, domain))
         .fold(0.0f32, f32::max);
-    let authority = world.venues[venue].authority_in(domain);
+    let authority = world.venue_authority_in(venue, domain);
     let t_mean = if true_terms.is_empty() {
         0.0
     } else {
-        true_terms.iter().map(|&t| world.terms[t].impact).sum::<f32>() / true_terms.len() as f32
+        true_terms.iter().map(|&t| world.term_impact(t)).sum::<f32>() / true_terms.len() as f32
     };
     // Multiplicative interaction of the three factors: impact compounds
     // (a strong paper at a strong venue by a strong group), which yields the
@@ -278,48 +245,8 @@ pub fn citation_rate(
         * (0.30 + t_mean).powf(0.9 * cfg.w_term)
 }
 
-fn observe_label(cfg: &WorldConfig, rate: f32, rng: &mut impl Rng) -> f32 {
+pub(crate) fn observe_label(cfg: &WorldConfig, rate: f32, rng: &mut impl Rng) -> f32 {
     (rate * (cfg.label_noise * gaussian(rng)).exp()).max(0.0)
-}
-
-#[derive(Default)]
-struct Pool {
-    ids: Vec<usize>,
-    cum: Vec<f32>,
-}
-
-impl Pool {
-    fn push(&mut self, id: usize, w: f32) {
-        let last = self.cum.last().copied().unwrap_or(0.0);
-        self.ids.push(id);
-        self.cum.push(last + w);
-    }
-
-    fn sample(&self, rng: &mut impl Rng) -> Option<usize> {
-        let total = *self.cum.last()?;
-        let u = rng.gen_range(0.0..total);
-        let pos = self.cum.partition_point(|&c| c < u);
-        Some(self.ids[pos.min(self.ids.len() - 1)])
-    }
-}
-
-fn pick_citations(
-    cfg: &WorldConfig,
-    pools: &[Pool],
-    domain: usize,
-    rng: &mut impl Rng,
-) -> Vec<usize> {
-    let n = sample_poisson(rng, cfg.refs_per_paper as f64);
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let d = if rng.gen::<f32>() < 0.8 { domain } else { rng.gen_range(0..cfg.n_domains) };
-        if let Some(p) = pools[d].sample(rng) {
-            if !out.contains(&p) {
-                out.push(p);
-            }
-        }
-    }
-    out
 }
 
 /// Knuth's Poisson sampler (fine for small lambda).
@@ -342,6 +269,8 @@ pub fn sample_poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn tiny_corpus() -> (LatentWorld, Corpus) {
         let w = LatentWorld::generate(&WorldConfig::tiny());

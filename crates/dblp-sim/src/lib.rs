@@ -20,10 +20,14 @@ pub mod config;
 pub mod dataset;
 pub mod generate;
 pub mod stats;
+pub mod stream;
 pub mod world;
 
 pub use config::{WorldConfig, DOMAIN_NAMES};
-pub use dataset::{publication_schema, Dataset, DatasetError, LinkTypes, NodeTypes, Split};
+pub use dataset::{
+    publication_schema, Dataset, DatasetError, LinkTypes, NodeTypes, ScaleOptions, Split,
+};
 pub use generate::{citation_rate, sample_poisson, Corpus, Paper};
 pub use stats::DatasetStats;
-pub use world::{AuthorProfile, LatentWorld, Term, TermKind, VenueProfile};
+pub use stream::{BoundedPool, CompactWorld, PaperStream};
+pub use world::{AuthorProfile, LatentWorld, Term, TermKind, VenueProfile, WorldView};

@@ -41,13 +41,25 @@ fn usage() -> ! {
          [--scale tiny|small|full] [--variant hgn|ca-hgn|cate-hgn] \
          [--model FILE] [--out FILE] [--top N] \
          [--checkpoint FILE] [--checkpoint-every N] [--resume] [--halt-after N] \
-         [--lanes N] [--batch N] [--paper I] [--cold]"
+         [--lanes N] [--prefetch N] [--papers N] [--batch N] [--paper I] [--cold]"
     );
     std::process::exit(2);
 }
 
 fn build_dataset(cfg: &ExperimentConfig) -> Dataset {
-    Dataset::try_full(&cfg.world, cfg.feat_dim).unwrap_or_else(|e| {
+    // `--papers N` overrides the scale preset with a streamed at-scale
+    // world: bounded-memory generation with windowed citation pools (see
+    // DESIGN.md, "Scale path"). Without it, the exact in-memory dataset
+    // of the chosen preset is built as before.
+    let result = match arg("--papers").and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) => Dataset::try_streamed(
+            &dblp_sim::WorldConfig::at_scale(n),
+            cfg.feat_dim,
+            &dblp_sim::ScaleOptions::at_scale(),
+        ),
+        None => Dataset::try_full(&cfg.world, cfg.feat_dim),
+    };
+    result.unwrap_or_else(|e| {
         eprintln!("dataset construction failed: {e}");
         std::process::exit(1);
     })
@@ -109,6 +121,7 @@ fn main() {
                 resume: flag("--resume"),
                 halt_after_steps: arg("--halt-after").and_then(|s| s.parse().ok()),
                 data_lanes: arg("--lanes").and_then(|s| s.parse().ok()).unwrap_or(1),
+                prefetch: arg("--prefetch").and_then(|s| s.parse().ok()).unwrap_or(0),
                 ..TrainOptions::default()
             };
             let report = train_with(&mut model, &mut ds, &mut opts).unwrap_or_else(|e| {

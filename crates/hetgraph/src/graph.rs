@@ -89,6 +89,17 @@ impl Csr {
                 .map(move |(&t, &w)| (s as u32, t, w))
         })
     }
+
+    /// The raw column arrays `(offsets, targets, weights)`, for shard I/O.
+    pub(crate) fn parts(&self) -> (&[u32], &[u32], &[f32]) {
+        (&self.offsets, &self.targets, &self.weights)
+    }
+
+    /// Rebuilds a CSR from raw column arrays (shard loading). The arrays
+    /// must come from [`Csr::parts`] of a well-formed CSR.
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>, weights: Vec<f32>) -> Self {
+        Csr { offsets, targets, weights }
+    }
 }
 
 /// A heterogeneous, weighted, typed graph (Definition 3.1 plus the link
@@ -106,6 +117,13 @@ pub struct HetGraph {
     /// whenever [`HetGraph::replace_links`] actually changes an edge set,
     /// so sampling caches keyed on it can never serve stale blocks.
     stamp: u64,
+    /// Per-link-type content stamps, refreshed only when *that* type's
+    /// edge set changes. A TE round that relinks the term edges bumps the
+    /// `contains`/`contained_in` stamps and leaves `cites`/`writes`/
+    /// `published_in` untouched, so sampling caches validated against the
+    /// stamps of the link types a block actually consulted survive the
+    /// round ([`crate::sampling::BlockCache`]).
+    type_stamps: Vec<u64>,
 }
 
 /// Draws a process-unique graph content stamp (never zero).
@@ -114,9 +132,30 @@ fn next_graph_stamp() -> u64 {
     NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Draws one fresh stamp per link type.
+fn fresh_type_stamps(n_link_types: usize) -> Vec<u64> {
+    (0..n_link_types).map(|_| next_graph_stamp()).collect()
+}
+
 impl HetGraph {
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Assembles a graph from already-built adjacency columns (shard
+    /// loading); draws fresh stamps like any other construction path.
+    pub(crate) fn assemble(schema: Schema, node_types: Vec<NodeTypeId>, adj: Vec<Csr>) -> Self {
+        let mut by_type = vec![Vec::new(); schema.num_node_types()];
+        for (i, t) in node_types.iter().enumerate() {
+            by_type[t.0 as usize].push(NodeId(i as u32));
+        }
+        let type_stamps = fresh_type_stamps(schema.num_link_types());
+        HetGraph { schema, node_types, by_type, adj, stamp: next_graph_stamp(), type_stamps }
+    }
+
+    /// Node type ids of every node, densely indexed by [`NodeId`].
+    pub(crate) fn node_types_raw(&self) -> &[NodeTypeId] {
+        &self.node_types
     }
 
     /// Identifies this graph's current content state: two `HetGraph`
@@ -126,6 +165,14 @@ impl HetGraph {
     #[inline]
     pub fn sampling_stamp(&self) -> u64 {
         self.stamp
+    }
+
+    /// Content stamp of one link type: changes iff that type's edge set
+    /// changed (or the graph was freshly built/deserialised). Equal stamps
+    /// imply the two graph values share identical edges of that type.
+    #[inline]
+    pub fn link_stamp(&self, t: LinkTypeId) -> u64 {
+        self.type_stamps[t.0 as usize]
     }
 
     /// Total number of nodes across all types.
@@ -235,6 +282,7 @@ impl HetGraph {
         }
         self.adj[t.0 as usize] = next;
         self.stamp = next_graph_stamp();
+        self.type_stamps[t.0 as usize] = next_graph_stamp();
         Ok(())
     }
 
@@ -395,12 +443,152 @@ impl HetGraphBuilder {
             by_type[t.0 as usize].push(NodeId(i as u32));
         }
         let adj = self.edges.iter().map(|e| Csr::from_edges(n, e)).collect();
+        let type_stamps = fresh_type_stamps(self.schema.num_link_types());
         HetGraph {
             schema: self.schema,
             node_types: self.node_types,
             by_type,
             adj,
             stamp: next_graph_stamp(),
+            type_stamps,
+        }
+    }
+}
+
+/// Two-phase streaming builder for a [`HetGraph`]: a counting pass sizes
+/// every CSR exactly, then a fill pass writes edges straight into their
+/// final slots. Unlike [`HetGraphBuilder`], no intermediate edge `Vec`s are
+/// materialised — peak memory is the finished CSR plus one cursor array —
+/// which is what lets `dblp-sim` build million-paper graphs from two drains
+/// of the paper stream.
+///
+/// Replaying the same edge sequence through both builders yields graphs
+/// with equal [`HetGraph::content_fingerprint`]: `Csr::from_edges` is a
+/// counting sort that preserves edge-list order within each source row, and
+/// the fill pass writes in the same order.
+#[derive(Clone, Debug)]
+pub struct StreamGraphBuilder {
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    /// Per link type: edge counts per source during the counting pass,
+    /// then (after [`StreamGraphBuilder::finish_counts`]) the fill cursors.
+    counts: Vec<Vec<u32>>,
+    /// Per link type: final offsets (valid after `finish_counts`).
+    offsets: Vec<Vec<u32>>,
+    targets: Vec<Vec<u32>>,
+    weights: Vec<Vec<f32>>,
+    filling: bool,
+}
+
+impl StreamGraphBuilder {
+    pub fn new(schema: Schema) -> Self {
+        let n_link_types = schema.num_link_types();
+        StreamGraphBuilder {
+            schema,
+            node_types: Vec::new(),
+            counts: vec![Vec::new(); n_link_types],
+            offsets: vec![Vec::new(); n_link_types],
+            targets: vec![Vec::new(); n_link_types],
+            weights: vec![Vec::new(); n_link_types],
+            filling: false,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Declares `count` nodes of one type, returning the id of the first;
+    /// the range is contiguous. All nodes must be declared before the
+    /// counting pass ends.
+    pub fn add_node_range(&mut self, t: NodeTypeId, count: usize) -> Result<NodeId, GraphError> {
+        if (t.0 as usize) >= self.schema.num_node_types() {
+            return Err(GraphError::UnknownNodeType { id: t.0 });
+        }
+        if self.node_types.len() + count > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes);
+        }
+        let first = NodeId(self.node_types.len() as u32);
+        self.node_types.extend(std::iter::repeat_n(t, count));
+        Ok(first)
+    }
+
+    /// Counting pass: registers one future edge of type `t` out of `src`.
+    pub fn count_link(&mut self, t: LinkTypeId, src: NodeId) {
+        debug_assert!(!self.filling, "count_link after finish_counts");
+        let counts = &mut self.counts[t.0 as usize];
+        if counts.len() < self.node_types.len() {
+            counts.resize(self.node_types.len(), 0);
+        }
+        counts[src.index()] += 1;
+    }
+
+    /// Ends the counting pass: sizes every CSR and arms the fill cursors.
+    pub fn finish_counts(&mut self) {
+        let n = self.node_types.len();
+        for lt in 0..self.schema.num_link_types() {
+            let counts = &mut self.counts[lt];
+            counts.resize(n, 0);
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0u32;
+            offsets.push(0);
+            for &c in counts.iter() {
+                acc += c;
+                offsets.push(acc);
+            }
+            self.targets[lt] = vec![0u32; acc as usize];
+            self.weights[lt] = vec![0.0f32; acc as usize];
+            // Reuse the counts array as the per-source fill cursor: each
+            // source starts writing at its row offset. `zip` drops the
+            // trailing (n+1)-th offset.
+            for (cursor, &start) in counts.iter_mut().zip(offsets.iter()) {
+                *cursor = start;
+            }
+            self.offsets[lt] = offsets;
+        }
+        self.filling = true;
+    }
+
+    /// Fill pass: writes one counted edge into its final CSR slot. Edges
+    /// must be replayed in the same order they were counted.
+    pub fn fill_link(&mut self, t: LinkTypeId, src: NodeId, dst: NodeId, weight: f32) {
+        debug_assert!(self.filling, "fill_link before finish_counts");
+        let lt = t.0 as usize;
+        let pos = self.counts[lt][src.index()] as usize;
+        self.targets[lt][pos] = dst.0;
+        self.weights[lt][pos] = weight;
+        self.counts[lt][src.index()] += 1;
+    }
+
+    /// Number of nodes declared so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Finalises into an immutable [`HetGraph`].
+    pub fn build(mut self) -> HetGraph {
+        if !self.filling {
+            self.finish_counts();
+        }
+        let mut by_type = vec![Vec::new(); self.schema.num_node_types()];
+        for (i, t) in self.node_types.iter().enumerate() {
+            by_type[t.0 as usize].push(NodeId(i as u32));
+        }
+        let adj = self
+            .offsets
+            .into_iter()
+            .zip(self.targets)
+            .zip(self.weights)
+            .map(|((o, t), w)| Csr::from_parts(o, t, w))
+            .collect();
+        let type_stamps = fresh_type_stamps(self.schema.num_link_types());
+        HetGraph {
+            schema: self.schema,
+            node_types: self.node_types,
+            by_type,
+            adj,
+            stamp: next_graph_stamp(),
+            type_stamps,
         }
     }
 }
@@ -544,6 +732,58 @@ mod tests {
         assert_eq!(h.num_nodes(), g.num_nodes());
         assert_eq!(h.num_links(), g.num_links());
     }
+
+    #[test]
+    fn stream_builder_matches_vec_builder() {
+        let (g, papers, authors) = toy();
+        let mut b = StreamGraphBuilder::new(g.schema().clone());
+        let paper = g.schema().node_type_by_name("paper").unwrap();
+        let author = g.schema().node_type_by_name("author").unwrap();
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let written_by = g.schema().link_type_by_name("written_by").unwrap();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        assert_eq!(b.add_node_range(paper, 3).unwrap(), papers[0]);
+        assert_eq!(b.add_node_range(author, 2).unwrap(), authors[0]);
+        // Two passes over the same edge sequence as `toy()` emits it.
+        let edges = [
+            (writes, authors[0], papers[0], 1.0),
+            (written_by, papers[0], authors[0], 1.0),
+            (writes, authors[0], papers[1], 1.0),
+            (written_by, papers[1], authors[0], 1.0),
+            (writes, authors[1], papers[2], 2.0),
+            (written_by, papers[2], authors[1], 2.0),
+            (cites, papers[1], papers[0], 1.0),
+            (cites, papers[2], papers[0], 1.0),
+        ];
+        for &(t, s, _, _) in &edges {
+            b.count_link(t, s);
+        }
+        b.finish_counts();
+        for &(t, s, d, w) in &edges {
+            b.fill_link(t, s, d, w);
+        }
+        let h = b.build();
+        assert_eq!(h.content_fingerprint(), g.content_fingerprint());
+        assert_ne!(h.sampling_stamp(), g.sampling_stamp());
+    }
+
+    #[test]
+    fn per_type_stamps_move_independently() {
+        let (mut g, papers, _) = toy();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let cites_before = g.link_stamp(cites);
+        let writes_before = g.link_stamp(writes);
+        // Identical relink: no stamp moves.
+        let same: Vec<_> = g.iter_links(cites).collect();
+        g.replace_links(cites, &same);
+        assert_eq!(g.link_stamp(cites), cites_before);
+        assert_eq!(g.link_stamp(writes), writes_before);
+        // Real relink of cites: only the cites stamp moves.
+        g.replace_links(cites, &[(papers[0], papers[2], 3.0)]);
+        assert_ne!(g.link_stamp(cites), cites_before);
+        assert_eq!(g.link_stamp(writes), writes_before);
+    }
 }
 
 serde::impl_serde_newtype!(NodeId);
@@ -564,12 +804,15 @@ impl serde::Serialize for HetGraph {
 
 impl serde::Deserialize for HetGraph {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let schema: Schema = serde::Deserialize::from_value(v.field("schema")?)?;
+        let type_stamps = fresh_type_stamps(schema.num_link_types());
         Ok(HetGraph {
-            schema: serde::Deserialize::from_value(v.field("schema")?)?,
+            schema,
             node_types: serde::Deserialize::from_value(v.field("node_types")?)?,
             by_type: serde::Deserialize::from_value(v.field("by_type")?)?,
             adj: serde::Deserialize::from_value(v.field("adj")?)?,
             stamp: next_graph_stamp(),
+            type_stamps,
         })
     }
 }

@@ -30,10 +30,12 @@ pub mod error;
 pub mod graph;
 pub mod sampling;
 pub mod schema;
+pub mod shard;
 pub mod walks;
 
 pub use error::{Endpoint, GraphError};
-pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId};
-pub use sampling::{sample_blocks, Block, BlockCache, BlockEdge};
+pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId, StreamGraphBuilder};
+pub use sampling::{sample_blocks, sample_blocks_traced, Block, BlockCache, BlockEdge};
 pub use schema::{LinkTypeId, LinkTypeDef, NodeTypeId, Schema};
+pub use shard::ShardStore;
 pub use walks::{corpus_metapath_walks, metapath_walk, uniform_typed_walk, MetaPath};

@@ -12,9 +12,10 @@
 //! `O(B * S^L * d)` as analysed in Section III-F.
 
 use crate::graph::{HetGraph, NodeId};
+use crate::schema::LinkTypeId;
 use rand::seq::index::sample as index_sample;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One sampled edge inside a [`Block`], in local positional coordinates.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,17 +58,46 @@ pub fn sample_blocks<R: Rng>(
     fanout: usize,
     rng: &mut R,
 ) -> Vec<Block> {
+    sample_blocks_traced(g, seeds, hops, fanout, rng).0
+}
+
+/// [`sample_blocks`] plus the list of link types the sampler *consulted*:
+/// every type whose adjacency was read for some frontier node (including
+/// empty reads — a relink could make them non-empty). The output blocks
+/// depend on the graph only through these types, so a cache entry recorded
+/// with their stamps stays valid until one of *them* is relinked
+/// ([`BlockCache`]).
+pub fn sample_blocks_traced<R: Rng>(
+    g: &HetGraph,
+    seeds: &[NodeId],
+    hops: usize,
+    fanout: usize,
+    rng: &mut R,
+) -> (Vec<Block>, Vec<LinkTypeId>) {
     let mut blocks = Vec::with_capacity(hops);
+    let mut consulted = vec![false; g.schema().num_link_types()];
     let mut frontier: Vec<NodeId> = dedup_preserve_order(seeds);
     for _ in 0..hops {
-        let block = sample_one_hop(g, &frontier, fanout, rng);
+        let block = sample_one_hop(g, &frontier, fanout, rng, &mut consulted);
         frontier = block.src_nodes.clone();
         blocks.push(block);
     }
-    blocks
+    let types = consulted
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c)
+        .map(|(i, _)| LinkTypeId(i as u8))
+        .collect();
+    (blocks, types)
 }
 
-fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut R) -> Block {
+fn sample_one_hop<R: Rng>(
+    g: &HetGraph,
+    dst: &[NodeId],
+    fanout: usize,
+    rng: &mut R,
+    consulted: &mut [bool],
+) -> Block {
     let n_link_types = g.schema().num_link_types();
     let mut src_nodes: Vec<NodeId> = Vec::with_capacity(dst.len() * 2);
     let mut src_index: HashMap<NodeId, u32> = HashMap::with_capacity(dst.len() * 2);
@@ -89,6 +119,7 @@ fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut
             if g.schema().link_type(lt).src != g.node_type(v) {
                 continue;
             }
+            consulted[lt.0 as usize] = true;
             let nbrs = g.neighbors(v, lt);
             let ws = g.weights(v, lt);
             if nbrs.is_empty() {
@@ -104,7 +135,11 @@ fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut
                     src_nodes.push(uid);
                     (src_nodes.len() - 1) as u32
                 });
-                edges.push(BlockEdge { src_pos, dst_pos: dst_pos as u32, weight: w });
+                edges.push(BlockEdge {
+                    src_pos,
+                    dst_pos: dst_pos as u32,
+                    weight: w,
+                });
             };
             let edges = &mut edges_by_type[lt.0 as usize];
             if nbrs.len() <= fanout {
@@ -118,51 +153,79 @@ fn sample_one_hop<R: Rng>(g: &HetGraph, dst: &[NodeId], fanout: usize, rng: &mut
             }
         }
     }
-    Block { dst_nodes: dst.to_vec(), src_nodes, dst_in_src, edges_by_type }
+    Block {
+        dst_nodes: dst.to_vec(),
+        src_nodes,
+        dst_in_src,
+        edges_by_type,
+    }
 }
 
 /// LRU cache over [`sample_blocks`] results, keyed by everything the
-/// sampler's output depends on: the graph content stamp
-/// ([`HetGraph::sampling_stamp`]), the exact seed list, the hop count, the
+/// sampler's output depends on: the exact seed list, the hop count, the
 /// fanout, and the RNG state (observed through a 4-word probe drawn from a
-/// *clone*, so the caller's generator is untouched by a lookup).
+/// *clone*, so the caller's generator is untouched by a lookup). Lookup is
+/// a `BTreeMap` search, not a scan, and recency is tracked through an LRU
+/// tick index, so capacity can grow without a per-sample O(capacity) cost.
+///
+/// Graph freshness is validated per link type: an entry records the
+/// [`HetGraph::link_stamp`] of every type the sampler consulted, and hits
+/// only while all of them are current. A TE round that relinks just the
+/// term edges therefore invalidates only entries whose neighborhoods
+/// actually crossed a term link — cached `cites`/`writes`/`published_in`
+/// blocks survive, where the old whole-graph stamp flushed everything.
 ///
 /// On a hit the cached blocks are returned and the caller's RNG is
 /// replaced with the state the sampler left behind when the entry was
 /// recorded — downstream draws continue exactly as if sampling had run.
 /// Repeated Algorithm-1 evaluation rounds (validation `predict` with a
 /// fixed seed, per-round TE read-outs) therefore replay for free as long
-/// as the graph itself has not been relinked.
+/// as no consulted link type has been relinked.
 pub struct BlockCache<R> {
     capacity: usize,
-    /// Most-recently-used last.
-    entries: Vec<CacheEntry<R>>,
+    entries: BTreeMap<CacheKey, CacheEntry<R>>,
+    /// LRU index: tick of last use → key. First entry is the eviction
+    /// victim.
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
     hits: u64,
     misses: u64,
 }
 
 struct CacheEntry<R> {
-    key: CacheKey,
     /// Exact seed list — kills the (astronomically unlikely) seed-hash
     /// collision instead of serving a wrong neighborhood.
     seeds: Vec<NodeId>,
     blocks: Vec<Block>,
     rng_after: R,
+    /// `(link type, stamp)` for every type the sampler consulted; the
+    /// entry is valid while all stamps are current.
+    consulted: Vec<(LinkTypeId, u64)>,
+    lru_tick: u64,
 }
 
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 struct CacheKey {
-    graph_stamp: u64,
     seed_hash: u64,
     hops: usize,
     fanout: usize,
     rng_probe: [u32; 4],
+    /// Guards against serving across graphs of a different schema shape
+    /// (graph content itself is validated through the consulted stamps).
+    n_link_types: usize,
 }
 
 impl<R: Rng + Clone> BlockCache<R> {
     /// A cache holding at most `capacity` sampled neighborhoods.
     pub fn new(capacity: usize) -> Self {
-        BlockCache { capacity: capacity.max(1), entries: Vec::new(), hits: 0, misses: 0 }
+        BlockCache {
+            capacity: capacity.max(1),
+            entries: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// `(hits, misses)` since construction.
@@ -191,33 +254,52 @@ impl<R: Rng + Clone> BlockCache<R> {
         rng: &mut R,
     ) -> Vec<Block> {
         let key = CacheKey {
-            graph_stamp: g.sampling_stamp(),
             seed_hash: hash_seeds(seeds),
             hops,
             fanout,
             rng_probe: rng_probe(rng),
+            n_link_types: g.schema().num_link_types(),
         };
-        if let Some(pos) =
-            self.entries.iter().position(|e| e.key == key && e.seeds == seeds)
-        {
-            let entry = self.entries.remove(pos);
-            *rng = entry.rng_after.clone();
-            let blocks = entry.blocks.clone();
-            self.entries.push(entry);
-            self.hits += 1;
-            return blocks;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            let fresh = entry.consulted.iter().all(|&(lt, s)| g.link_stamp(lt) == s);
+            if fresh && entry.seeds == seeds {
+                self.tick += 1;
+                self.lru.remove(&entry.lru_tick);
+                entry.lru_tick = self.tick;
+                self.lru.insert(self.tick, key);
+                *rng = entry.rng_after.clone();
+                self.hits += 1;
+                return entry.blocks.clone();
+            }
+            // Stale (stamps only move forward, so it can never hit again)
+            // or a seed-hash collision: drop it and resample.
+            let dead = entry.lru_tick;
+            self.lru.remove(&dead);
+            self.entries.remove(&key);
         }
-        let blocks = sample_blocks(g, seeds, hops, fanout, rng);
+        let (blocks, types) = sample_blocks_traced(g, seeds, hops, fanout, rng);
         self.misses += 1;
-        if self.entries.len() >= self.capacity {
-            self.entries.remove(0);
-        }
-        self.entries.push(CacheEntry {
+        let consulted = types.into_iter().map(|lt| (lt, g.link_stamp(lt))).collect();
+        self.tick += 1;
+        self.lru.insert(self.tick, key.clone());
+        self.entries.insert(
             key,
-            seeds: seeds.to_vec(),
-            blocks: blocks.clone(),
-            rng_after: rng.clone(),
-        });
+            CacheEntry {
+                seeds: seeds.to_vec(),
+                blocks: blocks.clone(),
+                rng_after: rng.clone(),
+                consulted,
+                lru_tick: self.tick,
+            },
+        );
+        while self.entries.len() > self.capacity {
+            match self.lru.pop_first() {
+                Some((_, victim)) => {
+                    self.entries.remove(&victim);
+                }
+                None => break,
+            }
+        }
         blocks
     }
 }
@@ -226,7 +308,12 @@ impl<R: Rng + Clone> BlockCache<R> {
 /// the argument itself never advances.
 fn rng_probe<R: Rng + Clone>(rng: &R) -> [u32; 4] {
     let mut probe = rng.clone();
-    [probe.next_u32(), probe.next_u32(), probe.next_u32(), probe.next_u32()]
+    [
+        probe.next_u32(),
+        probe.next_u32(),
+        probe.next_u32(),
+        probe.next_u32(),
+    ]
 }
 
 /// FNV-1a over the seed ids (cheap pre-filter; exact list compared on hit).
@@ -298,8 +385,10 @@ mod tests {
         let wb = g.schema().link_type_by_name("written_by").unwrap();
         let edges = &blocks[0].edges_by_type[wb.0 as usize];
         assert_eq!(edges.len(), 3);
-        let mut srcs: Vec<NodeId> =
-            edges.iter().map(|e| blocks[0].src_nodes[e.src_pos as usize]).collect();
+        let mut srcs: Vec<NodeId> = edges
+            .iter()
+            .map(|e| blocks[0].src_nodes[e.src_pos as usize])
+            .collect();
         srcs.sort();
         assert_eq!(srcs, authors);
     }
@@ -351,12 +440,7 @@ mod tests {
         let mut b = HetGraphBuilder::new(s);
         let p = b.add_node(paper);
         let t = b.add_node(term);
-        b.add_link(
-            s_handle(&b, "contains"),
-            p,
-            t,
-            0.75,
-        );
+        b.add_link(s_handle(&b, "contains"), p, t, 0.75);
         let _ = cin;
         let g = b.build();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
@@ -397,7 +481,11 @@ mod tests {
         let b2 = cache.sample(&g, &[p], 2, 5, &mut r2);
         let follow2 = r2.next_u32();
         assert!(blocks_eq(&b_ref, &b1) && blocks_eq(&b_ref, &b2));
-        assert_eq!((follow_ref, follow_ref), (follow1, follow2), "RNG must continue identically");
+        assert_eq!(
+            (follow_ref, follow_ref),
+            (follow1, follow2),
+            "RNG must continue identically"
+        );
         assert_eq!(cache.stats(), (1, 1));
     }
 
@@ -421,9 +509,7 @@ mod tests {
         let mut r1 = ChaCha8Rng::seed_from_u64(3);
         cache.sample(&g, &[p], 1, 5, &mut r1);
         // Identical relink keeps the stamp: next lookup hits.
-        let same: Vec<_> = g
-            .iter_links(writes)
-            .collect::<Vec<_>>();
+        let same: Vec<_> = g.iter_links(writes).collect::<Vec<_>>();
         g.replace_links(writes, &same);
         let mut r2 = ChaCha8Rng::seed_from_u64(3);
         cache.sample(&g, &[p], 1, 5, &mut r2);
@@ -435,7 +521,81 @@ mod tests {
         let mut r3 = ChaCha8Rng::seed_from_u64(3);
         let blocks = cache.sample(&g, &[p], 1, 5, &mut r3);
         assert_eq!(cache.stats(), (1, 2));
-        assert_eq!(blocks[0].edges_by_type[wb.0 as usize].len(), 1, "resample sees replaced links");
+        assert_eq!(
+            blocks[0].edges_by_type[wb.0 as usize].len(),
+            1,
+            "resample sees replaced links"
+        );
+    }
+
+    /// Publication-shaped graph: papers with author links and term links,
+    /// so term relinks can be isolated from author-side caches.
+    fn pub_graph() -> (HetGraph, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>) {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let term = s.add_node_type("term");
+        let (writes, _) = s.add_link_type_pair("writes", "written_by", author, paper);
+        let (contains, _) = s.add_link_type_pair("contains", "contained_in", paper, term);
+        let mut b = HetGraphBuilder::new(s);
+        let papers = b.add_nodes(paper, 3);
+        let authors = b.add_nodes(author, 2);
+        let terms = b.add_nodes(term, 4);
+        for (i, &p) in papers.iter().enumerate() {
+            b.add_link_with_reverse(writes, authors[i % 2], p, 1.0);
+            b.add_link_with_reverse(contains, p, terms[i], 0.5);
+            b.add_link_with_reverse(contains, p, terms[(i + 1) % 4], 0.5);
+        }
+        (b.build(), papers, authors, terms)
+    }
+
+    #[test]
+    fn relinking_terms_keeps_author_side_entries_warm() {
+        let (mut g, papers, authors, terms) = pub_graph();
+        let contains = g.schema().link_type_by_name("contains").unwrap();
+        let mut cache = BlockCache::new(8);
+        // Author seed consults only `writes`; paper seed consults
+        // `written_by` and `contains`.
+        cache.sample(&g, &[authors[0]], 1, 5, &mut ChaCha8Rng::seed_from_u64(1));
+        cache.sample(&g, &[papers[0]], 1, 5, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(cache.stats(), (0, 2));
+        // A TE-style round rebuilds only the term links.
+        g.replace_links(contains, &[(papers[0], terms[3], 0.9)]);
+        // The author-side entry survives the relink...
+        cache.sample(&g, &[authors[0]], 1, 5, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(cache.stats(), (1, 2), "unrelated entry must stay warm");
+        // ...while the paper-side entry (which consulted `contains`) is
+        // stale, and the resample sees the new term adjacency.
+        let blocks = cache.sample(&g, &[papers[0]], 1, 5, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(cache.stats(), (1, 3));
+        let e = &blocks[0].edges_by_type[contains.0 as usize];
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].weight, 0.9);
+    }
+
+    #[test]
+    fn empty_adjacency_is_still_consulted() {
+        // A seed whose consulted type currently has no edges must still be
+        // invalidated when that type gains edges.
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        s.add_link_type("cites", paper, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let p = b.add_node(paper);
+        let q = b.add_node(paper);
+        let mut g = b.build();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        let mut cache = BlockCache::new(4);
+        let b1 = cache.sample(&g, &[p], 1, 5, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(b1[0].num_edges(), 0);
+        g.replace_links(cites, &[(p, q, 1.0)]);
+        let b2 = cache.sample(&g, &[p], 1, 5, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(
+            cache.stats(),
+            (0, 2),
+            "empty consult must not survive relink"
+        );
+        assert_eq!(b2[0].num_edges(), 1);
     }
 
     #[test]

@@ -110,6 +110,13 @@ impl Schema {
         (f, b)
     }
 
+    /// Marks two already-registered link types as mutual reverses (shard
+    /// loading re-registers pairs recorded in the file header).
+    pub(crate) fn set_reverse_pair(&mut self, f: LinkTypeId, b: LinkTypeId) {
+        self.link_types[f.0 as usize].reverse_of = Some(b);
+        self.link_types[b.0 as usize].reverse_of = Some(f);
+    }
+
     pub fn num_node_types(&self) -> usize {
         self.node_types.len()
     }

@@ -1,0 +1,370 @@
+//! File-backed CSR shard storage.
+//!
+//! A shard file lays a [`HetGraph`] out as contiguous per-link-type
+//! segments behind a directory, so a reader can map the node-type table
+//! plus only the link types it needs — an embedding server that never
+//! walks `contained_in` edges skips the term segment entirely, and a
+//! million-node graph built once by the streaming generator is reloaded
+//! in one sequential pass per segment instead of a JSON parse.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "HGS1"
+//! schema        (names + endpoint/reverse ids, length-prefixed)
+//! n_nodes: u64
+//! node_types    (one u8 per node)
+//! directory     (per link type: byte offset, n_offsets, n_edges)
+//! segments      (per link type: offsets u32s, targets u32s, weight bits u32s)
+//! ```
+
+use crate::graph::{Csr, HetGraph};
+use crate::schema::{LinkTypeId, NodeTypeId, Schema};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"HGS1";
+
+/// Directory row of one link-type segment.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    /// Absolute byte offset of the segment in the file.
+    start: u64,
+    n_offsets: u64,
+    n_edges: u64,
+}
+
+impl Segment {
+    fn byte_len(&self) -> u64 {
+        self.n_offsets * 4 + self.n_edges * 8
+    }
+}
+
+/// An opened shard file: schema, node types, and the segment directory are
+/// resident; adjacency segments load on demand.
+pub struct ShardStore {
+    path: PathBuf,
+    schema: Schema,
+    node_types: Vec<NodeTypeId>,
+    directory: Vec<Segment>,
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("shard file corrupt: {what}"),
+    )
+}
+
+fn write_u32(w: &mut impl Write, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(corrupt("name too long"));
+    }
+    let mut b = vec![0u8; len];
+    r.read_exact(&mut b)?;
+    String::from_utf8(b).map_err(|_| corrupt("name not utf-8"))
+}
+
+fn read_u32_vec(r: &mut impl Read, n: usize) -> io::Result<Vec<u32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn write_schema(w: &mut impl Write, s: &Schema) -> io::Result<()> {
+    write_u32(w, s.num_node_types() as u32)?;
+    for t in s.node_type_ids() {
+        write_str(w, s.node_type_name(t))?;
+    }
+    write_u32(w, s.num_link_types() as u32)?;
+    for t in s.link_type_ids() {
+        let def = s.link_type(t);
+        write_str(w, &def.name)?;
+        w.write_all(&[def.src.0, def.dst.0])?;
+        // Reverse link id, or 0xFFFF for none.
+        let rev = def.reverse_of.map_or(u16::MAX, |r| r.0 as u16);
+        w.write_all(&rev.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_schema(r: &mut impl Read) -> io::Result<Schema> {
+    let mut s = Schema::new();
+    let n_node_types = read_u32(r)?;
+    for _ in 0..n_node_types {
+        let name = read_str(r)?;
+        s.try_add_node_type(name)
+            .map_err(|_| corrupt("too many node types"))?;
+    }
+    let n_link_types = read_u32(r)?;
+    let mut reverses = Vec::with_capacity(n_link_types as usize);
+    for _ in 0..n_link_types {
+        let name = read_str(r)?;
+        let mut ends = [0u8; 4];
+        r.read_exact(&mut ends)?;
+        s.try_add_link_type(name, NodeTypeId(ends[0]), NodeTypeId(ends[1]))
+            .map_err(|_| corrupt("bad link type"))?;
+        reverses.push(u16::from_le_bytes([ends[2], ends[3]]));
+    }
+    // Re-register reverse pairs (forward id < backward id, pairs symmetric).
+    for (i, &rev) in reverses.iter().enumerate() {
+        if rev != u16::MAX && (rev as usize) > i {
+            if reverses.get(rev as usize) != Some(&(i as u16)) {
+                return Err(corrupt("asymmetric reverse pair"));
+            }
+            s.set_reverse_pair(LinkTypeId(i as u8), LinkTypeId(rev as u8));
+        }
+    }
+    Ok(s)
+}
+
+impl ShardStore {
+    /// Writes `g` as a shard file at `path` (atomic: temp file + rename).
+    pub fn write(path: &Path, g: &HetGraph) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        write_schema(&mut w, g.schema())?;
+        let node_types = g.node_types_raw();
+        write_u64(&mut w, node_types.len() as u64)?;
+        let type_bytes: Vec<u8> = node_types.iter().map(|t| t.0).collect();
+        w.write_all(&type_bytes)?;
+        // Directory: sized now, filled with offsets computed up front.
+        let n_link_types = g.schema().num_link_types();
+        let dir_start = 4 + schema_byte_len(g.schema()) + 8 + node_types.len() as u64;
+        let mut cursor = dir_start + n_link_types as u64 * 24;
+        for t in g.schema().link_type_ids() {
+            let (offsets, targets, _) = g.csr(t).parts();
+            let seg = Segment {
+                start: cursor,
+                n_offsets: offsets.len() as u64,
+                n_edges: targets.len() as u64,
+            };
+            write_u64(&mut w, seg.start)?;
+            write_u64(&mut w, seg.n_offsets)?;
+            write_u64(&mut w, seg.n_edges)?;
+            cursor += seg.byte_len();
+        }
+        for t in g.schema().link_type_ids() {
+            let (offsets, targets, weights) = g.csr(t).parts();
+            for &x in offsets {
+                write_u32(&mut w, x)?;
+            }
+            for &x in targets {
+                write_u32(&mut w, x)?;
+            }
+            for &x in weights {
+                write_u32(&mut w, x.to_bits())?;
+            }
+        }
+        w.flush()?;
+        drop(w);
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Opens a shard file: reads schema, node types, and the directory;
+    /// leaves every adjacency segment on disk.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let schema = read_schema(&mut r)?;
+        let n_nodes = read_u64(&mut r)? as usize;
+        let mut type_bytes = vec![0u8; n_nodes];
+        r.read_exact(&mut type_bytes)?;
+        let n_types = schema.num_node_types() as u8;
+        if type_bytes.iter().any(|&t| t >= n_types) {
+            return Err(corrupt("node type out of range"));
+        }
+        let node_types = type_bytes.into_iter().map(NodeTypeId).collect();
+        let mut directory = Vec::with_capacity(schema.num_link_types());
+        for _ in 0..schema.num_link_types() {
+            directory.push(Segment {
+                start: read_u64(&mut r)?,
+                n_offsets: read_u64(&mut r)?,
+                n_edges: read_u64(&mut r)?,
+            });
+        }
+        for seg in &directory {
+            if seg.n_offsets != n_nodes as u64 + 1 {
+                return Err(corrupt("segment offsets length"));
+            }
+        }
+        Ok(ShardStore {
+            path: path.to_path_buf(),
+            schema,
+            node_types,
+            directory,
+        })
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of edges stored for one link type (directory lookup; no I/O).
+    pub fn num_links_of(&self, t: LinkTypeId) -> usize {
+        self.directory[t.0 as usize].n_edges as usize
+    }
+
+    /// On-disk byte size of one link type's segment.
+    pub fn segment_bytes(&self, t: LinkTypeId) -> u64 {
+        self.directory[t.0 as usize].byte_len()
+    }
+
+    /// Loads one link type's adjacency from its segment.
+    pub fn load_csr(&self, t: LinkTypeId) -> io::Result<Csr> {
+        let seg = self.directory[t.0 as usize];
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(seg.start))?;
+        let mut r = BufReader::new(f);
+        let offsets = read_u32_vec(&mut r, seg.n_offsets as usize)?;
+        let targets = read_u32_vec(&mut r, seg.n_edges as usize)?;
+        let weights = read_u32_vec(&mut r, seg.n_edges as usize)?
+            .into_iter()
+            .map(f32::from_bits)
+            .collect();
+        Ok(Csr::from_parts(offsets, targets, weights))
+    }
+
+    /// Loads the full graph (every segment).
+    pub fn load_graph(&self) -> io::Result<HetGraph> {
+        let types: Vec<LinkTypeId> = self.schema.link_type_ids().collect();
+        self.load_graph_with(&types)
+    }
+
+    /// Loads a graph with only the selected link types resident; the
+    /// others come back as empty adjacency (every degree 0), so walks over
+    /// unloaded types see no edges rather than panicking.
+    pub fn load_graph_with(&self, types: &[LinkTypeId]) -> io::Result<HetGraph> {
+        let n = self.num_nodes();
+        let mut adj = Vec::with_capacity(self.schema.num_link_types());
+        for t in self.schema.link_type_ids() {
+            if types.contains(&t) {
+                adj.push(self.load_csr(t)?);
+            } else {
+                adj.push(Csr::from_parts(vec![0u32; n + 1], Vec::new(), Vec::new()));
+            }
+        }
+        Ok(HetGraph::assemble(
+            self.schema.clone(),
+            self.node_types.clone(),
+            adj,
+        ))
+    }
+}
+
+fn schema_byte_len(s: &Schema) -> u64 {
+    let mut n = 4u64;
+    for t in s.node_type_ids() {
+        n += 4 + s.node_type_name(t).len() as u64;
+    }
+    n += 4;
+    for t in s.link_type_ids() {
+        n += 4 + s.link_type(t).name.len() as u64 + 4;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HetGraphBuilder;
+
+    fn toy() -> HetGraph {
+        let mut s = Schema::new();
+        let paper = s.add_node_type("paper");
+        let author = s.add_node_type("author");
+        let (writes, _) = s.add_link_type_pair("writes", "written_by", author, paper);
+        let cites = s.add_link_type("cites", paper, paper);
+        let mut b = HetGraphBuilder::new(s);
+        let papers = b.add_nodes(paper, 3);
+        let authors = b.add_nodes(author, 2);
+        b.add_link_with_reverse(writes, authors[0], papers[0], 1.0);
+        b.add_link_with_reverse(writes, authors[1], papers[2], 0.5);
+        b.add_link(cites, papers[1], papers[0], 1.0);
+        b.add_link(cites, papers[2], papers[0], 2.0);
+        b.build()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hetgraph-shard-{}-{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let g = toy();
+        let path = tmp("round-trip");
+        ShardStore::write(&path, &g).unwrap();
+        let store = ShardStore::open(&path).unwrap();
+        assert_eq!(store.num_nodes(), g.num_nodes());
+        assert_eq!(store.schema(), g.schema());
+        let h = store.load_graph().unwrap();
+        assert_eq!(h.content_fingerprint(), g.content_fingerprint());
+        assert_ne!(h.sampling_stamp(), g.sampling_stamp());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn selective_load_skips_segments() {
+        let g = toy();
+        let path = tmp("selective");
+        ShardStore::write(&path, &g).unwrap();
+        let store = ShardStore::open(&path).unwrap();
+        let cites = g.schema().link_type_by_name("cites").unwrap();
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        assert_eq!(store.num_links_of(cites), 2);
+        let h = store.load_graph_with(&[cites]).unwrap();
+        assert_eq!(h.num_links_of(cites), 2);
+        assert_eq!(h.num_links_of(writes), 0, "unloaded segment is empty");
+        assert_eq!(h.csr(cites), g.csr(cites));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(ShardStore::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

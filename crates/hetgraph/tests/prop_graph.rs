@@ -1,7 +1,7 @@
 //! Property tests for CSR construction, builder invariants, and the
 //! neighborhood sampler's structural guarantees.
 
-use hetgraph::{sample_blocks, Csr, HetGraph, HetGraphBuilder, NodeId, Schema};
+use hetgraph::{sample_blocks, BlockCache, Csr, HetGraph, HetGraphBuilder, NodeId, Schema};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -140,5 +140,83 @@ proptest! {
             prop_assert_eq!(&x.src_nodes, &y.src_nodes);
             prop_assert_eq!(&x.edges_by_type, &y.edges_by_type);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Per-link-type stamps invalidate exactly the entries whose sampled
+    /// neighborhoods consulted the relinked type. In the author-paper
+    /// world a 1-hop author neighborhood consults only `writes` and a
+    /// 1-hop paper neighborhood only `written_by`, so relinking
+    /// `written_by` must flush the paper entry, keep the author entry
+    /// warm, and the warm hit must be bitwise what a fresh sampler over
+    /// the (unchanged) `writes` adjacency would produce.
+    #[test]
+    fn per_type_stamps_invalidate_exactly_the_consulted_entries(
+        es in proptest::collection::vec((0usize..6, 0usize..9), 1..40),
+        relink in proptest::collection::vec((0usize..6, 0usize..9), 1..25),
+        seed in 0u64..1000,
+    ) {
+        let mut g = random_world(9, 6, &es);
+        let writes = g.schema().link_type_by_name("writes").unwrap();
+        let written_by = g.schema().link_type_by_name("written_by").unwrap();
+        let pt = g.schema().node_type_by_name("paper").unwrap();
+        let at = g.schema().node_type_by_name("author").unwrap();
+        let papers: Vec<NodeId> = g.nodes_of_type(pt).to_vec();
+        let authors: Vec<NodeId> = g.nodes_of_type(at).to_vec();
+        let author_seeds: Vec<NodeId> = authors.iter().take(3).copied().collect();
+        let paper_seeds: Vec<NodeId> = papers.iter().take(3).copied().collect();
+
+        let mut cache: BlockCache<ChaCha8Rng> = BlockCache::new(16);
+        // Fixed per-query RNG seeds, as a serving workload would use.
+        let a_cold = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            cache.sample(&g, &author_seeds, 1, 3, &mut rng)
+        };
+        {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A);
+            cache.sample(&g, &paper_seeds, 1, 3, &mut rng);
+        }
+        prop_assert_eq!(cache.stats(), (0, 2));
+
+        // A TE-style relink of `written_by` only: `writes` keeps its
+        // stamp, so the author entry's consulted set stays current.
+        let stamp_writes = g.link_stamp(writes);
+        let stamp_wb = g.link_stamp(written_by);
+        let new_edges: Vec<(NodeId, NodeId, f32)> = relink
+            .iter()
+            .map(|&(a, p)| (papers[p % papers.len()], authors[a % authors.len()], 1.0))
+            .collect();
+        g.try_replace_links(written_by, &new_edges).unwrap();
+        prop_assert_eq!(g.link_stamp(writes), stamp_writes);
+        prop_assert!(
+            g.link_stamp(written_by) != stamp_wb,
+            "relink must bump the relinked type's stamp"
+        );
+
+        let a_warm = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            cache.sample(&g, &author_seeds, 1, 3, &mut rng)
+        };
+        prop_assert_eq!(cache.stats(), (1, 2), "author entry must stay warm");
+        let fresh = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            sample_blocks(&g, &author_seeds, 1, 3, &mut rng)
+        };
+        for ((w, c), f) in a_warm.iter().zip(&a_cold).zip(&fresh) {
+            prop_assert_eq!(&w.src_nodes, &c.src_nodes);
+            prop_assert_eq!(&w.edges_by_type, &c.edges_by_type);
+            prop_assert_eq!(&w.src_nodes, &f.src_nodes);
+            prop_assert_eq!(&w.edges_by_type, &f.edges_by_type);
+        }
+
+        // The paper entry consulted `written_by` and must be resampled.
+        {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5A5A);
+            cache.sample(&g, &paper_seeds, 1, 3, &mut rng);
+        }
+        prop_assert_eq!(cache.stats(), (1, 3), "paper entry must be flushed");
     }
 }

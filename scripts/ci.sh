@@ -30,6 +30,10 @@
 #      than per-query tape-based predict, embedding-cache hit >= 10x
 #      faster than recompute, top-K bitwise-identical across thread
 #      counts and to the tape-based scores.
+#   8. bench_scale --ci — self-gating scale path (fast tiers only):
+#      sublinear generator memory, shard round-trip + selective load,
+#      exact per-link-type cache invalidation, pipeline speedup (waived
+#      on single-CPU hosts) and serial-vs-prefetched bitwise equality.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,11 +64,17 @@ RUSTFMT_RATCHET=(
     crates/core/tests/infer_serve.rs
     crates/core/tests/pool_equivalence.rs
     crates/core/tests/resilience.rs
+    crates/core/tests/prop_pipeline.rs
+    crates/dblp-sim/src/stream.rs
+    crates/dblp-sim/tests/prop_stream.rs
     crates/eval/src/bin/catehgn_cli.rs
     crates/hetgraph/src/error.rs
+    crates/hetgraph/src/sampling.rs
+    crates/hetgraph/src/shard.rs
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
     crates/bench/src/bin/bench_pr6.rs
+    crates/bench/src/bin/bench_scale.rs
     crates/bench/src/bin/bench_serve.rs
     crates/bench/tests/alloc_ratio.rs
     crates/lint/src/allowlist.rs
@@ -146,6 +156,16 @@ echo "== bench_pr6 (pool dispatch + lane throughput gates) =="
 # tape-based embeddings. Writes results/BENCH_SERVE.json.
 echo "== bench_serve (tape-free serving + embedding-cache gates) =="
 ./target/release/bench_serve >/dev/null
+
+# PR-8 gates, self-asserted by the bench binary (--ci runs the fast
+# 10k/100k tiers only): sublinear generator memory, HGS1 shard
+# round-trip fingerprint equality + selective-load savings, exact
+# per-link-type cache invalidation after a term relink, and pipeline
+# speedup (single-CPU hosts get a no-regression floor, recorded as
+# single_cpu_waiver) with serial-vs-prefetched fingerprints bitwise
+# equal at 1 and 4 tensor threads. Writes results/BENCH_SCALE.json.
+echo "== bench_scale --ci (streaming + shards + pipeline gates) =="
+./target/release/bench_scale --ci >/dev/null
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "== cargo test (workspace) =="
