@@ -218,8 +218,8 @@ fn main() {
     let t = Instant::now();
     ShardStore::write(&shard_path, &big.graph).expect("write shard store");
     let shard_write_secs = t.elapsed().as_secs_f64();
-    let shard_bytes = std::fs::metadata(&shard_path).map(|m| m.len()).unwrap_or(0);
     let store = ShardStore::open(&shard_path).expect("open shard store");
+    let shard_bytes = store.total_bytes();
     let t = Instant::now();
     let reloaded = store.load_graph().expect("full shard load");
     let shard_load_secs = t.elapsed().as_secs_f64();
@@ -242,7 +242,7 @@ fn main() {
     drop(partial);
     drop(reloaded);
     drop(big);
-    let _ = std::fs::remove_file(&shard_path);
+    let _ = std::fs::remove_dir_all(&shard_path);
 
     // ---- Gate 3: per-link-type stamps keep author entries warm across a
     // TE-style term relink. The pre-PR-8 whole-graph stamp invalidated

@@ -117,7 +117,9 @@ fn main() {
     for q in &queries {
         let _ = model.predict_taped(&ds.graph, &ds.features, &[*q], SEED);
     }
-    let batched_ref = eng.predict(&ds.graph, &ds.features, &queries);
+    let batched_ref = eng
+        .predict(&ds.graph, &ds.features, &queries)
+        .expect("bench request is well-formed");
 
     let taped_per_query_us = time_min_us(|| {
         for q in &queries {
@@ -126,7 +128,9 @@ fn main() {
     }) / QUERIES as f64;
 
     let engine_per_query_us = time_min_us(|| {
-        let _ = eng.predict(&ds.graph, &ds.features, &queries);
+        let _ = eng
+            .predict(&ds.graph, &ds.features, &queries)
+            .expect("bench request is well-formed");
     }) / QUERIES as f64;
 
     let no_tape_speedup = taped_per_query_us / engine_per_query_us;
@@ -153,13 +157,17 @@ fn main() {
         for i in 0..LATENCY_SAMPLES {
             let q = candidates[i % QUERIES.min(candidates.len())];
             let t = Instant::now();
-            let r = eng.recommend(&ds.graph, &ds.features, &candidates, q, TOP_K);
+            let r = eng
+                .recommend(&ds.graph, &ds.features, &candidates, q, TOP_K)
+                .expect("bench request is well-formed");
             lat.push(t.elapsed().as_nanos());
             assert_eq!(r.len(), TOP_K.min(candidates.len() - 1));
         }
         lat
     };
-    let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], TOP_K);
+    let _ = eng
+        .recommend(&ds.graph, &ds.features, &candidates, candidates[0], TOP_K)
+        .expect("bench request is well-formed");
     let mut latencies = warm(&mut eng);
     let hit_total_us: f64 = latencies.iter().map(|&n| n as f64 / 1e3).sum();
     let hit_per_query_us = hit_total_us / LATENCY_SAMPLES as f64;
@@ -173,13 +181,15 @@ fn main() {
     for i in 0..recompute_reps {
         // A cold engine per query forces the full candidate re-embed.
         let mut cold = ServeEngine::new(&model, SEED);
-        let _ = cold.recommend(
-            &ds.graph,
-            &ds.features,
-            &candidates,
-            candidates[i as usize % QUERIES],
-            TOP_K,
-        );
+        let _ = cold
+            .recommend(
+                &ds.graph,
+                &ds.features,
+                &candidates,
+                candidates[i as usize % QUERIES],
+                TOP_K,
+            )
+            .expect("bench request is well-formed");
         assert_eq!(cold.stats().cache_rebuilds, 1);
     }
     let recompute_per_query_us = t3.elapsed().as_secs_f64() * 1e6 / recompute_reps as f64;
@@ -197,7 +207,9 @@ fn main() {
     for threads in [1usize, 4] {
         par::set_num_threads(threads);
         let mut e = ServeEngine::new(&model, SEED);
-        let recs = e.recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K);
+        let recs = e
+            .recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K)
+            .expect("bench request is well-formed");
         fps.push((threads, ranking_fingerprint(&recs)));
     }
     assert_eq!(
@@ -230,7 +242,9 @@ fn main() {
         taped_recs.push(recs);
     }
     let mut e = ServeEngine::new(&model, SEED);
-    let engine_recs = e.recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K);
+    let engine_recs = e
+        .recommend_batch(&ds.graph, &ds.features, &candidates, &queries, TOP_K)
+        .expect("bench request is well-formed");
     assert_eq!(
         ranking_fingerprint(&engine_recs),
         ranking_fingerprint(&taped_recs),

@@ -58,7 +58,7 @@ pub fn adapt<R: Rng>(
         let labels = if blocks[0].dst_nodes.len() == seeds.len() {
             labels_raw
         } else {
-            let mut first = std::collections::HashMap::new();
+            let mut first = std::collections::BTreeMap::new();
             for (&n, &l) in seeds.iter().zip(labels_raw.as_slice()).rev() {
                 first.insert(n, l);
             }
@@ -71,7 +71,10 @@ pub fn adapt<R: Rng>(
         g.backward(loss);
         opt.step_clipped(&mut model.params, &mut g, Some(cfg.clip));
     }
-    IncrementalReport { adapted_on: new_papers.len(), mean_loss: total / steps.max(1) as f32 }
+    IncrementalReport {
+        adapted_on: new_papers.len(),
+        mean_loss: total / steps.max(1) as f32,
+    }
 }
 
 /// Simulates the deployment loop: papers of `year` become labeled, the
@@ -85,11 +88,16 @@ pub fn rolling_update(
     seed: u64,
 ) -> (f32, f32) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let newly_labeled: Vec<usize> =
-        (0..ds.n_papers()).filter(|&i| ds.papers[i].year == year).collect();
-    let future: Vec<usize> =
-        (0..ds.n_papers()).filter(|&i| ds.papers[i].year > year).collect();
-    assert!(!newly_labeled.is_empty() && !future.is_empty(), "year {year} splits are empty");
+    let newly_labeled: Vec<usize> = (0..ds.n_papers())
+        .filter(|&i| ds.papers[i].year == year)
+        .collect();
+    let future: Vec<usize> = (0..ds.n_papers())
+        .filter(|&i| ds.papers[i].year > year)
+        .collect();
+    assert!(
+        !newly_labeled.is_empty() && !future.is_empty(),
+        "year {year} splits are empty"
+    );
     let truth = ds.labels_of(&future);
     let eval = |m: &CateHgn| {
         let seeds = ds.paper_nodes_of(&future);
@@ -110,7 +118,11 @@ mod tests {
     fn trained_tiny() -> (CateHgn, Dataset) {
         let mut ds = Dataset::full(&WorldConfig::tiny(), 8);
         let mut model = CateHgn::new(
-            ModelConfig { mini_iters: 8, outer_iters: 3, ..ModelConfig::test_tiny() },
+            ModelConfig {
+                mini_iters: 8,
+                outer_iters: 3,
+                ..ModelConfig::test_tiny()
+            },
             ds.features.cols(),
             ds.graph.schema().num_node_types(),
             ds.graph.schema().num_link_types(),

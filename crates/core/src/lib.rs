@@ -57,9 +57,9 @@ pub use predict::{case_study, cluster_domain_agreement, CaseStudy, RankedNode};
 pub use incremental::{adapt, rolling_update, IncrementalReport};
 pub use resilience::{
     params_fingerprint, report_fingerprint, CheckpointError, CheckpointManager, Fault, FaultPlan,
-    NonFiniteSource, RecoveryPolicy, TrainError, TrainOptions, TrainState,
+    NonFiniteSource, RecoveryPolicy, ShutdownToken, TrainError, TrainOptions, TrainState,
 };
-pub use serve::{Recommendation, ServeEngine, ServeStats};
+pub use serve::{Recommendation, ServeEngine, ServeError, ServeStats};
 pub use te::TextEnhancer;
 pub use temporal::{ageing_curve, trajectory_rmse, TemporalHead, DEFAULT_HORIZON};
 pub use train::{rmse, train as train_model, train_with, TeRound, TrainReport};

@@ -29,14 +29,107 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use tensor::{Graph, Params};
 
 /// Snapshot file magic.
 const MAGIC: [u8; 4] = *b"CHGN";
-/// Snapshot format version. v3 stores the best-validation parameters as
-/// values-only [`ValueSnap`]s (no Adam moments), roughly halving the
-/// weight bytes a snapshot carries when model selection is active.
-const VERSION: u32 = 3;
+/// Snapshot format version. v4 appends the training phase (HGN mini-loop
+/// vs CA refinement) and the completed-CA-iteration count, so a run can
+/// checkpoint and resume bitwise from inside the clustering phase, not
+/// just at HGN mini-iteration boundaries.
+const VERSION: u32 = 4;
+
+// -------------------------------------------------------------------
+// Graceful shutdown.
+// -------------------------------------------------------------------
+
+/// Process-wide shutdown flag set by the signal handler. A signal handler
+/// may only perform async-signal-safe work; a relaxed store into a static
+/// atomic is exactly that.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The signal handler: records the request and returns. Everything else
+/// (checkpointing, unwinding the training loop) happens at the next safe
+/// boundary on the main thread.
+extern "C" fn record_shutdown(_signum: i32) {
+    SIGNAL_SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+/// A cooperative shutdown request, checked by `train_with` at batch and
+/// CA-iteration boundaries. When the flag is set, the loop captures one
+/// final atomic checkpoint and returns the partial report cleanly — a
+/// `kill -TERM` mid-training resumes bitwise, exactly like `halt_after`.
+///
+/// [`ShutdownToken::install`] wires the flag to SIGTERM/SIGINT;
+/// [`ShutdownToken::manual`] gives tests a private flag with no signal
+/// plumbing (and no cross-test interference through the process-global
+/// handler state).
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownToken {
+    /// `None` observes the process-global signal flag; `Some` is a
+    /// test-private flag flipped only by [`ShutdownToken::trigger`].
+    manual: Option<Arc<AtomicBool>>,
+}
+
+impl ShutdownToken {
+    /// Installs the SIGTERM/SIGINT handler (idempotent) and returns a
+    /// token observing the process-global flag. On non-unix targets the
+    /// token still works, but only [`ShutdownToken::trigger`] can set it.
+    pub fn install() -> Self {
+        #[cfg(unix)]
+        {
+            // std links libc; declare the one symbol needed rather than
+            // growing a dependency for two `signal(2)` calls.
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            let handler = record_shutdown as *const () as usize;
+            // SAFETY: `record_shutdown` is an `extern "C" fn(i32)` that
+            // only performs an atomic store — async-signal-safe by
+            // construction. `signal(2)` itself is safe to call with a
+            // valid function pointer, and replacing the disposition of
+            // SIGTERM/SIGINT cannot violate memory safety elsewhere in
+            // the process.
+            unsafe {
+                signal(SIGTERM, handler);
+                signal(SIGINT, handler);
+            }
+        }
+        ShutdownToken { manual: None }
+    }
+
+    /// A token with a private flag, for tests: [`ShutdownToken::trigger`]
+    /// is the only way to set it.
+    pub fn manual() -> Self {
+        ShutdownToken {
+            manual: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// True once shutdown has been requested (signal received or
+    /// [`ShutdownToken::trigger`] called).
+    pub fn requested(&self) -> bool {
+        match &self.manual {
+            Some(flag) => flag.load(Ordering::Relaxed),
+            None => SIGNAL_SHUTDOWN.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests shutdown programmatically (what the signal handler does).
+    pub fn trigger(&self) {
+        match &self.manual {
+            Some(flag) => flag.store(true, Ordering::Relaxed),
+            None => SIGNAL_SHUTDOWN.store(true, Ordering::Relaxed),
+        }
+    }
+}
 
 // -------------------------------------------------------------------
 // Errors.
@@ -286,6 +379,16 @@ pub struct TrainOptions {
     /// snapshot), returning the partial report — the test/CLI hook for
     /// kill-and-resume drills.
     pub halt_after_steps: Option<u64>,
+    /// Stop after the global CA iteration position reaches N (saving a
+    /// final snapshot) — the mid-clustering-phase counterpart of
+    /// `halt_after_steps`.
+    pub halt_after_ca: Option<u64>,
+    /// Cooperative shutdown flag, checked at batch and CA-iteration
+    /// boundaries. When set mid-run the loop saves one final atomic
+    /// checkpoint and returns the partial report cleanly; a later
+    /// `resume` continues bitwise. Production wires this to
+    /// SIGTERM/SIGINT via [`ShutdownToken::install`].
+    pub shutdown: Option<ShutdownToken>,
     /// Non-finite recovery policy.
     pub policy: RecoveryPolicy,
     /// Fault injection plan (empty in production).
@@ -375,6 +478,13 @@ pub struct TrainState {
     /// refuses a snapshot whose lane schedule disagrees with the live
     /// options, because the RNG stream is a function of it.
     pub data_lanes: u64,
+    /// Training phase at capture: `0` = inside round `outer`'s HGN
+    /// mini-loop (resume enters at `mini`), `1` = the round's HGN minis
+    /// and epilogue are complete and the CA refinement loop is underway
+    /// (resume enters at `ca_done`).
+    pub phase: u64,
+    /// Completed CA iterations within round `outer` when `phase == 1`.
+    pub ca_done: u64,
 }
 
 /// Captures a [`Params`] store (values + Adam moments) into snaps.
@@ -720,6 +830,8 @@ fn encode_payload(state: &TrainState) -> Vec<u8> {
     e.u64(state.graph_fingerprint);
     e.u64(state.cache_stamp);
     e.u64(state.data_lanes);
+    e.u64(state.phase);
+    e.u64(state.ca_done);
     e.buf
 }
 
@@ -786,6 +898,8 @@ fn decode_payload(buf: &[u8]) -> Result<TrainState, CheckpointError> {
     let graph_fingerprint = d.u64()?;
     let cache_stamp = d.u64()?;
     let data_lanes = d.u64()?;
+    let phase = d.u64()?;
+    let ca_done = d.u64()?;
     Ok(TrainState {
         config_json,
         outer,
@@ -812,6 +926,8 @@ fn decode_payload(buf: &[u8]) -> Result<TrainState, CheckpointError> {
         graph_fingerprint,
         cache_stamp,
         data_lanes,
+        phase,
+        ca_done,
     })
 }
 
@@ -1064,6 +1180,8 @@ mod tests {
             graph_fingerprint: 0xDEAD_BEEF,
             cache_stamp: 42,
             data_lanes: 1,
+            phase: 1,
+            ca_done: 5,
         }
     }
 
@@ -1131,6 +1249,20 @@ mod tests {
         let mut fresh2 = CheckpointManager::new(Some(path));
         assert_eq!(fresh2.load_latest().unwrap().outer, 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_shutdown_tokens_are_independent_and_sticky() {
+        let a = ShutdownToken::manual();
+        let b = ShutdownToken::manual();
+        assert!(!a.requested() && !b.requested());
+        a.trigger();
+        assert!(a.requested(), "trigger must set the flag");
+        assert!(!b.requested(), "manual tokens must not share state");
+        let a2 = a.clone();
+        assert!(a2.requested(), "clones observe the same flag");
+        a.trigger();
+        assert!(a.requested(), "the flag is sticky");
     }
 
     #[test]

@@ -19,10 +19,25 @@
 //! (a content-equal reload of the same graph keeps the cache warm), plus
 //! a feature fingerprint and the candidate list; any mismatch rebuilds
 //! before the query is answered — a stale cache is never served.
+//!
+//! ## Failure behaviour (PR 9)
+//!
+//! Every query API is fallible: malformed request data (a query outside
+//! the candidate set, non-finite features, a shape mismatch) comes back as
+//! a typed [`ServeError`], never a panic. The engine can also *own* its
+//! serving data ([`ServeEngine::install_resident`]): a shard reload that
+//! fails mid-way ([`ServeEngine::reload_resident`]) keeps the last-good
+//! graph resident and the embedding cache warm, flips the engine into
+//! degraded mode, and surfaces the failure in [`ServeStats`] — stale but
+//! internally consistent answers, clearly flagged, instead of an outage.
+//! A bounded admission queue ([`ServeEngine::submit`] /
+//! [`ServeEngine::drain`]) sheds load deterministically by rejecting the
+//! newest request with [`ServeError::Overloaded`].
 
 use crate::model::CateHgn;
 use crate::resilience::fnv1a_f32;
-use hetgraph::{HetGraph, NodeId, NodeTypeId};
+use hetgraph::{HetGraph, NodeId, NodeTypeId, ShardError, ShardStore};
+use std::fmt;
 use tensor::{InferCtx, Tensor};
 
 /// One ranked candidate.
@@ -39,6 +54,70 @@ pub fn rank_desc(a: &Recommendation, b: &Recommendation) -> std::cmp::Ordering {
     b.score.total_cmp(&a.score).then(a.node.0.cmp(&b.node.0))
 }
 
+/// A request or reload failure surfaced to the caller instead of a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// A node id in the request does not belong where the request claims
+    /// (`what` is "query", "candidate", or "seed").
+    UnknownNode { node: NodeId, what: &'static str },
+    /// The feature matrix (or cold-start row) contains NaN/Inf at `row`.
+    NonFiniteFeatures { row: usize },
+    /// A dimension in the request disagrees with the model or graph.
+    ShapeMismatch {
+        what: &'static str,
+        got: usize,
+        want: usize,
+    },
+    /// The bounded admission queue is full; the newest request is shed.
+    Overloaded { capacity: usize, submitted: usize },
+    /// A resident-data API was called before [`ServeEngine::install_resident`].
+    NoResidentGraph,
+    /// A shard reload failed; the engine keeps serving the previous graph
+    /// in degraded mode.
+    Reload(ShardError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownNode { node, what } => {
+                write!(f, "unknown {what} node id {}", node.0)
+            }
+            ServeError::NonFiniteFeatures { row } => {
+                write!(f, "non-finite feature value in row {row}")
+            }
+            ServeError::ShapeMismatch { what, got, want } => {
+                write!(f, "shape mismatch: {what} is {got}, expected {want}")
+            }
+            ServeError::Overloaded {
+                capacity,
+                submitted,
+            } => {
+                write!(
+                    f,
+                    "admission queue overloaded: capacity {capacity}, submitted {submitted}; \
+                     newest request shed"
+                )
+            }
+            ServeError::NoResidentGraph => {
+                write!(
+                    f,
+                    "no resident graph installed; call install_resident first"
+                )
+            }
+            ServeError::Reload(e) => write!(f, "shard reload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ShardError> for ServeError {
+    fn from(e: ShardError) -> Self {
+        ServeError::Reload(e)
+    }
+}
+
 /// Counters describing engine behaviour since construction.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
@@ -49,6 +128,14 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Total recommendation queries answered.
     pub queries: u64,
+    /// Typed errors returned to callers.
+    pub errors: u64,
+    /// Requests shed by the bounded admission queue.
+    pub shed: u64,
+    /// Resident-graph reloads that failed (engine went/stayed degraded).
+    pub reload_failures: u64,
+    /// Queries answered while the engine was in degraded mode.
+    pub degraded_queries: u64,
 }
 
 /// Cached last-layer embeddings for a fixed candidate set, tagged with
@@ -68,6 +155,12 @@ struct EmbeddingCache {
     emb: Tensor,
 }
 
+/// Engine-owned serving data for the degraded-mode reload path.
+struct Resident {
+    graph: HetGraph,
+    features: Tensor,
+}
+
 /// A serving engine borrowing a frozen model. The shared borrow guarantees
 /// the parameters cannot change for the engine's lifetime, so cached
 /// embeddings can only be invalidated by graph or feature churn.
@@ -79,6 +172,11 @@ pub struct ServeEngine<'m> {
     /// rebuild of unchanged data is bitwise-reproducible.
     seed: u64,
     stats: ServeStats,
+    /// Admission bound for the submit/drain queue and for one batch.
+    capacity: Option<usize>,
+    pending: Vec<NodeId>,
+    resident: Option<Resident>,
+    degraded: bool,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -89,20 +187,91 @@ impl<'m> ServeEngine<'m> {
             cache: None,
             seed,
             stats: ServeStats::default(),
+            capacity: None,
+            pending: Vec::new(),
+            resident: None,
+            degraded: false,
         }
+    }
+
+    /// An engine with a bounded admission queue: at most `capacity`
+    /// requests may be pending (or arrive in one batch); excess requests
+    /// are rejected newest-first with [`ServeError::Overloaded`].
+    pub fn with_capacity(model: &'m CateHgn, seed: u64, capacity: usize) -> Self {
+        let mut eng = Self::new(model, seed);
+        eng.capacity = Some(capacity.max(1));
+        eng
     }
 
     pub fn stats(&self) -> ServeStats {
         self.stats
     }
 
+    /// Whether the engine is serving the last-good graph after a failed
+    /// reload.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Requests waiting in the admission queue.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fail<T>(&mut self, e: ServeError) -> Result<T, ServeError> {
+        self.stats.errors += 1;
+        Err(e)
+    }
+
+    /// Validates the feature matrix against the graph and the seed/query
+    /// node ids against the node space.
+    fn validate_request(
+        graph: &HetGraph,
+        features: &Tensor,
+        nodes: &[NodeId],
+        what: &'static str,
+    ) -> Result<(), ServeError> {
+        let n = graph.num_nodes();
+        let rows = features.shape().0;
+        if rows != n {
+            return Err(ServeError::ShapeMismatch {
+                what: "feature rows",
+                got: rows,
+                want: n,
+            });
+        }
+        if let Some(&bad) = nodes.iter().find(|s| s.index() >= n) {
+            return Err(ServeError::UnknownNode { node: bad, what });
+        }
+        Ok(())
+    }
+
+    fn validate_finite(features: &Tensor) -> Result<(), ServeError> {
+        if let Some(pos) = features.as_slice().iter().position(|v| !v.is_finite()) {
+            let cols = features.shape().1.max(1);
+            return Err(ServeError::NonFiniteFeatures { row: pos / cols });
+        }
+        Ok(())
+    }
+
     /// Batched impact prediction through the tape-free context — the
     /// serving replacement for calling [`CateHgn::predict_taped`] once per
     /// incoming query. Bitwise-identical to the tape path on the same
-    /// batch.
-    pub fn predict(&mut self, graph: &HetGraph, features: &Tensor, seeds: &[NodeId]) -> Vec<f32> {
-        self.model
-            .predict_in(&mut self.ctx, graph, features, seeds, self.seed)
+    /// batch. Request data is validated; malformed input is a typed error.
+    pub fn predict(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        seeds: &[NodeId],
+    ) -> Result<Vec<f32>, ServeError> {
+        if let Err(e) = Self::validate_request(graph, features, seeds, "seed")
+            .and_then(|()| Self::validate_finite(features))
+        {
+            return self.fail(e);
+        }
+        Ok(self
+            .model
+            .predict_in(&mut self.ctx, graph, features, seeds, self.seed))
     }
 
     /// Ensures the embedding cache matches `(graph, features, candidates)`,
@@ -113,18 +282,20 @@ impl<'m> ServeEngine<'m> {
         graph: &HetGraph,
         features: &Tensor,
         candidates: &[NodeId],
-    ) -> bool {
+    ) -> Result<bool, ServeError> {
+        Self::validate_request(graph, features, candidates, "candidate")?;
+        Self::validate_finite(features)?;
         let feat_fp = fnv1a_f32(features.as_slice());
         if let Some(c) = &self.cache {
             if c.candidates == candidates && c.feat_fp == feat_fp {
                 if c.stamp == graph.sampling_stamp() {
-                    return true;
+                    return Ok(true);
                 }
                 // Stamp changed: fall back to content equality (a reload
                 // of identical data keeps the cache, a real mutation does
                 // not).
                 if c.content_fp == graph.content_fingerprint() {
-                    return true;
+                    return Ok(true);
                 }
             }
         }
@@ -143,14 +314,16 @@ impl<'m> ServeEngine<'m> {
             emb,
         });
         self.stats.cache_rebuilds += 1;
-        false
+        Ok(false)
     }
 
     /// Top-`k` candidates for each query node already present in the
     /// candidate set (transductive). Scores are dot products between
     /// cached last-layer embeddings, computed as one batched
     /// `Q x d * (n x d)^T` product through the worker pool; each query's
-    /// own row is excluded from its ranking.
+    /// own row is excluded from its ranking. A query outside the candidate
+    /// set, malformed features, or a batch beyond the admission capacity
+    /// is a typed error — nothing panics on request data.
     pub fn recommend_batch(
         &mut self,
         graph: &HetGraph,
@@ -158,8 +331,42 @@ impl<'m> ServeEngine<'m> {
         candidates: &[NodeId],
         queries: &[NodeId],
         k: usize,
-    ) -> Vec<Vec<Recommendation>> {
-        let hit = self.ensure_cache(graph, features, candidates);
+    ) -> Result<Vec<Vec<Recommendation>>, ServeError> {
+        let res = self.recommend_batch_inner(graph, features, candidates, queries, k);
+        if res.is_err() {
+            self.stats.errors += 1;
+        }
+        res
+    }
+
+    fn recommend_batch_inner(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<Vec<Recommendation>>, ServeError> {
+        if let Some(capacity) = self.capacity {
+            if queries.len() > capacity {
+                self.stats.shed += (queries.len() - capacity) as u64;
+                return Err(ServeError::Overloaded {
+                    capacity,
+                    submitted: queries.len(),
+                });
+            }
+        }
+        // Validate every query before touching the cache, so a bad batch
+        // has no side effects.
+        for q in queries {
+            if !candidates.contains(q) {
+                return Err(ServeError::UnknownNode {
+                    node: *q,
+                    what: "query",
+                });
+            }
+        }
+        let hit = self.ensure_cache(graph, features, candidates)?;
         if hit {
             self.stats.cache_hits += queries.len() as u64;
         }
@@ -175,15 +382,15 @@ impl<'m> ServeEngine<'m> {
                 .candidates
                 .iter()
                 .position(|c| c == q)
-                .expect("transductive query must be in the candidate set");
+                .expect("queries validated against the candidate set above");
             qm.set_row(r, cache.emb.row(pos));
         }
         let scores = qm.matmul_tb(&cache.emb);
-        queries
+        Ok(queries
             .iter()
             .enumerate()
             .map(|(r, q)| top_k(scores.row(r), &cache.candidates, Some(*q), k))
-            .collect()
+            .collect())
     }
 
     /// Top-`k` candidates for one in-graph query node.
@@ -194,18 +401,20 @@ impl<'m> ServeEngine<'m> {
         candidates: &[NodeId],
         query: NodeId,
         k: usize,
-    ) -> Vec<Recommendation> {
-        self.recommend_batch(graph, features, candidates, &[query], k)
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        Ok(self
+            .recommend_batch(graph, features, candidates, &[query], k)?
             .into_iter()
             .next_back()
-            .expect("one ranking per query")
+            .expect("one ranking per query"))
     }
 
     /// Inductive cold-start: a paper not yet in the graph, described only
     /// by its raw feature row and node type, is embedded through the
     /// frozen per-type encoder (`relu(x W_phi + b)`, the layer-0 path) and
     /// ranked against the cached candidate embeddings. No retraining, no
-    /// cache rebuild.
+    /// cache rebuild. A feature row of the wrong width or with non-finite
+    /// values is a typed error.
     pub fn cold_start(
         &mut self,
         graph: &HetGraph,
@@ -214,8 +423,46 @@ impl<'m> ServeEngine<'m> {
         node_type: NodeTypeId,
         feat_row: &[f32],
         k: usize,
-    ) -> Vec<Recommendation> {
-        let hit = self.ensure_cache(graph, features, candidates);
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        let res = self.cold_start_inner(graph, features, candidates, node_type, feat_row, k);
+        if res.is_err() {
+            self.stats.errors += 1;
+        }
+        res
+    }
+
+    fn cold_start_inner(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        node_type: NodeTypeId,
+        feat_row: &[f32],
+        k: usize,
+    ) -> Result<Vec<Recommendation>, ServeError> {
+        let type_count = self.model.enc.node_w.len();
+        if node_type.0 as usize >= type_count {
+            return Err(ServeError::ShapeMismatch {
+                what: "cold-start node type id",
+                got: node_type.0 as usize,
+                want: type_count,
+            });
+        }
+        let w = self
+            .model
+            .params
+            .value(self.model.enc.node_w[node_type.0 as usize]);
+        if feat_row.len() != w.shape().0 {
+            return Err(ServeError::ShapeMismatch {
+                what: "cold-start feature width",
+                got: feat_row.len(),
+                want: w.shape().0,
+            });
+        }
+        if feat_row.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::NonFiniteFeatures { row: 0 });
+        }
+        let hit = self.ensure_cache(graph, features, candidates)?;
         if hit {
             self.stats.cache_hits += 1;
         }
@@ -232,18 +479,151 @@ impl<'m> ServeEngine<'m> {
             .model
             .params
             .value(self.model.enc.node_b[node_type.0 as usize]);
-        assert_eq!(
-            feat_row.len(),
-            w.shape().0,
-            "cold-start feature width must match encoder"
-        );
         let x = Tensor::from_vec(1, feat_row.len(), feat_row.to_vec());
         let mut h0 = x.matmul(w);
         for (v, &bv) in h0.as_mut_slice().iter_mut().zip(b.as_slice()) {
             *v = (*v + bv).max(0.0);
         }
         let scores = h0.matmul_tb(&cache.emb);
-        top_k(scores.row(0), &cache.candidates, None, k)
+        Ok(top_k(scores.row(0), &cache.candidates, None, k))
+    }
+
+    // ----- bounded admission queue -------------------------------------
+
+    /// Enqueues one query. When the queue is at capacity the *newest*
+    /// request — this one — is rejected with [`ServeError::Overloaded`]
+    /// and counted as shed; already-admitted requests are never dropped.
+    pub fn submit(&mut self, query: NodeId) -> Result<(), ServeError> {
+        let capacity = self.capacity.unwrap_or(usize::MAX);
+        if self.pending.len() >= capacity {
+            self.stats.shed += 1;
+            return self.fail(ServeError::Overloaded {
+                capacity,
+                submitted: self.pending.len() + 1,
+            });
+        }
+        self.pending.push(query);
+        Ok(())
+    }
+
+    /// Answers and clears every admitted request, in admission order. On a
+    /// validation error the queue is left intact so the caller can repair
+    /// the request data and drain again.
+    pub fn drain(
+        &mut self,
+        graph: &HetGraph,
+        features: &Tensor,
+        candidates: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<(NodeId, Vec<Recommendation>)>, ServeError> {
+        let queries = std::mem::take(&mut self.pending);
+        match self.recommend_batch(graph, features, candidates, &queries, k) {
+            Ok(rankings) => Ok(queries.into_iter().zip(rankings).collect()),
+            Err(e) => {
+                self.pending = queries;
+                Err(e)
+            }
+        }
+    }
+
+    // ----- resident data & degraded-mode reload ------------------------
+
+    /// Installs engine-owned serving data (graph + features). Resident
+    /// query APIs and [`ServeEngine::reload_resident`] operate on this
+    /// copy, so a failed reload can keep the last-good generation.
+    pub fn install_resident(
+        &mut self,
+        graph: HetGraph,
+        features: Tensor,
+    ) -> Result<(), ServeError> {
+        let n = graph.num_nodes();
+        let rows = features.shape().0;
+        if rows != n {
+            return self.fail(ServeError::ShapeMismatch {
+                what: "feature rows",
+                got: rows,
+                want: n,
+            });
+        }
+        self.resident = Some(Resident { graph, features });
+        self.degraded = false;
+        Ok(())
+    }
+
+    /// The resident graph, if installed.
+    pub fn resident_graph(&self) -> Option<&HetGraph> {
+        self.resident.as_ref().map(|r| &r.graph)
+    }
+
+    /// Replaces the resident graph from a shard store. On any failure —
+    /// storage corruption or a shape that disagrees with the resident
+    /// features — the last-good graph stays installed, the embedding cache
+    /// stays warm, the engine flips to degraded mode, and the typed error
+    /// is returned; answers keep flowing, flagged via
+    /// [`ServeStats::degraded_queries`]. A successful reload clears the
+    /// degraded flag.
+    pub fn reload_resident(&mut self, store: &ShardStore) -> Result<(), ServeError> {
+        let resident_rows = match &self.resident {
+            Some(r) => r.features.shape().0,
+            None => {
+                return self.fail(ServeError::NoResidentGraph);
+            }
+        };
+        let loaded = match store.load_graph() {
+            Ok(g) => g,
+            Err(e) => {
+                self.stats.reload_failures += 1;
+                self.degraded = true;
+                return self.fail(ServeError::Reload(e));
+            }
+        };
+        if loaded.num_nodes() != resident_rows {
+            self.stats.reload_failures += 1;
+            self.degraded = true;
+            return self.fail(ServeError::ShapeMismatch {
+                what: "reloaded graph nodes",
+                got: loaded.num_nodes(),
+                want: resident_rows,
+            });
+        }
+        if let Some(r) = &mut self.resident {
+            r.graph = loaded;
+        }
+        self.degraded = false;
+        Ok(())
+    }
+
+    /// [`ServeEngine::predict`] against the resident data.
+    pub fn predict_resident(&mut self, seeds: &[NodeId]) -> Result<Vec<f32>, ServeError> {
+        let Some(res) = self.resident.take() else {
+            return self.fail(ServeError::NoResidentGraph);
+        };
+        let out = self.predict(&res.graph, &res.features, seeds);
+        self.resident = Some(res);
+        if out.is_ok() && self.degraded {
+            self.stats.degraded_queries += seeds.len() as u64;
+        }
+        out
+    }
+
+    /// [`ServeEngine::recommend_batch`] against the resident data. Answers
+    /// served while degraded are counted in
+    /// [`ServeStats::degraded_queries`].
+    pub fn recommend_batch_resident(
+        &mut self,
+        candidates: &[NodeId],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<Vec<Recommendation>>, ServeError> {
+        let Some(res) = self.resident.take() else {
+            return self.fail(ServeError::NoResidentGraph);
+        };
+        let out = self.recommend_batch(&res.graph, &res.features, candidates, queries, k);
+        self.resident = Some(res);
+        if out.is_ok() && self.degraded {
+            self.stats.degraded_queries += queries.len() as u64;
+        }
+        out
     }
 }
 
@@ -288,8 +668,12 @@ mod tests {
         let (model, ds) = setup();
         let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(20).copied().collect();
         let mut eng = ServeEngine::new(&model, 11);
-        let r1 = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
-        let r2 = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+        let r1 = eng
+            .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5)
+            .unwrap();
+        let r2 = eng
+            .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5)
+            .unwrap();
         assert_eq!(r1, r2);
         assert_eq!(r1.len(), 5);
         assert!(
@@ -307,27 +691,35 @@ mod tests {
         let (model, ds) = setup();
         let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(12).copied().collect();
         let mut eng = ServeEngine::new(&model, 3);
-        let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[1], 3);
+        let _ = eng
+            .recommend(&ds.graph, &ds.features, &candidates, candidates[1], 3)
+            .unwrap();
         assert_eq!(
             eng.stats(),
             ServeStats {
                 cache_rebuilds: 1,
                 cache_hits: 0,
-                queries: 1
+                queries: 1,
+                ..Default::default()
             }
         );
-        let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[2], 3);
+        let _ = eng
+            .recommend(&ds.graph, &ds.features, &candidates, candidates[2], 3)
+            .unwrap();
         assert_eq!(
             eng.stats(),
             ServeStats {
                 cache_rebuilds: 1,
                 cache_hits: 1,
-                queries: 2
+                queries: 2,
+                ..Default::default()
             }
         );
         // Different candidate set: rebuild.
         let fewer: Vec<NodeId> = candidates.iter().take(8).copied().collect();
-        let _ = eng.recommend(&ds.graph, &ds.features, &fewer, fewer[0], 3);
+        let _ = eng
+            .recommend(&ds.graph, &ds.features, &fewer, fewer[0], 3)
+            .unwrap();
         assert_eq!(eng.stats().cache_rebuilds, 2);
     }
 
@@ -338,28 +730,116 @@ mod tests {
         let paper_type = ds.graph.node_type(candidates[0]);
         let mut eng = ServeEngine::new(&model, 5);
         let feat_row = ds.features.row(candidates[0].index()).to_vec();
-        let recs = eng.cold_start(
-            &ds.graph,
-            &ds.features,
-            &candidates,
-            paper_type,
-            &feat_row,
-            4,
-        );
+        let recs = eng
+            .cold_start(
+                &ds.graph,
+                &ds.features,
+                &candidates,
+                paper_type,
+                &feat_row,
+                4,
+            )
+            .unwrap();
         assert_eq!(recs.len(), 4);
         assert!(recs.iter().all(|r| candidates.contains(&r.node)));
         assert!(recs.iter().all(|r| r.score.is_finite()));
         // Inductive queries never rebuild a valid cache.
         let s = eng.stats();
         assert_eq!(s.cache_rebuilds, 1);
-        let _ = eng.cold_start(
-            &ds.graph,
-            &ds.features,
-            &candidates,
-            paper_type,
-            &feat_row,
-            4,
-        );
+        let _ = eng
+            .cold_start(
+                &ds.graph,
+                &ds.features,
+                &candidates,
+                paper_type,
+                &feat_row,
+                4,
+            )
+            .unwrap();
         assert_eq!(eng.stats().cache_rebuilds, 1);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(10).copied().collect();
+        let mut eng = ServeEngine::new(&model, 9);
+        // Query outside the candidate set.
+        let outsider = ds.paper_nodes[30];
+        match eng.recommend(&ds.graph, &ds.features, &candidates, outsider, 3) {
+            Err(ServeError::UnknownNode { node, what }) => {
+                assert_eq!(node, outsider);
+                assert_eq!(what, "query");
+            }
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+        // Non-finite features.
+        let mut bad = ds.features.clone();
+        bad.as_mut_slice()[7] = f32::NAN;
+        match eng.recommend(&ds.graph, &bad, &candidates, candidates[0], 3) {
+            Err(ServeError::NonFiniteFeatures { row: 0 }) => {}
+            other => panic!("expected NonFiniteFeatures, got {other:?}"),
+        }
+        // Feature matrix for the wrong graph size.
+        let short = Tensor::zeros(3, ds.features.cols());
+        match eng.recommend(&ds.graph, &short, &candidates, candidates[0], 3) {
+            Err(ServeError::ShapeMismatch { what, .. }) => assert_eq!(what, "feature rows"),
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        // Cold-start row of the wrong width.
+        let paper_type = ds.graph.node_type(candidates[0]);
+        match eng.cold_start(&ds.graph, &ds.features, &candidates, paper_type, &[1.0], 3) {
+            Err(ServeError::ShapeMismatch { what, .. }) => {
+                assert_eq!(what, "cold-start feature width");
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert_eq!(eng.stats().errors, 4);
+        assert_eq!(eng.stats().queries, 0, "failed requests answer nothing");
+        // The engine still serves good requests afterwards.
+        let ok = eng
+            .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 3)
+            .unwrap();
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn admission_queue_sheds_newest_deterministically() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(10).copied().collect();
+        let mut eng = ServeEngine::with_capacity(&model, 4, 2);
+        eng.submit(candidates[0]).unwrap();
+        eng.submit(candidates[1]).unwrap();
+        match eng.submit(candidates[2]) {
+            Err(ServeError::Overloaded {
+                capacity: 2,
+                submitted: 3,
+            }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(eng.pending(), 2, "admitted requests are never dropped");
+        assert_eq!(eng.stats().shed, 1);
+        let answers = eng.drain(&ds.graph, &ds.features, &candidates, 3).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].0, candidates[0]);
+        assert_eq!(answers[1].0, candidates[1]);
+        assert_eq!(eng.pending(), 0);
+        // Oversized direct batches are rejected whole, counted as shed.
+        let big: Vec<NodeId> = candidates.iter().take(5).copied().collect();
+        match eng.recommend_batch(&ds.graph, &ds.features, &candidates, &big, 2) {
+            Err(ServeError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_keeps_queue_on_validation_failure() {
+        let (model, ds) = setup();
+        let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(10).copied().collect();
+        let mut eng = ServeEngine::with_capacity(&model, 4, 4);
+        eng.submit(candidates[0]).unwrap();
+        eng.submit(ds.paper_nodes[30]).unwrap(); // not in candidates
+        assert!(eng.drain(&ds.graph, &ds.features, &candidates, 3).is_err());
+        assert_eq!(eng.pending(), 2, "failed drain re-queues everything");
     }
 }

@@ -4,7 +4,7 @@
 //! (Sec. III-E2).
 
 use dblp_sim::Dataset;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use textmine::{SimBert, TfIdf, TokenId};
 
 /// The TE module state: a masked-LM oracle over the dataset vocabulary and
@@ -76,7 +76,7 @@ impl TextEnhancer {
     /// each keyword under its most similar domain name by MLM embedding.
     pub fn bootstrap_from_keywords(&mut self, ds: &Dataset) {
         let world_to_local = ds.world_to_local_terms();
-        let mut seen: HashSet<TokenId> = HashSet::new();
+        let mut seen: BTreeSet<TokenId> = BTreeSet::new();
         for p in &ds.papers {
             for w in &p.keywords {
                 if let Some(&l) = world_to_local.get(w) {
@@ -105,7 +105,7 @@ impl TextEnhancer {
     }
 
     /// The union of all cluster term sets.
-    pub fn active_terms(&self) -> HashSet<TokenId> {
+    pub fn active_terms(&self) -> BTreeSet<TokenId> {
         self.term_sets.iter().flatten().copied().collect()
     }
 
@@ -180,7 +180,7 @@ impl TextEnhancer {
                 .map(|u| impact.get(u).copied().unwrap_or(0.0))
                 .collect();
             let min = raw.iter().cloned().fold(f32::INFINITY, f32::min).min(0.0);
-            let mut votes: HashMap<TokenId, f32> = HashMap::new();
+            let mut votes: BTreeMap<TokenId, f32> = BTreeMap::new();
             for (&u, &r) in group.iter().zip(&raw) {
                 let w = r - min + 0.05;
                 // Terms keep voting for themselves with their own impact so
@@ -310,7 +310,7 @@ mod tests {
         assert!(!active.is_empty());
         // All active tokens come from keyword lists.
         let world_to_local = ds.world_to_local_terms();
-        let kw: HashSet<TokenId> = ds
+        let kw: BTreeSet<TokenId> = ds
             .papers
             .iter()
             .flat_map(|p| p.keywords.iter())

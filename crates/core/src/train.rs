@@ -98,12 +98,16 @@ struct CaPayload {
 enum Segment {
     /// All queued steps consumed; the phase position reached its bound.
     Done,
-    /// `halt_after_steps` hit — the final snapshot is already saved.
+    /// `halt_after_steps`, `halt_after_ca`, or a shutdown request hit —
+    /// the final snapshot is already saved.
     Halt,
     /// A non-finite step at the current position; the main RNG has been
     /// positioned after the failed step's draws, exactly like the serial
     /// loop at the same point.
     Failed(NonFiniteSource),
+    /// A checkpoint save inside the segment failed (CA consumer only; the
+    /// HGN consumer propagates through its `Result` directly).
+    SaveFailed(CheckpointError),
 }
 
 fn decide(
@@ -173,7 +177,10 @@ impl Lane {
     }
 }
 
-/// Captures the full training state at an HGN mini-iteration boundary.
+/// Captures the full training state at an HGN mini-iteration or CA
+/// iteration boundary. `phase` is 0 inside the HGN mini-loop and 1 inside
+/// the CA refinement loop; `ca_done` is the completed CA iterations of
+/// round `outer` (meaningful only when `phase == 1`).
 #[allow(clippy::too_many_arguments)]
 fn capture_state(
     cfg_json: &str,
@@ -191,6 +198,8 @@ fn capture_state(
     report: &TrainReport,
     ds: &dblp_sim::Dataset,
     lanes: usize,
+    phase: u64,
+    ca_done: u64,
 ) -> TrainState {
     TrainState {
         config_json: cfg_json.to_string(),
@@ -216,7 +225,16 @@ fn capture_state(
         graph_fingerprint: ds.graph.content_fingerprint(),
         cache_stamp: ds.graph.sampling_stamp(),
         data_lanes: lanes as u64,
+        phase,
+        ca_done,
     }
+}
+
+/// Where a restored snapshot re-enters the round: `Some(ca_done)` when it
+/// was captured inside the CA refinement loop (the HGN minis and epilogue
+/// of that round are already complete), `None` for an HGN-phase snapshot.
+fn resume_point(state: &TrainState) -> Option<usize> {
+    (state.phase == 1).then_some(state.ca_done as usize)
 }
 
 /// Restores a captured state into the live loop. Returns the partial-round
@@ -324,6 +342,9 @@ pub fn train_with(
     let mut best_params: Option<tensor::Params> = None;
     let (mut cur_outer, mut cur_mini): (usize, usize);
     let (mut tot, mut sup_tot): (f32, f32);
+    // `Some(ca_done)` when the next round entry must skip the (already
+    // completed) HGN minis and epilogue and continue the CA loop mid-way.
+    let mut entering_ca: Option<usize> = None;
 
     if opts.resume {
         let state = manager.load_latest()?;
@@ -366,6 +387,7 @@ pub fn train_with(
         sup_tot = s;
         cur_outer = state.outer as usize;
         cur_mini = state.mini as usize;
+        entering_ca = resume_point(&state);
     } else {
         // ---- TE initialisation (Algorithm 1, line 1) ------------------
         te = if cfg.ablation.te {
@@ -443,6 +465,8 @@ pub fn train_with(
             &report,
             ds,
             lanes,
+            if entering_ca.is_some() { 1 } else { 0 },
+            entering_ca.unwrap_or(0) as u64,
         ));
     }
 
@@ -462,6 +486,10 @@ pub fn train_with(
     let mut rolls_in_row = 0usize;
 
     'outer_loop: while cur_outer < cfg.outer_iters {
+        // A CA-phase snapshot re-enters here with `cur_mini` already at
+        // `mini_iters` (skipping the HGN loop below) and the round's
+        // epilogue guarded off; the CA loop then starts at `ca_done`.
+        let resume_ca_at = entering_ca.take();
         // ---- HGN mini-iterations (lines 3-9) --------------------------
         while cur_mini < cfg.mini_iters {
             if lanes > 1 {
@@ -582,7 +610,8 @@ pub fn train_with(
                     let due = opts
                         .checkpoint_every
                         .is_some_and(|n| n > 0 && pos / n as u64 > prev / n as u64);
-                    let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                    let halting = opts.halt_after_steps.is_some_and(|n| pos >= n)
+                        || opts.shutdown.as_ref().is_some_and(|t| t.requested());
                     if due || halting {
                         let state = capture_state(
                             &cfg_json,
@@ -600,6 +629,8 @@ pub fn train_with(
                             &report,
                             ds,
                             lanes,
+                            0,
+                            0,
                         );
                         manager.save(&state, &mut opts.faults)?;
                     }
@@ -645,6 +676,7 @@ pub fn train_with(
                         sup_tot = s;
                         cur_outer = state.outer as usize;
                         cur_mini = state.mini as usize;
+                        entering_ca = resume_point(&state);
                         report.rollbacks += 1;
                         if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
                             let scale = lr_backoff.powi(rolls_in_row as i32);
@@ -748,7 +780,8 @@ pub fn train_with(
                                 let due = opts
                                     .checkpoint_every
                                     .is_some_and(|n| n > 0 && pos.is_multiple_of(n as u64));
-                                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n)
+                                    || opts.shutdown.as_ref().is_some_and(|t| t.requested());
                                 if due || halting {
                                     let rng_now = ChaCha8Rng::from_state_words(&p.rng_words);
                                     let state = capture_state(
@@ -767,6 +800,8 @@ pub fn train_with(
                                         &report,
                                         ds_ref,
                                         lanes,
+                                        0,
+                                        0,
                                     );
                                     manager.save(&state, &mut opts.faults)?;
                                 }
@@ -787,6 +822,7 @@ pub fn train_with(
                 match seg? {
                     Segment::Done => continue,
                     Segment::Halt => return Ok(report),
+                    Segment::SaveFailed(e) => return Err(e.into()),
                     Segment::Failed(source) => {
                         skips_in_row += 1;
                         rolls_in_row += 1;
@@ -825,6 +861,7 @@ pub fn train_with(
                                 sup_tot = s;
                                 cur_outer = state.outer as usize;
                                 cur_mini = state.mini as usize;
+                                entering_ca = resume_point(&state);
                                 report.rollbacks += 1;
                                 if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
                                     let scale = lr_backoff.powi(rolls_in_row as i32);
@@ -880,7 +917,8 @@ pub fn train_with(
                 let due = opts
                     .checkpoint_every
                     .is_some_and(|n| n > 0 && pos.is_multiple_of(n as u64));
-                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n);
+                let halting = opts.halt_after_steps.is_some_and(|n| pos >= n)
+                    || opts.shutdown.as_ref().is_some_and(|t| t.requested());
                 if due || halting {
                     let state = capture_state(
                         &cfg_json,
@@ -898,6 +936,8 @@ pub fn train_with(
                         &report,
                         ds,
                         lanes,
+                        0,
+                        0,
                     );
                     manager.save(&state, &mut opts.faults)?;
                 }
@@ -944,6 +984,7 @@ pub fn train_with(
                     sup_tot = s;
                     cur_outer = state.outer as usize;
                     cur_mini = state.mini as usize;
+                    entering_ca = resume_point(&state);
                     report.rollbacks += 1;
                     if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
                         // Backoff compounds over consecutive retries of
@@ -956,19 +997,22 @@ pub fn train_with(
                 }
             }
         }
-        report.hgn_losses.push(tot / cfg.mini_iters as f32);
-        report.sup_losses.push(sup_tot / cfg.mini_iters as f32);
+        if resume_ca_at.is_none() {
+            report.hgn_losses.push(tot / cfg.mini_iters as f32);
+            report.sup_losses.push(sup_tot / cfg.mini_iters as f32);
 
-        // Warm-start the cluster centers from real node embeddings once the
-        // trunk has seen one round of supervision (CA without TE only).
-        if cur_outer == 0 && cfg.ablation.ca && te.is_none() {
-            init_centers_from_nodes(model, ds, &mut rng);
+            // Warm-start the cluster centers from real node embeddings once
+            // the trunk has seen one round of supervision (CA without TE
+            // only).
+            if cur_outer == 0 && cfg.ablation.ca && te.is_none() {
+                init_centers_from_nodes(model, ds, &mut rng);
+            }
         }
 
         // ---- CA center updates (line 10) ------------------------------
         if cfg.ablation.ca {
             let all_nodes: Vec<NodeId> = (0..ds.graph.num_nodes() as u32).map(NodeId).collect();
-            let mut ca_i = 0;
+            let mut ca_i = resume_ca_at.unwrap_or(0);
             while ca_i < cfg.ca_iters {
                 if opts.prefetch > 1 && lanes == 1 {
                     // ---- Prefetched CA segment: same producer/consumer
@@ -1036,6 +1080,42 @@ pub fn train_with(
                                     skips_in_row = 0;
                                     rolls_in_row = 0;
                                     ca_i += 1;
+                                    let ca_pos = (cur_outer * cfg.ca_iters + ca_i) as u64;
+                                    let due = opts
+                                        .checkpoint_every
+                                        .is_some_and(|n| n > 0 && ca_pos.is_multiple_of(n as u64));
+                                    let halting = opts.halt_after_ca.is_some_and(|n| ca_pos >= n)
+                                        || opts.shutdown.as_ref().is_some_and(|t| t.requested());
+                                    if due || halting {
+                                        let rng_now = ChaCha8Rng::from_state_words(&p.rng_words);
+                                        let state = capture_state(
+                                            &cfg_json,
+                                            cur_outer,
+                                            cur_mini,
+                                            tot,
+                                            sup_tot,
+                                            model,
+                                            &opt,
+                                            &ca_opt,
+                                            &rng_now,
+                                            best_val,
+                                            &best_params,
+                                            &te,
+                                            &report,
+                                            ds_ref,
+                                            lanes,
+                                            1,
+                                            ca_i as u64,
+                                        );
+                                        if let Err(e) = manager.save(&state, &mut opts.faults) {
+                                            rx.stop();
+                                            return Segment::SaveFailed(e);
+                                        }
+                                    }
+                                    if halting {
+                                        rx.stop();
+                                        return Segment::Halt;
+                                    }
                                     continue;
                                 };
                                 rx.stop();
@@ -1049,6 +1129,7 @@ pub fn train_with(
                     match seg {
                         Segment::Done => continue,
                         Segment::Halt => return Ok(report),
+                        Segment::SaveFailed(e) => return Err(e.into()),
                         Segment::Failed(source) => {
                             skips_in_row += 1;
                             rolls_in_row += 1;
@@ -1086,6 +1167,7 @@ pub fn train_with(
                                     sup_tot = s;
                                     cur_outer = state.outer as usize;
                                     cur_mini = state.mini as usize;
+                                    entering_ca = resume_point(&state);
                                     report.rollbacks += 1;
                                     if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy
                                     {
@@ -1130,6 +1212,37 @@ pub fn train_with(
                     skips_in_row = 0;
                     rolls_in_row = 0;
                     ca_i += 1;
+                    let ca_pos = (cur_outer * cfg.ca_iters + ca_i) as u64;
+                    let due = opts
+                        .checkpoint_every
+                        .is_some_and(|n| n > 0 && ca_pos.is_multiple_of(n as u64));
+                    let halting = opts.halt_after_ca.is_some_and(|n| ca_pos >= n)
+                        || opts.shutdown.as_ref().is_some_and(|t| t.requested());
+                    if due || halting {
+                        let state = capture_state(
+                            &cfg_json,
+                            cur_outer,
+                            cur_mini,
+                            tot,
+                            sup_tot,
+                            model,
+                            &opt,
+                            &ca_opt,
+                            &rng,
+                            best_val,
+                            &best_params,
+                            &te,
+                            &report,
+                            ds,
+                            lanes,
+                            1,
+                            ca_i as u64,
+                        );
+                        manager.save(&state, &mut opts.faults)?;
+                    }
+                    if halting {
+                        return Ok(report);
+                    }
                     continue;
                 };
                 skips_in_row += 1;
@@ -1167,6 +1280,7 @@ pub fn train_with(
                         sup_tot = s;
                         cur_outer = state.outer as usize;
                         cur_mini = state.mini as usize;
+                        entering_ca = resume_point(&state);
                         report.rollbacks += 1;
                         if let RecoveryPolicy::Rollback { lr_backoff, .. } = opts.policy {
                             let scale = lr_backoff.powi(rolls_in_row as i32);

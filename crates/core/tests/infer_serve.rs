@@ -5,9 +5,9 @@
 
 use catehgn::config::ModelConfig;
 use catehgn::model::CateHgn;
-use catehgn::serve::ServeEngine;
+use catehgn::serve::{ServeEngine, ServeError};
 use dblp_sim::{Dataset, WorldConfig};
-use hetgraph::NodeId;
+use hetgraph::{NodeId, ShardStore};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -105,9 +105,13 @@ fn graph_mutation_invalidates_cache_and_stale_is_never_served() {
     let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(12).copied().collect();
     let mut eng = ServeEngine::new(model, 23);
 
-    let before = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    let before = eng
+        .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5)
+        .unwrap();
     assert_eq!(eng.stats().cache_rebuilds, 1);
-    let _ = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[1], 5);
+    let _ = eng
+        .recommend(&ds.graph, &ds.features, &candidates, candidates[1], 5)
+        .unwrap();
     assert_eq!(
         eng.stats().cache_rebuilds,
         1,
@@ -121,7 +125,9 @@ fn graph_mutation_invalidates_cache_and_stale_is_never_served() {
     ds.graph.replace_links(ds.link_types.contained_in, &[]);
     assert_ne!(ds.graph.sampling_stamp(), stamp_before);
 
-    let after = eng.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    let after = eng
+        .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5)
+        .unwrap();
     assert_eq!(
         eng.stats().cache_rebuilds,
         2,
@@ -131,7 +137,9 @@ fn graph_mutation_invalidates_cache_and_stale_is_never_served() {
     // The answer must equal what a cold engine computes on the mutated
     // graph — i.e. the stale cache contributed nothing.
     let mut cold = ServeEngine::new(model, 23);
-    let fresh = cold.recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5);
+    let fresh = cold
+        .recommend(&ds.graph, &ds.features, &candidates, candidates[0], 5)
+        .unwrap();
     assert_eq!(
         after, fresh,
         "post-mutation answer must come from fresh embeddings"
@@ -160,13 +168,104 @@ fn content_equal_graph_reload_keeps_cache_warm() {
 
     let candidates: Vec<NodeId> = ds1.paper_nodes.iter().take(10).copied().collect();
     let mut eng = ServeEngine::new(model, 29);
-    let r1 = eng.recommend(&ds1.graph, &ds1.features, &candidates, candidates[0], 4);
+    let r1 = eng
+        .recommend(&ds1.graph, &ds1.features, &candidates, candidates[0], 4)
+        .unwrap();
     assert_eq!(eng.stats().cache_rebuilds, 1);
-    let r2 = eng.recommend(&ds2.graph, &ds2.features, &candidates, candidates[0], 4);
+    let r2 = eng
+        .recommend(&ds2.graph, &ds2.features, &candidates, candidates[0], 4)
+        .unwrap();
     assert_eq!(
         eng.stats().cache_rebuilds,
         1,
         "content-equal reload must revalidate, not rebuild"
     );
     assert_eq!(r1, r2);
+}
+
+/// A scratch shard directory under the OS temp dir, cleaned before use.
+fn shard_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("catehgn-infer-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// The cache-degradation gate: after a failed shard reload the engine
+/// keeps answering from the last-good resident graph and warm cache, but
+/// every such answer is flagged — stale embeddings are never served
+/// without the degraded marker.
+#[test]
+fn failed_reload_serves_last_good_graph_flagged_degraded() {
+    let (model, _) = fixture();
+    let ds = owned_dataset();
+    let candidates: Vec<NodeId> = ds.paper_nodes.iter().take(12).copied().collect();
+    let dir = shard_dir("degraded");
+    ShardStore::write(&dir, &ds.graph).unwrap();
+    let store = ShardStore::open(&dir).unwrap();
+
+    let mut eng = ServeEngine::new(model, 31);
+    eng.install_resident(ds.graph.clone(), ds.features.clone())
+        .unwrap();
+    let healthy = eng
+        .recommend_batch_resident(&candidates, &candidates[..2], 4)
+        .unwrap();
+    assert!(!eng.degraded());
+    assert_eq!(eng.stats().degraded_queries, 0);
+    let rebuilds = eng.stats().cache_rebuilds;
+
+    // Corrupt one on-disk segment; the next reload must fail typed.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            let n = p.file_name().unwrap().to_string_lossy().into_owned();
+            n.starts_with("seg-") && n.ends_with(".hgs")
+        })
+        .unwrap();
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&seg, bytes).unwrap();
+
+    match eng.reload_resident(&store) {
+        Err(ServeError::Reload(_)) => {}
+        other => panic!("expected Reload error, got {other:?}"),
+    }
+    assert!(eng.degraded(), "failed reload must flip the degraded flag");
+    assert_eq!(eng.stats().reload_failures, 1);
+
+    // Still serving: identical answers from the warm cache, but flagged.
+    let stale = eng
+        .recommend_batch_resident(&candidates, &candidates[..2], 4)
+        .unwrap();
+    assert_eq!(
+        stale, healthy,
+        "degraded answers come from the last-good graph"
+    );
+    assert_eq!(
+        eng.stats().cache_rebuilds,
+        rebuilds,
+        "degraded serving must not discard the warm cache"
+    );
+    assert_eq!(
+        eng.stats().degraded_queries,
+        2,
+        "every degraded answer is counted"
+    );
+
+    // Repair the shard; a successful reload clears the flag.
+    store.repair(&ds.graph).unwrap();
+    eng.reload_resident(&store).unwrap();
+    assert!(!eng.degraded());
+    let fresh = eng
+        .recommend_batch_resident(&candidates, &candidates[..2], 4)
+        .unwrap();
+    assert_eq!(fresh, healthy, "repaired reload serves identical content");
+    assert_eq!(
+        eng.stats().degraded_queries,
+        2,
+        "healthy answers are unflagged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

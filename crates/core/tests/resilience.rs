@@ -120,6 +120,158 @@ proptest! {
     }
 }
 
+/// Kill the run inside the CA refinement phase (positions 1..=4 with
+/// test_tiny's 2 outer x 2 CA iterations), resume in a fresh "process",
+/// and land bitwise on the uninterrupted run. CA-phase snapshots carry
+/// `phase = 1`, so resume must skip the already-finished HGN minis and
+/// the round epilogue and re-enter the CA loop mid-way.
+#[test]
+fn ca_phase_resume_reproduces_uninterrupted_run_bitwise() {
+    let cfg = tiny_cfg();
+    let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+    let _guard = THREADS.lock().unwrap();
+    par::set_num_threads(1);
+    let reference = run_uninterrupted(&cfg, &pristine);
+    for halt_ca in 1..=(cfg.outer_iters * cfg.ca_iters) as u64 {
+        let path = ckpt_path(&format!("ca-bitwise-{halt_ca}"));
+        {
+            let (mut model, mut ds) = build(&cfg, &pristine);
+            let mut opts = TrainOptions {
+                checkpoint_path: Some(path.clone()),
+                halt_after_ca: Some(halt_ca),
+                ..TrainOptions::default()
+            };
+            train_with(&mut model, &mut ds, &mut opts).unwrap();
+        }
+        let (mut model, mut ds) = build(&cfg, &pristine);
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            resume: true,
+            ..TrainOptions::default()
+        };
+        let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+        cleanup(&path);
+        assert_eq!(
+            reference,
+            (
+                params_fingerprint(&model.params),
+                report_fingerprint(&report),
+                report
+            ),
+            "halt after CA position {halt_ca} diverged"
+        );
+    }
+    par::set_num_threads(0);
+}
+
+/// The CA prefetch pipeline honours CA-phase halts the same way the
+/// serial loop does: halt inside the prefetched CA segment, resume a
+/// prefetched run, land bitwise on the uninterrupted prefetched run.
+#[test]
+fn ca_phase_resume_is_bitwise_under_prefetch() {
+    let cfg = tiny_cfg();
+    let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+    let _guard = THREADS.lock().unwrap();
+    par::set_num_threads(1);
+    let reference = run_uninterrupted(&cfg, &pristine);
+    let path = ckpt_path("ca-prefetch");
+    {
+        let (mut model, mut ds) = build(&cfg, &pristine);
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            halt_after_ca: Some(3),
+            prefetch: 2,
+            ..TrainOptions::default()
+        };
+        train_with(&mut model, &mut ds, &mut opts).unwrap();
+    }
+    let (mut model, mut ds) = build(&cfg, &pristine);
+    let mut opts = TrainOptions {
+        checkpoint_path: Some(path.clone()),
+        resume: true,
+        prefetch: 2,
+        ..TrainOptions::default()
+    };
+    let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+    cleanup(&path);
+    assert_eq!(
+        reference,
+        (
+            params_fingerprint(&model.params),
+            report_fingerprint(&report),
+            report
+        ),
+        "prefetched CA halt/resume diverged"
+    );
+    par::set_num_threads(0);
+}
+
+/// Graceful shutdown is a first-class halt: a requested shutdown lands
+/// one final atomic checkpoint at the next step boundary and returns the
+/// partial report cleanly; chained interrupted resumes still finish
+/// bitwise-identical to the uninterrupted run.
+#[test]
+fn shutdown_request_checkpoints_and_resumes_bitwise() {
+    let cfg = tiny_cfg();
+    let pristine = Dataset::full(&WorldConfig::tiny(), 8);
+    let _guard = THREADS.lock().unwrap();
+    par::set_num_threads(1);
+    let reference = run_uninterrupted(&cfg, &pristine);
+    let path = ckpt_path("shutdown");
+
+    // "Process" 1: shutdown already requested when training starts — the
+    // first completed step observes it, snapshots, and returns.
+    {
+        let (mut model, mut ds) = build(&cfg, &pristine);
+        let token = catehgn::ShutdownToken::manual();
+        token.trigger();
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            shutdown: Some(token),
+            ..TrainOptions::default()
+        };
+        let partial = train_with(&mut model, &mut ds, &mut opts).unwrap();
+        assert!(
+            partial.hgn_losses.is_empty(),
+            "shutdown at step 1 must return before any round completes"
+        );
+    }
+    // "Process" 2: resume under another immediate shutdown — one more
+    // step, one more snapshot, another clean partial return.
+    {
+        let (mut model, mut ds) = build(&cfg, &pristine);
+        let token = catehgn::ShutdownToken::manual();
+        token.trigger();
+        let mut opts = TrainOptions {
+            checkpoint_path: Some(path.clone()),
+            resume: true,
+            shutdown: Some(token),
+            ..TrainOptions::default()
+        };
+        train_with(&mut model, &mut ds, &mut opts).unwrap();
+    }
+    // "Process" 3: resume with an un-triggered token and run to the end.
+    let (mut model, mut ds) = build(&cfg, &pristine);
+    let mut opts = TrainOptions {
+        checkpoint_path: Some(path.clone()),
+        resume: true,
+        shutdown: Some(catehgn::ShutdownToken::manual()),
+        ..TrainOptions::default()
+    };
+    let report = train_with(&mut model, &mut ds, &mut opts).unwrap();
+    cleanup(&path);
+    assert_eq!(
+        reference,
+        (
+            params_fingerprint(&model.params),
+            report_fingerprint(&report),
+            report
+        ),
+        "twice-interrupted run must land bitwise on the uninterrupted run"
+    );
+    par::set_num_threads(0);
+}
+
 #[test]
 fn checkpointing_is_observationally_free_on_clean_runs() {
     let cfg = tiny_cfg();

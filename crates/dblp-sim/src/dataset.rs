@@ -18,7 +18,11 @@ pub enum DatasetError {
     /// Graph/schema construction rejected a node or link.
     Graph(GraphError),
     /// A paper referenced an entity (author/venue/term) with no local slot.
-    MissingEntity { kind: &'static str, world_idx: usize, paper: usize },
+    MissingEntity {
+        kind: &'static str,
+        world_idx: usize,
+        paper: usize,
+    },
 }
 
 impl From<GraphError> for DatasetError {
@@ -31,8 +35,15 @@ impl std::fmt::Display for DatasetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DatasetError::Graph(e) => write!(f, "graph construction failed: {e}"),
-            DatasetError::MissingEntity { kind, world_idx, paper } => {
-                write!(f, "paper {paper} references {kind} {world_idx} with no local slot")
+            DatasetError::MissingEntity {
+                kind,
+                world_idx,
+                paper,
+            } => {
+                write!(
+                    f,
+                    "paper {paper} references {kind} {world_idx} with no local slot"
+                )
             }
         }
     }
@@ -87,7 +98,10 @@ impl ScaleOptions {
     /// Preset for million-paper worlds: windowed citation pools and a
     /// capped embedding corpus.
     pub fn at_scale() -> Self {
-        ScaleOptions { cite_window: Some(4096), embed_doc_cap: Some(20_000) }
+        ScaleOptions {
+            cite_window: Some(4096),
+            embed_doc_cap: Some(20_000),
+        }
     }
 }
 
@@ -147,7 +161,13 @@ impl Dataset {
     pub fn try_full(cfg: &WorldConfig, feat_dim: usize) -> Result<Self, DatasetError> {
         let world = LatentWorld::generate(cfg);
         let corpus = Corpus::generate(&world);
-        try_assemble("DBLP-full", world, corpus.papers, feat_dim, &ScaleOptions::default())
+        try_assemble(
+            "DBLP-full",
+            world,
+            corpus.papers,
+            feat_dim,
+            &ScaleOptions::default(),
+        )
     }
 
     /// Builds a dataset through the streaming generator and the two-phase
@@ -207,7 +227,13 @@ impl Dataset {
                 selected.push(q);
             }
         }
-        try_assemble("DBLP-single", world, selected, feat_dim, &ScaleOptions::default())
+        try_assemble(
+            "DBLP-single",
+            world,
+            selected,
+            feat_dim,
+            &ScaleOptions::default(),
+        )
     }
 
     /// Builds the DBLP-random analogue: identical to `full` except that the
@@ -258,7 +284,8 @@ impl Dataset {
     /// # Panics
     /// See [`Dataset::try_rebuild_term_links`].
     pub fn rebuild_term_links(&mut self) {
-        self.try_rebuild_term_links().unwrap_or_else(|e| panic!("{e}"))
+        self.try_rebuild_term_links()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible form of [`Dataset::rebuild_term_links`].
@@ -289,14 +316,20 @@ impl Dataset {
                 contained_in.push((tn, pn, w));
             }
         }
-        self.graph.try_replace_links(self.link_types.contains, &contains)?;
-        self.graph.try_replace_links(self.link_types.contained_in, &contained_in)?;
+        self.graph
+            .try_replace_links(self.link_types.contains, &contains)?;
+        self.graph
+            .try_replace_links(self.link_types.contained_in, &contained_in)?;
         Ok(())
     }
 
     /// Map from world term index to local term slot.
-    pub fn world_to_local_terms(&self) -> std::collections::HashMap<usize, usize> {
-        self.term_world_idx.iter().enumerate().map(|(l, &w)| (w, l)).collect()
+    pub fn world_to_local_terms(&self) -> std::collections::BTreeMap<usize, usize> {
+        self.term_world_idx
+            .iter()
+            .enumerate()
+            .map(|(l, &w)| (w, l))
+            .collect()
     }
 
     /// Number of papers.
@@ -323,15 +356,27 @@ pub fn publication_schema() -> (Schema, NodeTypes, LinkTypes) {
     let venue = s.add_node_type("venue");
     let term = s.add_node_type("term");
     let (writes, written_by) = s.add_link_type_pair("writes", "written_by", author, paper);
-    let (publishes, published_in) =
-        s.add_link_type_pair("publishes", "published_in", venue, paper);
+    let (publishes, published_in) = s.add_link_type_pair("publishes", "published_in", venue, paper);
     let (contains, contained_in) = s.add_link_type_pair("contains", "contained_in", paper, term);
     // One direction only, to avoid label leakage (Sec. III-A).
     let cites = s.add_link_type("cites", paper, paper);
     (
         s,
-        NodeTypes { paper, author, venue, term },
-        LinkTypes { writes, written_by, publishes, published_in, contains, contained_in, cites },
+        NodeTypes {
+            paper,
+            author,
+            venue,
+            term,
+        },
+        LinkTypes {
+            writes,
+            written_by,
+            publishes,
+            published_in,
+            contains,
+            contained_in,
+            cites,
+        },
     )
 }
 
@@ -344,7 +389,11 @@ fn local_slot(
 ) -> Result<usize, DatasetError> {
     match table.get(world_idx) {
         Some(&l) if l != u32::MAX => Ok(l as usize),
-        _ => Err(DatasetError::MissingEntity { kind, world_idx, paper }),
+        _ => Err(DatasetError::MissingEntity {
+            kind,
+            world_idx,
+            paper,
+        }),
     }
 }
 
@@ -425,13 +474,22 @@ fn try_assemble(
     let node_range = |first: NodeId, count: usize| -> Vec<NodeId> {
         (0..count as u32).map(|i| NodeId(first.0 + i)).collect()
     };
-    let paper_nodes = node_range(b.add_node_range(node_types.paper, papers.len())?, papers.len());
-    let author_nodes =
-        node_range(b.add_node_range(node_types.author, used_authors.len())?, used_authors.len());
-    let venue_nodes =
-        node_range(b.add_node_range(node_types.venue, used_venues.len())?, used_venues.len());
-    let term_nodes =
-        node_range(b.add_node_range(node_types.term, used_terms.len())?, used_terms.len());
+    let paper_nodes = node_range(
+        b.add_node_range(node_types.paper, papers.len())?,
+        papers.len(),
+    );
+    let author_nodes = node_range(
+        b.add_node_range(node_types.author, used_authors.len())?,
+        used_authors.len(),
+    );
+    let venue_nodes = node_range(
+        b.add_node_range(node_types.venue, used_venues.len())?,
+        used_venues.len(),
+    );
+    let term_nodes = node_range(
+        b.add_node_range(node_types.term, used_terms.len())?,
+        used_terms.len(),
+    );
 
     for (i, p) in papers.iter().enumerate() {
         for &a in &p.authors {
@@ -444,7 +502,11 @@ fn try_assemble(
         b.count_link(link_types.published_in, paper_nodes[i]);
         for &c in &p.cites {
             if c >= papers.len() {
-                return Err(DatasetError::MissingEntity { kind: "paper", world_idx: c, paper: i });
+                return Err(DatasetError::MissingEntity {
+                    kind: "paper",
+                    world_idx: c,
+                    paper: i,
+                });
             }
             b.count_link(link_types.cites, paper_nodes[i]);
         }
@@ -458,7 +520,12 @@ fn try_assemble(
         }
         let vl = venue_local[p.venue] as usize;
         b.fill_link(link_types.publishes, venue_nodes[vl], paper_nodes[i], 1.0);
-        b.fill_link(link_types.published_in, paper_nodes[i], venue_nodes[vl], 1.0);
+        b.fill_link(
+            link_types.published_in,
+            paper_nodes[i],
+            venue_nodes[vl],
+            1.0,
+        );
         for &c in &p.cites {
             b.fill_link(link_types.cites, paper_nodes[i], paper_nodes[c], 1.0);
         }
@@ -520,7 +587,11 @@ fn try_assemble(
     for (l, toks) in author_tokens.iter().enumerate() {
         let mut row = word_embeddings.aggregate(toks);
         let (sum, n) = author_hist[l];
-        row.push(if n > 0 { rate_feature(sum / n as f32) } else { 0.0 });
+        row.push(if n > 0 {
+            rate_feature(sum / n as f32)
+        } else {
+            0.0
+        });
         features.set_row(author_nodes[l].index(), &row);
     }
     // Venues: aggregate over their papers' titles.
@@ -531,7 +602,11 @@ fn try_assemble(
     for (l, toks) in venue_tokens.iter().enumerate() {
         let mut row = word_embeddings.aggregate(toks);
         let (sum, n) = venue_hist[l];
-        row.push(if n > 0 { rate_feature(sum / n as f32) } else { 0.0 });
+        row.push(if n > 0 {
+            rate_feature(sum / n as f32)
+        } else {
+            0.0
+        });
         features.set_row(venue_nodes[l].index(), &row);
     }
     // Terms: their own word embedding (historical-rate slot stays zero).
@@ -593,7 +668,9 @@ mod tests {
         assert_eq!(ds.paper_nodes.len(), ds.n_papers());
         assert_eq!(
             ds.graph.num_nodes(),
-            ds.paper_nodes.len() + ds.author_nodes.len() + ds.venue_nodes.len()
+            ds.paper_nodes.len()
+                + ds.author_nodes.len()
+                + ds.venue_nodes.len()
                 + ds.term_nodes.len()
         );
         assert_eq!(ds.features.rows(), ds.graph.num_nodes());
@@ -605,15 +682,24 @@ mod tests {
         let ds = Dataset::try_full(&WorldConfig::tiny(), 16).expect("tiny corpus assembles");
         let reference = tiny();
         assert_eq!(ds.n_papers(), reference.n_papers());
-        assert_eq!(ds.graph.content_fingerprint(), reference.graph.content_fingerprint());
+        assert_eq!(
+            ds.graph.content_fingerprint(),
+            reference.graph.content_fingerprint()
+        );
     }
 
     #[test]
     fn dataset_error_display_names_the_culprit() {
-        let e = DatasetError::MissingEntity { kind: "venue", world_idx: 7, paper: 3 };
-        assert_eq!(e.to_string(), "paper 3 references venue 7 with no local slot");
-        let g: DatasetError =
-            hetgraph::GraphError::TooManyNodes.into();
+        let e = DatasetError::MissingEntity {
+            kind: "venue",
+            world_idx: 7,
+            paper: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "paper 3 references venue 7 with no local slot"
+        );
+        let g: DatasetError = hetgraph::GraphError::TooManyNodes.into();
         assert!(g.to_string().contains("too many nodes"));
     }
 
@@ -697,9 +783,12 @@ mod tests {
     fn streamed_default_matches_full_bitwise() {
         let cfg = WorldConfig::tiny();
         let full = Dataset::full(&cfg, 16);
-        let streamed = Dataset::try_streamed(&cfg, 16, &ScaleOptions::default())
-            .expect("tiny streamed build");
-        assert_eq!(streamed.graph.content_fingerprint(), full.graph.content_fingerprint());
+        let streamed =
+            Dataset::try_streamed(&cfg, 16, &ScaleOptions::default()).expect("tiny streamed build");
+        assert_eq!(
+            streamed.graph.content_fingerprint(),
+            full.graph.content_fingerprint()
+        );
         assert_eq!(streamed.docs, full.docs);
         assert_eq!(streamed.labels, full.labels);
         assert_eq!(streamed.term_world_idx, full.term_world_idx);
@@ -715,7 +804,10 @@ mod tests {
     #[test]
     fn streamed_at_scale_is_deterministic_and_consistent() {
         let cfg = WorldConfig::tiny();
-        let opts = ScaleOptions { cite_window: Some(32), embed_doc_cap: Some(50) };
+        let opts = ScaleOptions {
+            cite_window: Some(32),
+            embed_doc_cap: Some(50),
+        };
         let a = Dataset::try_streamed(&cfg, 16, &opts).expect("windowed build");
         let b = Dataset::try_streamed(&cfg, 16, &opts).expect("windowed build");
         assert_eq!(a.graph.content_fingerprint(), b.graph.content_fingerprint());

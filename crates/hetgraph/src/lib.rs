@@ -37,5 +37,8 @@ pub use error::{Endpoint, GraphError};
 pub use graph::{Csr, HetGraph, HetGraphBuilder, NodeId, StreamGraphBuilder};
 pub use sampling::{sample_blocks, sample_blocks_traced, Block, BlockCache, BlockEdge};
 pub use schema::{LinkTypeId, LinkTypeDef, NodeTypeId, Schema};
-pub use shard::ShardStore;
+pub use shard::{
+    FaultyIo, FsIo, IoFault, RepairReport, RetryPolicy, SegmentHealth, SegmentReport, ShardError,
+    ShardIo, ShardStore,
+};
 pub use walks::{corpus_metapath_walks, metapath_walk, uniform_typed_walk, MetaPath};

@@ -184,8 +184,9 @@ pub(crate) fn concat_cols(pool: &mut BufferPool, a: &Tensor, b: &Tensor) -> Tens
     assert_eq!(n, nb, "concat_cols row mismatch");
     let mut out = pool.tensor_raw(n, ma + mb);
     for r in 0..n {
-        out.row_mut(r)[..ma].copy_from_slice(a.row(r));
-        out.row_mut(r)[ma..].copy_from_slice(b.row(r));
+        let (left, right) = out.row_mut(r).split_at_mut(ma);
+        left.copy_from_slice(a.row(r));
+        right.copy_from_slice(b.row(r));
     }
     out
 }
@@ -196,8 +197,9 @@ pub(crate) fn concat_rows(pool: &mut BufferPool, a: &Tensor, b: &Tensor) -> Tens
     let (nb, mb) = b.shape();
     assert_eq!(m, mb, "concat_rows col mismatch");
     let mut out = pool.tensor_raw(na + nb, m);
-    out.as_mut_slice()[..na * m].copy_from_slice(a.as_slice());
-    out.as_mut_slice()[na * m..].copy_from_slice(b.as_slice());
+    let (top, bottom) = out.as_mut_slice().split_at_mut(na * m);
+    top.copy_from_slice(a.as_slice());
+    bottom.copy_from_slice(b.as_slice());
     out
 }
 

@@ -981,14 +981,14 @@ pub mod reference {
         let (n, k, m) = (a.rows(), a.cols(), b.cols());
         let (ad, bd) = (a.as_slice(), b.as_slice());
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &ad[i * k..(i + 1) * k];
-            let o_row = &mut out[i * m..(i + 1) * m];
-            for (p, &av) in a_row.iter().enumerate() {
+        for (a_row, o_row) in ad
+            .chunks_exact(k.max(1))
+            .zip(out.chunks_exact_mut(m.max(1)))
+        {
+            for (&av, b_row) in a_row.iter().zip(bd.chunks_exact(m.max(1))) {
                 if av == 0.0 {
                     continue;
                 }
-                let b_row = &bd[p * m..(p + 1) * m];
                 for (o, &bv) in o_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
@@ -1003,14 +1003,15 @@ pub mod reference {
         let (n, k, m) = (a.rows(), a.cols(), b.rows());
         let (ad, bd) = (a.as_slice(), b.as_slice());
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &ad[i * k..(i + 1) * k];
-            for j in 0..m {
-                let b_row = &bd[j * k..(j + 1) * k];
+        for (a_row, o_row) in ad
+            .chunks_exact(k.max(1))
+            .zip(out.chunks_exact_mut(m.max(1)))
+        {
+            for (o, b_row) in o_row.iter_mut().zip(bd.chunks_exact(k.max(1))) {
                 // Explicit fold from +0.0: `Iterator::sum` starts at -0.0,
                 // which diverges bitwise from the blocked kernels on empty
                 // and all-negative-zero reductions.
-                out[i * m + j] = a_row
+                *o = a_row
                     .iter()
                     .zip(b_row)
                     .fold(0.0, |acc, (&x, &y)| acc + x * y);
@@ -1025,14 +1026,15 @@ pub mod reference {
         let (n, k, m) = (a.cols(), a.rows(), b.cols());
         let (ad, bd) = (a.as_slice(), b.as_slice());
         let mut out = vec![0.0f32; n * m];
-        for p in 0..k {
-            let a_row = &ad[p * n..(p + 1) * n];
-            let b_row = &bd[p * m..(p + 1) * m];
-            for (i, &av) in a_row.iter().enumerate() {
+        for (a_row, b_row) in ad
+            .chunks_exact(n.max(1))
+            .zip(bd.chunks_exact(m.max(1)))
+            .take(k)
+        {
+            for (&av, o_row) in a_row.iter().zip(out.chunks_exact_mut(m.max(1))) {
                 if av == 0.0 {
                     continue;
                 }
-                let o_row = &mut out[i * m..(i + 1) * m];
                 for (o, &bv) in o_row.iter_mut().zip(b_row) {
                     *o += av * bv;
                 }
@@ -1051,18 +1053,16 @@ pub mod reference {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let quads = a.len() / 4;
+    let mut ca4 = a.chunks_exact(4);
+    let mut cb4 = b.chunks_exact(4);
     let mut acc = [0.0f32; 4];
-    for (ca, cb) in a[..quads * 4]
-        .chunks_exact(4)
-        .zip(b[..quads * 4].chunks_exact(4))
-    {
+    for (ca, cb) in ca4.by_ref().zip(cb4.by_ref()) {
         for q in 0..4 {
             acc[q] += ca[q] * cb[q];
         }
     }
     let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for (x, y) in a[quads * 4..].iter().zip(&b[quads * 4..]) {
+    for (x, y) in ca4.remainder().iter().zip(cb4.remainder()) {
         s += x * y;
     }
     s
@@ -1110,8 +1110,10 @@ pub fn circular_correlation_windowed(a: &[f32], win: &[f32], out: &mut [f32]) {
     let d = a.len();
     debug_assert_eq!(win.len(), 2 * d.max(1) - 1);
     debug_assert_eq!(out.len(), d);
-    for (k, o) in out.iter_mut().enumerate() {
-        *o = dot(a, &win[k..k + d]);
+    // `windows(d)` yields exactly `d` starts (0..=d-1): rotation `k` of
+    // `b` is the window at offset `k`.
+    for (o, w) in out.iter_mut().zip(win.windows(d.max(1))) {
+        *o = dot(a, w);
     }
 }
 
@@ -1123,8 +1125,10 @@ pub fn circular_convolution_windowed(g: &[f32], win: &[f32], out: &mut [f32]) {
     let d = g.len();
     debug_assert_eq!(win.len(), 2 * d.max(1) - 1);
     debug_assert_eq!(out.len(), d);
-    for (m, o) in out.iter_mut().enumerate() {
-        *o = dot(g, &win[d - 1 - m..2 * d - 1 - m]);
+    // Output `m` reads the window starting at `d - 1 - m`, i.e. the
+    // windows in reverse order.
+    for (o, w) in out.iter_mut().zip(win.windows(d.max(1)).rev()) {
+        *o = dot(g, w);
     }
 }
 
@@ -1132,18 +1136,23 @@ pub fn circular_convolution_windowed(g: &[f32], win: &[f32], out: &mut [f32]) {
 /// [`circular_correlation_windowed`].
 pub fn fill_corr_window(b: &[f32], win: &mut [f32]) {
     let d = b.len();
-    win[..d].copy_from_slice(b);
-    win[d..].copy_from_slice(&b[..d - 1]);
+    let (head, tail) = win.split_at_mut(d);
+    head.copy_from_slice(b);
+    // The tail holds the first `d - 1` elements of `b` again.
+    for (w, &x) in tail.iter_mut().zip(b) {
+        *w = x;
+    }
 }
 
 /// Fills `win` (length `2d - 1`) with `a` reversed and doubled for
 /// [`circular_convolution_windowed`].
 pub fn fill_conv_window(a: &[f32], win: &mut [f32]) {
     let d = a.len();
-    for (i, w) in win[..d].iter_mut().enumerate() {
+    let (head, tail) = win.split_at_mut(d);
+    for (i, w) in head.iter_mut().enumerate() {
         *w = a[d - 1 - i];
     }
-    for (i, w) in win[d..].iter_mut().enumerate() {
+    for (i, w) in tail.iter_mut().enumerate() {
         *w = a[d - 1 - i];
     }
 }

@@ -23,6 +23,11 @@
 #      --full widens this to every workspace crate and runs the
 #      alloc-count gate asserting the pooled training path performs >= 10x
 #      fewer heap allocations than the fresh-graph path.
+#      Between tier-1 and the bench gates, three CLI smokes drill the
+#      resilience path end to end: halt/resume fingerprint equality, a
+#      real `kill -TERM` mid-training with bitwise resume, and the shard
+#      chaos loop (fault-injected serving, corruption, quarantine-and-
+#      repair — rankings fingerprint stable throughout).
 #   6. bench_pr6 — self-gating: pool dispatch >= 10x faster than
 #      per-region thread spawning, batch-parallel lanes not slower than
 #      the serial loop, 2-lane fingerprints thread-count-invariant.
@@ -71,6 +76,7 @@ RUSTFMT_RATCHET=(
     crates/hetgraph/src/error.rs
     crates/hetgraph/src/sampling.rs
     crates/hetgraph/src/shard.rs
+    crates/hetgraph/tests/prop_shard.rs
     crates/bench/src/bin/bench_pr2.rs
     crates/bench/src/bin/bench_pr3.rs
     crates/bench/src/bin/bench_pr6.rs
@@ -140,6 +146,72 @@ if ! diff "$SMOKE_DIR/ref.txt" "$SMOKE_DIR/res.txt"; then
     exit 1
 fi
 echo "kill-and-resume: bitwise-equal"
+
+# Real-signal drill: SIGTERM a checkpointed training process mid-run. The
+# installed handler makes the loop land one final atomic snapshot and exit
+# cleanly; resuming must still hit the reference fingerprints bitwise.
+# (If the tiny run finishes before the signal lands, resume replays from
+# the last periodic snapshot — the equality must hold either way.)
+echo "== SIGTERM graceful-shutdown smoke test (kill -TERM mid-training) =="
+"$CLI" train --scale tiny --variant cate-hgn \
+    --checkpoint "$SMOKE_DIR/term.ckpt" --checkpoint-every 4 \
+    --model "$SMOKE_DIR/term-first.json" >/dev/null 2>&1 &
+TRAIN_PID=$!
+sleep 2
+kill -TERM "$TRAIN_PID" 2>/dev/null || true
+wait "$TRAIN_PID" || true
+"$CLI" train --scale tiny --variant cate-hgn \
+    --checkpoint "$SMOKE_DIR/term.ckpt" --resume \
+    --model "$SMOKE_DIR/term.json" 2>/dev/null \
+    | grep fingerprint > "$SMOKE_DIR/term.txt"
+if ! diff "$SMOKE_DIR/ref.txt" "$SMOKE_DIR/term.txt"; then
+    echo "SIGTERM smoke test FAILED: post-kill resume diverged" >&2
+    exit 1
+fi
+echo "sigterm-resume: bitwise-equal"
+
+# Shard chaos smoke: the serving invariant end to end. A chaos-injected
+# store must return bitwise-identical rankings (retries and .prev
+# fallbacks absorb every fault); a corrupted segment must fail `verify`,
+# keep serving through the previous generation, and come back healthy
+# after `repair` — still on the same rankings fingerprint.
+echo "== shard chaos smoke (write / chaos-serve / corrupt / repair) =="
+SHARD_DIR="$SMOKE_DIR/shard"
+"$CLI" shard write --scale tiny --dir "$SHARD_DIR" >/dev/null
+# Second write rotates the first generation to .prev fallbacks.
+"$CLI" shard write --scale tiny --dir "$SHARD_DIR" >/dev/null
+"$CLI" shard verify --dir "$SHARD_DIR" >/dev/null
+"$CLI" serve --scale tiny --model "$SMOKE_DIR/ref.json" --shard "$SHARD_DIR" \
+    2>/dev/null | grep rankings_fingerprint > "$SMOKE_DIR/serve-ref.txt"
+"$CLI" serve --scale tiny --model "$SMOKE_DIR/ref.json" --shard "$SHARD_DIR" \
+    --chaos 7 2>/dev/null | grep rankings_fingerprint > "$SMOKE_DIR/serve-chaos.txt"
+if ! diff "$SMOKE_DIR/serve-ref.txt" "$SMOKE_DIR/serve-chaos.txt"; then
+    echo "chaos smoke FAILED: fault-injected serving changed the rankings" >&2
+    exit 1
+fi
+SEG=$(ls "$SHARD_DIR"/seg-*.hgs | head -1)
+printf 'CORRUPT' >> "$SEG"
+if "$CLI" shard verify --dir "$SHARD_DIR" >/dev/null 2>&1; then
+    echo "chaos smoke FAILED: verify passed on a corrupted segment" >&2
+    exit 1
+fi
+# Degraded serving: the corrupt current generation quarantines and the
+# matching .prev is served instead — same rankings, no error.
+"$CLI" serve --scale tiny --model "$SMOKE_DIR/ref.json" --shard "$SHARD_DIR" \
+    2>/dev/null | grep rankings_fingerprint > "$SMOKE_DIR/serve-prev.txt"
+if ! diff "$SMOKE_DIR/serve-ref.txt" "$SMOKE_DIR/serve-prev.txt"; then
+    echo "chaos smoke FAILED: .prev fallback changed the rankings" >&2
+    exit 1
+fi
+"$CLI" shard repair --scale tiny --dir "$SHARD_DIR" >/dev/null
+"$CLI" shard verify --dir "$SHARD_DIR" >/dev/null
+"$CLI" serve --scale tiny --model "$SMOKE_DIR/ref.json" --shard "$SHARD_DIR" \
+    2>/dev/null | grep rankings_fingerprint > "$SMOKE_DIR/serve-rep.txt"
+if ! diff "$SMOKE_DIR/serve-ref.txt" "$SMOKE_DIR/serve-rep.txt"; then
+    echo "chaos smoke FAILED: repaired shard changed the rankings" >&2
+    exit 1
+fi
+echo "shard chaos: rankings bitwise-stable through faults, corruption, repair"
 
 # PR-6 gates, self-asserted by the bench binary: persistent-pool dispatch
 # must beat per-region thread spawning >= 10x, batch-parallel lanes must
