@@ -95,7 +95,10 @@ pub fn fig5_trace(report: &TrainReport, n_domains: usize) -> Vec<Fig5Point> {
         .te_rounds
         .iter()
         .map(|r| {
-            let dom = &r.precision[..n_domains.min(r.precision.len())];
+            let dom = r
+                .precision
+                .get(..n_domains.min(r.precision.len()))
+                .unwrap_or(&r.precision);
             let mean = if dom.is_empty() {
                 0.0
             } else {
@@ -151,4 +154,9 @@ serde::impl_serde_struct!(CaseStudyAccuracy {
     venue_domain_match,
     author_prestige_percentile,
 });
-serde::impl_serde_struct!(Fig5Point { round, mean_precision, per_domain, sample_terms });
+serde::impl_serde_struct!(Fig5Point {
+    round,
+    mean_precision,
+    per_domain,
+    sample_terms
+});

@@ -15,7 +15,7 @@ use crate::graph::{HetGraph, NodeId};
 use crate::schema::LinkTypeId;
 use rand::seq::index::sample as index_sample;
 use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One sampled edge inside a [`Block`], in local positional coordinates.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,7 +100,11 @@ fn sample_one_hop<R: Rng>(
 ) -> Block {
     let n_link_types = g.schema().num_link_types();
     let mut src_nodes: Vec<NodeId> = Vec::with_capacity(dst.len() * 2);
-    let mut src_index: HashMap<NodeId, u32> = HashMap::with_capacity(dst.len() * 2);
+    // Membership-only map (never iterated — output order comes from the
+    // `src_nodes` push order), so the BTreeMap swap from the old HashMap
+    // is bitwise-invisible; it just keeps the crate free of
+    // nondeterministic-iteration containers.
+    let mut src_index: BTreeMap<NodeId, u32> = BTreeMap::new();
     // Destinations first so dst_in_src is the identity prefix.
     for &v in dst {
         src_index.entry(v).or_insert_with(|| {
@@ -127,7 +131,7 @@ fn sample_one_hop<R: Rng>(
             }
             let push = |edges: &mut Vec<BlockEdge>,
                         src_nodes: &mut Vec<NodeId>,
-                        src_index: &mut HashMap<NodeId, u32>,
+                        src_index: &mut BTreeMap<NodeId, u32>,
                         u: u32,
                         w: f32| {
                 let uid = NodeId(u);
@@ -327,12 +331,13 @@ fn hash_seeds(seeds: &[NodeId]) -> u64 {
 }
 
 fn dedup_preserve_order(nodes: &[NodeId]) -> Vec<NodeId> {
-    let mut seen = HashMap::with_capacity(nodes.len());
+    // Membership set only; output order is the input's first-seen order.
+    let mut seen = std::collections::BTreeSet::new();
     let mut out = Vec::with_capacity(nodes.len());
     for &v in nodes {
-        seen.entry(v).or_insert_with(|| {
+        if seen.insert(v) {
             out.push(v);
-        });
+        }
     }
     out
 }

@@ -2,7 +2,7 @@
 //!
 //! Scope policy (documented in DESIGN.md §Static analysis):
 //!
-//! | files | determinism | panic-path | unsafe-audit | suppression |
+//! | files | determinism + taint + par-fold | panic-path | unsafe-audit | suppression |
 //! |---|---|---|---|---|
 //! | `crates/*/src/**` (libraries) | yes | yes | yes | yes |
 //! | `crates/bench/**`, `src/bin/**`, `src/main.rs` | – | – | yes | yes |
@@ -12,9 +12,15 @@
 //! `vendor/` holds third-party API shims and is policed by clippy only;
 //! `crates/bench` is the sanctioned home of wall-clock timing. Binaries
 //! may panic on bad CLI input. `crates/tensor/src/par/` (the worker-pool
-//! module: `mod.rs` and `pool.rs`) is the sanctioned threading runtime
-//! and is exempt from the `thread-escape` rule (everything else threads
-//! through it or justifies itself in `lint.allow`).
+//! module: `mod.rs` and `pool.rs`) is the sanctioned threading runtime:
+//! exempt from the `thread-escape` rule and from the region-sink rules
+//! (`par-region`, `unordered-par-fold`) — it is instead held to the
+//! `lock-discipline` pass, which runs only on `pool.rs`.
+//!
+//! The call-graph passes (determinism-taint, panic-reach) run over the
+//! union of library files, so taint and panic reachability cross crate
+//! boundaries. `results/PANIC_SURFACE.md` is written by `--update` and
+//! checked stale-fail (content and ratchet) by the default mode.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -22,8 +28,26 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allowlist::{Allowlist, Key};
-use crate::passes::{self, Finding, UnsafeSite};
-use crate::scanner;
+use crate::callgraph::CallGraph;
+use crate::items;
+use crate::lexer::SigView;
+use crate::passes::{self, panic_reach::RATCHET_MARKER, Finding, PanicSurface, UnsafeSite};
+use crate::scanner::{self, Scanned};
+use crate::taint;
+
+/// The sanctioned parallel runtime files (exact paths, not a directory
+/// prefix, so new files cannot ride in on the exemption).
+pub const PAR_RUNTIME: [&str; 2] = [
+    "crates/tensor/src/par/mod.rs",
+    "crates/tensor/src/par/pool.rs",
+];
+
+/// The crates whose public API the panic-surface report covers.
+pub const PANIC_SURFACE_SCOPE: [&str; 3] = [
+    "crates/core/src/",
+    "crates/hetgraph/src/",
+    "crates/tensor/src/",
+];
 
 /// What the linter should do with the allowlist.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -38,7 +62,9 @@ pub enum Mode {
 pub struct Options {
     pub root: PathBuf,
     pub mode: Mode,
-    /// Write `results/UNSAFE_AUDIT.md` (disabled in the fixture tests).
+    /// Write/verify `results/UNSAFE_AUDIT.md` and
+    /// `results/PANIC_SURFACE.md` (disabled in the fixture tests, which
+    /// run against synthetic roots without a results/ directory).
     pub write_report: bool,
 }
 
@@ -49,12 +75,15 @@ pub struct Outcome {
     pub findings: Vec<Finding>,
     pub unsafe_sites: Vec<UnsafeSite>,
     pub files_scanned: usize,
+    /// The panic-surface analysis (always computed; gated on disk only
+    /// when `write_report` is set).
+    pub panic_surface: PanicSurface,
 }
 
 /// How each discovered file participates in the passes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FileClass {
-    /// Library source: all four passes.
+    /// Library source: all passes.
     Lib,
     /// Binary / bench / test / example source: audit passes only.
     Support,
@@ -130,6 +159,13 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// One loaded workspace file.
+struct Loaded {
+    rel: String,
+    class: FileClass,
+    scanned: Scanned,
+}
+
 /// Run the full analysis over the workspace at `opts.root`.
 pub fn run(opts: &Options) -> Result<Outcome, String> {
     let allow_path = opts.root.join("lint.allow");
@@ -141,32 +177,63 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
         Allowlist::default()
     };
 
+    // Phase 1: load everything, run the per-file passes.
     let mut findings: Vec<Finding> = Vec::new();
     let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
-    let files = collect_files(&opts.root)?;
-    let mut files_scanned = 0usize;
-    for rel in &files {
-        let class = classify(rel);
+    let mut loaded: Vec<Loaded> = Vec::new();
+    for rel in collect_files(&opts.root)? {
+        let class = classify(&rel);
         if class == FileClass::Skip {
             continue;
         }
-        files_scanned += 1;
         let src =
-            fs::read_to_string(opts.root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
-        let scanned = scanner::scan(&src);
-        if class == FileClass::Lib {
-            // Exactly the worker-pool module files — not a directory-prefix
-            // test, so new files cannot ride in on the exemption.
-            let exempt_threads =
-                rel == "crates/tensor/src/par/mod.rs" || rel == "crates/tensor/src/par/pool.rs";
-            findings.extend(passes::determinism(rel, &scanned, exempt_threads));
-            findings.extend(passes::panic_path(rel, &scanned));
+            fs::read_to_string(opts.root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        loaded.push(Loaded {
+            rel,
+            class,
+            scanned: scanner::scan(&src),
+        });
+    }
+    for f in &loaded {
+        let rel = f.rel.as_str();
+        if f.class == FileClass::Lib {
+            let exempt_threads = PAR_RUNTIME.contains(&rel);
+            findings.extend(passes::determinism(rel, &f.scanned, exempt_threads));
+            findings.extend(passes::panic_path(rel, &f.scanned));
         }
-        let (unsafe_findings, sites) = passes::unsafe_audit(rel, &scanned);
+        let (unsafe_findings, sites) = passes::unsafe_audit(rel, &f.scanned);
         findings.extend(unsafe_findings);
         unsafe_sites.extend(sites);
-        findings.extend(passes::suppression(rel, &scanned));
+        findings.extend(passes::suppression(rel, &f.scanned));
     }
+
+    // Phase 2: call-graph passes over the library files.
+    let lib: Vec<&Loaded> = loaded
+        .iter()
+        .filter(|f| f.class == FileClass::Lib)
+        .collect();
+    let views: Vec<SigView> = lib.iter().map(|f| SigView::new(&f.scanned)).collect();
+    let view_refs: Vec<&SigView> = views.iter().collect();
+    let mut fns = Vec::new();
+    let mut per_file_items: Vec<std::ops::Range<usize>> = Vec::new();
+    for (idx, f) in lib.iter().enumerate() {
+        let start = fns.len();
+        fns.extend(items::extract(&f.rel, idx, &views[idx]));
+        per_file_items.push(start..fns.len());
+    }
+    let cg = CallGraph::build(fns, &view_refs);
+    for (idx, f) in lib.iter().enumerate() {
+        let rel = f.rel.as_str();
+        if !PAR_RUNTIME.contains(&rel) {
+            let file_fns = &cg.fns[per_file_items[idx].clone()];
+            findings.extend(passes::par_fold(rel, &views[idx], file_fns));
+        }
+        if rel.ends_with("tensor/src/par/pool.rs") {
+            findings.extend(passes::lock_discipline(rel, &views[idx]));
+        }
+    }
+    findings.extend(taint::determinism_taint(&cg, &view_refs, &PAR_RUNTIME));
+    let panic_surface = passes::panic_reach(&cg, &view_refs, &PANIC_SURFACE_SCOPE);
 
     // Ratchet bookkeeping: observed counts per (pass, rule, file).
     let mut observed: BTreeMap<Key, usize> = BTreeMap::new();
@@ -197,6 +264,9 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
                 .filter(|f| f.pass == key.0 && f.rule == key.1 && f.file == key.2)
             {
                 let _ = write!(msg, "\n    {}:{} — {}", f.file, f.line, f.msg);
+                for w in &f.witness {
+                    let _ = write!(msg, "\n        via {w}");
+                }
             }
             errors.push(msg);
         } else if seen < max && opts.mode == Mode::Check {
@@ -225,14 +295,62 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
         fs::create_dir_all(&results).map_err(|e| format!("mkdir {}: {e}", results.display()))?;
         let path = results.join("UNSAFE_AUDIT.md");
         fs::write(&path, report).map_err(|e| format!("write {}: {e}", path.display()))?;
+
+        // Panic-surface ratchet: `--update` rewrites the committed
+        // report; the default mode fails when it is stale or when the
+        // entry-point count grew.
+        let surface_path = results.join("PANIC_SURFACE.md");
+        match opts.mode {
+            Mode::Update => {
+                fs::write(&surface_path, &panic_surface.report)
+                    .map_err(|e| format!("write {}: {e}", surface_path.display()))?;
+            }
+            Mode::Check => match fs::read_to_string(&surface_path) {
+                Err(_) => errors.push(
+                    "panic-reach: results/PANIC_SURFACE.md is missing — run \
+                     `cargo run -p lint -- --update` to generate it"
+                        .to_string(),
+                ),
+                Ok(committed) => {
+                    let old = parse_ratchet(&committed);
+                    if let Some((old_reachable, _)) = old {
+                        if panic_surface.entry_reachable > old_reachable {
+                            errors.push(format!(
+                                "panic-reach: entry-point panic surface grew ({old_reachable} \
+                                 -> {} of {}); panic-reachable serving/training entry points \
+                                 may only shrink — fix the new panic path or demote the \
+                                 entry point",
+                                panic_surface.entry_reachable, panic_surface.entry_total
+                            ));
+                        }
+                    }
+                    if committed != panic_surface.report {
+                        errors.push(
+                            "panic-reach: results/PANIC_SURFACE.md is stale — run \
+                             `cargo run -p lint -- --update` to regenerate it"
+                                .to_string(),
+                        );
+                    }
+                }
+            },
+        }
     }
 
     Ok(Outcome {
         errors,
         findings,
         unsafe_sites,
-        files_scanned,
+        files_scanned: loaded.len(),
+        panic_surface,
     })
+}
+
+/// Parse `(reachable, total)` out of a committed panic-surface report.
+fn parse_ratchet(report: &str) -> Option<(usize, usize)> {
+    let line = report.lines().find(|l| l.starts_with(RATCHET_MARKER))?;
+    let rest = line.strip_prefix(RATCHET_MARKER)?.strip_suffix(" -->")?;
+    let (a, b) = rest.split_once(" of ")?;
+    Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
 }
 
 const ALLOW_HEADER: &str = "\
@@ -286,4 +404,74 @@ pub fn render_unsafe_report(sites: &[UnsafeSite]) -> String {
         }
     }
     out
+}
+
+/// The contract of each rule, for `--explain <rule>`. Returns
+/// `(pass, rule, contract)` triples.
+pub fn rule_contracts() -> &'static [(&'static str, &'static str, &'static str)] {
+    &[
+        ("determinism", "hash-collections",
+         "HashMap/HashSet iteration order is randomized per process; iterating one into any \
+          result-bearing value breaks bitwise reproducibility. Use BTreeMap/BTreeSet or CSR-order \
+          structures; membership-only uses may be sanctioned in lint.allow."),
+        ("determinism", "wall-clock",
+         "Instant/SystemTime read the clock. Timing belongs in crates/bench; library results must \
+          never depend on when they were computed."),
+        ("determinism", "thread-escape",
+         "thread::spawn/thread::scope/rayon outside tensor::par escape the deterministic executor. \
+          All parallelism routes through the worker pool, which is bitwise-identical to serial at \
+          any thread count."),
+        ("unsafe-audit", "missing-safety",
+         "Every unsafe block/fn/impl must be immediately preceded by a // SAFETY: comment stating \
+          the invariant that makes it sound. The full inventory is results/UNSAFE_AUDIT.md."),
+        ("panic-path", "unwrap",
+         ".unwrap() panics in library code; route through a try_* error path (GraphError, \
+          DatasetError, ServeError) or justify the invariant in lint.allow."),
+        ("panic-path", "expect",
+         ".expect(…) panics in library code; route through a try_* error path or justify the \
+          invariant in lint.allow."),
+        ("panic-path", "panic-macro",
+         "panic!/todo!/unimplemented!/unreachable! are panic paths in library code; acceptable \
+          only as documented diagnostics for corrupted internal state, pinned in lint.allow."),
+        ("panic-path", "range-index",
+         "Bounded range indexing x[a..b] panics when out of range; prefer get(..), split_at, or \
+          chunks_exact — all of which preserve bitwise-identical access order when rewritten \
+          mechanically."),
+        ("suppression", "unjustified-allow",
+         "#[allow(…)] without a justification comment (same line or the line above) silently \
+          widens the lint gate; say why the suppression is sound."),
+        ("determinism-taint", "par-region",
+         "A call inside a par_row_chunks_mut/par_map/par_for_each_mut/run_region argument region \
+          resolves (through any number of helpers) to a function that observes a nondeterminism \
+          source: wall-clock, thread id, hash iteration, pointer address, or ambient RNG. The \
+          finding prints the witness call path. Fix the helper or sanction the site in lint.allow \
+          under (determinism-taint, par-region, <file>)."),
+        ("determinism-taint", "train-step",
+         "train/train_with transitively observes a nondeterminism source, breaking bitwise resume \
+          equality (PR 4). The finding prints the witness call path."),
+        ("determinism-taint", "serve-entry",
+         "A public ServeEngine method transitively observes a nondeterminism source; served \
+          rankings are documented bitwise-reproducible. The finding prints the witness call path."),
+        ("parallel-fold", "unordered-par-fold",
+         "A compound assignment inside a parallel-region closure targets a variable captured from \
+          outside the region; its accumulation order would depend on job scheduling, and float \
+          addition does not commute bitwise. Keep accumulators region-local or route them through \
+          the sanctioned fixed-order folds: matmul_grads_into, the train_with lane fold, the \
+          backward_parallel_impl slot fold."),
+        ("lock-discipline", "wait-outside-loop",
+         "Condvar::wait must sit inside a loop/while that rechecks its predicate; condvars wake \
+          spuriously, and a single-shot wait turns a spurious wake into a missed condition."),
+        ("lock-discipline", "lock-across-park",
+         "No mutex guard may be live across thread::park/sleep/spin_loop/yield_now, and a \
+          Condvar::wait may hold no guard other than the one it atomically releases; a held lock \
+          across a park stalls every contender."),
+        ("lock-discipline", "lock-order",
+         "When two pool mutexes nest, every nesting in the file must acquire them in the same \
+          order; an inverted pair is the classic AB/BA deadlock."),
+        ("panic-reach", "entry-points",
+         "Not a per-site rule: the panic-reach pass renders results/PANIC_SURFACE.md (the \
+          transitive panic surface of the core/hetgraph/tensor public API) and ratchets the count \
+          of panic-reachable serving/training entry points — the gate fails when the report is \
+          stale or the count grows. Regenerate with cargo run -p lint -- --update."),
+    ]
 }

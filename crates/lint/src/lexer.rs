@@ -1,0 +1,117 @@
+//! Structured view over the token stream: the lexer upgrade that turns
+//! the flat scanner into something the call-graph passes can walk.
+//!
+//! [`SigView`] filters trivia (comments) out of a [`Scanned`] file and
+//! pre-computes bracket matching for `(` `[` `{`, so passes can jump over
+//! balanced groups in O(1) instead of re-counting depth at every site.
+//! Angle brackets are *not* matched here — `<`/`>` are ambiguous with
+//! comparison operators at the token level — so the item extractor uses a
+//! local heuristic for generics (see [`crate::items`]).
+
+use crate::scanner::{Kind, Scanned, Token};
+
+/// Sentinel for "no matching bracket" (unbalanced or not a bracket).
+const NO_MATE: usize = usize::MAX;
+
+/// A comment-free, bracket-matched view of one scanned file.
+///
+/// All positions handed out and accepted by this type are *sig positions*:
+/// indices into the filtered significant-token sequence, not into the raw
+/// token stream.
+pub struct SigView<'a> {
+    scanned: &'a Scanned,
+    /// Raw token index of each significant token.
+    sig: Vec<usize>,
+    /// For each sig position holding `(`/`[`/`{` or `)`/`]`/`}`, the sig
+    /// position of its mate; `NO_MATE` elsewhere. Bidirectional.
+    mate: Vec<usize>,
+}
+
+impl<'a> SigView<'a> {
+    pub fn new(scanned: &'a Scanned) -> Self {
+        let sig: Vec<usize> = (0..scanned.tokens.len())
+            .filter(|&i| !scanned.tokens[i].is_trivia())
+            .collect();
+        let mut mate = vec![NO_MATE; sig.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (s, &i) in sig.iter().enumerate() {
+            match scanned.tokens[i].text.as_str() {
+                "(" | "[" | "{" => stack.push(s),
+                ")" | "]" | "}" => {
+                    // Tolerate imbalance (broken files): pop whatever is
+                    // open. rustc reports the real error; we stay total.
+                    if let Some(open) = stack.pop() {
+                        mate[open] = s;
+                        mate[s] = open;
+                    }
+                }
+                _ => {}
+            }
+        }
+        SigView { scanned, sig, mate }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    pub fn tok(&self, s: usize) -> &Token {
+        &self.scanned.tokens[self.sig[s]]
+    }
+
+    /// Token text at sig position `s`, or `""` past the end — so sequence
+    /// matchers can probe `s + k` without bounds gymnastics.
+    pub fn text(&self, s: usize) -> &str {
+        self.sig
+            .get(s)
+            .map(|&i| self.scanned.tokens[i].text.as_str())
+            .unwrap_or("")
+    }
+
+    pub fn kind(&self, s: usize) -> Option<Kind> {
+        self.sig.get(s).map(|&i| self.scanned.tokens[i].kind)
+    }
+
+    pub fn line(&self, s: usize) -> u32 {
+        self.sig
+            .get(s)
+            .map(|&i| self.scanned.tokens[i].line)
+            .unwrap_or(0)
+    }
+
+    /// Whether the token at sig position `s` sits in a `#[cfg(test)]`
+    /// region (per the scanner's marking).
+    pub fn in_test(&self, s: usize) -> bool {
+        self.sig
+            .get(s)
+            .map(|&i| self.scanned.in_test[i])
+            .unwrap_or(false)
+    }
+
+    /// The mate of a bracket at sig position `s` (close for an open, open
+    /// for a close). `None` for non-brackets and unbalanced brackets.
+    pub fn mate(&self, s: usize) -> Option<usize> {
+        match self.mate.get(s) {
+            Some(&m) if m != NO_MATE => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Skip a balanced group: if `s` is an open bracket with a mate,
+    /// return the position just past the close; otherwise `s + 1`.
+    pub fn skip_group(&self, s: usize) -> usize {
+        match self.mate(s) {
+            Some(m) if m > s => m + 1,
+            _ => s + 1,
+        }
+    }
+
+    /// True when `s` is an identifier with exactly this text.
+    pub fn is_ident(&self, s: usize, text: &str) -> bool {
+        self.kind(s) == Some(Kind::Ident) && self.text(s) == text
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-file determinism pass: lexical nondeterminism sources.
+
+use crate::passes::{sig_indices, Finding, PASS_DETERMINISM};
+use crate::scanner::{Kind, Scanned};
+
+/// Flags nondeterminism sources in library code:
+///
+/// * `hash-collections` — `HashMap` / `HashSet` mentions. Their iteration
+///   order is randomized per process, which is exactly how fold-order bugs
+///   re-enter the bitwise-identical kernels (PR 1/3) and the resume
+///   equality guarantee (PR 4). Use `BTreeMap`/`BTreeSet`, or justify an
+///   order-independent use in the allowlist.
+/// * `wall-clock` — `Instant` / `SystemTime` mentions. Timing belongs in
+///   `crates/bench`; library results must never depend on the clock.
+/// * `thread-escape` — `thread::spawn` / `thread::scope` / `rayon`
+///   outside `tensor::par` (the sanctioned deterministic executor, which
+///   the driver exempts from this rule).
+pub fn determinism(file: &str, scanned: &Scanned, exempt_threads: bool) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        out.push(Finding {
+            pass: PASS_DETERMINISM,
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+            witness: Vec::new(),
+        });
+    };
+    for (s, &i) in sig.iter().enumerate() {
+        if scanned.in_test[i] || toks[i].kind != Kind::Ident {
+            continue;
+        }
+        match toks[i].text.as_str() {
+            "HashMap" | "HashSet" => push(
+                "hash-collections",
+                toks[i].line,
+                format!(
+                    "`{}` iteration order is nondeterministic; use a BTree collection \
+                     or justify an order-independent use",
+                    toks[i].text
+                ),
+            ),
+            "Instant" | "SystemTime" => push(
+                "wall-clock",
+                toks[i].line,
+                format!(
+                    "`{}` reads the clock; timing belongs in crates/bench",
+                    toks[i].text
+                ),
+            ),
+            "rayon" if !exempt_threads => push(
+                "thread-escape",
+                toks[i].line,
+                "`rayon` bypasses the deterministic tensor::par executor".to_string(),
+            ),
+            "thread" if !exempt_threads => {
+                let next = sig.get(s + 1).map(|&j| toks[j].text.as_str());
+                let callee = sig.get(s + 2).map(|&j| toks[j].text.as_str());
+                if next == Some("::") && matches!(callee, Some("spawn") | Some("scope")) {
+                    push(
+                        "thread-escape",
+                        toks[i].line,
+                        format!(
+                            "`thread::{}` outside tensor::par escapes the deterministic \
+                             executor",
+                            callee.unwrap_or_default()
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}

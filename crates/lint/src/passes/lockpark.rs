@@ -1,0 +1,261 @@
+//! Lock/park discipline pass for the worker-pool runtime
+//! (`crates/tensor/src/par/pool.rs`).
+//!
+//! Three rules, each a known deadlock or lost-wakeup shape:
+//!
+//! * `wait-outside-loop` — every `Condvar::wait` must sit inside a
+//!   `loop`/`while` that rechecks its predicate: condvars wake
+//!   spuriously, and a single-shot wait turns a spurious wake into a
+//!   missed condition.
+//! * `lock-across-park` — no mutex guard may be live across a parking or
+//!   spinning point (`thread::park`, `thread::sleep`, `spin_loop`,
+//!   `yield_now`), and a `Condvar::wait` may hold no guard other than the
+//!   one it atomically releases. A held lock across a park is a
+//!   contention cliff at best and a deadlock at worst.
+//! * `lock-order` — when two guards nest, every nesting in the file must
+//!   acquire them in the same order; an inverted pair is the classic
+//!   AB/BA deadlock.
+//!
+//! Guards are recognized lexically: `let [mut] g = lock(…)` (the pool's
+//! poison-recovering helper) or `let [mut] g = expr.lock()…`, scoped to
+//! the enclosing block or an earlier `drop(g)`. Acquisition labels are
+//! the last identifier of the lock expression (`lock(&shared.inject)` →
+//! `inject`), which is exactly how the pool names its mutexes.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::SigView;
+use crate::passes::{Finding, PASS_LOCK};
+use crate::scanner::Kind;
+
+#[derive(Clone, Debug)]
+struct Guard {
+    name: String,
+    /// Mutex label (last ident of the lock expression).
+    label: String,
+    /// Sig range in which the guard is live (binding .. scope end/drop).
+    start: usize,
+    end: usize,
+    line: u32,
+}
+
+/// Run the pass over one file (the driver scopes it to the pool module).
+pub fn lock_discipline(file: &str, view: &SigView) -> Vec<Finding> {
+    let guards = collect_guards(view);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        out.push(Finding {
+            pass: PASS_LOCK,
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+            witness: Vec::new(),
+        });
+    };
+
+    // Ordered-acquisition bookkeeping: (outer label, inner label) -> line
+    // of the first nesting observed in that order.
+    let mut nestings: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for g in &guards {
+        for outer in guards
+            .iter()
+            .filter(|o| o.start < g.start && g.start < o.end)
+        {
+            if outer.label != g.label {
+                nestings
+                    .entry((outer.label.clone(), g.label.clone()))
+                    .or_insert(g.line);
+            }
+        }
+    }
+    for ((a, b), &line) in &nestings {
+        // Report each inverted pair once, at the lexically later order.
+        if let Some(&first) = nestings.get(&(b.clone(), a.clone())) {
+            if first < line {
+                push(
+                    "lock-order",
+                    line,
+                    format!(
+                        "inconsistent lock order: `{b}` acquired while holding `{a}` here, \
+                         but `{a}` is acquired while holding `{b}` at line {first} — \
+                         an AB/BA deadlock shape"
+                    ),
+                );
+            }
+        }
+    }
+
+    for s in 0..view.len() {
+        if view.in_test(s) {
+            continue;
+        }
+        // Condvar wait: `.wait(guard)`.
+        if view.is_ident(s, "wait") && s > 0 && view.text(s - 1) == "." && view.text(s + 1) == "(" {
+            if !has_loop_ancestor(view, s) {
+                push(
+                    "wait-outside-loop",
+                    view.line(s),
+                    "`Condvar::wait` outside a recheck loop: spurious wakes make a \
+                     single-shot wait lose its condition"
+                        .to_string(),
+                );
+            }
+            let released = first_arg_ident(view, s + 1);
+            for g in live_guards(&guards, s) {
+                if Some(g.name.as_str()) != released.as_deref() {
+                    push(
+                        "lock-across-park",
+                        view.line(s),
+                        format!(
+                            "guard `{}` (lock `{}`, line {}) is held across this \
+                             `Condvar::wait`; only the guard the wait releases may be live",
+                            g.name, g.label, g.line
+                        ),
+                    );
+                }
+            }
+        }
+        // Parking / spinning points.
+        let is_park = view.kind(s) == Some(Kind::Ident)
+            && matches!(view.text(s), "park" | "sleep" | "spin_loop" | "yield_now")
+            && view.text(s + 1) == "(";
+        if is_park {
+            for g in live_guards(&guards, s) {
+                push(
+                    "lock-across-park",
+                    view.line(s),
+                    format!(
+                        "guard `{}` (lock `{}`, line {}) is held across `{}`: parking or \
+                         spinning while holding a lock stalls every contender",
+                        g.name,
+                        g.label,
+                        g.line,
+                        view.text(s)
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+fn live_guards(guards: &[Guard], s: usize) -> impl Iterator<Item = &Guard> {
+    guards.iter().filter(move |g| g.start < s && s < g.end)
+}
+
+/// Find guard bindings. Maintains the open-brace stack so each guard's
+/// scope end is the mate of the innermost brace open at its binding.
+fn collect_guards(view: &SigView) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    let mut braces: Vec<usize> = Vec::new();
+    for s in 0..view.len() {
+        match view.text(s) {
+            "{" => braces.push(s),
+            "}" => {
+                braces.pop();
+            }
+            "let" => {
+                // `let [mut] NAME = <rhs containing lock(> ;`
+                let mut n = s + 1;
+                if view.text(n) == "mut" {
+                    n += 1;
+                }
+                if view.kind(n) != Some(Kind::Ident) {
+                    continue;
+                }
+                if view.text(n + 1) != "=" {
+                    continue;
+                }
+                // Scan the rhs (to `;`) for a lock call.
+                let mut label = None;
+                let mut t = n + 2;
+                while t < view.len() && view.text(t) != ";" {
+                    if view.is_ident(t, "lock") && view.text(t + 1) == "(" {
+                        label = lock_label(view, t);
+                        break;
+                    }
+                    t += 1;
+                }
+                let Some(label) = label else { continue };
+                let scope_end = braces
+                    .last()
+                    .and_then(|&b| view.mate(b))
+                    .unwrap_or(view.len());
+                let name = view.text(n).to_string();
+                let end = drop_site(view, &name, s, scope_end).unwrap_or(scope_end);
+                guards.push(Guard {
+                    name,
+                    label,
+                    start: s,
+                    end,
+                    line: view.line(s),
+                });
+            }
+            _ => {}
+        }
+    }
+    guards
+}
+
+/// Label of a lock call at sig position `t` (the `lock` ident):
+/// `lock(&shared.inject)` → `inject`; `m.lock()` → `m`.
+fn lock_label(view: &SigView, t: usize) -> Option<String> {
+    if t > 0 && view.text(t - 1) == "." {
+        // Method form: last ident before the `.lock`.
+        return (t >= 2 && view.kind(t - 2) == Some(Kind::Ident))
+            .then(|| view.text(t - 2).to_string());
+    }
+    // Free-function form: last ident inside the argument group.
+    let open = t + 1;
+    let close = view.mate(open)?;
+    (open + 1..close)
+        .rev()
+        .find(|&k| view.kind(k) == Some(Kind::Ident))
+        .map(|k| view.text(k).to_string())
+}
+
+/// An explicit `drop(name)` between `from` and `until`, if any.
+fn drop_site(view: &SigView, name: &str, from: usize, until: usize) -> Option<usize> {
+    (from..until.min(view.len()))
+        .find(|&s| view.is_ident(s, "drop") && view.text(s + 1) == "(" && view.text(s + 2) == name)
+}
+
+/// First identifier in the argument group opening at `open` (skipping
+/// `&`/`mut`), i.e. the guard a `wait` call releases.
+fn first_arg_ident(view: &SigView, open: usize) -> Option<String> {
+    let close = view.mate(open)?;
+    (open + 1..close)
+        .find(|&k| view.kind(k) == Some(Kind::Ident) && view.text(k) != "mut")
+        .map(|k| view.text(k).to_string())
+}
+
+/// Whether some enclosing brace group of `s` is headed by `loop`/`while`.
+/// The head scan walks back from each open brace to the previous
+/// statement boundary (`;`, `{`, `}`).
+fn has_loop_ancestor(view: &SigView, s: usize) -> bool {
+    // Reconstruct the open-brace stack at `s`.
+    let mut braces: Vec<usize> = Vec::new();
+    for p in 0..s {
+        match view.text(p) {
+            "{" => braces.push(p),
+            "}" => {
+                braces.pop();
+            }
+            _ => {}
+        }
+    }
+    braces.iter().any(|&b| {
+        let mut k = b;
+        while k > 0 {
+            k -= 1;
+            match view.text(k) {
+                "loop" | "while" => return true,
+                ";" | "{" | "}" => return false,
+                "(" | ")" | "[" | "]" => continue,
+                _ => continue,
+            }
+        }
+        false
+    })
+}

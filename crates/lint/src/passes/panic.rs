@@ -1,0 +1,159 @@
+//! Panic-path pass: lexical panic sites in library code.
+
+use crate::passes::{sig_indices, Finding, PASS_PANIC};
+use crate::scanner::{Kind, Scanned, Token};
+
+/// Forbids panic paths in library code outside `#[cfg(test)]`:
+///
+/// * `unwrap` / `expect` — `.unwrap()` / `.expect(…)` method calls; use
+///   the `try_*` / `?` error paths added in PR 4 (`GraphError`,
+///   `DatasetError`), or justify an invariant in the allowlist.
+/// * `panic-macro` — `panic!` / `todo!` / `unimplemented!` /
+///   `unreachable!` invocations.
+/// * `range-index` — bounded range indexing `x[a..b]` / `x[..n]` /
+///   `x[a..]`, which panics when out of range (`x[..]` never panics and
+///   is not flagged); prefer `get(..)` or checked slicing on untrusted
+///   bounds.
+pub fn panic_path(file: &str, scanned: &Scanned) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, msg: String| {
+        out.push(Finding {
+            pass: PASS_PANIC,
+            rule,
+            file: file.to_string(),
+            line,
+            msg,
+            witness: Vec::new(),
+        });
+    };
+    for (s, &i) in sig.iter().enumerate() {
+        if scanned.in_test[i] {
+            continue;
+        }
+        let text = toks[i].text.as_str();
+        let next = |k: usize| sig.get(s + k).map(|&j| toks[j].text.as_str());
+        match text {
+            "unwrap" | "expect"
+                if toks[i].kind == Kind::Ident
+                    && s > 0
+                    && toks[sig[s - 1]].text == "."
+                    && next(1) == Some("(") =>
+            {
+                let rule = if text == "unwrap" { "unwrap" } else { "expect" };
+                push(
+                    rule,
+                    toks[i].line,
+                    format!(
+                        "`.{text}()` panics in library code; route through a try_* error \
+                         path or justify the invariant"
+                    ),
+                );
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable"
+                if toks[i].kind == Kind::Ident && next(1) == Some("!") =>
+            {
+                push(
+                    "panic-macro",
+                    toks[i].line,
+                    format!("`{text}!` is a panic path in library code"),
+                );
+            }
+            "[" if is_index_position(toks, &sig, s) => {
+                if let Some(line) = bounded_range_in_brackets(toks, &sig, s) {
+                    push(
+                        "range-index",
+                        line,
+                        "bounded range indexing panics when out of range; prefer `get(..)` \
+                         or justify pre-validated bounds"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `[` opens an *index* expression (rather than an array literal, slice
+/// pattern, or attribute) when the previous significant token can end an
+/// expression: an identifier, literal, `)`, or `]`.
+fn is_index_position(toks: &[Token], sig: &[usize], s: usize) -> bool {
+    if s == 0 {
+        return false;
+    }
+    let prev = &toks[sig[s - 1]];
+    can_end_expression(prev.kind, prev.text.as_str())
+}
+
+/// Whether a token of this kind/text can end an expression — the test
+/// that distinguishes an index `x[…]` from an array literal or slice
+/// pattern. Shared with the panic-reach pass.
+pub(crate) fn can_end_expression(kind: Kind, text: &str) -> bool {
+    match kind {
+        Kind::Ident => !matches!(
+            text,
+            "return"
+                | "break"
+                | "in"
+                | "if"
+                | "else"
+                | "match"
+                | "mut"
+                | "ref"
+                | "box"
+                | "let"
+                | "for"
+                | "while"
+                | "loop"
+                | "move"
+                | "static"
+                | "const"
+                | "as"
+                | "impl"
+                | "dyn"
+                | "where"
+                | "use"
+                | "pub"
+                | "crate"
+                | "enum"
+                | "struct"
+                | "fn"
+                | "type"
+                | "=>"
+        ),
+        Kind::Number | Kind::Str => true,
+        Kind::Punct => matches!(text, ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+/// Scan a bracketed group starting at sig-index `s` (`[`). Returns the
+/// line of a top-level `..` / `..=` that has at least one bound, i.e. the
+/// group is `[a..b]`, `[..n]`, or `[a..]` — but not the infallible `[..]`.
+fn bounded_range_in_brackets(toks: &[Token], sig: &[usize], s: usize) -> Option<u32> {
+    let mut depth = 0usize;
+    let mut range_line: Option<u32> = None;
+    let mut top_level_tokens = 0usize; // non-range tokens at depth 1
+    for &j in sig.get(s..).unwrap_or(&[]) {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            ".." | "..=" if depth == 1 => range_line = Some(t.line),
+            _ if depth == 1 => top_level_tokens += 1,
+            _ => {}
+        }
+    }
+    match (range_line, top_level_tokens) {
+        (Some(line), n) if n > 0 => Some(line),
+        _ => None,
+    }
+}

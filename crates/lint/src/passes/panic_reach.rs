@@ -1,0 +1,240 @@
+//! Panic-reachability pass: the transitive panic surface of the public
+//! API, rendered as `results/PANIC_SURFACE.md`.
+//!
+//! A function *directly panics* when its body (outside `#[cfg(test)]`)
+//! contains an `.unwrap()`/`.expect(…)` call, a panic-family or assert
+//! macro (`debug_assert*` excluded — compiled out in release), or an
+//! index/slice expression. A public function is *panic-reachable* when
+//! it or any transitively called workspace function directly panics,
+//! per the conservative call graph ([`crate::callgraph`]).
+//!
+//! Unlike the other passes this one produces a *report with a ratchet*,
+//! not per-site findings: the count of panic-reachable serving/training
+//! entry points (`ServeEngine` public methods plus `train`/`train_with`)
+//! is recorded in the report and may only shrink — the driver fails the
+//! gate when it grows or when the committed report is stale.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::callgraph::CallGraph;
+use crate::items::FnItem;
+use crate::lexer::SigView;
+use crate::passes::panic::can_end_expression;
+use crate::scanner::Kind;
+
+/// Marker line the driver's ratchet check parses out of the committed
+/// report. Format: `<!-- ratchet: entry-points-panic-reachable N of M -->`.
+pub const RATCHET_MARKER: &str = "<!-- ratchet: entry-points-panic-reachable ";
+
+/// Result of the pass: the rendered report plus the ratcheted counts.
+pub struct PanicSurface {
+    pub report: String,
+    pub entry_reachable: usize,
+    pub entry_total: usize,
+    /// Public API functions in scope: total and panic-reachable.
+    pub public_total: usize,
+    pub public_reachable: usize,
+}
+
+/// One direct panic site.
+#[derive(Clone, Debug)]
+struct Direct {
+    label: &'static str,
+    line: u32,
+}
+
+/// Whether `f` is a serving/training entry point: a public `ServeEngine`
+/// method or the training loop itself.
+fn is_entry_point(f: &FnItem) -> bool {
+    (f.is_pub && f.self_ty.as_deref() == Some("ServeEngine"))
+        || (matches!(f.name.as_str(), "train" | "train_with")
+            && f.self_ty.is_none()
+            && f.file.ends_with("src/train.rs"))
+}
+
+/// Scan a body for its first direct panic site.
+fn direct_panic(view: &SigView, start: usize, end: usize) -> Option<Direct> {
+    let mut s = start;
+    while s < end {
+        if view.in_test(s) {
+            s += 1;
+            continue;
+        }
+        let text = view.text(s);
+        let hit = match text {
+            "unwrap" | "expect"
+                if view.kind(s) == Some(Kind::Ident)
+                    && s > 0
+                    && view.text(s - 1) == "."
+                    && view.text(s + 1) == "(" =>
+            {
+                Some(if text == "unwrap" { "unwrap" } else { "expect" })
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable"
+                if view.kind(s) == Some(Kind::Ident) && view.text(s + 1) == "!" =>
+            {
+                Some("panic-macro")
+            }
+            "assert" | "assert_eq" | "assert_ne"
+                if view.kind(s) == Some(Kind::Ident) && view.text(s + 1) == "!" =>
+            {
+                Some("assert")
+            }
+            "[" if s > 0
+                && view
+                    .kind(s - 1)
+                    .is_some_and(|k| can_end_expression(k, view.text(s - 1)))
+                && fallible_index(view, s) =>
+            {
+                Some("index")
+            }
+            _ => None,
+        };
+        if let Some(label) = hit {
+            return Some(Direct {
+                label,
+                line: view.line(s),
+            });
+        }
+        s += 1;
+    }
+    None
+}
+
+/// An index group `[…]` panics unless it is exactly the full-range `[..]`.
+fn fallible_index(view: &SigView, open: usize) -> bool {
+    match view.mate(open) {
+        Some(close) => !(close == open + 2 && view.text(open + 1) == ".."),
+        None => false,
+    }
+}
+
+/// Run the pass. `report_prefixes` limits the *reported* public API to
+/// files under those path prefixes (the driver passes the core /
+/// hetgraph / tensor crates; tests pass `[""]` for everything). The call
+/// graph itself should span every library file so reachability crosses
+/// crate boundaries.
+pub fn panic_reach(cg: &CallGraph, views: &[&SigView], report_prefixes: &[&str]) -> PanicSurface {
+    let mut directs: BTreeMap<usize, Direct> = BTreeMap::new();
+    for (i, f) in cg.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if let Some(d) = direct_panic(views[f.file_idx], open + 1, close) {
+            directs.insert(i, d);
+        }
+    }
+    let seeds: BTreeSet<usize> = directs.keys().copied().collect();
+    let reach = cg.propagate_up(&seeds);
+
+    let path_of = |i: usize| -> String {
+        let chain = cg.path_to_seed(&reach, i);
+        let names: Vec<String> = chain.iter().map(|&(f, _)| cg.fns[f].qualified()).collect();
+        let seed = chain.last().map(|&(f, _)| f);
+        match seed.and_then(|s| directs.get(&s).map(|d| (s, d))) {
+            Some((s, d)) => format!(
+                "{} ({} at {}:{})",
+                names.join(" -> "),
+                d.label,
+                cg.fns[s].file,
+                d.line
+            ),
+            None => names.join(" -> "),
+        }
+    };
+
+    // Entry points first, then the public API grouped by file.
+    let mut entry_lines = Vec::new();
+    let mut entry_total = 0usize;
+    let mut entry_reachable = 0usize;
+    let mut by_file: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut public_total = 0usize;
+    let mut public_reachable = 0usize;
+    for (i, f) in cg.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let entry = is_entry_point(f);
+        let in_report = f.is_pub && report_prefixes.iter().any(|p| f.file.starts_with(p));
+        if !entry && !in_report {
+            continue;
+        }
+        let reachable = reach.contains_key(&i);
+        let status = if reachable {
+            format!("panic-reachable: {}", path_of(i))
+        } else {
+            "no panic path found".to_string()
+        };
+        if entry {
+            entry_total += 1;
+            entry_reachable += usize::from(reachable);
+            entry_lines.push(format!(
+                "- `{}` ({}:{}) — {status}",
+                f.qualified(),
+                f.file,
+                f.line
+            ));
+        }
+        if in_report {
+            public_total += 1;
+            public_reachable += usize::from(reachable);
+            by_file.entry(f.file.as_str()).or_default().push(format!(
+                "- `{}` (line {}) — {status}",
+                f.qualified(),
+                f.line
+            ));
+        }
+    }
+
+    let mut report = String::from(
+        "# Panic surface\n\n\
+         Generated by `cargo run -p lint -- --update` (the panic-reach pass);\n\
+         `cargo run -p lint` fails when this file is stale or when the\n\
+         entry-point count below grows. A public function is *panic-reachable*\n\
+         when the call graph finds a syntactic panic site (`unwrap`/`expect`,\n\
+         panic-family macro, assert, index/slice expression) in its body or in\n\
+         any transitively called workspace function. The call graph is\n\
+         conservative on ambiguity, so these are upper-bound paths; panics\n\
+         inside `std` (e.g. `split_at`, `copy_from_slice`, arithmetic\n\
+         overflow) and macro expansions are outside the model — see DESIGN.md\n\
+         §Static analysis for the blind-spot list.\n\n",
+    );
+    let _ = writeln!(
+        report,
+        "{RATCHET_MARKER}{entry_reachable} of {entry_total} -->\n"
+    );
+    let _ = writeln!(
+        report,
+        "Serving/training entry points (`ServeEngine` public methods and\n\
+         `train`/`train_with`): **{entry_reachable} of {entry_total}** panic-reachable. This\n\
+         count is ratcheted: it may only shrink.\n"
+    );
+    let _ = writeln!(
+        report,
+        "Public API in scope: {public_reachable} of {public_total} function(s) panic-reachable.\n"
+    );
+    report.push_str("## Entry points\n\n");
+    for l in &entry_lines {
+        report.push_str(l);
+        report.push('\n');
+    }
+    report.push_str("\n## Public API by file\n");
+    for (file, lines) in &by_file {
+        let _ = write!(report, "\n### {file}\n\n");
+        for l in lines {
+            report.push_str(l);
+            report.push('\n');
+        }
+    }
+    PanicSurface {
+        report,
+        entry_reachable,
+        entry_total,
+        public_total,
+        public_reachable,
+    }
+}

@@ -1,0 +1,54 @@
+//! Suppression-audit pass: every `#[allow]` carries a justification.
+
+use crate::passes::{sig_indices, Finding, PASS_SUPPRESSION};
+use crate::scanner::Scanned;
+
+/// Every `#[allow(…)]` / `#![allow(…)]` must carry a justification: a
+/// trailing `// …` comment on the same line, or a `// …` comment on the
+/// line directly above the attribute.
+pub fn suppression(file: &str, scanned: &Scanned) -> Vec<Finding> {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut out = Vec::new();
+    for (s, &i) in sig.iter().enumerate() {
+        if toks[i].text != "#" {
+            continue;
+        }
+        // `#[allow` or `#![allow`
+        let mut k = s + 1;
+        if sig.get(k).map(|&j| toks[j].text.as_str()) == Some("!") {
+            k += 1;
+        }
+        if sig.get(k).map(|&j| toks[j].text.as_str()) != Some("[") {
+            continue;
+        }
+        if sig.get(k + 1).map(|&j| toks[j].text.as_str()) != Some("allow") {
+            continue;
+        }
+        let line = toks[i].line;
+        let lines = &scanned.lines;
+        let at = |l: u32| lines.get(l as usize - 1).map(|s| s.trim()).unwrap_or("");
+        let same_line_comment = comment_body(at(line)).is_some_and(|c| !c.is_empty());
+        let above = if line > 1 { at(line - 1) } else { "" };
+        let above_comment =
+            above.starts_with("//") && comment_body(above).is_some_and(|c| !c.is_empty());
+        if !(same_line_comment || above_comment) {
+            out.push(Finding {
+                pass: PASS_SUPPRESSION,
+                rule: "unjustified-allow",
+                file: file.to_string(),
+                line,
+                msg: "`#[allow(…)]` without a justification comment (same line or the \
+                      line above)"
+                    .to_string(),
+                witness: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// The text of a `// …` comment on `line`, if any.
+fn comment_body(line: &str) -> Option<&str> {
+    Some(line.get(line.find("//")?..)?.trim_start_matches('/').trim())
+}

@@ -1,0 +1,117 @@
+//! Unsafe-audit pass: every `unsafe` site carries a `SAFETY:` comment.
+
+use crate::passes::{sig_indices, Finding, PASS_UNSAFE};
+use crate::scanner::{Kind, Scanned};
+
+/// One `unsafe` site, for the `results/UNSAFE_AUDIT.md` inventory.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block`, `fn`, `impl`, `trait`, or `other`.
+    pub kind: &'static str,
+    /// The `SAFETY:` comment text, or `None` when missing (a finding).
+    pub justification: Option<String>,
+}
+
+/// Every `unsafe` block / fn / impl must be immediately preceded by a
+/// `// SAFETY:` comment (doc-comment `/// SAFETY:` also counts, as does a
+/// trailing comment on the same line). "Immediately" tolerates the
+/// contiguous run of comment lines, attribute lines, and the continuation
+/// lines of the statement the `unsafe` expression appears in.
+pub fn unsafe_audit(file: &str, scanned: &Scanned) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let toks = &scanned.tokens;
+    let sig = sig_indices(toks);
+    let mut findings = Vec::new();
+    let mut sites = Vec::new();
+    for (s, &i) in sig.iter().enumerate() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "unsafe") {
+            continue;
+        }
+        let kind = match sig.get(s + 1).map(|&j| toks[j].text.as_str()) {
+            Some("{") => "block",
+            Some("fn") => "fn",
+            Some("impl") => "impl",
+            Some("trait") => "trait",
+            _ => "other",
+        };
+        let justification = safety_comment(scanned, toks[i].line);
+        if justification.is_none() {
+            findings.push(Finding {
+                pass: PASS_UNSAFE,
+                rule: "missing-safety",
+                file: file.to_string(),
+                line: toks[i].line,
+                msg: format!("`unsafe` {kind} has no `// SAFETY:` comment immediately above it"),
+                witness: Vec::new(),
+            });
+        }
+        sites.push(UnsafeSite {
+            file: file.to_string(),
+            line: toks[i].line,
+            kind,
+            justification,
+        });
+    }
+    (findings, sites)
+}
+
+/// Locate the `SAFETY:` comment covering an `unsafe` token at `line`
+/// (1-based) and return its text with comment markers stripped.
+fn safety_comment(scanned: &Scanned, line: u32) -> Option<String> {
+    let lines = &scanned.lines;
+    let at = |l: u32| lines.get(l as usize - 1).map(|s| s.trim()).unwrap_or("");
+    // Trailing comment on the unsafe line itself.
+    if let Some(text) = extract_safety(at(line)) {
+        return Some(text);
+    }
+    // Walk upward over comments, attributes, and statement continuations.
+    let mut l = line;
+    let mut steps = 0u32;
+    while l > 1 && steps < 40 {
+        l -= 1;
+        steps += 1;
+        let t = at(l);
+        if let Some(first) = extract_safety(t) {
+            // Collect the rest of a contiguous comment block below it.
+            let mut text = first;
+            let mut m = l + 1;
+            while m < line {
+                let c = at(m);
+                if !c.starts_with("//") {
+                    break;
+                }
+                let body = c.trim_start_matches('/').trim();
+                if !body.is_empty() {
+                    text.push(' ');
+                    text.push_str(body);
+                }
+                m += 1;
+            }
+            return Some(text);
+        }
+        if t.is_empty() {
+            return None; // blank line severs "immediately preceded"
+        }
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+            continue; // comment without SAFETY yet, or attribute — keep going
+        }
+        // A code line: continue only if it is a continuation of the same
+        // statement (does not end one). Strip a trailing comment first.
+        let code = t.split("//").next().unwrap_or("").trim_end();
+        match code.chars().last() {
+            Some(';') | Some('{') | Some('}') => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
+/// If `line` contains a `SAFETY:` comment, return the text after the
+/// marker (may be empty on a `// SAFETY:` header line — the block
+/// collector appends the following lines).
+fn extract_safety(line: &str) -> Option<String> {
+    let comment = line.get(line.find("//")?..)?;
+    let idx = comment.find("SAFETY:")?;
+    Some(comment.get(idx + "SAFETY:".len()..)?.trim().to_string())
+}

@@ -1,0 +1,37 @@
+//! Lock-discipline fixture: single-shot wait, lock held across park,
+//! and an AB/BA inversion; `good_wait` is the clean pattern.
+
+pub fn bad_wait(shared: &Shared) {
+    let mut g = lock(&shared.inject);
+    g = shared.cv.wait(g);
+    drop(g);
+}
+
+pub fn bad_park(shared: &Shared) {
+    let g = lock(&shared.inject);
+    std::thread::park();
+    drop(g);
+}
+
+pub fn bad_order(shared: &Shared) {
+    {
+        let a = lock(&shared.inject);
+        let b = lock(&shared.queue);
+        drop(b);
+        drop(a);
+    }
+    {
+        let b = lock(&shared.queue);
+        let a = lock(&shared.inject);
+        drop(a);
+        drop(b);
+    }
+}
+
+pub fn good_wait(shared: &Shared) {
+    let mut g = lock(&shared.inject);
+    while g.busy() {
+        g = shared.cv.wait(g);
+    }
+    drop(g);
+}

@@ -1,0 +1,30 @@
+//! Panic-reach fixture: a public API whose panic sites sit two calls
+//! below the entry points.
+
+pub struct ServeEngine;
+
+impl ServeEngine {
+    pub fn safe(&self) -> usize {
+        helper_ok()
+    }
+
+    pub fn risky(&self, v: &[u32]) -> u32 {
+        helper_mid(v)
+    }
+}
+
+pub fn train_with(v: &[u32]) -> u32 {
+    helper_mid(v)
+}
+
+fn helper_mid(v: &[u32]) -> u32 {
+    helper_leaf(v)
+}
+
+fn helper_leaf(v: &[u32]) -> u32 {
+    v[0]
+}
+
+fn helper_ok() -> usize {
+    0
+}

@@ -1,0 +1,34 @@
+//! Parallel-fold fixture: captured accumulation flagged; sanctioned
+//! fold and region-local accumulator not.
+
+pub fn bad_fold(out: &mut [f32], xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    par_row_chunks_mut(out, 4, |chunk, r0| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = xs[r0 + i];
+            acc += *v;
+        }
+    });
+    acc
+}
+
+pub fn matmul_grads_into(out: &mut [f32], xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    par_row_chunks_mut(out, 4, |chunk, r0| {
+        for (i, v) in chunk.iter_mut().enumerate() {
+            acc += xs[r0 + i];
+            *v = acc;
+        }
+    });
+    acc
+}
+
+pub fn local_fold(out: &mut [f32], xs: &[f32]) {
+    par_row_chunks_mut(out, 4, |chunk, r0| {
+        let mut local = 0.0f32;
+        for (i, v) in chunk.iter_mut().enumerate() {
+            local += xs[r0 + i];
+            *v = local;
+        }
+    });
+}

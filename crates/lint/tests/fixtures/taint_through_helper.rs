@@ -1,0 +1,33 @@
+//! Taint fixture: a `HashMap` source two helper levels below a
+//! parallel region, the training loop, and a serve entry point.
+
+use std::collections::HashMap;
+
+fn leaf_count(xs: &[u32]) -> usize {
+    let m: HashMap<u32, u32> = xs.iter().map(|&x| (x, x)).collect();
+    m.len()
+}
+
+fn mid_helper(xs: &[u32]) -> usize {
+    leaf_count(xs) + 1
+}
+
+pub fn par_user(out: &mut [f32], xs: &[u32]) {
+    par_row_chunks_mut(out, 4, |chunk, _r0| {
+        for v in chunk.iter_mut() {
+            *v = mid_helper(xs) as f32;
+        }
+    });
+}
+
+pub fn train_with(xs: &[u32]) -> usize {
+    mid_helper(xs)
+}
+
+pub struct ServeEngine;
+
+impl ServeEngine {
+    pub fn predict(&self, xs: &[u32]) -> usize {
+        mid_helper(xs)
+    }
+}

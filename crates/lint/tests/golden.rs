@@ -11,9 +11,13 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use lint::allowlist::Allowlist;
+use lint::callgraph::CallGraph;
 use lint::driver::{self, classify, FileClass, Mode, Options};
+use lint::items;
+use lint::lexer::SigView;
 use lint::passes::{self, Finding};
-use lint::scanner::{self, Kind};
+use lint::scanner::{self, Kind, Scanned};
+use lint::taint;
 
 fn fixture(name: &str) -> String {
     let p = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -162,6 +166,117 @@ fn suppression_fixture_exact_lines() {
     let scanned = scanner::scan(&fixture("suppression_viol.rs"));
     let found = passes::suppression("f.rs", &scanned);
     assert_eq!(lines(&found, "unjustified-allow"), vec![1, 12]);
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph passes
+// ---------------------------------------------------------------------------
+
+/// Build the interprocedural pipeline over a single fixture file,
+/// pretending it lives at `file` in the workspace.
+fn single_file_graph<'a>(file: &str, scanned: &'a Scanned) -> (CallGraph, SigView<'a>) {
+    let view = SigView::new(scanned);
+    let fns = items::extract(file, 0, &view);
+    let cg = CallGraph::build(fns, &[&view]);
+    (cg, view)
+}
+
+/// Acceptance criterion: the taint pass catches a nondeterminism source
+/// reaching a parallel region through two levels of function calls, and
+/// the witness call path names every hop down to the source token.
+#[test]
+fn taint_fixture_witness_through_two_helpers() {
+    let scanned = scanner::scan(&fixture("taint_through_helper.rs"));
+    let (cg, view) = single_file_graph("crates/foo/src/train.rs", &scanned);
+    let found = taint::determinism_taint(&cg, &[&view], &[]);
+
+    let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec!["par-region", "train-step", "serve-entry"]);
+
+    // Sink 1: the call site inside the `par_row_chunks_mut` region.
+    let par = &found[0];
+    assert_eq!(par.line, 18, "flagged at the in-region call site");
+    assert_eq!(
+        par.witness,
+        vec![
+            "mid_helper (crates/foo/src/train.rs:11)",
+            "leaf_count (crates/foo/src/train.rs:6)",
+            "`HashMap` at crates/foo/src/train.rs:7",
+        ],
+        "two-hop witness chain down to the source token"
+    );
+    assert!(par.msg.contains("mid_helper -> leaf_count"));
+
+    // Sink 2: the training loop, three hops above the source.
+    let train = &found[1];
+    assert_eq!(train.line, 23);
+    assert_eq!(train.witness[0], "train_with (crates/foo/src/train.rs:23)");
+    assert_eq!(
+        train.witness.len(),
+        4,
+        "train_with -> mid -> leaf -> source"
+    );
+
+    // Sink 3: the public ServeEngine method.
+    let serve = &found[2];
+    assert_eq!(serve.line, 30);
+    assert_eq!(
+        serve.witness[0],
+        "ServeEngine::predict (crates/foo/src/train.rs:30)"
+    );
+}
+
+#[test]
+fn panic_reach_fixture_counts_and_witness() {
+    let scanned = scanner::scan(&fixture("panic_reach_pub.rs"));
+    let (cg, view) = single_file_graph("crates/foo/src/train.rs", &scanned);
+    let surface = passes::panic_reach(&cg, &[&view], &[""]);
+
+    // safe/risky/train_with are entry points; risky and train_with reach
+    // the index in helper_leaf through helper_mid.
+    assert_eq!((surface.entry_reachable, surface.entry_total), (2, 3));
+    assert_eq!((surface.public_reachable, surface.public_total), (2, 3));
+    assert!(surface
+        .report
+        .contains("<!-- ratchet: entry-points-panic-reachable 2 of 3 -->"));
+    assert!(
+        surface.report.contains(
+            "ServeEngine::risky -> helper_mid -> helper_leaf \
+             (index at crates/foo/src/train.rs:25)"
+        ),
+        "witness path rendered: {}",
+        surface.report
+    );
+    assert!(surface
+        .report
+        .contains("`ServeEngine::safe` (crates/foo/src/train.rs:7) — no panic path found"));
+}
+
+#[test]
+fn par_fold_fixture_flags_captured_accumulator_only() {
+    let scanned = scanner::scan(&fixture("par_fold_viol.rs"));
+    let view = SigView::new(&scanned);
+    let fns = items::extract("f.rs", 0, &view);
+    let found = passes::par_fold("f.rs", &view, &fns);
+
+    // `acc` in bad_fold is captured; the identical accumulation inside
+    // matmul_grads_into is sanctioned, and `local` is region-bound.
+    assert_eq!(lines(&found, "unordered-par-fold"), vec![9]);
+    assert_eq!(found.len(), 1);
+    assert!(found[0].msg.contains("`acc`"));
+    assert!(found[0].msg.contains("matmul_grads_into"));
+}
+
+#[test]
+fn lock_fixture_exact_lines() {
+    let scanned = scanner::scan(&fixture("lock_viol.rs"));
+    let view = SigView::new(&scanned);
+    let found = passes::lock_discipline("pool.rs", &view);
+
+    assert_eq!(lines(&found, "wait-outside-loop"), vec![6]);
+    assert_eq!(lines(&found, "lock-across-park"), vec![12]);
+    assert_eq!(lines(&found, "lock-order"), vec![25]);
+    assert_eq!(found.len(), 3, "good_wait stays clean");
 }
 
 // ---------------------------------------------------------------------------
@@ -424,6 +539,61 @@ suppression unjustified-allow crates/foo/src/lib.rs 1 -- fixture debt pinned by 
     assert!(
         out.errors.iter().any(|e| e.contains("hash-collections")),
         "over-ceiling still fails in Update mode: {:?}",
+        out.errors
+    );
+}
+
+/// A taint finding surfaces in the gate with its witness call path, and
+/// an ordinary `lint.allow` entry sanctions it.
+#[test]
+fn gate_sanctions_taint_via_allowlist() {
+    let lib = "\
+use std::collections::HashMap;
+
+fn entropy(xs: &[u32]) -> usize {
+    let m: HashMap<u32, u32> = xs.iter().map(|&x| (x, x)).collect();
+    m.len()
+}
+
+fn helper(xs: &[u32]) -> usize {
+    entropy(xs)
+}
+
+pub fn par_user(out: &mut [f32], xs: &[u32]) {
+    par_row_chunks_mut(out, 4, |chunk, _r0| {
+        for v in chunk.iter_mut() {
+            *v = helper(xs) as f32;
+        }
+    });
+}
+";
+    let root = synth_root("taint", lib);
+    let out = run_check(&root);
+    let taint_err = out
+        .errors
+        .iter()
+        .find(|e| e.contains("par-region"))
+        .expect("unpinned taint violation fails the gate");
+    for via in [
+        "via helper (crates/foo/src/lib.rs:8)",
+        "via entropy (crates/foo/src/lib.rs:3)",
+        "via `HashMap` at crates/foo/src/lib.rs:4",
+    ] {
+        assert!(
+            taint_err.contains(via),
+            "gate error prints the witness hop {via:?}: {taint_err}"
+        );
+    }
+
+    let allow = "\
+determinism hash-collections crates/foo/src/lib.rs 2 -- fixture debt pinned by golden taint test
+determinism-taint par-region crates/foo/src/lib.rs 1 -- sanctioned fixture nondeterminism for golden taint test
+";
+    fs::write(root.join("lint.allow"), allow).expect("write lint.allow");
+    let out = run_check(&root);
+    assert!(
+        out.errors.is_empty(),
+        "sanctioned taint site passes the gate: {:?}",
         out.errors
     );
 }

@@ -173,14 +173,14 @@ impl Tensor {
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        window(&self.data, r * self.cols, self.cols)
     }
 
     /// Mutable borrow of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
-        &mut self.data[r * self.cols..(r + 1) * self.cols]
+        window_mut(&mut self.data, r * self.cols, self.cols)
     }
 
     /// Iterator over rows as slices.
@@ -722,6 +722,22 @@ const NRW: usize = 32;
 /// L1-resident across the row blocks of one chunk.
 const KC: usize = 256;
 
+/// `&s[start..start + len]` expressed through `split_at`: the same
+/// elements in the same order, with the length visible to the optimiser
+/// exactly like the range form, but without a syntactic index expression
+/// (the panic lives inside `split_at`, a documented analyzer blind spot
+/// — bounds here are loop-invariant kernel arithmetic).
+#[inline(always)]
+fn window(s: &[f32], start: usize, len: usize) -> &[f32] {
+    s.split_at(start).1.split_at(len).0
+}
+
+/// Mutable [`window`].
+#[inline(always)]
+fn window_mut(s: &mut [f32], start: usize, len: usize) -> &mut [f32] {
+    s.split_at_mut(start).1.split_at_mut(len).0
+}
+
 /// C[lo..hi, :] += A[lo..hi, :] * B for row-major A (n x k) and B (k x m);
 /// `out` holds rows `lo..hi` of C and arrives zeroed.
 fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, out: &mut [f32]) {
@@ -738,19 +754,19 @@ fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, 
             while j < m {
                 let nr = NRW.min(m - j);
                 if mr == MR && nr == NRW {
-                    let a0 = &a[i * k + kb..][..pa];
-                    let a1 = &a[(i + 1) * k + kb..][..pa];
-                    let a2 = &a[(i + 2) * k + kb..][..pa];
-                    let a3 = &a[(i + 3) * k + kb..][..pa];
+                    let a0 = window(a, i * k + kb, pa);
+                    let a1 = window(a, (i + 1) * k + kb, pa);
+                    let a2 = window(a, (i + 2) * k + kb, pa);
+                    let a3 = window(a, (i + 3) * k + kb, pa);
                     // Two NR-wide half-tiles per row: each half is one
                     // full vector register, which keeps the whole
                     // accumulator tile register-resident.
                     let mut acc_lo = [[0.0f32; NR]; MR];
                     let mut acc_hi = [[0.0f32; NR]; MR];
                     for r in 0..MR {
-                        let row = &out[(i - lo + r) * m + j..][..NRW];
-                        acc_lo[r].copy_from_slice(&row[..NR]);
-                        acc_hi[r].copy_from_slice(&row[NR..]);
+                        let (row_lo, row_hi) = window(out, (i - lo + r) * m + j, NRW).split_at(NR);
+                        acc_lo[r].copy_from_slice(row_lo);
+                        acc_hi[r].copy_from_slice(row_hi);
                     }
                     let mut boff = kb * m + j;
                     // Constant row indices and one scalar A element per
@@ -766,7 +782,7 @@ fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, 
                         }};
                     }
                     for t in 0..pa {
-                        let (bl, bh) = b[boff..boff + NRW].split_at(NR);
+                        let (bl, bh) = window(b, boff, NRW).split_at(NR);
                         let bl: &[f32; NR] = bl.try_into().unwrap();
                         let bh: &[f32; NR] = bh.try_into().unwrap();
                         fma_row!(a0[t], acc_lo[0], acc_hi[0], bl, bh);
@@ -776,16 +792,17 @@ fn matmul_block(a: &[f32], b: &[f32], k: usize, m: usize, lo: usize, hi: usize, 
                         boff += m;
                     }
                     for r in 0..MR {
-                        let row = &mut out[(i - lo + r) * m + j..][..NRW];
-                        row[..NR].copy_from_slice(&acc_lo[r]);
-                        row[NR..].copy_from_slice(&acc_hi[r]);
+                        let (row_lo, row_hi) =
+                            window_mut(out, (i - lo + r) * m + j, NRW).split_at_mut(NR);
+                        row_lo.copy_from_slice(&acc_lo[r]);
+                        row_hi.copy_from_slice(&acc_hi[r]);
                     }
                 } else {
                     for p in kb..ke {
-                        let brow = &b[p * m + j..p * m + j + nr];
+                        let brow = window(b, p * m + j, nr);
                         for r in 0..mr {
                             let av = a[(i + r) * k + p];
-                            let orow = &mut out[(i - lo + r) * m + j..][..nr];
+                            let orow = window_mut(out, (i - lo + r) * m + j, nr);
                             for (o, &bv) in orow.iter_mut().zip(brow) {
                                 *o += av * bv;
                             }
@@ -842,7 +859,7 @@ fn matmul_tb_block(
                 if mr == MR && nr == NR {
                     let mut acc = [[0.0f32; NR]; MR];
                     for (r, accr) in acc.iter_mut().enumerate() {
-                        accr.copy_from_slice(&out[(i - lo + r) * m + j..][..NR]);
+                        accr.copy_from_slice(window(out, (i - lo + r) * m + j, NR));
                     }
                     for (t, brow) in pack.chunks_exact(NR).take(pa).enumerate() {
                         for (r, accr) in acc.iter_mut().enumerate() {
@@ -853,7 +870,7 @@ fn matmul_tb_block(
                         }
                     }
                     for (r, accr) in acc.iter().enumerate() {
-                        out[(i - lo + r) * m + j..][..NR].copy_from_slice(accr);
+                        window_mut(out, (i - lo + r) * m + j, NR).copy_from_slice(accr);
                     }
                 } else {
                     for t in 0..pa {
@@ -916,9 +933,9 @@ fn matmul_ta_block(
                     let mut acc_lo = [[0.0f32; NR]; MR];
                     let mut acc_hi = [[0.0f32; NR]; MR];
                     for r in 0..MR {
-                        let row = &out[(i - lo + r) * m + j..][..NRW];
-                        acc_lo[r].copy_from_slice(&row[..NR]);
-                        acc_hi[r].copy_from_slice(&row[NR..]);
+                        let (row_lo, row_hi) = window(out, (i - lo + r) * m + j, NRW).split_at(NR);
+                        acc_lo[r].copy_from_slice(row_lo);
+                        acc_hi[r].copy_from_slice(row_hi);
                     }
                     let mut boff = kb * m + j;
                     macro_rules! fma_row {
@@ -931,7 +948,7 @@ fn matmul_ta_block(
                         }};
                     }
                     for arow in apack.chunks_exact(MR).take(pa) {
-                        let (bl, bh) = b[boff..boff + NRW].split_at(NR);
+                        let (bl, bh) = window(b, boff, NRW).split_at(NR);
                         let bl: &[f32; NR] = bl.try_into().unwrap();
                         let bh: &[f32; NR] = bh.try_into().unwrap();
                         fma_row!(arow[0], acc_lo[0], acc_hi[0], bl, bh);
@@ -941,16 +958,17 @@ fn matmul_ta_block(
                         boff += m;
                     }
                     for r in 0..MR {
-                        let row = &mut out[(i - lo + r) * m + j..][..NRW];
-                        row[..NR].copy_from_slice(&acc_lo[r]);
-                        row[NR..].copy_from_slice(&acc_hi[r]);
+                        let (row_lo, row_hi) =
+                            window_mut(out, (i - lo + r) * m + j, NRW).split_at_mut(NR);
+                        row_lo.copy_from_slice(&acc_lo[r]);
+                        row_hi.copy_from_slice(&acc_hi[r]);
                     }
                 } else {
                     for t in 0..pa {
-                        let brow = &b[(kb + t) * m + j..(kb + t) * m + j + nr];
+                        let brow = window(b, (kb + t) * m + j, nr);
                         for r in 0..mr {
                             let av = apack[t * MR + r];
-                            let orow = &mut out[(i - lo + r) * m + j..][..nr];
+                            let orow = window_mut(out, (i - lo + r) * m + j, nr);
                             for (o, &bv) in orow.iter_mut().zip(brow) {
                                 *o += av * bv;
                             }

@@ -10,9 +10,13 @@
 #      seed tree predates rustfmt enforcement and reformatting it wholesale
 #      would bury real diffs, so formatting is ratcheted: files added or
 #      rewritten by a PR go on the list and stay clean forever after.
-#   2. cargo run -p lint — the workspace invariant linter (determinism,
-#      unsafe-audit, panic-path, suppression; DESIGN.md §Static analysis).
-#      Debt is pinned in lint.allow and may only shrink.
+#   2. cargo run -p lint — the workspace invariant linter: per-file
+#      passes (determinism, unsafe-audit, panic-path, suppression) plus
+#      the call-graph passes (determinism-taint with witness paths,
+#      panic-reach, parallel-fold, lock-discipline; DESIGN.md §Static
+#      analysis). Debt is pinned in lint.allow and may only shrink; the
+#      same run stale-fails when results/PANIC_SURFACE.md is out of date
+#      with --update output or its entry-point ratchet grows.
 #   3. cargo clippy -D warnings across the whole workspace (all targets),
 #      with the clippy.toml disallowed-types/-methods backstop.
 #   4. cargo build --release --workspace (every binary the later stages
@@ -84,20 +88,36 @@ RUSTFMT_RATCHET=(
     crates/bench/src/bin/bench_serve.rs
     crates/bench/tests/alloc_ratio.rs
     crates/lint/src/allowlist.rs
+    crates/lint/src/callgraph.rs
     crates/lint/src/driver.rs
+    crates/lint/src/items.rs
+    crates/lint/src/lexer.rs
     crates/lint/src/lib.rs
     crates/lint/src/main.rs
-    crates/lint/src/passes.rs
+    crates/lint/src/passes/determinism.rs
+    crates/lint/src/passes/lockpark.rs
+    crates/lint/src/passes/mod.rs
+    crates/lint/src/passes/panic.rs
+    crates/lint/src/passes/panic_reach.rs
+    crates/lint/src/passes/parfold.rs
+    crates/lint/src/passes/suppression.rs
+    crates/lint/src/passes/unsafe_audit.rs
     crates/lint/src/scanner.rs
+    crates/lint/src/taint.rs
     crates/lint/tests/golden.rs
+    crates/eval/src/case.rs
 )
 
 echo "== rustfmt (ratcheted file list) =="
 rustfmt --edition 2021 --check "${RUSTFMT_RATCHET[@]}"
 
 # The invariant linter gates before the expensive stages: it needs only a
-# debug build of the zero-dependency lint crate, so a new unwrap or a
-# missing SAFETY comment fails in seconds, not after the release build.
+# debug build of the zero-dependency lint crate, so a new unwrap, a
+# missing SAFETY comment, or a nondeterminism source leaking through a
+# helper into a parallel region fails in seconds, not after the release
+# build. The same run checks results/PANIC_SURFACE.md against the
+# current workspace and fails if it is stale or its ratcheted
+# entry-point count grew (regenerate with `cargo run -p lint -- --update`).
 echo "== invariant lint (cargo run -p lint) =="
 cargo run -q -p lint
 
